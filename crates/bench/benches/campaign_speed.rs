@@ -1,0 +1,49 @@
+//! End-to-end simulator throughput: wall time to reproduce a full
+//! two-week measurement campaign (the unit of everything in the
+//! evaluation). Also benches the per-figure computations on its output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wanpred_predict::SizeClass;
+use wanpred_simnet::rng::MasterSeed;
+use wanpred_simnet::time::SimDuration;
+use wanpred_testbed::{
+    fig07, fig08_11, fig12_13, run_campaign, CampaignConfig, Pair, WorkloadConfig,
+};
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("two_week_august_campaign", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_campaign(&CampaignConfig::august(42)));
+        })
+    });
+    group.bench_function("two_day_campaign_no_probes", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_campaign(&CampaignConfig {
+                seed: MasterSeed(1),
+                epoch_unix: 996_642_000,
+                duration: SimDuration::from_days(2),
+                workload: WorkloadConfig::default(),
+                probes: false,
+            }));
+        })
+    });
+    group.finish();
+
+    let result = run_campaign(&CampaignConfig::august(42));
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("fig07_counts", |b| {
+        b.iter(|| std::hint::black_box(fig07(&result, Pair::LblAnl)))
+    });
+    group.bench_function("fig08_11_one_class", |b| {
+        b.iter(|| std::hint::black_box(fig08_11(&result, Pair::LblAnl, SizeClass::C100MB)))
+    });
+    group.bench_function("fig12_13_classification", |b| {
+        b.iter(|| std::hint::black_box(fig12_13(&result, Pair::LblAnl)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Simulator-substrate performance: the weighted max-min solver is
+//! re-run on every flow/load change, so its cost bounds campaign speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wanpred_simnet::fair::{solve, FairFlow};
+
+fn config(links: usize, flows: usize) -> (Vec<f64>, Vec<FairFlow>) {
+    let caps: Vec<f64> = (0..links).map(|l| 1e7 + (l as f64) * 1e6).collect();
+    let flows: Vec<FairFlow> = (0..flows)
+        .map(|f| {
+            let a = f % links;
+            let b = (f * 7 + 3) % links;
+            let mut path = vec![a];
+            if b != a {
+                path.push(b);
+            }
+            FairFlow {
+                weight: 1.0 + (f % 8) as f64,
+                cap: if f % 3 == 0 { 2e6 } else { f64::INFINITY },
+                links: path,
+            }
+        })
+        .collect();
+    (caps, flows)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fair_solver");
+    for &(links, flows) in &[(4usize, 4usize), (4, 32), (16, 128), (64, 512)] {
+        let (caps, fs) = config(links, flows);
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{links}l_{flows}f")),
+            &(caps, fs),
+            |b, (caps, fs)| b.iter(|| std::hint::black_box(solve(caps, fs))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! §5.1 claim: "a log of approximately 100 KB, around 700 log entries,
+//! took the information provider approximately 1 to 2 seconds to filter,
+//! classify the entries into object classes, and compute predictions"
+//! (2001 hardware). Measures our provider doing the same work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wanpred_infod::{parse_filter, Dn, Gris, GridFtpPerfProvider, ProviderConfig};
+use wanpred_logfmt::{Operation, TransferLog, TransferRecordBuilder};
+
+fn synth_log(entries: usize) -> TransferLog {
+    let sizes = [1u64, 10, 100, 500, 1000];
+    let mut log = TransferLog::new();
+    for i in 0..entries as u64 {
+        let size = sizes[(i % 5) as usize] * 1_024_000;
+        let secs = 10.0 + (i % 7) as f64;
+        log.append(
+            TransferRecordBuilder::new()
+                .source(if i % 3 == 0 { "140.221.65.69" } else { "128.9.160.11" })
+                .host("dpsslx04.lbl.gov")
+                .file_name("/home/ftp/vazhkuda/f")
+                .file_size(size)
+                .volume("/home/ftp")
+                .start_unix(1_000_000 + i * 600)
+                .end_unix(1_000_000 + i * 600 + secs as u64)
+                .total_time_s(secs)
+                .streams(8)
+                .tcp_buffer(1_000_000)
+                .operation(if i % 11 == 0 { Operation::Write } else { Operation::Read })
+                .build()
+                .expect("fields set"),
+        );
+    }
+    log
+}
+
+fn bench_provider(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provider_filter");
+    for &entries in &[700usize, 2_800, 11_200] {
+        let log = synth_log(entries);
+        let provider = GridFtpPerfProvider::from_snapshot(
+            ProviderConfig::new("dpsslx04.lbl.gov", "131.243.2.11"),
+            log,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build_entries", entries),
+            &provider,
+            |b, p| b.iter(|| std::hint::black_box(p.build_entries(2_000_000))),
+        );
+    }
+    group.finish();
+
+    // GRIS search over cached provider output.
+    let provider = GridFtpPerfProvider::from_snapshot(
+        ProviderConfig::new("dpsslx04.lbl.gov", "131.243.2.11"),
+        synth_log(700),
+    );
+    let mut gris = Gris::new(Dn::parse("o=grid").expect("const"));
+    gris.register_provider(Box::new(provider));
+    let filter = parse_filter("(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=1000))")
+        .expect("well-formed");
+    gris.entries(0); // warm the cache
+    c.bench_function("gris_search_cached", |b| {
+        b.iter(|| std::hint::black_box(gris.search(&filter, 1)))
+    });
+}
+
+criterion_group!(benches, bench_provider);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Log-retention ablation (§3): the paper keeps all entries for its
+//! evaluation but discusses trimming busy-site logs with an NWS-style
+//! running window or NetLogger-style flush-and-restart. This ablation
+//! measures what each retention policy costs in prediction accuracy.
+
+use wanpred_bench::august_campaign;
+use wanpred_core::testbed::observation_series;
+use wanpred_logfmt::{TransferLog, TrimPolicy};
+use wanpred_predict::prelude::*;
+use wanpred_testbed::{fmt_mape, Pair, Table};
+
+/// Replay the campaign log under a retention policy: after every append
+/// the policy runs, and predictions see only the retained entries.
+fn replay_with_policy(
+    obs: &[Observation],
+    policy: &TrimPolicy,
+    class: SizeClass,
+) -> (Option<f64>, usize) {
+    let predictor = NamedPredictor::new(Box::new(MeanPredictor::new(Window::LastN(25))), true);
+    let mut retained: Vec<Observation> = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, target) in obs.iter().enumerate() {
+        if i >= 15 && SizeClass::of_bytes(target.file_size) == class {
+            if let Some(p) = predictor.predict(&retained, target.at_unix, target.file_size) {
+                pairs.push((target.bandwidth_kbs, p));
+            }
+        }
+        retained.push(*target);
+        apply(policy, &mut retained);
+    }
+    (wanpred_predict::stats::mape(&pairs), pairs.len())
+}
+
+/// Apply a TrimPolicy to an observation vector by mirroring its log
+/// semantics (policies operate on `TransferLog`; observations carry the
+/// same timeline, so the translation is direct).
+fn apply(policy: &TrimPolicy, retained: &mut Vec<Observation>) {
+    match policy {
+        TrimPolicy::KeepAll => {}
+        TrimPolicy::LastRecords(n) => {
+            if retained.len() > *n {
+                retained.drain(..retained.len() - n);
+            }
+        }
+        TrimPolicy::LastSeconds(secs) => {
+            let newest = retained.iter().map(|o| o.at_unix).max().unwrap_or(0);
+            let cutoff = newest.saturating_sub(*secs);
+            retained.retain(|o| o.at_unix >= cutoff);
+        }
+        TrimPolicy::FlushAt(max) => {
+            if retained.len() > *max {
+                retained.clear();
+            }
+        }
+    }
+}
+
+fn main() {
+    let result = august_campaign();
+
+    // Sanity: the observation-level replay matches TrimPolicy on the
+    // actual TransferLog for the count-based policy.
+    {
+        let mut log: TransferLog = result.lbl_log.clone();
+        TrimPolicy::LastRecords(50).apply(&mut log);
+        assert_eq!(log.len(), 50.min(result.lbl_log.len()));
+    }
+
+    let policies: Vec<(String, TrimPolicy)> = vec![
+        ("keep-all".into(), TrimPolicy::KeepAll),
+        ("last 400 records".into(), TrimPolicy::LastRecords(400)),
+        ("last 200 records".into(), TrimPolicy::LastRecords(200)),
+        ("last 100 records".into(), TrimPolicy::LastRecords(100)),
+        ("last 50 records".into(), TrimPolicy::LastRecords(50)),
+        ("last 5 days".into(), TrimPolicy::LastSeconds(5 * 86_400)),
+        ("last 2 days".into(), TrimPolicy::LastSeconds(2 * 86_400)),
+        ("flush at 200".into(), TrimPolicy::FlushAt(200)),
+        ("flush at 100".into(), TrimPolicy::FlushAt(100)),
+    ];
+
+    for pair in Pair::ALL {
+        let obs = observation_series(&result, pair);
+        let mut table = Table::new(format!(
+            "retention vs accuracy, {} (AVG25+C)",
+            pair.label()
+        ))
+        .headers(["policy", "100MB", "500MB", "1GB", "n(100MB)"]);
+        for (name, policy) in &policies {
+            let (m100, n100) = replay_with_policy(&obs, policy, SizeClass::C100MB);
+            let (m500, _) = replay_with_policy(&obs, policy, SizeClass::C500MB);
+            let (m1g, _) = replay_with_policy(&obs, policy, SizeClass::C1GB);
+            table.row([
+                name.clone(),
+                fmt_mape(m100),
+                fmt_mape(m500),
+                fmt_mape(m1g),
+                n100.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "expected shape: windowed retention costs little accuracy (old data has\n\
+         less predictive relevance, exactly the paper's premise for trimming);\n\
+         aggressive flush-and-restart briefly starves the per-class windows after\n\
+         each flush, showing up as slightly higher error."
+    );
+}

@@ -1,0 +1,117 @@
+//! Replica-selection gain: the benefit the paper's introduction promises.
+//!
+//! Replay the August campaign's history day by day: each evening, publish
+//! the logs accumulated so far, then ask the broker (and the baseline
+//! policies) which site to fetch a 500MB-class file from; score each
+//! policy by the bandwidth the chosen path actually delivered in its next
+//! transfer of that class. Prediction should beat random/round-robin
+//! whenever the two paths genuinely differ.
+
+use wanpred_bench::august_campaign;
+use wanpred_core::prelude::*;
+use wanpred_core::testbed::observation_series;
+use wanpred_logfmt::TransferLog;
+use wanpred_testbed::Table;
+
+/// Log records up to a cutoff time.
+fn log_until(log: &TransferLog, cutoff: u64) -> TransferLog {
+    log.records()
+        .iter()
+        .filter(|r| r.end_unix <= cutoff)
+        .cloned()
+        .collect()
+}
+
+/// The next 500MB-class measured bandwidth at or after `t` on a pair.
+fn next_measured(obs: &[Observation], t: u64) -> Option<f64> {
+    obs.iter()
+        .find(|o| o.at_unix >= t && SizeClass::of_bytes(o.file_size) == SizeClass::C500MB)
+        .map(|o| o.bandwidth_kbs)
+}
+
+fn main() {
+    let result = august_campaign();
+    let lbl_obs = observation_series(&result, Pair::LblAnl);
+    let isi_obs = observation_series(&result, Pair::IsiAnl);
+
+    let hosts = ["dpsslx04.lbl.gov", "jet.isi.edu"];
+    let mut policies: Vec<(&str, SelectionPolicy)> = vec![
+        ("predicted-bandwidth", SelectionPolicy::predicted_bandwidth()),
+        ("random", SelectionPolicy::random(1)),
+        ("round-robin", SelectionPolicy::round_robin()),
+        ("first-listed", SelectionPolicy::first_listed()),
+    ];
+    let mut achieved: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    let mut oracle: Vec<f64> = Vec::new();
+
+    // Hourly decisions inside the experiment window, days 3..14 (enough
+    // warm-up history; ~150 decisions keep baseline noise small).
+    let mut decision_times = Vec::new();
+    for day in 3..14u64 {
+        for h in [18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31] {
+            decision_times.push(result.epoch_unix + day * 86_400 + h * 3_600);
+        }
+    }
+    for now in decision_times {
+        let mut fw = PredictiveFramework::new();
+        fw.publish_server_log(hosts[0], "131.243.2.11", log_until(&result.lbl_log, now), now);
+        fw.publish_server_log(hosts[1], "128.9.160.11", log_until(&result.isi_log, now), now);
+        for host in hosts {
+            fw.register_replica(
+                "lfn://x/500MB",
+                PhysicalReplica {
+                    host: host.into(),
+                    path: "/home/ftp/vazhkuda/500MB".into(),
+                    size: 512_000_000,
+                },
+            )
+            .expect("consistent sizes");
+        }
+
+        let truth = [
+            next_measured(&lbl_obs, now),
+            next_measured(&isi_obs, now),
+        ];
+        let (Some(lbl_truth), Some(isi_truth)) = (truth[0], truth[1]) else {
+            continue;
+        };
+        oracle.push(lbl_truth.max(isi_truth));
+
+        for (i, (_, policy)) in policies.iter_mut().enumerate() {
+            let sel = fw
+                .select_replica_with("140.221.65.69", "lfn://x/500MB", policy, now)
+                .expect("replicas registered");
+            let got = if sel.replica().host == hosts[0] {
+                lbl_truth
+            } else {
+                isi_truth
+            };
+            achieved[i].push(got);
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let oracle_mean = mean(&oracle);
+    let mut table = Table::new(format!(
+        "replica-selection gain over {} decisions (500MB class)",
+        oracle.len()
+    ))
+    .headers(["policy", "mean achieved KB/s", "% of oracle"]);
+    for ((name, _), got) in policies.iter().zip(&achieved) {
+        let m = mean(got);
+        table.row([
+            name.to_string(),
+            format!("{m:.0}"),
+            format!("{:.1}", 100.0 * m / oracle_mean),
+        ]);
+    }
+    table.row(["oracle (hindsight)".to_string(), format!("{oracle_mean:.0}"), "100.0".into()]);
+    println!("{}", table.render());
+    println!(
+        "expected shape: predicted-bandwidth beats the uninformed baselines (random,\n\
+         round-robin) by steering to the less-loaded path. With per-class AVG25\n\
+         predictors the broker mostly converges on the long-run-best site, so it can\n\
+         coincide with first-listed when that site happens to be listed first — the\n\
+         paper's predictors are deliberately simple (§4), not load-tracking."
+    );
+}

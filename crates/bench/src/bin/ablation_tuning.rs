@@ -1,0 +1,126 @@
+//! Transfer-tuning ablation: why the paper used 8 parallel streams and
+//! 1 MB TCP buffers (§6.1).
+//!
+//! Sweeps stream count × per-stream buffer for a 250 MB transfer on a
+//! quiet and on a loaded LBL–ANL path, printing achieved end-to-end
+//! bandwidth. The shape to expect: with untuned 16 KB buffers the
+//! transfer is window-limited regardless of streams; with tuned buffers,
+//! parallelism claims a proportionally larger fair share against cross
+//! traffic (weight = stream count) until the link or storage saturates —
+//! the "class-based isolation" dynamics §4.3 cites.
+
+use std::any::Any;
+
+use wanpred_gridftp::{CompletedTransfer, TransferKind, TransferManager, TransferRequest};
+use wanpred_simnet::engine::{Agent, Ctx, Engine, TimerTag};
+use wanpred_simnet::flow::FlowDone;
+use wanpred_simnet::rng::MasterSeed;
+use wanpred_simnet::time::{SimDuration, SimTime};
+use wanpred_simnet::topology::NodeId;
+use wanpred_testbed::{build_testbed, Table};
+
+struct OneGet {
+    mgr: TransferManager,
+    client: NodeId,
+    server: NodeId,
+    streams: u32,
+    buffer: u64,
+    done: Option<CompletedTransfer>,
+}
+
+impl Agent for OneGet {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_secs(1), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+        if self.mgr.on_timer(ctx, tag) {
+            return;
+        }
+        self.mgr
+            .submit(
+                ctx,
+                TransferRequest {
+                    client: self.client,
+                    kind: TransferKind::Get {
+                        server: self.server,
+                        path: "/home/ftp/vazhkuda/250MB".into(),
+                    },
+                    streams: self.streams,
+                    tcp_buffer: self.buffer,
+                    partial: None,
+                },
+            )
+            .expect("file exists");
+    }
+    fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
+        if let Some(c) = self.mgr.on_flow_complete(ctx, &done) {
+            self.done = Some(c);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Achieved KB/s for one (streams, buffer) cell.
+fn run_cell(streams: u32, buffer: u64, quiet: bool) -> f64 {
+    let tb = build_testbed(MasterSeed(17), quiet);
+    let mgr = tb.build_manager(996_642_000);
+    let (anl, lbl) = (tb.anl, tb.lbl);
+    let mut eng = Engine::new(tb.network);
+    let id = eng.add_agent(Box::new(OneGet {
+        mgr,
+        client: anl,
+        server: lbl,
+        streams,
+        buffer,
+        done: None,
+    }));
+    eng.run_until(SimTime::from_secs(4 * 3_600));
+    eng.agent::<OneGet>(id)
+        .and_then(|a| a.done.as_ref().map(|c| c.bandwidth_kbs))
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let streams = [1u32, 2, 4, 8, 16];
+    let buffers: [(u64, &str); 4] = [
+        (16 * 1024, "16KB"),
+        (128 * 1024, "128KB"),
+        (1_000_000, "1MB"),
+        (4_000_000, "4MB"),
+    ];
+
+    for quiet in [true, false] {
+        let label = if quiet {
+            "quiet path (no cross traffic)"
+        } else {
+            "loaded path (paper's conditions, t=1s into the campaign)"
+        };
+        let mut table = Table::new(format!("250MB GET bandwidth in KB/s, {label}")).headers(
+            ["streams \\ buffer"]
+                .into_iter()
+                .map(String::from)
+                .chain(buffers.iter().map(|(_, n)| n.to_string()))
+                .collect::<Vec<_>>(),
+        );
+        for &s in &streams {
+            let mut row = vec![s.to_string()];
+            for &(b, _) in &buffers {
+                row.push(format!("{:.0}", run_cell(s, b, quiet)));
+            }
+            table.row(row);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "expected shape: the 16KB column is window-limited (~streams * 16KB/RTT)\n\
+         regardless of parallelism; with >=1MB buffers a single stream already\n\
+         reaches its fair share and extra streams only help against competing\n\
+         load (weight = streams). The paper's 8x1MB choice sits where both\n\
+         effects saturate; storage (40 MB/s disk) caps the quiet-path ceiling."
+    );
+}

@@ -1,0 +1,50 @@
+//! Figures 1–2: GridFTP end-to-end bandwidth vs NWS probe bandwidth over
+//! the two-week August campaign, for ISI–ANL (Figure 1) and LBL–ANL
+//! (Figure 2).
+//!
+//! Prints summary statistics and, with `--csv`, the full `(time, series,
+//! MB/s)` points for external plotting (log-scale y, as in the paper).
+
+use wanpred_bench::{august_campaign, has_flag};
+use wanpred_testbed::{fig01_02, Pair, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = august_campaign();
+
+    let mut table = Table::new("Figures 1-2: GridFTP vs NWS bandwidth (MB/s)").headers([
+        "pair", "series", "samples", "min", "mean", "max",
+    ]);
+    for pair in [Pair::IsiAnl, Pair::LblAnl] {
+        let s = fig01_02(&result, pair);
+        for (name, points) in [("GridFTP", &s.gridftp), ("NWS", &s.nws)] {
+            let vals: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+            let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().copied().fold(0.0f64, f64::max);
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            table.row([
+                s.pair.clone(),
+                name.to_string(),
+                vals.len().to_string(),
+                format!("{min:.3}"),
+                format!("{mean:.3}"),
+                format!("{max:.3}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("paper shape: NWS < 0.3 MB/s and flat; GridFTP ~1.5-10.2 MB/s, highly variable.");
+
+    if has_flag(&args, "--csv") {
+        println!("\npair,series,unix,mbps");
+        for pair in [Pair::IsiAnl, Pair::LblAnl] {
+            let s = fig01_02(&result, pair);
+            for &(t, v) in &s.gridftp {
+                println!("{},GridFTP,{t},{v:.4}", s.pair);
+            }
+            for &(t, v) in &s.nws {
+                println!("{},NWS,{t},{v:.4}", s.pair);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 4: the table of context-insensitive predictors, generated from
+//! the registry itself so the code and the paper's taxonomy cannot
+//! drift apart.
+
+use wanpred_predict::registry::{figure4_table, paper_predictors};
+use wanpred_testbed::Table;
+
+fn main() {
+    let mut table = Table::new("Figure 4: context-insensitive predictors").headers([
+        "",
+        "Average based",
+        "Median based",
+        "ARIMA model",
+    ]);
+    for (label, avg, med, ar) in figure4_table() {
+        table.row([label, avg, med, ar]);
+    }
+    println!("{}", table.render());
+
+    let predictors = paper_predictors();
+    let names: Vec<&str> = predictors.iter().map(|p| p.name()).collect();
+    println!(
+        "{} predictors registered: {}\nwith file-size classification (+C): {} variants total",
+        names.len(),
+        names.join(" "),
+        2 * names.len()
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 6: a fragment of the GridFTP performance information provider's
+//! output — the LDIF entry published for the ANL client at the LBL GRIS,
+//! built from real (simulated) campaign logs.
+
+use wanpred_bench::august_campaign;
+use wanpred_infod::{GridFtpPerfProvider, ProviderConfig, Schema};
+use wanpred_testbed::Pair;
+
+fn main() {
+    let result = august_campaign();
+    let now = result.epoch_unix + 14 * 86_400;
+    let provider = GridFtpPerfProvider::from_snapshot(
+        ProviderConfig::new("dpsslx04.lbl.gov", "131.243.2.11"),
+        result.log(Pair::LblAnl).clone(),
+    );
+    let entries = provider.build_entries(now);
+    let schema = Schema::standard();
+    println!("== Figure 6: GridFTP information provider output ==\n");
+    for e in &entries {
+        schema
+            .validate(e)
+            .expect("provider output validates against the published schema");
+        println!("{}", e.to_ldif());
+    }
+    println!(
+        "paper fragment for comparison:\n\
+         dn: \"140.221.65.69, hostname=dpsslx04.lbl.gov, dc=lbl, dc=gov, o=grid\"\n\
+         minrdbandwidth: 1462K  maxrdbandwidth: 12800K  avgrdbandwidth: 6062K\n\
+         avgrdbandwidthtenmbrange: 5714K"
+    );
+}

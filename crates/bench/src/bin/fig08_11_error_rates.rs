@@ -1,0 +1,50 @@
+//! Figures 8–11: percent absolute error of the 15 predictors for LBL–ANL
+//! and ISI–ANL, per file-size class.
+//!
+//! `-- --class 10mb|100mb|500mb|1gb` selects one figure; with no argument
+//! all four print (Figures 8, 9, 10, 11 in order).
+
+use wanpred_bench::{arg_value, august_campaign};
+use wanpred_predict::SizeClass;
+use wanpred_testbed::{fig08_11, fmt_mape, Pair, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let classes: Vec<SizeClass> = match arg_value(&args, "--class") {
+        Some(label) => vec![SizeClass::parse_label(&label)
+            .unwrap_or_else(|| panic!("unknown class {label:?}; use 10mb|100mb|500mb|1gb"))],
+        None => SizeClass::ALL.to_vec(),
+    };
+    let result = august_campaign();
+
+    for (fig, class) in classes.iter().enumerate() {
+        let fig_no = match class {
+            SizeClass::C10MB => 8,
+            SizeClass::C100MB => 9,
+            SizeClass::C500MB => 10,
+            SizeClass::C1GB => 11,
+        };
+        let _ = fig;
+        let lbl = fig08_11(&result, Pair::LblAnl, *class);
+        let isi = fig08_11(&result, Pair::IsiAnl, *class);
+        let mut table = Table::new(format!(
+            "Figure {fig_no}: % error, {} ranges (August)",
+            class.label()
+        ))
+        .headers(["predictor", "LBL-ANL", "ISI-ANL", "n(LBL)", "n(ISI)"]);
+        for (l, i) in lbl.iter().zip(&isi) {
+            table.row([
+                l.predictor.clone(),
+                fmt_mape(l.mape),
+                fmt_mape(i.mape),
+                l.answered.to_string(),
+                i.answered.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "paper shape: errors shrink as the class grows; >=100MB classes sit near\n\
+         or under ~25% for every technique; the 10MB class is far noisier."
+    );
+}

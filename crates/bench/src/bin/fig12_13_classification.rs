@@ -1,0 +1,48 @@
+//! Figures 12–13: the impact of file-size classification — each base
+//! predictor's error with the full history vs with same-class history
+//! only, for LBL–ANL (Figure 12) and ISI–ANL (Figure 13).
+
+use wanpred_bench::august_campaign;
+use wanpred_testbed::{fig12_13, fmt_mape, Pair, Table};
+
+fn main() {
+    let result = august_campaign();
+    for (fig_no, pair) in [(12, Pair::LblAnl), (13, Pair::IsiAnl)] {
+        let cells = fig12_13(&result, pair);
+        let mut table = Table::new(format!(
+            "Figure {fig_no}: classification impact, {} (August)",
+            pair.label()
+        ))
+        .headers(["predictor", "unclassified %", "classified %", "reduction"]);
+        let mut total_red = 0.0;
+        let mut n = 0usize;
+        for c in &cells {
+            let red = match (c.unclassified, c.classified) {
+                (Some(u), Some(cl)) => {
+                    total_red += u - cl;
+                    n += 1;
+                    format!("{:+.1}", u - cl)
+                }
+                _ => "-".to_string(),
+            };
+            table.row([
+                c.predictor.clone(),
+                fmt_mape(c.unclassified),
+                fmt_mape(c.classified),
+                red,
+            ]);
+        }
+        println!("{}", table.render());
+        if n > 0 {
+            println!(
+                "mean error reduction from classification: {:.1} points over {n} predictors\n",
+                total_red / n as f64
+            );
+        }
+    }
+    println!(
+        "paper claim (§4.3): classification improves predictions 5-10% on average;\n\
+         our simulated paths show a stronger size-bandwidth correlation, hence a\n\
+         larger benefit (see EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,52 @@
+//! Figures 14–21: relative performance of the predictors — the fraction
+//! of transfers on which each was the best / the worst — per site pair
+//! and size class.
+//!
+//! `-- --site isi` prints Figures 14–17; `--site lbl` prints Figures
+//! 18–21; no argument prints all eight.
+
+use wanpred_bench::{arg_value, august_campaign};
+use wanpred_predict::SizeClass;
+use wanpred_testbed::{fig14_21, fmt_pct, Pair, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pairs: Vec<Pair> = match arg_value(&args, "--site").as_deref() {
+        Some("isi") => vec![Pair::IsiAnl],
+        Some("lbl") => vec![Pair::LblAnl],
+        Some(other) => panic!("unknown site {other:?}; use isi|lbl"),
+        None => vec![Pair::IsiAnl, Pair::LblAnl],
+    };
+    let result = august_campaign();
+
+    for pair in pairs {
+        let base_fig = match pair {
+            Pair::IsiAnl => 14,
+            Pair::LblAnl => 18,
+        };
+        for (k, class) in SizeClass::ALL.iter().enumerate() {
+            let rel = fig14_21(&result, pair, *class);
+            let targets = rel.first().map(|r| r.targets).unwrap_or(0);
+            let mut table = Table::new(format!(
+                "Figure {}: relative performance, {} {} ranges ({} targets)",
+                base_fig + k,
+                pair.label(),
+                class.label(),
+                targets
+            ))
+            .headers(["predictor", "best %", "worst %"]);
+            for r in &rel {
+                table.row([
+                    r.name.trim_end_matches("+C").to_string(),
+                    fmt_pct(r.best_pct),
+                    fmt_pct(r.worst_pct),
+                ]);
+            }
+            println!("{}", table.render());
+        }
+    }
+    println!(
+        "paper shape (§6.2): predictors with high best-percentages also rank worst\n\
+         often (no uniform winner); median-based predictors vary more."
+    );
+}

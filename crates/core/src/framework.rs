@@ -1,0 +1,245 @@
+//! The end-to-end predictive framework: the paper's three elements wired
+//! together behind one API.
+//!
+//! 1. **Instrumentation** — transfer logs come from `wanpred-gridftp`
+//!    servers (or from disk via `wanpred-logfmt`).
+//! 2. **Prediction** — the Figure 4 predictor suite from
+//!    `wanpred-predict`.
+//! 3. **Delivery** — logs are digested by per-server information
+//!    providers into a GRIS each, soft-state-registered into one GIIS,
+//!    and consumed by the replica broker.
+//!
+//! [`PredictiveFramework`] owns the GIIS and the replica catalog; callers
+//! publish server logs and ask replica-selection questions.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use wanpred_infod::{Dn, Giis, GridFtpPerfProvider, Gris, ProviderConfig, Registration};
+use wanpred_logfmt::TransferLog;
+use wanpred_predict::prelude::*;
+use wanpred_replica::{
+    Broker, GiisPerfSource, PhysicalReplica, ReplicaCatalog, ReplicaError, Selection,
+    SelectionPolicy,
+};
+
+/// Default soft-state registration lifetime for published servers.
+pub const DEFAULT_REGISTRATION_TTL: u64 = 600;
+
+/// The assembled framework.
+pub struct PredictiveFramework {
+    giis: Arc<Mutex<Giis>>,
+    catalog: ReplicaCatalog,
+    registration_ttl: u64,
+}
+
+impl Default for PredictiveFramework {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PredictiveFramework {
+    /// An empty framework with a fresh GIIS.
+    pub fn new() -> Self {
+        PredictiveFramework {
+            giis: Arc::new(Mutex::new(Giis::new("wanpred"))),
+            catalog: ReplicaCatalog::new(),
+            registration_ttl: DEFAULT_REGISTRATION_TTL,
+        }
+    }
+
+    /// Handle to the underlying GIIS (for direct LDAP-style inquiries).
+    pub fn giis(&self) -> Arc<Mutex<Giis>> {
+        self.giis.clone()
+    }
+
+    /// The replica catalog.
+    pub fn catalog(&self) -> &ReplicaCatalog {
+        &self.catalog
+    }
+
+    /// Mutable replica catalog access.
+    pub fn catalog_mut(&mut self) -> &mut ReplicaCatalog {
+        &mut self.catalog
+    }
+
+    /// Publish a server's transfer log: builds the information provider
+    /// and a GRIS for the site, and registers it with the GIIS at
+    /// `now_unix`. Re-publishing the same host replaces (renews) its
+    /// registration.
+    pub fn publish_server_log(
+        &mut self,
+        host: &str,
+        address: &str,
+        log: TransferLog,
+        now_unix: u64,
+    ) {
+        let provider =
+            GridFtpPerfProvider::from_snapshot(ProviderConfig::new(host, address), log);
+        let mut gris = Gris::new(Dn::parse("o=grid").expect("constant dn"));
+        gris.register_provider(Box::new(provider));
+        self.giis.lock().register(
+            Registration {
+                id: host.to_string(),
+                ttl_secs: self.registration_ttl,
+            },
+            Arc::new(Mutex::new(gris)),
+            now_unix,
+        );
+    }
+
+    /// Renew a published server's registration (soft-state keep-alive).
+    pub fn renew_server(&mut self, host: &str, now_unix: u64) -> bool {
+        self.giis.lock().renew(host, now_unix)
+    }
+
+    /// Register a replica of a logical file.
+    pub fn register_replica(
+        &mut self,
+        lfn: &str,
+        replica: PhysicalReplica,
+    ) -> Result<(), ReplicaError> {
+        self.catalog.register(lfn, replica)
+    }
+
+    /// Select the best replica of `lfn` for a client, using the
+    /// prediction-driven policy.
+    pub fn select_replica(
+        &mut self,
+        client_addr: &str,
+        lfn: &str,
+        now_unix: u64,
+    ) -> Result<Selection, ReplicaError> {
+        self.select_replica_with(
+            client_addr,
+            lfn,
+            &mut SelectionPolicy::predicted_bandwidth(),
+            now_unix,
+        )
+    }
+
+    /// Select under an explicit policy (baselines for comparisons).
+    pub fn select_replica_with(
+        &mut self,
+        client_addr: &str,
+        lfn: &str,
+        policy: &mut SelectionPolicy,
+        now_unix: u64,
+    ) -> Result<Selection, ReplicaError> {
+        let replicas = self.catalog.lookup(lfn)?.to_vec();
+        let mut broker = Broker::new(GiisPerfSource::new(self.giis.clone()));
+        Ok(broker.select(client_addr, &replicas, policy, now_unix))
+    }
+}
+
+/// One-call helper: evaluate the paper's full 30-predictor suite over a
+/// transfer log and return `(reports, suite)` for inspection.
+pub fn evaluate_log(
+    log: &TransferLog,
+    opts: EvalOptions,
+) -> (Vec<PredictorReport>, Vec<NamedPredictor>) {
+    let mut obs = observations_from_log(log);
+    sort_by_time(&mut obs);
+    let suite = full_suite();
+    let reports = evaluate(&obs, &suite, opts);
+    (reports, suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanpred_logfmt::{Operation, TransferRecordBuilder};
+
+    fn log_at(host: &str, kbs: f64, n: usize) -> TransferLog {
+        let mut log = TransferLog::new();
+        for i in 0..n as u64 {
+            let secs = 102_400_000.0 / (kbs * 1_000.0);
+            log.append(
+                TransferRecordBuilder::new()
+                    .source("140.221.65.69")
+                    .host(host)
+                    .file_name("/home/ftp/vazhkuda/100MB")
+                    .file_size(102_400_000)
+                    .volume("/home/ftp")
+                    .start_unix(1_000_000 + i * 600)
+                    .end_unix(1_000_000 + i * 600 + secs as u64)
+                    .total_time_s(secs)
+                    .streams(8)
+                    .tcp_buffer(1_000_000)
+                    .operation(Operation::Read)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        log
+    }
+
+    fn replica(host: &str) -> PhysicalReplica {
+        PhysicalReplica {
+            host: host.into(),
+            path: "/home/ftp/vazhkuda/100MB".into(),
+            size: 102_400_000,
+        }
+    }
+
+    #[test]
+    fn publish_and_select_end_to_end() {
+        let mut fw = PredictiveFramework::new();
+        fw.publish_server_log("dpsslx04.lbl.gov", "131.243.2.11", log_at("dpsslx04.lbl.gov", 8_000.0, 20), 2_000_000);
+        fw.publish_server_log("jet.isi.edu", "128.9.160.11", log_at("jet.isi.edu", 3_000.0, 20), 2_000_000);
+        fw.register_replica("lfn://x", replica("dpsslx04.lbl.gov")).unwrap();
+        fw.register_replica("lfn://x", replica("jet.isi.edu")).unwrap();
+        let sel = fw.select_replica("140.221.65.69", "lfn://x", 2_000_000).unwrap();
+        assert_eq!(sel.replica().host, "dpsslx04.lbl.gov");
+    }
+
+    #[test]
+    fn unknown_lfn_is_an_error() {
+        let mut fw = PredictiveFramework::new();
+        assert!(matches!(
+            fw.select_replica("x", "lfn://nope", 0),
+            Err(ReplicaError::UnknownLfn(_))
+        ));
+    }
+
+    #[test]
+    fn registrations_expire_without_renewal() {
+        let mut fw = PredictiveFramework::new();
+        fw.publish_server_log("h1.a.b", "1.1.1.1", log_at("h1.a.b", 9_000.0, 20), 0);
+        fw.register_replica("lfn://x", replica("h1.a.b")).unwrap();
+        // Within ttl: informed choice.
+        let sel = fw.select_replica("140.221.65.69", "lfn://x", 100).unwrap();
+        assert!(sel.scores[0].predicted_kbs.is_some());
+        // Past ttl without renewal: no information, but still a choice.
+        let sel = fw
+            .select_replica("140.221.65.69", "lfn://x", DEFAULT_REGISTRATION_TTL + 1)
+            .unwrap();
+        assert!(sel.scores[0].predicted_kbs.is_none());
+    }
+
+    #[test]
+    fn renewal_keeps_information_alive() {
+        let mut fw = PredictiveFramework::new();
+        fw.publish_server_log("h1.a.b", "1.1.1.1", log_at("h1.a.b", 9_000.0, 20), 0);
+        fw.register_replica("lfn://x", replica("h1.a.b")).unwrap();
+        assert!(fw.renew_server("h1.a.b", 500));
+        let sel = fw.select_replica("140.221.65.69", "lfn://x", 900).unwrap();
+        assert!(sel.scores[0].predicted_kbs.is_some());
+        assert!(!fw.renew_server("unknown.host", 0));
+    }
+
+    #[test]
+    fn evaluate_log_runs_the_thirty_suite() {
+        let log = log_at("h", 5_000.0, 40);
+        let (reports, suite) = evaluate_log(&log, EvalOptions::default());
+        assert_eq!(reports.len(), 30);
+        assert_eq!(suite.len(), 30);
+        // Constant series: every answering predictor is exact.
+        for r in &reports {
+            if let Some(m) = r.mape() {
+                assert!(m < 1e-9, "{} {m}", r.name);
+            }
+        }
+    }
+}

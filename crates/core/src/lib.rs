@@ -1,0 +1,82 @@
+//! # wanpred
+//!
+//! A production-quality Rust reproduction of *Vazhkudai, Schopf & Foster,
+//! "Predicting the Performance of Wide Area Data Transfers" (IPPS 2002)*:
+//! log-based prediction of wide-area bulk-transfer throughput for replica
+//! selection in Data Grids.
+//!
+//! This facade crate re-exports the whole workspace and adds the
+//! [`framework::PredictiveFramework`] convenience API wiring the paper's
+//! three elements — instrumentation, predictors, delivery — into one
+//! object.
+//!
+//! ## Workspace map
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`simnet`] | fluid-flow discrete-event WAN simulator (the testbed substrate) |
+//! | [`storage`] | disk/contention/volume/cache models |
+//! | [`logfmt`] | ULM transfer logs (Figure 3 schema) |
+//! | [`gridftp`] | the instrumented transfer service |
+//! | [`predict`] | the 30-predictor suite and evaluation framework |
+//! | [`nws`] | NWS-style probes and forecasters (Figures 1–2 comparison) |
+//! | [`infod`] | MDS-like GRIS/GIIS delivery infrastructure |
+//! | [`replica`] | prediction-driven replica selection |
+//! | [`testbed`] | ANL/ISI/LBL campaigns and per-figure computation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wanpred_core::prelude::*;
+//!
+//! // Simulate a short measurement campaign on the paper's testbed...
+//! let cfg = CampaignConfig {
+//!     seed: MasterSeed(7),
+//!     epoch_unix: 996_642_000,
+//!     duration: SimDuration::from_days(2),
+//!     workload: WorkloadConfig::default(),
+//!     probes: false,
+//! };
+//! let result = run_campaign(&cfg);
+//!
+//! // ...and evaluate the paper's predictor suite over the LBL log.
+//! let (reports, _suite) = evaluate_log(result.log(Pair::LblAnl), EvalOptions::default());
+//! assert_eq!(reports.len(), 30);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod framework;
+
+pub use framework::{evaluate_log, PredictiveFramework, DEFAULT_REGISTRATION_TTL};
+
+pub use wanpred_gridftp as gridftp;
+pub use wanpred_infod as infod;
+pub use wanpred_logfmt as logfmt;
+pub use wanpred_nws as nws;
+pub use wanpred_predict as predict;
+pub use wanpred_replica as replica;
+pub use wanpred_simnet as simnet;
+pub use wanpred_storage as storage;
+pub use wanpred_testbed as testbed;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::framework::{evaluate_log, PredictiveFramework};
+    pub use wanpred_gridftp::{
+        CompletedTransfer, ServerConfig, TransferKind, TransferManager, TransferRequest,
+    };
+    pub use wanpred_infod::{parse_filter, Dn, Entry, Giis, Gris, Registration, Schema};
+    pub use wanpred_logfmt::{Operation, TransferLog, TransferRecord, TransferRecordBuilder};
+    pub use wanpred_predict::prelude::*;
+    pub use wanpred_replica::{
+        Broker, GiisPerfSource, PhysicalReplica, ReplicaCatalog, Selection, SelectionPolicy,
+    };
+    pub use wanpred_simnet::prelude::*;
+    pub use wanpred_storage::{DiskSpec, FileCatalog, StorageServer};
+    pub use wanpred_testbed::{
+        build_testbed, fig01_02, fig07, fig08_11, fig12_13, fig14_21, run_campaign,
+        CampaignConfig, CampaignResult, Pair, Table, WorkloadConfig,
+    };
+}

@@ -1,0 +1,254 @@
+//! The GridFTP client module (§3): higher-level get/put operations that
+//! drive a control-channel [`Session`] through the canonical command
+//! sequences and return the negotiated plan plus the full exchange
+//! transcript.
+//!
+//! The client exists so examples and tests exercise the *protocol* path
+//! the way real tools (`globus-url-copy`) do; the simulation's transfer
+//! manager consumes the resulting [`TransferPlan`] parameters.
+
+use wanpred_storage::StorageServer;
+
+use crate::protocol::{format, Command, Reply};
+use crate::server::{Session, TransferPlan};
+
+/// Client-side transfer settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientSettings {
+    /// Parallel data streams to request.
+    pub streams: u32,
+    /// Per-stream TCP buffer to request (bytes).
+    pub tcp_buffer: u64,
+}
+
+impl ClientSettings {
+    /// The paper's tuned settings: 8 streams, 1 MB buffers.
+    pub fn paper_tuned() -> Self {
+        ClientSettings {
+            streams: 8,
+            tcp_buffer: 1_000_000,
+        }
+    }
+}
+
+/// One command/reply exchange in a session transcript.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exchange {
+    /// The command as sent on the wire.
+    pub command: String,
+    /// The server's reply.
+    pub reply: Reply,
+}
+
+/// Errors from a client operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The server rejected a command; the transcript shows where.
+    Rejected {
+        /// The failing command.
+        command: String,
+        /// The server's negative reply.
+        reply: Reply,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Rejected { command, reply } => {
+                write!(f, "server rejected {command:?}: {reply}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A protocol-level GridFTP client bound to one server session.
+pub struct GridFtpClient {
+    session: Session,
+    settings: ClientSettings,
+    transcript: Vec<Exchange>,
+    authenticated: bool,
+    tuned: bool,
+}
+
+impl GridFtpClient {
+    /// New client with the given settings.
+    pub fn new(settings: ClientSettings) -> Self {
+        GridFtpClient {
+            session: Session::new(),
+            settings,
+            transcript: Vec::new(),
+            authenticated: false,
+            tuned: false,
+        }
+    }
+
+    /// The full command/reply transcript so far.
+    pub fn transcript(&self) -> &[Exchange] {
+        &self.transcript
+    }
+
+    fn send(
+        &mut self,
+        cmd: Command,
+        storage: &StorageServer,
+    ) -> Result<(Reply, Option<TransferPlan>), ClientError> {
+        let wire = format(&cmd);
+        let (reply, plan) = self.session.handle(&cmd, storage);
+        self.transcript.push(Exchange {
+            command: wire.clone(),
+            reply: reply.clone(),
+        });
+        if !reply.is_ok() {
+            return Err(ClientError::Rejected {
+                command: wire,
+                reply,
+            });
+        }
+        Ok((reply, plan))
+    }
+
+    /// Authenticate (simulated GSI) if not already done.
+    pub fn ensure_authenticated(&mut self, storage: &StorageServer) -> Result<(), ClientError> {
+        if self.authenticated {
+            return Ok(());
+        }
+        self.send(Command::AuthGssapi, storage)?;
+        self.send(Command::User(":globus-mapping:".into()), storage)?;
+        self.send(Command::Pass(String::new()), storage)?;
+        self.authenticated = true;
+        Ok(())
+    }
+
+    /// Negotiate type/mode/buffer/parallelism/data channels once.
+    pub fn ensure_tuned(&mut self, storage: &StorageServer) -> Result<(), ClientError> {
+        self.ensure_authenticated(storage)?;
+        if self.tuned {
+            return Ok(());
+        }
+        self.send(Command::Type('I'), storage)?;
+        self.send(Command::Mode('E'), storage)?;
+        self.send(Command::Sbuf(self.settings.tcp_buffer), storage)?;
+        self.send(Command::OptsParallelism(self.settings.streams), storage)?;
+        self.send(Command::Spas, storage)?;
+        self.tuned = true;
+        Ok(())
+    }
+
+    /// Query a file's size (`SIZE`).
+    pub fn size(&mut self, path: &str, storage: &StorageServer) -> Result<u64, ClientError> {
+        self.ensure_authenticated(storage)?;
+        let (reply, _) = self.send(Command::Size(path.into()), storage)?;
+        Ok(reply.text.trim().parse().unwrap_or(0))
+    }
+
+    /// Negotiate a whole-file retrieval; returns the plan the transfer
+    /// manager executes.
+    pub fn get(
+        &mut self,
+        path: &str,
+        storage: &StorageServer,
+    ) -> Result<TransferPlan, ClientError> {
+        self.ensure_tuned(storage)?;
+        let (_, plan) = self.send(Command::Retr(path.into()), storage)?;
+        Ok(plan.expect("150 reply carries a plan"))
+    }
+
+    /// Negotiate a partial retrieval of `len` bytes from `offset`.
+    pub fn get_partial(
+        &mut self,
+        path: &str,
+        offset: u64,
+        len: u64,
+        storage: &StorageServer,
+    ) -> Result<TransferPlan, ClientError> {
+        self.ensure_tuned(storage)?;
+        let (_, plan) = self.send(Command::EretPartial(offset, len, path.into()), storage)?;
+        Ok(plan.expect("150 reply carries a plan"))
+    }
+
+    /// Negotiate a store.
+    pub fn put(
+        &mut self,
+        path: &str,
+        storage: &StorageServer,
+    ) -> Result<TransferPlan, ClientError> {
+        self.ensure_tuned(storage)?;
+        let (_, plan) = self.send(Command::Stor(path.into()), storage)?;
+        Ok(plan.expect("150 reply carries a plan"))
+    }
+
+    /// Close the session (`QUIT`).
+    pub fn quit(&mut self, storage: &StorageServer) -> Result<(), ClientError> {
+        self.send(Command::Quit, storage)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanpred_logfmt::Operation;
+
+    fn storage() -> StorageServer {
+        StorageServer::vintage_with_paper_fileset("lbl")
+    }
+
+    #[test]
+    fn get_negotiates_full_sequence_once() {
+        let st = storage();
+        let mut c = GridFtpClient::new(ClientSettings::paper_tuned());
+        let plan = c.get("/home/ftp/vazhkuda/100MB", &st).unwrap();
+        assert_eq!(plan.streams, 8);
+        assert_eq!(plan.tcp_buffer, 1_000_000);
+        assert_eq!(plan.bytes, 102_400_000);
+        assert_eq!(plan.operation, Operation::Read);
+        // AUTH,USER,PASS,TYPE,MODE,SBUF,OPTS,SPAS,RETR = 9 exchanges.
+        assert_eq!(c.transcript().len(), 9);
+        // A second get skips the preamble.
+        let _ = c.get("/home/ftp/vazhkuda/10MB", &st).unwrap();
+        assert_eq!(c.transcript().len(), 10);
+    }
+
+    #[test]
+    fn size_and_partial() {
+        let st = storage();
+        let mut c = GridFtpClient::new(ClientSettings::paper_tuned());
+        assert_eq!(c.size("/home/ftp/vazhkuda/1GB", &st).unwrap(), 1_024_000_000);
+        let plan = c
+            .get_partial("/home/ftp/vazhkuda/1GB", 1_000, 2_000, &st)
+            .unwrap();
+        assert_eq!(plan.offset, 1_000);
+        assert_eq!(plan.bytes, 2_000);
+    }
+
+    #[test]
+    fn rejection_surfaces_with_transcript() {
+        let st = storage();
+        let mut c = GridFtpClient::new(ClientSettings::paper_tuned());
+        let err = c.get("/home/ftp/missing", &st).unwrap_err();
+        match &err {
+            ClientError::Rejected { command, reply } => {
+                assert!(command.starts_with("RETR"));
+                assert_eq!(reply.code, 550);
+            }
+        }
+        // The failed exchange is on the transcript too.
+        assert_eq!(c.transcript().last().unwrap().reply.code, 550);
+        // The session survives: a valid get still works.
+        assert!(c.get("/home/ftp/vazhkuda/10MB", &st).is_ok());
+    }
+
+    #[test]
+    fn put_and_quit() {
+        let st = storage();
+        let mut c = GridFtpClient::new(ClientSettings::paper_tuned());
+        let plan = c.put("/home/ftp/incoming/x", &st).unwrap();
+        assert_eq!(plan.operation, Operation::Write);
+        c.quit(&st).unwrap();
+        // After QUIT the session is closed: further commands fail.
+        assert!(c.size("/home/ftp/vazhkuda/1GB", &st).is_err());
+    }
+}

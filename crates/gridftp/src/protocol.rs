@@ -1,0 +1,368 @@
+//! The control-channel protocol: a GridFTP-flavoured FTP command subset.
+//!
+//! GridFTP (§3) extends RFC 959 FTP with security on the control and data
+//! channels, parallel data channels, partial file transfers and
+//! third-party transfers. This module implements the command grammar and
+//! reply codes for the subset our server speaks:
+//!
+//! | command | purpose |
+//! |---------|---------|
+//! | `AUTH GSSAPI` + `USER`/`PASS` | (simulated) GSI authentication |
+//! | `TYPE I` / `MODE E` | binary type, extended block mode |
+//! | `SBUF <bytes>` | set TCP buffer size |
+//! | `OPTS RETR Parallelism=n,n,n;` | set parallel stream count |
+//! | `PASV` / `SPAS` | passive / striped-passive data channels |
+//! | `PORT` / `SPOR` | active / striped-active data channels |
+//! | `RETR <path>` / `STOR <path>` | retrieve / store |
+//! | `REST <offset>` | restart marker (partial transfers) |
+//! | `ERET P <off> <len> <path>` | extended partial retrieve |
+//! | `SIZE <path>` | file size query |
+//! | `QUIT` | end session |
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed control-channel command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// Begin (simulated) GSI authentication.
+    AuthGssapi,
+    /// Present a subject/user name.
+    User(String),
+    /// Present credentials.
+    Pass(String),
+    /// Set representation type; only `I` (image/binary) is accepted.
+    Type(char),
+    /// Set transfer mode; `S` (stream) or `E` (extended block, required
+    /// for parallelism).
+    Mode(char),
+    /// Set the per-stream TCP buffer size in bytes.
+    Sbuf(u64),
+    /// `OPTS RETR Parallelism=n,n,n;` — request `n` parallel streams.
+    OptsParallelism(u32),
+    /// Enter passive mode.
+    Pasv,
+    /// Enter striped passive mode (parallel channels).
+    Spas,
+    /// Active mode with a client address.
+    Port(String),
+    /// Striped active mode with client addresses.
+    Spor(Vec<String>),
+    /// Restart offset for the next transfer.
+    Rest(u64),
+    /// Retrieve a file.
+    Retr(String),
+    /// Store a file.
+    Stor(String),
+    /// Extended retrieve: partial block `(offset, length, path)`.
+    EretPartial(u64, u64, String),
+    /// Query a file's size.
+    Size(String),
+    /// End the session.
+    Quit,
+}
+
+/// A control-channel reply: three-digit code plus text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reply {
+    /// RFC 959 reply code.
+    pub code: u16,
+    /// Human-readable text.
+    pub text: String,
+}
+
+impl Reply {
+    /// Build a reply.
+    pub fn new(code: u16, text: impl Into<String>) -> Self {
+        Reply {
+            code,
+            text: text.into(),
+        }
+    }
+
+    /// Positive completion / intermediate (1xx–3xx)?
+    pub fn is_ok(&self) -> bool {
+        self.code < 400
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.text)
+    }
+}
+
+/// Errors from command parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line held no command token.
+    Empty,
+    /// Unknown command verb.
+    Unknown(String),
+    /// The verb was recognized but its arguments were invalid.
+    BadArgs(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty command line"),
+            ParseError::Unknown(v) => write!(f, "unknown command {v:?}"),
+            ParseError::BadArgs(c) => write!(f, "bad arguments for {c}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one control-channel line.
+pub fn parse(line: &str) -> Result<Command, ParseError> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None if line.is_empty() => return Err(ParseError::Empty),
+        None => (line, ""),
+    };
+    let verb_up = verb.to_ascii_uppercase();
+    match verb_up.as_str() {
+        "AUTH" => {
+            if rest.eq_ignore_ascii_case("GSSAPI") {
+                Ok(Command::AuthGssapi)
+            } else {
+                Err(ParseError::BadArgs("AUTH"))
+            }
+        }
+        "USER" => {
+            if rest.is_empty() {
+                Err(ParseError::BadArgs("USER"))
+            } else {
+                Ok(Command::User(rest.to_string()))
+            }
+        }
+        "PASS" => Ok(Command::Pass(rest.to_string())),
+        "TYPE" => {
+            let c = rest.chars().next().ok_or(ParseError::BadArgs("TYPE"))?;
+            Ok(Command::Type(c.to_ascii_uppercase()))
+        }
+        "MODE" => {
+            let c = rest.chars().next().ok_or(ParseError::BadArgs("MODE"))?;
+            Ok(Command::Mode(c.to_ascii_uppercase()))
+        }
+        "SBUF" => rest
+            .parse()
+            .map(Command::Sbuf)
+            .map_err(|_| ParseError::BadArgs("SBUF")),
+        "OPTS" => {
+            // OPTS RETR Parallelism=n,n,n;
+            let rest_up = rest.to_ascii_uppercase();
+            let tail = rest_up
+                .strip_prefix("RETR ")
+                .ok_or(ParseError::BadArgs("OPTS"))?
+                .trim_start();
+            let eq = tail
+                .strip_prefix("PARALLELISM=")
+                .ok_or(ParseError::BadArgs("OPTS"))?;
+            let first = eq
+                .split([',', ';'])
+                .next()
+                .ok_or(ParseError::BadArgs("OPTS"))?;
+            let n: u32 = first.parse().map_err(|_| ParseError::BadArgs("OPTS"))?;
+            if n == 0 {
+                return Err(ParseError::BadArgs("OPTS"));
+            }
+            Ok(Command::OptsParallelism(n))
+        }
+        "PASV" => Ok(Command::Pasv),
+        "SPAS" => Ok(Command::Spas),
+        "PORT" => {
+            if rest.is_empty() {
+                Err(ParseError::BadArgs("PORT"))
+            } else {
+                Ok(Command::Port(rest.to_string()))
+            }
+        }
+        "SPOR" => {
+            let addrs: Vec<String> = rest
+                .split_whitespace()
+                .map(|s| s.to_string())
+                .collect();
+            if addrs.is_empty() {
+                Err(ParseError::BadArgs("SPOR"))
+            } else {
+                Ok(Command::Spor(addrs))
+            }
+        }
+        "REST" => rest
+            .parse()
+            .map(Command::Rest)
+            .map_err(|_| ParseError::BadArgs("REST")),
+        "RETR" => {
+            if rest.is_empty() {
+                Err(ParseError::BadArgs("RETR"))
+            } else {
+                Ok(Command::Retr(rest.to_string()))
+            }
+        }
+        "STOR" => {
+            if rest.is_empty() {
+                Err(ParseError::BadArgs("STOR"))
+            } else {
+                Ok(Command::Stor(rest.to_string()))
+            }
+        }
+        "ERET" => {
+            // ERET P <offset> <length> <path>
+            let mut it = rest.split_whitespace();
+            let p = it.next().ok_or(ParseError::BadArgs("ERET"))?;
+            if !p.eq_ignore_ascii_case("P") {
+                return Err(ParseError::BadArgs("ERET"));
+            }
+            let off: u64 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError::BadArgs("ERET"))?;
+            let len: u64 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseError::BadArgs("ERET"))?;
+            let path: Vec<&str> = it.collect();
+            if path.is_empty() {
+                return Err(ParseError::BadArgs("ERET"));
+            }
+            Ok(Command::EretPartial(off, len, path.join(" ")))
+        }
+        "SIZE" => {
+            if rest.is_empty() {
+                Err(ParseError::BadArgs("SIZE"))
+            } else {
+                Ok(Command::Size(rest.to_string()))
+            }
+        }
+        "QUIT" => Ok(Command::Quit),
+        _ => Err(ParseError::Unknown(verb.to_string())),
+    }
+}
+
+/// Format a command back to wire form (for clients and tests).
+pub fn format(cmd: &Command) -> String {
+    match cmd {
+        Command::AuthGssapi => "AUTH GSSAPI".to_string(),
+        Command::User(u) => format!("USER {u}"),
+        Command::Pass(p) => format!("PASS {p}"),
+        Command::Type(c) => format!("TYPE {c}"),
+        Command::Mode(c) => format!("MODE {c}"),
+        Command::Sbuf(n) => format!("SBUF {n}"),
+        Command::OptsParallelism(n) => format!("OPTS RETR Parallelism={n},{n},{n};"),
+        Command::Pasv => "PASV".to_string(),
+        Command::Spas => "SPAS".to_string(),
+        Command::Port(a) => format!("PORT {a}"),
+        Command::Spor(addrs) => format!("SPOR {}", addrs.join(" ")),
+        Command::Rest(o) => format!("REST {o}"),
+        Command::Retr(p) => format!("RETR {p}"),
+        Command::Stor(p) => format!("STOR {p}"),
+        Command::EretPartial(o, l, p) => format!("ERET P {o} {l} {p}"),
+        Command::Size(p) => format!("SIZE {p}"),
+        Command::Quit => "QUIT".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_commands() {
+        assert_eq!(parse("AUTH GSSAPI"), Ok(Command::AuthGssapi));
+        assert_eq!(parse("USER :globus-mapping:"), Ok(Command::User(":globus-mapping:".into())));
+        assert_eq!(parse("TYPE I"), Ok(Command::Type('I')));
+        assert_eq!(parse("MODE E"), Ok(Command::Mode('E')));
+        assert_eq!(parse("SBUF 1000000"), Ok(Command::Sbuf(1_000_000)));
+        assert_eq!(parse("PASV"), Ok(Command::Pasv));
+        assert_eq!(parse("QUIT"), Ok(Command::Quit));
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_on_verbs() {
+        assert_eq!(parse("retr /a/b"), Ok(Command::Retr("/a/b".into())));
+        assert_eq!(parse("sPaS"), Ok(Command::Spas));
+    }
+
+    #[test]
+    fn parse_opts_parallelism() {
+        assert_eq!(
+            parse("OPTS RETR Parallelism=8,8,8;"),
+            Ok(Command::OptsParallelism(8))
+        );
+        assert_eq!(
+            parse("OPTS RETR Parallelism=4;"),
+            Ok(Command::OptsParallelism(4))
+        );
+        assert_eq!(parse("OPTS RETR Parallelism=0;"), Err(ParseError::BadArgs("OPTS")));
+        assert_eq!(parse("OPTS MLST type"), Err(ParseError::BadArgs("OPTS")));
+    }
+
+    #[test]
+    fn parse_eret_partial() {
+        assert_eq!(
+            parse("ERET P 1024 4096 /home/ftp/f"),
+            Ok(Command::EretPartial(1024, 4096, "/home/ftp/f".into()))
+        );
+        assert_eq!(parse("ERET X 1 2 /f"), Err(ParseError::BadArgs("ERET")));
+        assert_eq!(parse("ERET P 1 2"), Err(ParseError::BadArgs("ERET")));
+    }
+
+    #[test]
+    fn parse_spor_addresses() {
+        assert_eq!(
+            parse("SPOR 140,221,65,69,8,1 140,221,65,69,8,2"),
+            Ok(Command::Spor(vec![
+                "140,221,65,69,8,1".into(),
+                "140,221,65,69,8,2".into()
+            ]))
+        );
+        assert_eq!(parse("SPOR"), Err(ParseError::BadArgs("SPOR")));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_empty() {
+        assert_eq!(parse(""), Err(ParseError::Empty));
+        assert!(matches!(parse("FLY /home"), Err(ParseError::Unknown(_))));
+        assert_eq!(parse("SBUF lots"), Err(ParseError::BadArgs("SBUF")));
+        assert_eq!(parse("RETR"), Err(ParseError::BadArgs("RETR")));
+    }
+
+    #[test]
+    fn format_parse_roundtrip() {
+        let cmds = vec![
+            Command::AuthGssapi,
+            Command::User("u".into()),
+            Command::Pass("p".into()),
+            Command::Type('I'),
+            Command::Mode('E'),
+            Command::Sbuf(1_000_000),
+            Command::OptsParallelism(8),
+            Command::Pasv,
+            Command::Spas,
+            Command::Port("1,2,3,4,5,6".into()),
+            Command::Spor(vec!["a".into(), "b".into()]),
+            Command::Rest(77),
+            Command::Retr("/f".into()),
+            Command::Stor("/g".into()),
+            Command::EretPartial(10, 20, "/h".into()),
+            Command::Size("/f".into()),
+            Command::Quit,
+        ];
+        for c in cmds {
+            assert_eq!(parse(&format(&c)), Ok(c.clone()), "{}", format(&c));
+        }
+    }
+
+    #[test]
+    fn reply_classification() {
+        assert!(Reply::new(226, "ok").is_ok());
+        assert!(Reply::new(150, "opening").is_ok());
+        assert!(!Reply::new(550, "no such file").is_ok());
+        assert_eq!(Reply::new(230, "in").to_string(), "230 in");
+    }
+}

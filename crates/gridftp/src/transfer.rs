@@ -1,0 +1,1236 @@
+//! Transfer execution: turning negotiated transfers into simulated
+//! network flows with storage contention and end-to-end instrumentation.
+//!
+//! [`TransferManager`] is designed to be *embedded* in a simulation agent
+//! (the testbed's campaign driver, the examples' clients): the agent
+//! forwards timer events whose tags satisfy [`owns_tag`] and all flow
+//! completions to the manager, and receives [`CompletedTransfer`]s back.
+//!
+//! A transfer is one or more **legs** — classic GET/PUT and third-party
+//! transfers have a single data leg; striped transfers (GridFTP's
+//! SPAS/SPOR striping) have one leg per stripe server, each moving its
+//! share of the payload in parallel. A transfer's life cycle:
+//!
+//! 1. **submit** — the request is validated against the server catalogs
+//!    (GridFTP would return `550` here); a timer models the control
+//!    channel setup: GSI authentication plus the command round trips to
+//!    the farthest involved server.
+//! 2. **setup fires** — every leg opens its storage accesses (charging
+//!    the disk's positioning overhead) and starts its data flow with the
+//!    negotiated stream count and buffer; every *other* in-flight
+//!    transfer touching those servers gets its storage cap re-evaluated
+//!    (one more concurrent access slows everyone: §3).
+//! 3. **legs complete** — as each leg's flow drains, its accesses close
+//!    (again re-evaluating peers). When the last leg lands, `STOR`
+//!    targets appear in the destination catalog and each involved server
+//!    writes a ULM record for the bytes *it* served, with the total time
+//!    spanning submit→completion — the paper's end-to-end definition
+//!    including protocol overheads.
+
+use std::collections::HashMap;
+
+use wanpred_logfmt::{Operation, TransferLog, TransferRecord, TransferRecordBuilder};
+use wanpred_simnet::engine::{Ctx, TimerTag};
+use wanpred_simnet::flow::{FlowDone, FlowId, FlowSpec, TcpParams};
+use wanpred_simnet::time::{SimDuration, SimTime};
+use wanpred_simnet::topology::NodeId;
+use wanpred_storage::{AccessId, StorageServer};
+
+use crate::server::ServerConfig;
+
+/// Timer-tag namespace claimed by transfer managers. Embedding agents
+/// must forward any tag for which [`owns_tag`] is true.
+pub const TAG_BASE: TimerTag = 1 << 62;
+
+/// Does a timer tag belong to a [`TransferManager`]?
+pub fn owns_tag(tag: TimerTag) -> bool {
+    tag & TAG_BASE != 0
+}
+
+/// Identifier of a submitted transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferToken(pub u64);
+
+/// What kind of transfer to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransferKind {
+    /// Client retrieves `path` from `server` (server → client).
+    Get {
+        /// Serving node.
+        server: NodeId,
+        /// File path on the server.
+        path: String,
+    },
+    /// Client stores `size` bytes as `path` on `server` (client → server).
+    Put {
+        /// Receiving node.
+        server: NodeId,
+        /// Destination path on the server.
+        path: String,
+        /// Payload size in bytes.
+        size: u64,
+    },
+    /// Third-party: `from` server sends `path` directly to `to` server,
+    /// orchestrated by the client's control channels.
+    ThirdParty {
+        /// Source server.
+        from: NodeId,
+        /// Destination server.
+        to: NodeId,
+        /// File path on the source server.
+        path: String,
+    },
+    /// Striped retrieve: every server in `servers` holds a replica of
+    /// `path`; each serves an even share of the bytes to the client in
+    /// parallel (GridFTP SPAS striping). The transfer completes when the
+    /// last stripe lands.
+    StripedGet {
+        /// Stripe servers (each must hold the file; sizes must agree).
+        servers: Vec<NodeId>,
+        /// File path on the stripe servers.
+        path: String,
+    },
+}
+
+/// A transfer request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRequest {
+    /// The requesting host.
+    pub client: NodeId,
+    /// What to transfer.
+    pub kind: TransferKind,
+    /// Parallel stream count (per leg, for striped transfers).
+    pub streams: u32,
+    /// Per-stream TCP buffer bytes.
+    pub tcp_buffer: u64,
+    /// Optional partial transfer `(offset, length)` (GETs only).
+    pub partial: Option<(u64, u64)>,
+}
+
+/// Errors detected at submit time (the control-channel 5xx replies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The named node is not a registered GridFTP server.
+    NotAServer(NodeId),
+    /// File not found on the source server (550).
+    FileNotFound(String),
+    /// Partial-transfer offset beyond end of file (554).
+    BadOffset,
+    /// The topology has no route for a data leg.
+    NoRoute,
+    /// A striped request listed no servers.
+    NoStripes,
+    /// Stripe replicas disagree on the file size.
+    StripeSizeMismatch,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::NotAServer(n) => write!(f, "{n} is not a GridFTP server"),
+            SubmitError::FileNotFound(p) => write!(f, "550 no such file: {p}"),
+            SubmitError::BadOffset => write!(f, "554 offset beyond end of file"),
+            SubmitError::NoRoute => write!(f, "no route for data path"),
+            SubmitError::NoStripes => write!(f, "striped request with no servers"),
+            SubmitError::StripeSizeMismatch => write!(f, "stripe replicas disagree on size"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A finished transfer as reported to the embedding agent.
+#[derive(Debug, Clone)]
+pub struct CompletedTransfer {
+    /// The token returned at submit.
+    pub token: TransferToken,
+    /// Submit time.
+    pub submitted: SimTime,
+    /// Completion time (last leg).
+    pub finished: SimTime,
+    /// Total bytes moved across all legs.
+    pub bytes: u64,
+    /// End-to-end bandwidth in KB/s over submit→finish (the paper's
+    /// definition: file size / transfer time).
+    pub bandwidth_kbs: f64,
+    /// A record describing the whole logical transfer from the primary
+    /// server's perspective (for single-leg transfers this is exactly
+    /// the record appended to the primary server's log).
+    pub record: TransferRecord,
+}
+
+/// One registered server.
+struct ServerRuntime {
+    config: ServerConfig,
+    storage: StorageServer,
+    log: TransferLog,
+}
+
+/// One data leg of a transfer.
+struct Leg {
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    flow: Option<FlowId>,
+    src_access: Option<(NodeId, AccessId)>,
+    dst_access: Option<(NodeId, AccessId)>,
+    done: bool,
+}
+
+/// In-flight transfer state.
+struct Inflight {
+    token: TransferToken,
+    client: NodeId,
+    /// Primary logging server (the storage-operating server closest to
+    /// the paper's instrumented endpoint; first stripe for striped).
+    primary: NodeId,
+    path: String,
+    volume: String,
+    total_bytes: u64,
+    streams: u32,
+    tcp_buffer: u64,
+    /// On completion of a PUT/third-party, register the file here.
+    register_at: Option<NodeId>,
+    submitted: SimTime,
+    legs: Vec<Leg>,
+    pending: usize,
+}
+
+/// The embedded transfer engine.
+pub struct TransferManager {
+    servers: HashMap<NodeId, ServerRuntime>,
+    hosts: HashMap<NodeId, (String, String)>,
+    inflight: HashMap<u64, Inflight>,
+    by_flow: HashMap<FlowId, u64>,
+    next: u64,
+    /// Unix seconds corresponding to `SimTime::ZERO`.
+    epoch_unix: u64,
+}
+
+impl TransferManager {
+    /// Create a manager; `epoch_unix` maps simulation time zero to a wall
+    /// clock for log timestamps.
+    pub fn new(epoch_unix: u64) -> Self {
+        TransferManager {
+            servers: HashMap::new(),
+            hosts: HashMap::new(),
+            inflight: HashMap::new(),
+            by_flow: HashMap::new(),
+            next: 0,
+            epoch_unix,
+        }
+    }
+
+    /// Register a GridFTP server at a node.
+    pub fn add_server(&mut self, node: NodeId, config: ServerConfig, storage: StorageServer) {
+        self.hosts
+            .insert(node, (config.host.clone(), config.address.clone()));
+        self.servers.insert(
+            node,
+            ServerRuntime {
+                config,
+                storage,
+                log: TransferLog::new(),
+            },
+        );
+    }
+
+    /// Register a plain (client) host's name and address for logging.
+    pub fn add_host(&mut self, node: NodeId, host: impl Into<String>, address: impl Into<String>) {
+        self.hosts.insert(node, (host.into(), address.into()));
+    }
+
+    /// The transfer log accumulated at a server.
+    pub fn server_log(&self, node: NodeId) -> Option<&TransferLog> {
+        self.servers.get(&node).map(|s| &s.log)
+    }
+
+    /// The storage server at a node (inspection/tests).
+    pub fn storage(&self, node: NodeId) -> Option<&StorageServer> {
+        self.servers.get(&node).map(|s| &s.storage)
+    }
+
+    /// Number of in-flight transfers.
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn addr_of(&self, node: NodeId) -> (String, String) {
+        self.hosts
+            .get(&node)
+            .cloned()
+            .unwrap_or_else(|| (format!("{node}"), format!("{node}")))
+    }
+
+    /// Look up a file on a registered server.
+    fn lookup(&self, server: NodeId, path: &str) -> Result<u64, SubmitError> {
+        let rt = self
+            .servers
+            .get(&server)
+            .ok_or(SubmitError::NotAServer(server))?;
+        rt.storage
+            .catalog()
+            .lookup(path)
+            .map(|e| e.size)
+            .map_err(|_| SubmitError::FileNotFound(path.to_string()))
+    }
+
+    /// Submit a transfer. On success, the data starts flowing after the
+    /// control-channel setup delay and the completion arrives through
+    /// [`TransferManager::on_flow_complete`].
+    pub fn submit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        req: TransferRequest,
+    ) -> Result<TransferToken, SubmitError> {
+        let apply_partial = |total: u64, partial: Option<(u64, u64)>| -> Result<u64, SubmitError> {
+            match partial {
+                Some((off, len)) => {
+                    if off >= total && total > 0 {
+                        return Err(SubmitError::BadOffset);
+                    }
+                    Ok(len.min(total - off))
+                }
+                None => Ok(total),
+            }
+        };
+
+        // Resolve legs, the primary server and registration target.
+        // (src, dst, bytes) triples for every data leg.
+        type LegSpec = (NodeId, NodeId, u64);
+        let (legs, primary, path, register_at): (Vec<LegSpec>, NodeId, String, Option<NodeId>) =
+            match &req.kind {
+                TransferKind::Get { server, path } => {
+                    let total = self.lookup(*server, path)?;
+                    let bytes = apply_partial(total, req.partial)?;
+                    (vec![(*server, req.client, bytes)], *server, path.clone(), None)
+                }
+                TransferKind::Put { server, path, size } => {
+                    self.servers
+                        .get(server)
+                        .ok_or(SubmitError::NotAServer(*server))?;
+                    (
+                        vec![(req.client, *server, *size)],
+                        *server,
+                        path.clone(),
+                        Some(*server),
+                    )
+                }
+                TransferKind::ThirdParty { from, to, path } => {
+                    let total = self.lookup(*from, path)?;
+                    self.servers.get(to).ok_or(SubmitError::NotAServer(*to))?;
+                    (vec![(*from, *to, total)], *from, path.clone(), Some(*to))
+                }
+                TransferKind::StripedGet { servers, path } => {
+                    if servers.is_empty() {
+                        return Err(SubmitError::NoStripes);
+                    }
+                    let sizes: Vec<u64> = servers
+                        .iter()
+                        .map(|s| self.lookup(*s, path))
+                        .collect::<Result<_, _>>()?;
+                    if sizes.windows(2).any(|w| w[0] != w[1]) {
+                        return Err(SubmitError::StripeSizeMismatch);
+                    }
+                    let bytes = apply_partial(sizes[0], req.partial)?;
+                    let n = servers.len() as u64;
+                    let share = bytes / n;
+                    let rem = bytes % n;
+                    let legs = servers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            let b = share + if (i as u64) < rem { 1 } else { 0 };
+                            (*s, req.client, b)
+                        })
+                        .collect();
+                    (legs, servers[0], path.clone(), None)
+                }
+            };
+
+        // Every data path must exist before we commit.
+        for (src, dst, _) in &legs {
+            ctx.network()
+                .topology()
+                .route(*src, *dst)
+                .map_err(|_| SubmitError::NoRoute)?;
+        }
+
+        let primary_rt = self.servers.get(&primary).expect("validated above");
+        let volume = primary_rt
+            .storage
+            .catalog()
+            .volume_of(&path)
+            .map(|v| v.mount.clone())
+            .unwrap_or_default();
+
+        // Control-channel setup: GSI handshake plus command round trips
+        // between the client and the farthest involved server.
+        let rtt_to = |server: NodeId| -> SimDuration {
+            ctx.network()
+                .topology()
+                .rtt(req.client, server)
+                .unwrap_or(SimDuration::from_millis(1))
+        };
+        let mut control_rtt = SimDuration::ZERO;
+        for (src, dst, _) in &legs {
+            for node in [src, dst] {
+                if self.servers.contains_key(node) {
+                    control_rtt = control_rtt.max(rtt_to(*node));
+                }
+            }
+        }
+        let cfg = &primary_rt.config;
+        let setup = SimDuration::from_millis(cfg.auth_delay_ms)
+            + control_rtt * u64::from(cfg.setup_round_trips);
+
+        let id = self.next;
+        self.next += 1;
+        let token = TransferToken(id);
+        let total_bytes = legs.iter().map(|(_, _, b)| b).sum();
+        let pending = legs.len();
+        self.inflight.insert(
+            id,
+            Inflight {
+                token,
+                client: req.client,
+                primary,
+                path,
+                volume,
+                total_bytes,
+                streams: req.streams.max(1),
+                tcp_buffer: req.tcp_buffer,
+                register_at,
+                submitted: ctx.now(),
+                legs: legs
+                    .into_iter()
+                    .map(|(src, dst, bytes)| Leg {
+                        src,
+                        dst,
+                        bytes,
+                        flow: None,
+                        src_access: None,
+                        dst_access: None,
+                        done: false,
+                    })
+                    .collect(),
+                pending,
+            },
+        );
+        ctx.set_timer(setup, TAG_BASE | id);
+        Ok(token)
+    }
+
+    /// Handle a timer event. Returns `true` if the tag belonged to this
+    /// manager (the embedding agent should then stop processing it).
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) -> bool {
+        if !owns_tag(tag) {
+            return false;
+        }
+        let id = tag & !TAG_BASE;
+        let Some(t) = self.inflight.get(&id) else {
+            return true; // stale timer for an aborted transfer
+        };
+        let path = t.path.clone();
+        let streams = t.streams;
+        let tcp_buffer = t.tcp_buffer;
+        let leg_specs: Vec<(usize, NodeId, NodeId, u64)> = t
+            .legs
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i, l.src, l.dst, l.bytes))
+            .collect();
+
+        let mut touched = Vec::new();
+        for (i, src, dst, bytes) in leg_specs {
+            let src_access = self.servers.get_mut(&src).map(|rt| {
+                let a = rt.storage.open_read(&path, bytes);
+                (src, a)
+            });
+            let dst_access = self.servers.get_mut(&dst).map(|rt| {
+                let a = rt.storage.open_write(&path, bytes);
+                (dst, a)
+            });
+            let spec = FlowSpec {
+                from: src,
+                to: dst,
+                bytes,
+                streams,
+                tcp: TcpParams {
+                    buffer_bytes: tcp_buffer,
+                    init_window: 2 * 1460,
+                    mss: 1460,
+                },
+                external_cap: f64::INFINITY, // set by refresh_caps below
+            };
+            let flow = ctx
+                .start_flow(spec)
+                .expect("route validated at submit time");
+            let t = self.inflight.get_mut(&id).expect("checked above");
+            t.legs[i].src_access = src_access;
+            t.legs[i].dst_access = dst_access;
+            t.legs[i].flow = Some(flow);
+            self.by_flow.insert(flow, id);
+            touched.push(Some(src));
+            touched.push(Some(dst));
+        }
+
+        // Contention changed at every touched server: refresh every
+        // affected cap, including the new flows' own.
+        self.refresh_caps(ctx, &touched);
+        true
+    }
+
+    /// Handle a flow completion. Returns the completed transfer when its
+    /// *last* leg lands.
+    pub fn on_flow_complete(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        done: &FlowDone,
+    ) -> Option<CompletedTransfer> {
+        let id = self.by_flow.remove(&done.id)?;
+        let finished_all = {
+            let t = self.inflight.get_mut(&id).expect("flow maps to inflight");
+            let leg = t
+                .legs
+                .iter_mut()
+                .find(|l| l.flow == Some(done.id))
+                .expect("completed flow belongs to a leg");
+            leg.done = true;
+            t.pending -= 1;
+            let touched = [leg.src_access.map(|(n, _)| n), leg.dst_access.map(|(n, _)| n)];
+            // Close this leg's accesses.
+            let closes = [leg.src_access.take(), leg.dst_access.take()];
+            for (node, a) in closes.into_iter().flatten() {
+                if let Some(rt) = self.servers.get_mut(&node) {
+                    rt.storage.close(a);
+                }
+            }
+            self.refresh_caps(ctx, &touched);
+            self.inflight[&id].pending == 0
+        };
+        if !finished_all {
+            return None;
+        }
+        let t = self.inflight.remove(&id).expect("checked above");
+
+        // A completed STOR/third-party target appears in the catalog.
+        if let Some(node) = t.register_at {
+            if let Some(rt) = self.servers.get_mut(&node) {
+                rt.storage
+                    .catalog_mut()
+                    .put_file(t.path.clone(), t.total_bytes)
+                    .ok();
+            }
+        }
+
+        let finished = ctx.now();
+        let total_s = finished.saturating_since(t.submitted).as_secs_f64();
+        let start_unix = self.epoch_unix + t.submitted.as_secs();
+        let end_unix = self.epoch_unix + finished.as_secs();
+
+        let build_record = |mgr: &Self, server_node: NodeId, remote: NodeId, bytes: u64, op: Operation| {
+            let (_, remote_addr) = mgr.addr_of(remote);
+            let (host, _) = mgr.addr_of(server_node);
+            TransferRecordBuilder::new()
+                .source(remote_addr)
+                .host(host)
+                .file_name(t.path.clone())
+                .file_size(bytes)
+                .volume(t.volume.clone())
+                .start_unix(start_unix)
+                .end_unix(end_unix)
+                .total_time_s(total_s)
+                .streams(t.streams)
+                .tcp_buffer(t.tcp_buffer)
+                .operation(op)
+                .build()
+                .expect("all fields set")
+        };
+
+        // Each involved registered server logs the bytes it served; the
+        // remote party is the other data endpoint (or the client for
+        // GET/PUT, matching Figure 3 where LBL logs the ANL client).
+        for leg in &t.legs {
+            for (server_node, op_here) in [(leg.src, Operation::Read), (leg.dst, Operation::Write)]
+            {
+                if !self.servers.contains_key(&server_node) {
+                    continue;
+                }
+                let other = if server_node == leg.src { leg.dst } else { leg.src };
+                let remote = if self.servers.contains_key(&other) && other != t.client {
+                    other
+                } else {
+                    t.client
+                };
+                let record = build_record(self, server_node, remote, leg.bytes, op_here);
+                self.servers
+                    .get_mut(&server_node)
+                    .expect("checked above")
+                    .log
+                    .append(record);
+            }
+        }
+
+        // The logical-transfer record for the caller: total bytes from
+        // the primary server's perspective.
+        let record = build_record(self, t.primary, t.client, t.total_bytes, Operation::Read);
+        let bandwidth_kbs = if total_s > 0.0 {
+            t.total_bytes as f64 / total_s / 1_000.0
+        } else {
+            0.0
+        };
+        Some(CompletedTransfer {
+            token: t.token,
+            submitted: t.submitted,
+            finished,
+            bytes: t.total_bytes,
+            bandwidth_kbs,
+            record,
+        })
+    }
+
+    /// Abort an in-flight (or still pending) transfer — connection drop
+    /// or client cancellation. All legs' flows stop, storage accesses
+    /// close, peers' caps are re-evaluated, and **no log record is
+    /// written** (the paper's server logs completed transfers only).
+    /// Returns the byte-weighted fraction of the payload delivered
+    /// (`0.0` if no data flow had started), or `None` for
+    /// unknown/finished tokens.
+    pub fn abort(&mut self, ctx: &mut Ctx<'_>, token: TransferToken) -> Option<f64> {
+        let id = token.0;
+        let t = self.inflight.remove(&id)?;
+        let mut delivered = 0.0f64;
+        let mut touched = Vec::new();
+        for leg in &t.legs {
+            let leg_fraction = match leg.flow {
+                Some(flow) => {
+                    self.by_flow.remove(&flow);
+                    if leg.done {
+                        1.0
+                    } else {
+                        ctx.abort_flow(flow).unwrap_or(1.0)
+                    }
+                }
+                None => 0.0, // setup timer still pending
+            };
+            delivered += leg_fraction * leg.bytes as f64;
+            for access in [leg.src_access, leg.dst_access].into_iter().flatten() {
+                let (node, a) = access;
+                if let Some(rt) = self.servers.get_mut(&node) {
+                    rt.storage.close(a);
+                }
+                touched.push(Some(node));
+            }
+        }
+        self.refresh_caps(ctx, &touched);
+        if t.total_bytes == 0 {
+            return Some(0.0);
+        }
+        Some(delivered / t.total_bytes as f64)
+    }
+
+    /// Re-evaluate the storage cap of every in-flight transfer touching
+    /// the given servers.
+    fn refresh_caps(&mut self, ctx: &mut Ctx<'_>, touched: &[Option<NodeId>]) {
+        let touched: Vec<NodeId> = touched.iter().flatten().copied().collect();
+        for t in self.inflight.values() {
+            for leg in &t.legs {
+                let Some(flow) = leg.flow else { continue };
+                if leg.done {
+                    continue;
+                }
+                let involves = |n: &Option<(NodeId, AccessId)>| {
+                    n.map(|(node, _)| touched.contains(&node)).unwrap_or(false)
+                };
+                if !involves(&leg.src_access) && !involves(&leg.dst_access) {
+                    continue;
+                }
+                let mut cap = f64::INFINITY;
+                for access in [leg.src_access, leg.dst_access].into_iter().flatten() {
+                    let (node, a) = access;
+                    if let Some(rt) = self.servers.get(&node) {
+                        cap = cap.min(rt.storage.access_cap(a).unwrap_or(f64::INFINITY));
+                    }
+                }
+                ctx.set_external_cap(flow, cap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+    use wanpred_simnet::engine::{Agent, Engine};
+    use wanpred_simnet::load::LoadModelConfig;
+    use wanpred_simnet::network::Network;
+    use wanpred_simnet::rng::MasterSeed;
+    use wanpred_simnet::topology::Topology;
+
+    fn quiet_cfg() -> LoadModelConfig {
+        LoadModelConfig {
+            diurnal_mean_weight: 0.0,
+            walk_sigma: 0.0,
+            burst_weight: 0.0,
+            ..LoadModelConfig::default()
+        }
+    }
+
+    /// Three-node line: client(anl) -- server(lbl), server(isi).
+    fn testnet() -> (Network, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let anl = t.add_node("anl");
+        let lbl = t.add_node("lbl");
+        let isi = t.add_node("isi");
+        let (f1, r1) = t
+            .add_duplex_link("anl-lbl", anl, lbl, 12e6, SimDuration::from_millis(27))
+            .unwrap();
+        let (f2, r2) = t
+            .add_duplex_link("anl-isi", anl, isi, 12e6, SimDuration::from_millis(31))
+            .unwrap();
+        t.add_route(anl, lbl, vec![f1]).unwrap();
+        t.add_route(lbl, anl, vec![r1]).unwrap();
+        t.add_route(anl, isi, vec![f2]).unwrap();
+        t.add_route(isi, anl, vec![r2]).unwrap();
+        t.add_route(lbl, isi, vec![r1, f2]).unwrap();
+        t.add_route(isi, lbl, vec![r2, f1]).unwrap();
+        (
+            Network::with_uniform_load(t, quiet_cfg(), MasterSeed(3)),
+            anl,
+            lbl,
+            isi,
+        )
+    }
+
+    fn manager(anl: NodeId, lbl: NodeId, isi: NodeId) -> TransferManager {
+        let mut m = TransferManager::new(998_000_000);
+        m.add_host(anl, "pitcairn.mcs.anl.gov", "140.221.65.69");
+        m.add_server(
+            lbl,
+            ServerConfig::new("dpsslx04.lbl.gov", "131.243.2.11"),
+            StorageServer::vintage_with_paper_fileset("lbl"),
+        );
+        m.add_server(
+            isi,
+            ServerConfig::new("jet.isi.edu", "128.9.160.11"),
+            StorageServer::vintage_with_paper_fileset("isi"),
+        );
+        m
+    }
+
+    /// Agent driving a scripted list of requests at given times.
+    struct Driver {
+        mgr: TransferManager,
+        script: Vec<(SimDuration, TransferRequest)>,
+        completed: Vec<CompletedTransfer>,
+        errors: Vec<SubmitError>,
+    }
+
+    impl Agent for Driver {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for (i, (delay, _)) in self.script.iter().enumerate() {
+                ctx.set_timer(*delay, i as TimerTag);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+            if self.mgr.on_timer(ctx, tag) {
+                return;
+            }
+            let req = self.script[tag as usize].1.clone();
+            if let Err(e) = self.mgr.submit(ctx, req) {
+                self.errors.push(e);
+            }
+        }
+        fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
+            if let Some(c) = self.mgr.on_flow_complete(ctx, &done) {
+                self.completed.push(c);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn get_req(client: NodeId, server: NodeId, path: &str) -> TransferRequest {
+        TransferRequest {
+            client,
+            kind: TransferKind::Get {
+                server,
+                path: path.into(),
+            },
+            streams: 8,
+            tcp_buffer: 1_000_000,
+            partial: None,
+        }
+    }
+
+    fn run(script: Vec<(SimDuration, TransferRequest)>, secs: u64) -> Driver {
+        let (net, anl, lbl, isi) = testnet();
+        let mgr = manager(anl, lbl, isi);
+        let mut eng = Engine::new(net);
+        let id = eng.add_agent(Box::new(Driver {
+            mgr,
+            script,
+            completed: Vec::new(),
+            errors: Vec::new(),
+        }));
+        eng.run_until(SimTime::from_secs(secs));
+        let d = eng.agent_mut::<Driver>(id).unwrap();
+        std::mem::replace(
+            d,
+            Driver {
+                mgr: TransferManager::new(0),
+                script: Vec::new(),
+                completed: Vec::new(),
+                errors: Vec::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn get_transfer_completes_and_logs() {
+        let (net, anl, lbl, isi) = testnet();
+        drop(net);
+        let script = vec![(
+            SimDuration::from_secs(1),
+            get_req(anl, lbl, "/home/ftp/vazhkuda/100MB"),
+        )];
+        let d = run(script, 300);
+        let _ = isi;
+        assert_eq!(d.completed.len(), 1, "errors: {:?}", d.errors);
+        let c = &d.completed[0];
+        assert_eq!(c.bytes, 102_400_000);
+        // 12 MB/s link, quiet: ~8.5 s + setup ~0.7 s.
+        let secs = c.finished.saturating_since(c.submitted).as_secs_f64();
+        assert!(secs > 8.0 && secs < 12.0, "{secs}");
+        // The LBL server logged one Read record with the ANL client as
+        // source.
+        let log = d.mgr.server_log(lbl).unwrap();
+        assert_eq!(log.len(), 1);
+        let r = &log.records()[0];
+        assert_eq!(r.operation, Operation::Read);
+        assert_eq!(r.source, "140.221.65.69");
+        assert_eq!(r.host, "dpsslx04.lbl.gov");
+        assert_eq!(r.streams, 8);
+        assert_eq!(r.tcp_buffer, 1_000_000);
+        assert!(r.validate().is_ok(), "{:?}", r.validate());
+        assert_eq!(r.start_unix, 998_000_001);
+    }
+
+    #[test]
+    fn missing_file_fails_at_submit() {
+        let (_, anl, lbl, _) = testnet();
+        let script = vec![(
+            SimDuration::from_secs(1),
+            get_req(anl, lbl, "/home/ftp/nope"),
+        )];
+        let d = run(script, 60);
+        assert!(d.completed.is_empty());
+        assert_eq!(d.errors.len(), 1);
+        assert!(matches!(d.errors[0], SubmitError::FileNotFound(_)));
+    }
+
+    #[test]
+    fn put_registers_file_on_destination() {
+        let (_, anl, lbl, _) = testnet();
+        let script = vec![(
+            SimDuration::from_secs(1),
+            TransferRequest {
+                client: anl,
+                kind: TransferKind::Put {
+                    server: lbl,
+                    path: "/home/ftp/incoming/new".into(),
+                    size: 10_000_000,
+                },
+                streams: 4,
+                tcp_buffer: 1_000_000,
+                partial: None,
+            },
+        )];
+        let d = run(script, 120);
+        assert_eq!(d.completed.len(), 1, "{:?}", d.errors);
+        let storage = d.mgr.storage(lbl).unwrap();
+        assert_eq!(
+            storage.catalog().lookup("/home/ftp/incoming/new").unwrap().size,
+            10_000_000
+        );
+        let r = &d.mgr.server_log(lbl).unwrap().records()[0];
+        assert_eq!(r.operation, Operation::Write);
+    }
+
+    #[test]
+    fn third_party_logs_at_both_servers() {
+        let (_, anl, lbl, isi) = testnet();
+        let script = vec![(
+            SimDuration::from_secs(1),
+            TransferRequest {
+                client: anl,
+                kind: TransferKind::ThirdParty {
+                    from: lbl,
+                    to: isi,
+                    path: "/home/ftp/vazhkuda/50MB".into(),
+                },
+                streams: 8,
+                tcp_buffer: 1_000_000,
+                partial: None,
+            },
+        )];
+        let d = run(script, 300);
+        assert_eq!(d.completed.len(), 1, "{:?}", d.errors);
+        let lbl_log = d.mgr.server_log(lbl).unwrap();
+        let isi_log = d.mgr.server_log(isi).unwrap();
+        assert_eq!(lbl_log.len(), 1);
+        assert_eq!(isi_log.len(), 1);
+        assert_eq!(lbl_log.records()[0].operation, Operation::Read);
+        assert_eq!(isi_log.records()[0].operation, Operation::Write);
+        // Each logs the *other server* as the remote endpoint.
+        assert_eq!(lbl_log.records()[0].source, "128.9.160.11");
+        assert_eq!(isi_log.records()[0].source, "131.243.2.11");
+        // The file materialized at ISI.
+        assert!(d
+            .mgr
+            .storage(isi)
+            .unwrap()
+            .catalog()
+            .lookup("/home/ftp/vazhkuda/50MB")
+            .is_ok());
+    }
+
+    #[test]
+    fn partial_get_moves_only_requested_bytes() {
+        let (_, anl, lbl, _) = testnet();
+        let mut req = get_req(anl, lbl, "/home/ftp/vazhkuda/100MB");
+        req.partial = Some((100_000_000, 10_000_000));
+        let script = vec![(SimDuration::from_secs(1), req)];
+        let d = run(script, 120);
+        assert_eq!(d.completed.len(), 1);
+        // 102_400_000 - 100_000_000 = 2_400_000 bytes remain after offset.
+        assert_eq!(d.completed[0].bytes, 2_400_000);
+    }
+
+    #[test]
+    fn bad_partial_offset_rejected() {
+        let (_, anl, lbl, _) = testnet();
+        let mut req = get_req(anl, lbl, "/home/ftp/vazhkuda/10MB");
+        req.partial = Some((99_999_999_999, 1));
+        let d = run(vec![(SimDuration::from_secs(1), req)], 60);
+        assert_eq!(d.errors, vec![SubmitError::BadOffset]);
+    }
+
+    #[test]
+    fn concurrent_gets_contend_on_storage_and_link() {
+        let (_, anl, lbl, _) = testnet();
+        let script = vec![
+            (
+                SimDuration::from_secs(1),
+                get_req(anl, lbl, "/home/ftp/vazhkuda/250MB"),
+            ),
+            (
+                SimDuration::from_secs(1),
+                get_req(anl, lbl, "/home/ftp/vazhkuda/400MB"),
+            ),
+        ];
+        let d = run(script, 600);
+        assert_eq!(d.completed.len(), 2, "{:?}", d.errors);
+        // Two 8-stream flows share a 12 MB/s link: each well under the
+        // solo rate while both active. The smaller finishes first; total
+        // data 650 paper-MB at 12 MB/s aggregate is >= 55 s.
+        let last = d
+            .completed
+            .iter()
+            .map(|c| c.finished.as_secs_f64())
+            .fold(0.0, f64::max);
+        assert!(last > 55.0, "finished too fast: {last}");
+    }
+
+    #[test]
+    fn records_are_ulm_serializable() {
+        let (_, anl, lbl, _) = testnet();
+        let script = vec![(
+            SimDuration::from_secs(1),
+            get_req(anl, lbl, "/home/ftp/vazhkuda/10MB"),
+        )];
+        let d = run(script, 120);
+        let log = d.mgr.server_log(lbl).unwrap();
+        let doc = log.to_ulm_string();
+        let back = TransferLog::from_ulm_str(&doc).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(doc.len() < 512);
+    }
+
+    #[test]
+    fn not_a_server_is_rejected() {
+        let (_, anl, lbl, _) = testnet();
+        let script = vec![(
+            SimDuration::from_secs(1),
+            get_req(anl, anl, "/home/ftp/vazhkuda/10MB"),
+        )];
+        let _ = lbl;
+        let d = run(script, 60);
+        assert!(matches!(d.errors[0], SubmitError::NotAServer(_)));
+    }
+
+    // ---- striped transfers -------------------------------------------
+
+    fn striped_req(client: NodeId, servers: Vec<NodeId>, path: &str) -> TransferRequest {
+        TransferRequest {
+            client,
+            kind: TransferKind::StripedGet {
+                servers,
+                path: path.into(),
+            },
+            streams: 4,
+            tcp_buffer: 1_000_000,
+            partial: None,
+        }
+    }
+
+    #[test]
+    fn striped_get_uses_both_paths_and_is_faster() {
+        let (_, anl, lbl, isi) = testnet();
+        // Plain get of 500MB from LBL alone...
+        let plain = run(
+            vec![(
+                SimDuration::from_secs(1),
+                get_req(anl, lbl, "/home/ftp/vazhkuda/500MB"),
+            )],
+            600,
+        );
+        // ...vs striped across LBL and ISI (two disjoint 12 MB/s paths).
+        let striped = run(
+            vec![(
+                SimDuration::from_secs(1),
+                striped_req(anl, vec![lbl, isi], "/home/ftp/vazhkuda/500MB"),
+            )],
+            600,
+        );
+        assert_eq!(striped.completed.len(), 1, "{:?}", striped.errors);
+        let c = &striped.completed[0];
+        assert_eq!(c.bytes, 512_000_000);
+        let t_plain = plain.completed[0]
+            .finished
+            .saturating_since(plain.completed[0].submitted)
+            .as_secs_f64();
+        let t_striped = c.finished.saturating_since(c.submitted).as_secs_f64();
+        assert!(
+            t_striped < 0.6 * t_plain,
+            "striping should nearly halve the time: {t_striped} vs {t_plain}"
+        );
+        // Each stripe server logged its half.
+        let lbl_rec = &striped.mgr.server_log(lbl).unwrap().records()[0];
+        let isi_rec = &striped.mgr.server_log(isi).unwrap().records()[0];
+        assert_eq!(lbl_rec.file_size + isi_rec.file_size, 512_000_000);
+        assert_eq!(lbl_rec.operation, Operation::Read);
+        assert_eq!(isi_rec.operation, Operation::Read);
+        assert_eq!(lbl_rec.source, "140.221.65.69");
+    }
+
+    #[test]
+    fn striped_odd_bytes_split_exactly() {
+        let (_, anl, lbl, isi) = testnet();
+        // Partial striped get with an odd byte count.
+        let mut req = striped_req(anl, vec![lbl, isi], "/home/ftp/vazhkuda/10MB");
+        req.partial = Some((0, 1_000_001));
+        let d = run(vec![(SimDuration::from_secs(1), req)], 120);
+        assert_eq!(d.completed.len(), 1, "{:?}", d.errors);
+        assert_eq!(d.completed[0].bytes, 1_000_001);
+        let lbl_rec = &d.mgr.server_log(lbl).unwrap().records()[0];
+        let isi_rec = &d.mgr.server_log(isi).unwrap().records()[0];
+        assert_eq!(lbl_rec.file_size + isi_rec.file_size, 1_000_001);
+        assert_eq!(lbl_rec.file_size.abs_diff(isi_rec.file_size), 1);
+    }
+
+    #[test]
+    fn striped_requires_servers_and_matching_sizes() {
+        let (_, anl, lbl, isi) = testnet();
+        let d = run(
+            vec![(
+                SimDuration::from_secs(1),
+                striped_req(anl, vec![], "/home/ftp/vazhkuda/10MB"),
+            )],
+            30,
+        );
+        assert_eq!(d.errors, vec![SubmitError::NoStripes]);
+
+        // Single-stripe degenerates to a plain get.
+        let d = run(
+            vec![(
+                SimDuration::from_secs(1),
+                striped_req(anl, vec![lbl], "/home/ftp/vazhkuda/10MB"),
+            )],
+            120,
+        );
+        assert_eq!(d.completed.len(), 1, "{:?}", d.errors);
+        assert_eq!(d.completed[0].bytes, 10_240_000);
+        let _ = isi;
+    }
+
+    #[test]
+    fn striped_missing_replica_rejected() {
+        let (net, anl, lbl, isi) = testnet();
+        drop(net);
+        // Remove the file from ISI so the stripe set is inconsistent.
+        let (net2, anl2, lbl2, isi2) = testnet();
+        let mut mgr = manager(anl2, lbl2, isi2);
+        mgr.servers
+            .get_mut(&isi2)
+            .unwrap()
+            .storage
+            .catalog_mut()
+            .remove("/home/ftp/vazhkuda/10MB");
+        let mut eng = Engine::new(net2);
+        let id = eng.add_agent(Box::new(Driver {
+            mgr,
+            script: vec![(
+                SimDuration::from_secs(1),
+                striped_req(anl2, vec![lbl2, isi2], "/home/ftp/vazhkuda/10MB"),
+            )],
+            completed: Vec::new(),
+            errors: Vec::new(),
+        }));
+        eng.run_until(SimTime::from_secs(60));
+        let d = eng.agent::<Driver>(id).unwrap();
+        assert!(matches!(d.errors[0], SubmitError::FileNotFound(_)));
+        let _ = (anl, lbl, isi);
+    }
+
+    // ---- aborts -------------------------------------------------------
+
+    /// Driver variant that aborts its transfer at a scheduled time.
+    struct Aborter {
+        mgr: TransferManager,
+        client: NodeId,
+        server: NodeId,
+        abort_at: SimDuration,
+        token: Option<TransferToken>,
+        progress: Option<f64>,
+        completed: usize,
+    }
+
+    impl Agent for Aborter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_secs(1), 1);
+            ctx.set_timer(self.abort_at, 2);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+            if self.mgr.on_timer(ctx, tag) {
+                return;
+            }
+            match tag {
+                1 => {
+                    self.token = self
+                        .mgr
+                        .submit(
+                            ctx,
+                            TransferRequest {
+                                client: self.client,
+                                kind: TransferKind::Get {
+                                    server: self.server,
+                                    path: "/home/ftp/vazhkuda/1GB".into(),
+                                },
+                                streams: 8,
+                                tcp_buffer: 1_000_000,
+                                partial: None,
+                            },
+                        )
+                        .ok();
+                }
+                2 => {
+                    if let Some(t) = self.token {
+                        self.progress = self.mgr.abort(ctx, t);
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
+            if self.mgr.on_flow_complete(ctx, &done).is_some() {
+                self.completed += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn run_abort(abort_secs: u64) -> Aborter {
+        let (net, anl, lbl, isi) = testnet();
+        let mgr = manager(anl, lbl, isi);
+        let mut eng = Engine::new(net);
+        let id = eng.add_agent(Box::new(Aborter {
+            mgr,
+            client: anl,
+            server: lbl,
+            abort_at: SimDuration::from_secs(abort_secs),
+            token: None,
+            progress: None,
+            completed: 0,
+        }));
+        eng.run_until(SimTime::from_secs(600));
+        let a = eng.agent_mut::<Aborter>(id).unwrap();
+        std::mem::replace(
+            a,
+            Aborter {
+                mgr: TransferManager::new(0),
+                client: anl,
+                server: lbl,
+                abort_at: SimDuration::ZERO,
+                token: None,
+                progress: None,
+                completed: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn abort_mid_flight_releases_storage_and_logs_nothing() {
+        // 1 GB at ~12 MB/s takes ~86 s; abort at t=30 is mid-flight.
+        let a = run_abort(30);
+        let p = a.progress.expect("abort found the transfer");
+        assert!(p > 0.05 && p < 0.95, "progress {p}");
+        assert_eq!(a.completed, 0);
+        assert_eq!(a.mgr.inflight_count(), 0);
+        let storage = a.mgr.storage(NodeId(1)).unwrap();
+        assert_eq!(storage.disk_population(), 0, "read access released");
+        assert_eq!(a.mgr.server_log(NodeId(1)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn abort_during_setup_reports_zero_progress() {
+        // Setup takes ~0.7 s; abort fires just after submit at t=1.001.
+        let (net, anl, lbl, isi) = testnet();
+        let mgr = manager(anl, lbl, isi);
+        let mut eng = Engine::new(net);
+        let id = eng.add_agent(Box::new(Aborter {
+            mgr,
+            client: anl,
+            server: lbl,
+            abort_at: SimDuration::from_millis(1_001),
+            token: None,
+            progress: None,
+            completed: 0,
+        }));
+        eng.run_until(SimTime::from_secs(600));
+        let a = eng.agent::<Aborter>(id).unwrap();
+        assert_eq!(a.progress, Some(0.0));
+        assert_eq!(a.completed, 0, "stale setup timer must not start a flow");
+        let _ = isi;
+    }
+
+    #[test]
+    fn abort_of_finished_transfer_is_none() {
+        // Abort long after the ~87 s transfer finished.
+        let a = run_abort(500);
+        assert_eq!(a.progress, None);
+        assert_eq!(a.completed, 1);
+        assert_eq!(a.mgr.server_log(NodeId(1)).unwrap().len(), 1);
+    }
+}

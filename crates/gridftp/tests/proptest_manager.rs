@@ -1,0 +1,216 @@
+//! Property test: under arbitrary interleavings of submits and aborts,
+//! the transfer manager never leaks resources — when everything has
+//! drained, no storage access is open, no transfer is in flight, and
+//! every *completed* transfer produced exactly its log records.
+
+use std::any::Any;
+
+use proptest::prelude::*;
+use wanpred_gridftp::{
+    CompletedTransfer, ServerConfig, SubmitError, TransferKind, TransferManager, TransferRequest,
+    TransferToken,
+};
+use wanpred_simnet::engine::{Agent, Ctx, Engine, TimerTag};
+use wanpred_simnet::flow::FlowDone;
+use wanpred_simnet::load::LoadModelConfig;
+use wanpred_simnet::network::Network;
+use wanpred_simnet::rng::MasterSeed;
+use wanpred_simnet::time::{SimDuration, SimTime};
+use wanpred_simnet::topology::{NodeId, Topology};
+use wanpred_storage::StorageServer;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Submit a GET of the i-th paper file at the given second.
+    Get { at: u64, file: usize },
+    /// Submit a striped GET across both servers.
+    Striped { at: u64, file: usize },
+    /// Abort the n-th submitted transfer shortly after the given second.
+    Abort { at: u64, which: usize },
+}
+
+struct Chaos {
+    mgr: TransferManager,
+    client: NodeId,
+    lbl: NodeId,
+    isi: NodeId,
+    ops: Vec<Op>,
+    tokens: Vec<TransferToken>,
+    completed: Vec<CompletedTransfer>,
+    submit_errors: Vec<SubmitError>,
+}
+
+const FILES: [&str; 5] = ["1MB", "10MB", "50MB", "100MB", "250MB"];
+
+impl Agent for Chaos {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for (i, op) in self.ops.iter().enumerate() {
+            let at = match op {
+                Op::Get { at, .. } | Op::Striped { at, .. } | Op::Abort { at, .. } => *at,
+            };
+            ctx.set_timer(SimDuration::from_secs(at.max(1)), i as TimerTag);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+        if self.mgr.on_timer(ctx, tag) {
+            return;
+        }
+        match self.ops[tag as usize].clone() {
+            Op::Get { file, .. } => {
+                let req = TransferRequest {
+                    client: self.client,
+                    kind: TransferKind::Get {
+                        server: self.lbl,
+                        path: format!("/home/ftp/vazhkuda/{}", FILES[file % FILES.len()]),
+                    },
+                    streams: 4,
+                    tcp_buffer: 1_000_000,
+                    partial: None,
+                };
+                match self.mgr.submit(ctx, req) {
+                    Ok(t) => self.tokens.push(t),
+                    Err(e) => self.submit_errors.push(e),
+                }
+            }
+            Op::Striped { file, .. } => {
+                let req = TransferRequest {
+                    client: self.client,
+                    kind: TransferKind::StripedGet {
+                        servers: vec![self.lbl, self.isi],
+                        path: format!("/home/ftp/vazhkuda/{}", FILES[file % FILES.len()]),
+                    },
+                    streams: 4,
+                    tcp_buffer: 1_000_000,
+                    partial: None,
+                };
+                match self.mgr.submit(ctx, req) {
+                    Ok(t) => self.tokens.push(t),
+                    Err(e) => self.submit_errors.push(e),
+                }
+            }
+            Op::Abort { which, .. } => {
+                if !self.tokens.is_empty() {
+                    let t = self.tokens[which % self.tokens.len()];
+                    let _ = self.mgr.abort(ctx, t);
+                }
+            }
+        }
+    }
+
+    fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
+        if let Some(c) = self.mgr.on_flow_complete(ctx, &done) {
+            self.completed.push(c);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn testnet() -> (Network, NodeId, NodeId, NodeId) {
+    let mut t = Topology::new();
+    let anl = t.add_node("anl");
+    let lbl = t.add_node("lbl");
+    let isi = t.add_node("isi");
+    let (f1, r1) = t
+        .add_duplex_link("anl-lbl", anl, lbl, 12e6, SimDuration::from_millis(27))
+        .unwrap();
+    let (f2, r2) = t
+        .add_duplex_link("anl-isi", anl, isi, 12e6, SimDuration::from_millis(31))
+        .unwrap();
+    t.add_route(anl, lbl, vec![f1]).unwrap();
+    t.add_route(lbl, anl, vec![r1]).unwrap();
+    t.add_route(anl, isi, vec![f2]).unwrap();
+    t.add_route(isi, anl, vec![r2]).unwrap();
+    let cfg = LoadModelConfig {
+        diurnal_mean_weight: 4.0,
+        walk_sigma: 0.1,
+        burst_weight: 2.0,
+        ..LoadModelConfig::default()
+    };
+    (
+        Network::with_uniform_load(t, cfg, MasterSeed(8)),
+        anl,
+        lbl,
+        isi,
+    )
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (1u64..120, 0usize..5).prop_map(|(at, file)| Op::Get { at, file }),
+        (1u64..120, 0usize..5).prop_map(|(at, file)| Op::Striped { at, file }),
+        (1u64..150, any::<usize>()).prop_map(|(at, which)| Op::Abort { at, which }),
+    ];
+    prop::collection::vec(op, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn no_resource_leaks_under_chaos(ops in arb_ops()) {
+        let (net, anl, lbl, isi) = testnet();
+        let mut mgr = TransferManager::new(996_000_000);
+        mgr.add_host(anl, "anl.gov", "140.221.65.69");
+        mgr.add_server(
+            lbl,
+            ServerConfig::new("lbl.gov", "131.243.2.11"),
+            StorageServer::vintage_with_paper_fileset("lbl"),
+        );
+        mgr.add_server(
+            isi,
+            ServerConfig::new("isi.edu", "128.9.160.11"),
+            StorageServer::vintage_with_paper_fileset("isi"),
+        );
+        let mut eng = Engine::new(net);
+        let id = eng.add_agent(Box::new(Chaos {
+            mgr,
+            client: anl,
+            lbl,
+            isi,
+            ops: ops.clone(),
+            tokens: Vec::new(),
+            completed: Vec::new(),
+            submit_errors: Vec::new(),
+        }));
+        // Generous horizon: every non-aborted transfer finishes.
+        eng.run_until(SimTime::from_secs(4_000));
+        let chaos = eng.agent::<Chaos>(id).expect("registered");
+
+        // Nothing in flight, nothing submitted failed (files all exist).
+        prop_assert_eq!(chaos.mgr.inflight_count(), 0);
+        prop_assert!(chaos.submit_errors.is_empty(), "{:?}", chaos.submit_errors);
+        prop_assert_eq!(eng.network().active_flows(), 0);
+
+        // Every storage access was released.
+        for node in [lbl, isi] {
+            let storage = chaos.mgr.storage(node).expect("server");
+            prop_assert_eq!(storage.disk_population(), 0);
+            prop_assert_eq!(storage.open_count(), 0);
+        }
+
+        // Completions + aborted <= submissions; every completion carries
+        // a valid record and positive bandwidth.
+        prop_assert!(chaos.completed.len() <= chaos.tokens.len());
+        for c in &chaos.completed {
+            prop_assert!(c.bandwidth_kbs > 0.0);
+            prop_assert!(c.record.validate().is_ok(), "{:?}", c.record.validate());
+        }
+
+        // Log-record accounting: completed GETs log 1 read record (at
+        // LBL), striped log one per stripe; aborted transfers log none.
+        let lbl_reads = chaos.mgr.server_log(lbl).expect("lbl").len();
+        let isi_reads = chaos.mgr.server_log(isi).expect("isi").len();
+        let expected: usize = chaos.completed.len();
+        // Each completion logs at least one record and at most two (one
+        // per stripe server).
+        prop_assert!(lbl_reads + isi_reads >= expected);
+        prop_assert!(lbl_reads + isi_reads <= 2 * expected);
+    }
+}

@@ -1,0 +1,370 @@
+//! LDAP search-filter subset (RFC 2254 style) for GRIS/GIIS inquiries.
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! filter     = "(" filtercomp ")"
+//! filtercomp = and | or | not | item
+//! and        = "&" filter+
+//! or         = "|" filter+
+//! not        = "!" filter
+//! item       = attr "=" value      (equality; value "*" = presence)
+//!            | attr ">=" value     (numeric-or-lexical >=)
+//!            | attr "<=" value
+//!            | attr "=" v*v*v      (substring)
+//! ```
+//!
+//! Numeric comparison is used when both sides parse as `f64`, matching
+//! how MDS consumers compare bandwidth attributes.
+
+use std::fmt;
+
+use crate::ldif::Entry;
+
+/// A parsed search filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Conjunction.
+    And(Vec<Filter>),
+    /// Disjunction.
+    Or(Vec<Filter>),
+    /// Negation.
+    Not(Box<Filter>),
+    /// Attribute present (any value).
+    Present(String),
+    /// Attribute equals value.
+    Eq(String, String),
+    /// Attribute >= value.
+    Ge(String, String),
+    /// Attribute <= value.
+    Le(String, String),
+    /// Substring match with `*` wildcards.
+    Substring(String, Vec<String>),
+}
+
+/// Filter parse errors with byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// Description.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "filter error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// Parse a filter string.
+pub fn parse(s: &str) -> Result<Filter, FilterError> {
+    let bytes = s.trim();
+    let mut p = Parser {
+        s: bytes,
+        pos: 0,
+    };
+    let f = p.parse_filter()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(FilterError {
+            at: p.pos,
+            msg: "trailing characters",
+        });
+    }
+    Ok(f)
+}
+
+struct Parser<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.s[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), FilterError> {
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(FilterError {
+                at: self.pos,
+                msg: "unexpected character",
+            })
+        }
+    }
+
+    fn parse_filter(&mut self) -> Result<Filter, FilterError> {
+        self.skip_ws();
+        self.expect('(')?;
+        self.skip_ws();
+        let f = match self.peek() {
+            Some('&') => {
+                self.bump();
+                Filter::And(self.parse_list()?)
+            }
+            Some('|') => {
+                self.bump();
+                Filter::Or(self.parse_list()?)
+            }
+            Some('!') => {
+                self.bump();
+                Filter::Not(Box::new(self.parse_filter()?))
+            }
+            Some(_) => self.parse_item()?,
+            None => {
+                return Err(FilterError {
+                    at: self.pos,
+                    msg: "unterminated filter",
+                })
+            }
+        };
+        self.skip_ws();
+        self.expect(')')?;
+        Ok(f)
+    }
+
+    fn parse_list(&mut self) -> Result<Vec<Filter>, FilterError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('(') {
+                out.push(self.parse_filter()?);
+            } else {
+                break;
+            }
+        }
+        if out.is_empty() {
+            return Err(FilterError {
+                at: self.pos,
+                msg: "empty and/or list",
+            });
+        }
+        Ok(out)
+    }
+
+    fn parse_item(&mut self) -> Result<Filter, FilterError> {
+        let start = self.pos;
+        // Attribute name: up to an operator character.
+        let mut attr = String::new();
+        while let Some(c) = self.peek() {
+            if c == '=' || c == '>' || c == '<' || c == ')' {
+                break;
+            }
+            attr.push(c);
+            self.bump();
+        }
+        let attr = attr.trim().to_ascii_lowercase();
+        if attr.is_empty() {
+            return Err(FilterError {
+                at: start,
+                msg: "empty attribute name",
+            });
+        }
+        let op = match self.bump() {
+            Some('=') => '=',
+            Some('>') => {
+                self.expect('=')?;
+                '>'
+            }
+            Some('<') => {
+                self.expect('=')?;
+                '<'
+            }
+            _ => {
+                return Err(FilterError {
+                    at: self.pos,
+                    msg: "expected comparison operator",
+                })
+            }
+        };
+        // Value: up to the closing paren.
+        let mut value = String::new();
+        while let Some(c) = self.peek() {
+            if c == ')' {
+                break;
+            }
+            value.push(c);
+            self.bump();
+        }
+        let value = value.trim().to_string();
+        Ok(match op {
+            '>' => Filter::Ge(attr, value),
+            '<' => Filter::Le(attr, value),
+            _ => {
+                if value == "*" {
+                    Filter::Present(attr)
+                } else if value.contains('*') {
+                    let parts = value.split('*').map(str::to_string).collect();
+                    Filter::Substring(attr, parts)
+                } else {
+                    Filter::Eq(attr, value)
+                }
+            }
+        })
+    }
+}
+
+fn cmp_values(a: &str, b: &str) -> std::cmp::Ordering {
+    match (a.parse::<f64>(), b.parse::<f64>()) {
+        (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        _ => a.cmp(b),
+    }
+}
+
+fn substring_match(parts: &[String], value: &str) -> bool {
+    // parts are the fragments between '*'s; first/last anchor prefix and
+    // suffix when non-empty.
+    let lower = value.to_ascii_lowercase();
+    let mut at = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        let p = part.to_ascii_lowercase();
+        if p.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !lower.starts_with(&p) {
+                return false;
+            }
+            at = p.len();
+        } else if i == parts.len() - 1 {
+            return lower[at..].ends_with(&p);
+        } else {
+            match lower[at..].find(&p) {
+                Some(idx) => at += idx + p.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+impl Filter {
+    /// Evaluate against an entry.
+    pub fn matches(&self, e: &Entry) -> bool {
+        match self {
+            Filter::And(fs) => fs.iter().all(|f| f.matches(e)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(e)),
+            Filter::Not(f) => !f.matches(e),
+            Filter::Present(a) => e.has(a),
+            Filter::Eq(a, v) => e
+                .get_all(a)
+                .iter()
+                .any(|x| x.eq_ignore_ascii_case(v)),
+            Filter::Ge(a, v) => e
+                .get_all(a)
+                .iter()
+                .any(|x| cmp_values(x, v) != std::cmp::Ordering::Less),
+            Filter::Le(a, v) => e
+                .get_all(a)
+                .iter()
+                .any(|x| cmp_values(x, v) != std::cmp::Ordering::Greater),
+            Filter::Substring(a, parts) => {
+                e.get_all(a).iter().any(|x| substring_match(parts, x))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ldif::Dn;
+
+    fn entry() -> Entry {
+        let mut e = Entry::new(Dn::parse("cn=x, o=grid").unwrap());
+        e.add("objectclass", "GridFTPPerfInfo");
+        e.add("hostname", "dpsslx04.lbl.gov");
+        e.add("avgrdbandwidth", "6062");
+        e.add("dc", "lbl");
+        e.add("dc", "gov");
+        e
+    }
+
+    #[test]
+    fn equality_and_presence() {
+        let e = entry();
+        assert!(parse("(objectclass=GridFTPPerfInfo)").unwrap().matches(&e));
+        assert!(parse("(objectclass=gridftpperfinfo)").unwrap().matches(&e));
+        assert!(parse("(hostname=*)").unwrap().matches(&e));
+        assert!(!parse("(missing=*)").unwrap().matches(&e));
+        assert!(!parse("(hostname=other)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let e = entry();
+        assert!(parse("(avgrdbandwidth>=5000)").unwrap().matches(&e));
+        assert!(!parse("(avgrdbandwidth>=7000)").unwrap().matches(&e));
+        assert!(parse("(avgrdbandwidth<=7000)").unwrap().matches(&e));
+        // Numeric, not lexical: "999" < "6062".
+        assert!(parse("(avgrdbandwidth>=999)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let e = entry();
+        assert!(parse("(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=5000))")
+            .unwrap()
+            .matches(&e));
+        assert!(parse("(|(hostname=nope)(dc=gov))").unwrap().matches(&e));
+        assert!(parse("(!(hostname=nope))").unwrap().matches(&e));
+        assert!(!parse("(&(dc=lbl)(dc=nope))").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn multivalued_attributes_match_any() {
+        let e = entry();
+        assert!(parse("(dc=lbl)").unwrap().matches(&e));
+        assert!(parse("(dc=gov)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn substring_matching() {
+        let e = entry();
+        assert!(parse("(hostname=*.lbl.gov)").unwrap().matches(&e));
+        assert!(parse("(hostname=dpss*)").unwrap().matches(&e));
+        assert!(parse("(hostname=*lbl*)").unwrap().matches(&e));
+        assert!(!parse("(hostname=*isi*)").unwrap().matches(&e));
+        assert!(parse("(hostname=dpss*gov)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("hostname=x").is_err());
+        assert!(parse("(hostname=x").is_err());
+        assert!(parse("(&)").is_err());
+        assert!(parse("(=x)").is_err());
+        assert!(parse("(a>=1)(b<=2)").is_err()); // trailing
+    }
+
+    #[test]
+    fn nested_combinators_parse() {
+        let f = parse("(&(|(a=1)(b=2))(!(c=3)))").unwrap();
+        match f {
+            Filter::And(fs) => {
+                assert_eq!(fs.len(), 2);
+                assert!(matches!(fs[0], Filter::Or(_)));
+                assert!(matches!(fs[1], Filter::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

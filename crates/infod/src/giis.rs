@@ -1,0 +1,332 @@
+//! The Grid Index Information Service: an aggregate directory fed by
+//! soft-state GRIS registrations (Figure 5).
+//!
+//! A GRIS announces itself to a GIIS with a registration carrying a
+//! lifetime; unless renewed before the lifetime lapses, the registration
+//! silently expires — the *soft-state* protocol that lets MDS tolerate
+//! vanishing resources without explicit deregistration. Inquiries are
+//! answered by merging search results from all currently live
+//! registrants.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::filter::Filter;
+use crate::gris::Gris;
+use crate::ldif::Entry;
+
+/// Anything that can answer a filtered inquiry at a point in time: a
+/// GRIS, or another GIIS — MDS-2 indexes form hierarchies (Figure 5), so
+/// a site GIIS can register into an organizational one.
+pub trait Directory: Send {
+    /// Entries matching the filter at `now_unix`.
+    fn search_dir(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry>;
+}
+
+impl Directory for Gris {
+    fn search_dir(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
+        self.search(filter, now_unix)
+    }
+}
+
+impl Directory for Giis {
+    fn search_dir(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
+        self.search(filter, now_unix)
+    }
+}
+
+/// A soft-state registration message (the wire protocol's payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    /// Unique registrant identifier (typically the GRIS host).
+    pub id: String,
+    /// Seconds the registration stays valid without renewal.
+    pub ttl_secs: u64,
+}
+
+/// Outcome of processing a registration message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterOutcome {
+    /// First registration of this id.
+    New,
+    /// Existing registration refreshed.
+    Renewed,
+}
+
+struct Registrant {
+    dir: Arc<Mutex<dyn Directory>>,
+    ttl_secs: u64,
+    last_seen: u64,
+}
+
+/// A GIIS instance.
+pub struct Giis {
+    name: String,
+    registrants: BTreeMap<String, Registrant>,
+}
+
+impl Giis {
+    /// Create a named GIIS.
+    pub fn new(name: impl Into<String>) -> Self {
+        Giis {
+            name: name.into(),
+            registrants: BTreeMap::new(),
+        }
+    }
+
+    /// The index's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Process a registration (initial or renewal) from a GRIS.
+    pub fn register(
+        &mut self,
+        msg: Registration,
+        gris: Arc<Mutex<Gris>>,
+        now_unix: u64,
+    ) -> RegisterOutcome {
+        self.register_directory(msg, gris, now_unix)
+    }
+
+    /// Register any directory — a GRIS or a child GIIS (hierarchical
+    /// indexes, Figure 5).
+    pub fn register_directory(
+        &mut self,
+        msg: Registration,
+        dir: Arc<Mutex<dyn Directory>>,
+        now_unix: u64,
+    ) -> RegisterOutcome {
+        let outcome = if self.registrants.contains_key(&msg.id) {
+            RegisterOutcome::Renewed
+        } else {
+            RegisterOutcome::New
+        };
+        self.registrants.insert(
+            msg.id,
+            Registrant {
+                dir,
+                ttl_secs: msg.ttl_secs,
+                last_seen: now_unix,
+            },
+        );
+        outcome
+    }
+
+    /// Renew an existing registration without re-sending the handle.
+    /// Returns `false` if the id is unknown (already expired): the GRIS
+    /// must then re-register fully, as in MDS.
+    pub fn renew(&mut self, id: &str, now_unix: u64) -> bool {
+        match self.registrants.get_mut(id) {
+            Some(r) => {
+                r.last_seen = now_unix;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop registrations whose lifetime lapsed; returns how many.
+    pub fn expire(&mut self, now_unix: u64) -> usize {
+        let before = self.registrants.len();
+        self.registrants
+            .retain(|_, r| now_unix.saturating_sub(r.last_seen) < r.ttl_secs);
+        before - self.registrants.len()
+    }
+
+    /// Ids of currently live registrants (after expiry at `now_unix`).
+    pub fn live_registrants(&mut self, now_unix: u64) -> Vec<String> {
+        self.expire(now_unix);
+        self.registrants.keys().cloned().collect()
+    }
+
+    /// Answer an inquiry: merge matching entries from every live
+    /// registrant (expiring stale ones first).
+    pub fn search(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
+        self.expire(now_unix);
+        let mut out = Vec::new();
+        for r in self.registrants.values() {
+            out.extend(r.dir.lock().search_dir(filter, now_unix));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter;
+    use crate::gris::InfoProvider;
+    use crate::ldif::Dn;
+
+    struct Fixed {
+        tag: &'static str,
+    }
+
+    impl InfoProvider for Fixed {
+        fn name(&self) -> &str {
+            self.tag
+        }
+        fn provide(&mut self, _now: u64) -> Vec<Entry> {
+            let mut e = Entry::new(Dn::parse(format!("cn={}, o=grid", self.tag).as_str()).unwrap());
+            e.add("site", self.tag);
+            vec![e]
+        }
+    }
+
+    fn gris_with(tag: &'static str) -> Arc<Mutex<Gris>> {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Fixed { tag }));
+        Arc::new(Mutex::new(g))
+    }
+
+    #[test]
+    fn register_and_search_aggregates() {
+        let mut giis = Giis::new("top");
+        giis.register(
+            Registration {
+                id: "lbl".into(),
+                ttl_secs: 300,
+            },
+            gris_with("lbl"),
+            0,
+        );
+        giis.register(
+            Registration {
+                id: "isi".into(),
+                ttl_secs: 300,
+            },
+            gris_with("isi"),
+            0,
+        );
+        let all = giis.search(&filter::parse("(site=*)").unwrap(), 10);
+        assert_eq!(all.len(), 2);
+        let lbl = giis.search(&filter::parse("(site=lbl)").unwrap(), 10);
+        assert_eq!(lbl.len(), 1);
+    }
+
+    #[test]
+    fn soft_state_expiry() {
+        let mut giis = Giis::new("top");
+        giis.register(
+            Registration {
+                id: "lbl".into(),
+                ttl_secs: 60,
+            },
+            gris_with("lbl"),
+            0,
+        );
+        // Alive just inside the ttl.
+        assert_eq!(giis.live_registrants(59), vec!["lbl".to_string()]);
+        // Dead at exactly ttl with no renewal.
+        assert_eq!(giis.live_registrants(60), Vec::<String>::new());
+        // Search after expiry finds nothing.
+        assert!(giis.search(&filter::parse("(site=*)").unwrap(), 61).is_empty());
+    }
+
+    #[test]
+    fn renewal_extends_lifetime() {
+        let mut giis = Giis::new("top");
+        giis.register(
+            Registration {
+                id: "lbl".into(),
+                ttl_secs: 60,
+            },
+            gris_with("lbl"),
+            0,
+        );
+        assert!(giis.renew("lbl", 50));
+        assert_eq!(giis.live_registrants(100).len(), 1);
+        // After expiry, renew fails and full re-registration is needed.
+        assert_eq!(giis.live_registrants(200).len(), 0);
+        assert!(!giis.renew("lbl", 201));
+        let outcome = giis.register(
+            Registration {
+                id: "lbl".into(),
+                ttl_secs: 60,
+            },
+            gris_with("lbl"),
+            202,
+        );
+        assert_eq!(outcome, RegisterOutcome::New);
+    }
+
+    #[test]
+    fn reregistration_is_renewal_when_live() {
+        let mut giis = Giis::new("top");
+        let g = gris_with("lbl");
+        giis.register(
+            Registration {
+                id: "lbl".into(),
+                ttl_secs: 60,
+            },
+            g.clone(),
+            0,
+        );
+        let outcome = giis.register(
+            Registration {
+                id: "lbl".into(),
+                ttl_secs: 60,
+            },
+            g,
+            30,
+        );
+        assert_eq!(outcome, RegisterOutcome::Renewed);
+    }
+
+    #[test]
+    fn hierarchical_giis_aggregates_child_indexes() {
+        // site GIISes each index one GRIS; the organizational GIIS
+        // indexes both site GIISes (Figure 5's tree).
+        let mut lbl_giis = Giis::new("lbl-site");
+        lbl_giis.register(
+            Registration { id: "lbl-gris".into(), ttl_secs: 600 },
+            gris_with("lbl"),
+            0,
+        );
+        let mut isi_giis = Giis::new("isi-site");
+        isi_giis.register(
+            Registration { id: "isi-gris".into(), ttl_secs: 600 },
+            gris_with("isi"),
+            0,
+        );
+        let mut org = Giis::new("org");
+        org.register_directory(
+            Registration { id: "lbl-site".into(), ttl_secs: 600 },
+            Arc::new(Mutex::new(lbl_giis)),
+            0,
+        );
+        org.register_directory(
+            Registration { id: "isi-site".into(), ttl_secs: 600 },
+            Arc::new(Mutex::new(isi_giis)),
+            0,
+        );
+        let all = org.search(&filter::parse("(site=*)").unwrap(), 10);
+        assert_eq!(all.len(), 2);
+        let lbl = org.search(&filter::parse("(site=lbl)").unwrap(), 10);
+        assert_eq!(lbl.len(), 1);
+        // Expiry cascades naturally: after the ttl the whole subtree is
+        // unreachable from the org index.
+        assert!(org.search(&filter::parse("(site=*)").unwrap(), 700).is_empty());
+    }
+
+    #[test]
+    fn expire_reports_count() {
+        let mut giis = Giis::new("top");
+        for (i, tag) in ["a", "b", "c"].iter().enumerate() {
+            giis.register(
+                Registration {
+                    id: (*tag).into(),
+                    ttl_secs: 10 * (i as u64 + 1),
+                },
+                gris_with("lbl"),
+                0,
+            );
+        }
+        assert_eq!(giis.expire(15), 1); // "a" (ttl 10) gone
+        assert_eq!(giis.expire(25), 1); // "b" (ttl 20) gone
+        assert_eq!(giis.expire(25), 0);
+    }
+}

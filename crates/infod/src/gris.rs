@@ -1,0 +1,164 @@
+//! The Grid Resource Information Service: a per-site directory server
+//! fed by pluggable information providers, with TTL caching.
+//!
+//! MDS-2's GRIS invokes its providers on demand and caches their output
+//! for a provider-declared lifetime (information like transfer statistics
+//! is expensive to recompute, and inquiry rates can be high). Search
+//! applies an LDAP filter over the cached entries.
+
+use crate::filter::Filter;
+use crate::ldif::{Dn, Entry};
+
+/// A pluggable information source.
+pub trait InfoProvider: Send {
+    /// Provider name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Produce the provider's current entries. `now_unix` is the inquiry
+    /// time, letting providers compute temporal-window statistics.
+    fn provide(&mut self, now_unix: u64) -> Vec<Entry>;
+
+    /// Seconds the produced entries may be served from cache.
+    fn ttl_secs(&self) -> u64 {
+        30
+    }
+}
+
+struct Slot {
+    provider: Box<dyn InfoProvider>,
+    cache: Vec<Entry>,
+    fetched_at: Option<u64>,
+}
+
+/// A GRIS instance.
+pub struct Gris {
+    base_dn: Dn,
+    slots: Vec<Slot>,
+    /// Cumulative provider invocations (cache-miss counter for tests and
+    /// the provider-cost bench).
+    invocations: u64,
+}
+
+impl Gris {
+    /// Create a GRIS rooted at `base_dn`.
+    pub fn new(base_dn: Dn) -> Self {
+        Gris {
+            base_dn,
+            slots: Vec::new(),
+            invocations: 0,
+        }
+    }
+
+    /// The directory suffix this GRIS serves.
+    pub fn base_dn(&self) -> &Dn {
+        &self.base_dn
+    }
+
+    /// Plug in a provider.
+    pub fn register_provider(&mut self, provider: Box<dyn InfoProvider>) {
+        self.slots.push(Slot {
+            provider,
+            cache: Vec::new(),
+            fetched_at: None,
+        });
+    }
+
+    /// Number of registered providers.
+    pub fn provider_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total provider invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// All current entries, refreshing stale caches.
+    pub fn entries(&mut self, now_unix: u64) -> Vec<Entry> {
+        let mut out = Vec::new();
+        let mut invocations = 0;
+        for s in &mut self.slots {
+            let stale = match s.fetched_at {
+                None => true,
+                Some(t) => now_unix.saturating_sub(t) >= s.provider.ttl_secs(),
+            };
+            if stale {
+                s.cache = s.provider.provide(now_unix);
+                s.fetched_at = Some(now_unix);
+                invocations += 1;
+            }
+            out.extend(s.cache.iter().cloned());
+        }
+        self.invocations += invocations;
+        out
+    }
+
+    /// Search: refresh stale providers, apply the filter.
+    pub fn search(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
+        self.entries(now_unix)
+            .into_iter()
+            .filter(|e| filter.matches(e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter;
+
+    struct Counter {
+        calls: u64,
+        ttl: u64,
+    }
+
+    impl InfoProvider for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn provide(&mut self, now_unix: u64) -> Vec<Entry> {
+            self.calls += 1;
+            let mut e = Entry::new(Dn::parse("cn=c, o=grid").unwrap());
+            e.add("calls", self.calls.to_string());
+            e.add("now", now_unix.to_string());
+            vec![e]
+        }
+        fn ttl_secs(&self) -> u64 {
+            self.ttl
+        }
+    }
+
+    #[test]
+    fn cache_serves_within_ttl() {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Counter { calls: 0, ttl: 30 }));
+        let e1 = g.entries(100);
+        let e2 = g.entries(120); // within TTL
+        assert_eq!(e1[0].get("calls"), Some("1"));
+        assert_eq!(e2[0].get("calls"), Some("1"));
+        assert_eq!(g.invocations(), 1);
+        let e3 = g.entries(130); // 30s elapsed: refresh
+        assert_eq!(e3[0].get("calls"), Some("2"));
+        assert_eq!(g.invocations(), 2);
+    }
+
+    #[test]
+    fn search_applies_filter() {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Counter { calls: 0, ttl: 1_000 }));
+        let f = filter::parse("(calls=1)").unwrap();
+        assert_eq!(g.search(&f, 0).len(), 1);
+        let f = filter::parse("(calls=99)").unwrap();
+        assert_eq!(g.search(&f, 1).len(), 0);
+    }
+
+    #[test]
+    fn multiple_providers_merge() {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Counter { calls: 0, ttl: 10 }));
+        g.register_provider(Box::new(Counter { calls: 10, ttl: 10 }));
+        assert_eq!(g.provider_count(), 2);
+        let all = g.entries(0);
+        assert_eq!(all.len(), 2);
+    }
+}

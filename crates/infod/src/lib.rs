@@ -1,0 +1,38 @@
+//! # wanpred-infod
+//!
+//! The delivery infrastructure (§5): an MDS-2-style information service
+//! making transfer statistics and predictions discoverable.
+//!
+//! * [`ldif`] — LDAP-style entries with DNs, multi-valued attributes and
+//!   LDIF serialization (the Figure 6 output format).
+//! * [`schema`] — the `GridFTPPerfInfo` / `GridFTPServerInfo` object
+//!   classes and entry validation.
+//! * [`filter`] — an RFC 2254-subset search-filter language for
+//!   inquiries.
+//! * [`gris`] — the per-site Grid Resource Information Service with
+//!   pluggable, TTL-cached information providers.
+//! * [`giis`] — the aggregate index with the soft-state registration
+//!   protocol (Figure 5).
+//! * [`provider`] — the GridFTP performance provider that digests
+//!   transfer logs into statistics and predictions.
+//! * [`server_provider`] — static `GridFTPServerInfo` endpoint facts
+//!   (URL, port, exported volumes).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod filter;
+pub mod giis;
+pub mod gris;
+pub mod ldif;
+pub mod provider;
+pub mod schema;
+pub mod server_provider;
+
+pub use filter::{parse as parse_filter, Filter, FilterError};
+pub use giis::{Directory, Giis, RegisterOutcome, Registration};
+pub use gris::{Gris, InfoProvider};
+pub use ldif::{to_ldif_document, Dn, Entry, LdifError};
+pub use provider::{GridFtpPerfProvider, LogSource, ProviderConfig};
+pub use server_provider::{ServerInfo, ServerInfoProvider};
+pub use schema::{Schema, SchemaError, GRIDFTP_PERF_INFO, GRIDFTP_SERVER_INFO};

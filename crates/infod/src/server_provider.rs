@@ -1,0 +1,146 @@
+//! The GridFTP *server* information provider: static endpoint facts
+//! (`GridFTPServerInfo` entries) published alongside the performance
+//! data, so inquiries can discover where a server listens and which
+//! volumes it exports before asking for throughput predictions.
+
+use crate::gris::InfoProvider;
+use crate::ldif::{Dn, Entry};
+
+/// Static description of one GridFTP endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Host name.
+    pub hostname: String,
+    /// Control port.
+    pub port: u16,
+    /// Server software version string.
+    pub version: String,
+    /// Exported logical volumes.
+    pub volumes: Vec<String>,
+    /// Directory suffix, e.g. `dc=lbl, dc=gov, o=grid`.
+    pub suffix: String,
+}
+
+impl ServerInfo {
+    /// Describe a host with the workspace's defaults (port 2811, the
+    /// `/home/ftp` volume, dc-components derived from the domain).
+    pub fn new(hostname: impl Into<String>) -> Self {
+        let hostname = hostname.into();
+        let dcs: String = hostname
+            .split('.')
+            .skip(1)
+            .map(|c| format!("dc={c}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let suffix = if dcs.is_empty() {
+            "o=grid".to_string()
+        } else {
+            format!("{dcs}, o=grid")
+        };
+        ServerInfo {
+            hostname,
+            port: 2811,
+            version: "wanpred-gridftp/0.1".to_string(),
+            volumes: vec!["/home/ftp".to_string()],
+            suffix,
+        }
+    }
+
+    /// The endpoint URL.
+    pub fn url(&self) -> String {
+        format!("gsiftp://{}:{}", self.hostname, self.port)
+    }
+
+    /// Build the directory entry.
+    pub fn to_entry(&self) -> Entry {
+        let dn = Dn::parse(&format!("hostname={}, {}", self.hostname, self.suffix))
+            .expect("non-empty dn");
+        let mut e = Entry::new(dn);
+        e.add("objectclass", "GridFTPServerInfo");
+        e.add("hostname", &self.hostname);
+        e.add("gridftpurl", self.url());
+        e.add("port", self.port.to_string());
+        e.add("version", &self.version);
+        for v in &self.volumes {
+            e.add("storagevolumes", v);
+        }
+        e
+    }
+}
+
+/// Provider publishing one static [`ServerInfo`] entry.
+#[derive(Debug, Clone)]
+pub struct ServerInfoProvider {
+    info: ServerInfo,
+}
+
+impl ServerInfoProvider {
+    /// Wrap a server description.
+    pub fn new(info: ServerInfo) -> Self {
+        ServerInfoProvider { info }
+    }
+}
+
+impl InfoProvider for ServerInfoProvider {
+    fn name(&self) -> &str {
+        "gridftp-server"
+    }
+
+    fn provide(&mut self, _now_unix: u64) -> Vec<Entry> {
+        vec![self.info.to_entry()]
+    }
+
+    /// Static facts can be cached for a long time.
+    fn ttl_secs(&self) -> u64 {
+        3_600
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter;
+    use crate::gris::Gris;
+    use crate::schema::Schema;
+
+    fn info() -> ServerInfo {
+        ServerInfo::new("dpsslx04.lbl.gov")
+    }
+
+    #[test]
+    fn entry_validates_against_schema() {
+        let e = info().to_entry();
+        assert_eq!(Schema::standard().validate(&e), Ok(()));
+        assert_eq!(e.get("port"), Some("2811"));
+        assert_eq!(e.get("gridftpurl"), Some("gsiftp://dpsslx04.lbl.gov:2811"));
+        assert_eq!(e.get_all("storagevolumes"), &["/home/ftp".to_string()]);
+    }
+
+    #[test]
+    fn dn_derives_dc_components() {
+        let e = info().to_entry();
+        let dn = e.dn.as_ref().unwrap().as_str();
+        assert_eq!(dn, "hostname=dpsslx04.lbl.gov, dc=lbl, dc=gov, o=grid");
+        // Bare (domainless) hostname still forms a valid DN.
+        let bare = ServerInfo::new("localhost").to_entry();
+        assert_eq!(bare.dn.as_ref().unwrap().as_str(), "hostname=localhost, o=grid");
+    }
+
+    #[test]
+    fn discoverable_through_gris_queries() {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(ServerInfoProvider::new(info())));
+        let f = filter::parse("(&(objectclass=GridFTPServerInfo)(port=2811))").unwrap();
+        assert_eq!(g.search(&f, 0).len(), 1);
+        let f = filter::parse("(storagevolumes=/home/ftp)").unwrap();
+        assert_eq!(g.search(&f, 1).len(), 1);
+        let f = filter::parse("(port=9999)").unwrap();
+        assert_eq!(g.search(&f, 2).len(), 0);
+    }
+
+    #[test]
+    fn cached_long_ttl() {
+        let p = ServerInfoProvider::new(info());
+        assert_eq!(p.ttl_secs(), 3_600);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the LDAP-filter subset and LDIF layer.
+
+use proptest::prelude::*;
+use wanpred_infod::{parse_filter, Dn, Entry, Filter};
+
+fn arb_attr() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9]{0,15}")
+        .expect("valid regex")
+        .prop_filter("dn is reserved", |a| a != "dn")
+}
+
+fn arb_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9._/-]{1,24}").expect("valid regex")
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    prop::collection::vec((arb_attr(), arb_value()), 1..12).prop_map(|kvs| {
+        let mut e = Entry::new(Dn::parse("cn=test, o=grid").expect("const"));
+        for (k, v) in kvs {
+            e.add(&k, v);
+        }
+        e
+    })
+}
+
+/// Render a filter back to its string form.
+fn render(f: &Filter) -> String {
+    match f {
+        Filter::And(fs) => format!("(&{})", fs.iter().map(render).collect::<String>()),
+        Filter::Or(fs) => format!("(|{})", fs.iter().map(render).collect::<String>()),
+        Filter::Not(f) => format!("(!{})", render(f)),
+        Filter::Present(a) => format!("({a}=*)"),
+        Filter::Eq(a, v) => format!("({a}={v})"),
+        Filter::Ge(a, v) => format!("({a}>={v})"),
+        Filter::Le(a, v) => format!("({a}<={v})"),
+        Filter::Substring(a, parts) => format!("({a}={})", parts.join("*")),
+    }
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    let leaf = prop_oneof![
+        arb_attr().prop_map(Filter::Present),
+        (arb_attr(), arb_value()).prop_map(|(a, v)| Filter::Eq(a, v)),
+        (arb_attr(), (0u32..100_000).prop_map(|n| n.to_string()))
+            .prop_map(|(a, v)| Filter::Ge(a, v)),
+        (arb_attr(), (0u32..100_000).prop_map(|n| n.to_string()))
+            .prop_map(|(a, v)| Filter::Le(a, v)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Filter::And),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Filter::Or),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}
+
+proptest! {
+    /// Any filter we can represent round-trips through its string form.
+    #[test]
+    fn filter_roundtrips_through_parser(f in arb_filter()) {
+        let s = render(&f);
+        let parsed = parse_filter(&s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        prop_assert_eq!(parsed, f);
+    }
+
+    /// De Morgan: !(a & b) matches exactly when (!a | !b) does.
+    #[test]
+    fn de_morgan_holds(e in arb_entry(), a in arb_filter(), b in arb_filter()) {
+        let not_and = Filter::Not(Box::new(Filter::And(vec![a.clone(), b.clone()])));
+        let or_nots = Filter::Or(vec![
+            Filter::Not(Box::new(a)),
+            Filter::Not(Box::new(b)),
+        ]);
+        prop_assert_eq!(not_and.matches(&e), or_nots.matches(&e));
+    }
+
+    /// Double negation is the identity.
+    #[test]
+    fn double_negation(e in arb_entry(), f in arb_filter()) {
+        let nn = Filter::Not(Box::new(Filter::Not(Box::new(f.clone()))));
+        prop_assert_eq!(nn.matches(&e), f.matches(&e));
+    }
+
+    /// Presence is implied by any equality match.
+    #[test]
+    fn equality_implies_presence(e in arb_entry(), a in arb_attr(), v in arb_value()) {
+        let eq = Filter::Eq(a.clone(), v);
+        if eq.matches(&e) {
+            prop_assert!(Filter::Present(a).matches(&e));
+        }
+    }
+
+    /// LDIF round-trips arbitrary entries.
+    #[test]
+    fn ldif_roundtrips(e in arb_entry()) {
+        let text = e.to_ldif();
+        let back = Entry::from_ldif(&text).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    /// The parser never panics on arbitrary printable input.
+    #[test]
+    fn parser_total_on_garbage(s in "[ -~]{0,128}") {
+        let _ = parse_filter(&s);
+    }
+}

@@ -1,0 +1,25 @@
+//! # wanpred-logfmt
+//!
+//! GridFTP transfer logs in the Universal Logging Format (ULM)
+//! `Keyword=Value` style used by the paper's instrumented server (§3,
+//! Figure 3): the [`record::TransferRecord`] schema, ULM
+//! encoding/parsing ([`ulm`]), the append-only [`log::TransferLog`] with
+//! file persistence, the paper's two log-retention strategies
+//! ([`trim`]): NWS-style running windows and NetLogger-style
+//! flush-and-restart, and a rotating on-disk writer ([`writer`])
+//! implementing the latter as a streaming component.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod log;
+pub mod record;
+pub mod trim;
+pub mod ulm;
+pub mod writer;
+
+pub use crate::log::{LogError, TransferLog};
+pub use crate::record::{sample_record, Operation, TransferRecord, TransferRecordBuilder};
+pub use crate::trim::{TrimOutcome, TrimPolicy};
+pub use crate::ulm::{decode, encode, UlmError};
+pub use crate::writer::{RotatingLogWriter, RotationConfig};

@@ -1,0 +1,284 @@
+//! The transfer log: an append-only sequence of records with query
+//! helpers and ULM file persistence.
+//!
+//! The paper logs all transfers of a server to a single file in a
+//! standard location (§3); the information provider and the predictors
+//! consume it. Records are kept in arrival order; the controlled
+//! experiments emit them in nondecreasing start-time order, but arbitrary
+//! interleavings are tolerated by the query helpers.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::record::TransferRecord;
+use crate::ulm;
+
+/// Errors from log file I/O.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line failed to parse (with its 1-based line number).
+    Parse(usize, ulm::UlmError),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log I/O error: {e}"),
+            LogError::Parse(n, e) => write!(f, "log parse error at line {n}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<io::Error> for LogError {
+    fn from(e: io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// An in-memory transfer log.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransferLog {
+    records: Vec<TransferRecord>,
+}
+
+impl TransferLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, r: TransferRecord) {
+        self.records.push(r);
+    }
+
+    /// All records in arrival order.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records whose start time falls in `[from, to)` (Unix seconds).
+    pub fn in_window(&self, from: u64, to: u64) -> impl Iterator<Item = &TransferRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.start_unix >= from && r.start_unix < to)
+    }
+
+    /// Records for transfers with the given remote endpoint.
+    pub fn for_source<'a>(
+        &'a self,
+        source: &'a str,
+    ) -> impl Iterator<Item = &'a TransferRecord> + 'a {
+        self.records.iter().filter(move |r| r.source == source)
+    }
+
+    /// Drop the oldest entries, keeping at most `n` (the NWS-style
+    /// running-window trim; see [`crate::trim`] for policies).
+    pub fn truncate_front(&mut self, n: usize) {
+        if self.records.len() > n {
+            self.records.drain(..self.records.len() - n);
+        }
+    }
+
+    /// Remove all entries, returning them (the NetLogger-style
+    /// flush-and-restart strategy).
+    pub fn flush(&mut self) -> Vec<TransferRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Serialize every record as ULM, one line each.
+    pub fn to_ulm_string(&self) -> String {
+        let mut s = String::new();
+        for r in &self.records {
+            s.push_str(&ulm::encode(r));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parse a ULM document (one record per line; blank lines and `#`
+    /// comments are skipped).
+    pub fn from_ulm_str(doc: &str) -> Result<Self, LogError> {
+        let mut log = TransferLog::new();
+        for (i, line) in doc.lines().enumerate() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let r = ulm::decode(t).map_err(|e| LogError::Parse(i + 1, e))?;
+            log.append(r);
+        }
+        Ok(log)
+    }
+
+    /// Write the log to a file in ULM format.
+    pub fn save_ulm(&self, path: &Path) -> Result<(), LogError> {
+        let f = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(f);
+        for r in &self.records {
+            writeln!(w, "{}", ulm::encode(r))?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Load a log from a ULM file.
+    pub fn load_ulm(path: &Path) -> Result<Self, LogError> {
+        let f = std::fs::File::open(path)?;
+        let reader = io::BufReader::new(f);
+        let mut log = TransferLog::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let r = ulm::decode(t).map_err(|e| LogError::Parse(i + 1, e))?;
+            log.append(r);
+        }
+        Ok(log)
+    }
+
+    /// The bandwidth series `(start_unix, KB/s)` in arrival order — the
+    /// input shape every predictor consumes.
+    pub fn bandwidth_series(&self) -> Vec<(u64, f64)> {
+        self.records
+            .iter()
+            .map(|r| (r.start_unix, r.bandwidth_kbs()))
+            .collect()
+    }
+}
+
+impl FromIterator<TransferRecord> for TransferLog {
+    fn from_iter<T: IntoIterator<Item = TransferRecord>>(iter: T) -> Self {
+        TransferLog {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{sample_record, TransferRecord};
+
+    fn rec(start: u64, size: u64) -> TransferRecord {
+        let mut r = sample_record();
+        r.start_unix = start;
+        r.end_unix = start + 4;
+        r.file_size = size;
+        r
+    }
+
+    #[test]
+    fn append_and_query_window() {
+        let mut log = TransferLog::new();
+        log.append(rec(100, 1));
+        log.append(rec(200, 2));
+        log.append(rec(300, 3));
+        let got: Vec<u64> = log.in_window(150, 300).map(|r| r.start_unix).collect();
+        assert_eq!(got, vec![200]);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn source_filter() {
+        let mut log = TransferLog::new();
+        let mut a = rec(1, 1);
+        a.source = "isi".into();
+        log.append(a);
+        log.append(rec(2, 2));
+        assert_eq!(log.for_source("isi").count(), 1);
+        assert_eq!(log.for_source("140.221.65.69").count(), 1);
+    }
+
+    #[test]
+    fn ulm_document_roundtrip() {
+        let mut log = TransferLog::new();
+        for i in 0..5 {
+            log.append(rec(i * 100, (i + 1) * 1000));
+        }
+        let doc = log.to_ulm_string();
+        let back = TransferLog::from_ulm_str(&doc).unwrap();
+        assert_eq!(back.len(), 5);
+        assert_eq!(back.records()[3].file_size, 4000);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let doc = format!(
+            "# header\n\n{}\n  \n# trailer\n",
+            crate::ulm::encode(&sample_record())
+        );
+        let log = TransferLog::from_ulm_str(&doc).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let doc = format!("{}\ngarbage line\n", crate::ulm::encode(&sample_record()));
+        match TransferLog::from_ulm_str(&doc) {
+            Err(LogError::Parse(2, _)) => {}
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncate_front_keeps_most_recent() {
+        let mut log = TransferLog::new();
+        for i in 0..10 {
+            log.append(rec(i, 1));
+        }
+        log.truncate_front(3);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.records()[0].start_unix, 7);
+    }
+
+    #[test]
+    fn flush_empties_and_returns() {
+        let mut log = TransferLog::new();
+        log.append(rec(1, 1));
+        let got = log.flush();
+        assert_eq!(got.len(), 1);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("wanpred-logfmt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("transfers.ulm");
+        let mut log = TransferLog::new();
+        log.append(rec(10, 100));
+        log.append(rec(20, 200));
+        log.save_ulm(&path).unwrap();
+        let back = TransferLog::load_ulm(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.records()[1].file_size, 200);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bandwidth_series_shape() {
+        let mut log = TransferLog::new();
+        log.append(rec(100, 4_000_000)); // 4 MB in 4 s = 1000 KB/s
+        let s = log.bandwidth_series();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, 100);
+        assert!((s[0].1 - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Log-trimming strategies.
+//!
+//! §3 of the paper: transfer logs grow quickly at a busy site, and old
+//! data has less predictive relevance, so logs can be trimmed with a
+//! running window "as is done in the NWS", or flushed to persistent
+//! storage and restarted "as used by NetLogger". Both strategies are
+//! implemented here; the ablation benches compare predictor accuracy
+//! under each.
+
+use crate::log::TransferLog;
+use crate::record::TransferRecord;
+
+/// A log-retention policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrimPolicy {
+    /// Keep every record (the paper's experimental setting).
+    KeepAll,
+    /// NWS-style running window: keep only the most recent `n` records.
+    LastRecords(usize),
+    /// Running *time* window: keep records whose start time is within
+    /// `secs` of the newest record.
+    LastSeconds(u64),
+    /// NetLogger-style: when the log exceeds `max` records, flush all of
+    /// them out (to archival storage) and restart empty.
+    FlushAt(usize),
+}
+
+/// Outcome of applying a policy.
+#[derive(Debug, Default, PartialEq)]
+pub struct TrimOutcome {
+    /// Records removed from the active log (and, under `FlushAt`,
+    /// destined for the archive).
+    pub evicted: Vec<TransferRecord>,
+}
+
+impl TrimPolicy {
+    /// Apply the policy to `log`, returning evicted records.
+    pub fn apply(&self, log: &mut TransferLog) -> TrimOutcome {
+        match self {
+            TrimPolicy::KeepAll => TrimOutcome::default(),
+            TrimPolicy::LastRecords(n) => {
+                if log.len() <= *n {
+                    return TrimOutcome::default();
+                }
+                let all = log.flush();
+                let split = all.len() - n;
+                let (old, keep) = all.split_at(split);
+                let evicted = old.to_vec();
+                for r in keep {
+                    log.append(r.clone());
+                }
+                TrimOutcome { evicted }
+            }
+            TrimPolicy::LastSeconds(secs) => {
+                let newest = match log.records().iter().map(|r| r.start_unix).max() {
+                    Some(t) => t,
+                    None => return TrimOutcome::default(),
+                };
+                let cutoff = newest.saturating_sub(*secs);
+                let all = log.flush();
+                let mut evicted = Vec::new();
+                for r in all {
+                    if r.start_unix >= cutoff {
+                        log.append(r);
+                    } else {
+                        evicted.push(r);
+                    }
+                }
+                TrimOutcome { evicted }
+            }
+            TrimPolicy::FlushAt(max) => {
+                if log.len() <= *max {
+                    return TrimOutcome::default();
+                }
+                TrimOutcome {
+                    evicted: log.flush(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+
+    fn log_with_starts(starts: &[u64]) -> TransferLog {
+        starts
+            .iter()
+            .map(|&s| {
+                let mut r = sample_record();
+                r.start_unix = s;
+                r.end_unix = s + 4;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let mut log = log_with_starts(&[1, 2, 3]);
+        let out = TrimPolicy::KeepAll.apply(&mut log);
+        assert_eq!(log.len(), 3);
+        assert!(out.evicted.is_empty());
+    }
+
+    #[test]
+    fn last_records_evicts_oldest() {
+        let mut log = log_with_starts(&[1, 2, 3, 4, 5]);
+        let out = TrimPolicy::LastRecords(2).apply(&mut log);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].start_unix, 4);
+        assert_eq!(out.evicted.len(), 3);
+        assert_eq!(out.evicted[0].start_unix, 1);
+    }
+
+    #[test]
+    fn last_records_noop_when_small() {
+        let mut log = log_with_starts(&[1, 2]);
+        let out = TrimPolicy::LastRecords(5).apply(&mut log);
+        assert_eq!(log.len(), 2);
+        assert!(out.evicted.is_empty());
+    }
+
+    #[test]
+    fn last_seconds_keeps_window_relative_to_newest() {
+        let mut log = log_with_starts(&[100, 200, 290, 300]);
+        let out = TrimPolicy::LastSeconds(50).apply(&mut log);
+        // newest = 300, cutoff = 250.
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].start_unix, 290);
+        assert_eq!(out.evicted.len(), 2);
+    }
+
+    #[test]
+    fn last_seconds_empty_log_is_noop() {
+        let mut log = TransferLog::new();
+        let out = TrimPolicy::LastSeconds(50).apply(&mut log);
+        assert!(out.evicted.is_empty());
+    }
+
+    #[test]
+    fn flush_at_triggers_only_over_threshold() {
+        let mut log = log_with_starts(&[1, 2, 3]);
+        let out = TrimPolicy::FlushAt(3).apply(&mut log);
+        assert!(out.evicted.is_empty());
+        assert_eq!(log.len(), 3);
+        let mut log = log_with_starts(&[1, 2, 3, 4]);
+        let out = TrimPolicy::FlushAt(3).apply(&mut log);
+        assert_eq!(out.evicted.len(), 4);
+        assert!(log.is_empty());
+    }
+}

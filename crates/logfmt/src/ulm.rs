@@ -1,0 +1,325 @@
+//! Universal Logging Format (ULM) encoding of transfer records.
+//!
+//! The paper logs one `Keyword=Value` line per transfer (§3, citing the
+//! ULM draft used by NetLogger). Values containing whitespace or `"` are
+//! double-quoted with backslash escaping. Every entry is well under the
+//! paper's 512-byte bound — asserted in tests and in the logging-overhead
+//! benchmark.
+
+use std::fmt::Write as _;
+
+use crate::record::{Operation, TransferRecord};
+
+/// Keyword names used in our GridFTP log lines.
+pub mod keys {
+    /// Remote endpoint address.
+    pub const SRC: &str = "SRC";
+    /// Logging server hostname.
+    pub const HOST: &str = "HOST";
+    /// File path.
+    pub const FILE: &str = "FILE";
+    /// File size in bytes.
+    pub const SIZE: &str = "SIZE";
+    /// Logical volume.
+    pub const VOL: &str = "VOL";
+    /// Start timestamp (Unix seconds).
+    pub const START: &str = "START";
+    /// End timestamp (Unix seconds).
+    pub const END: &str = "END";
+    /// Total transfer seconds (fractional).
+    pub const SECS: &str = "SECS";
+    /// Aggregate bandwidth, KB/s (derived; logged for human readers).
+    pub const BW: &str = "BW_KBS";
+    /// Operation direction.
+    pub const OP: &str = "OP";
+    /// Parallel stream count.
+    pub const STREAMS: &str = "STREAMS";
+    /// TCP buffer bytes.
+    pub const BUF: &str = "BUF";
+}
+
+/// Errors from parsing a ULM line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UlmError {
+    /// A token was not of `KEY=VALUE` form.
+    Malformed(String),
+    /// A quoted value was never closed.
+    UnterminatedQuote,
+    /// A required keyword was absent.
+    MissingKey(&'static str),
+    /// A value failed to parse as its expected type.
+    BadValue(&'static str, String),
+}
+
+impl std::fmt::Display for UlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UlmError::Malformed(tok) => write!(f, "malformed token {tok:?}"),
+            UlmError::UnterminatedQuote => write!(f, "unterminated quote"),
+            UlmError::MissingKey(k) => write!(f, "missing key {k}"),
+            UlmError::BadValue(k, v) => write!(f, "bad value for {k}: {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for UlmError {}
+
+/// Quote a value if it needs quoting.
+fn encode_value(out: &mut String, v: &str) {
+    let needs_quote = v.is_empty() || v.contains([' ', '\t', '"', '=']);
+    if !needs_quote {
+        out.push_str(v);
+        return;
+    }
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encode a record as one ULM line (no trailing newline).
+pub fn encode(r: &TransferRecord) -> String {
+    let mut s = String::with_capacity(200);
+    let mut kv = |k: &str, f: &mut dyn FnMut(&mut String)| {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(k);
+        s.push('=');
+        f(&mut s);
+    };
+    kv(keys::SRC, &mut |o| encode_value(o, &r.source));
+    kv(keys::HOST, &mut |o| encode_value(o, &r.host));
+    kv(keys::FILE, &mut |o| encode_value(o, &r.file_name));
+    kv(keys::SIZE, &mut |o| {
+        let _ = write!(o, "{}", r.file_size);
+    });
+    kv(keys::VOL, &mut |o| encode_value(o, &r.volume));
+    kv(keys::START, &mut |o| {
+        let _ = write!(o, "{}", r.start_unix);
+    });
+    kv(keys::END, &mut |o| {
+        let _ = write!(o, "{}", r.end_unix);
+    });
+    kv(keys::SECS, &mut |o| {
+        let _ = write!(o, "{:.3}", r.total_time_s);
+    });
+    kv(keys::BW, &mut |o| {
+        let _ = write!(o, "{:.1}", r.bandwidth_kbs());
+    });
+    kv(keys::OP, &mut |o| o.push_str(r.operation.as_str()));
+    kv(keys::STREAMS, &mut |o| {
+        let _ = write!(o, "{}", r.streams);
+    });
+    kv(keys::BUF, &mut |o| {
+        let _ = write!(o, "{}", r.tcp_buffer);
+    });
+    s
+}
+
+/// Split a ULM line into `(key, value)` pairs, handling quoting.
+pub fn tokenize(line: &str) -> Result<Vec<(String, String)>, UlmError> {
+    let mut out = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        let mut key = String::new();
+        let mut saw_eq = false;
+        for c in chars.by_ref() {
+            if c == '=' {
+                saw_eq = true;
+                break;
+            }
+            if c.is_whitespace() {
+                break;
+            }
+            key.push(c);
+        }
+        if !saw_eq || key.is_empty() {
+            return Err(UlmError::Malformed(key));
+        }
+        let mut val = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '\\' => match chars.next() {
+                        Some(e) => val.push(e),
+                        None => return Err(UlmError::UnterminatedQuote),
+                    },
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    _ => val.push(c),
+                }
+            }
+            if !closed {
+                return Err(UlmError::UnterminatedQuote);
+            }
+        } else {
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                val.push(c);
+                chars.next();
+            }
+        }
+        out.push((key, val));
+    }
+    Ok(out)
+}
+
+/// Parse one ULM line into a [`TransferRecord`].
+pub fn decode(line: &str) -> Result<TransferRecord, UlmError> {
+    let pairs = tokenize(line)?;
+    let get = |k: &'static str| -> Result<&str, UlmError> {
+        pairs
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+            .ok_or(UlmError::MissingKey(k))
+    };
+    let parse_u64 = |k: &'static str| -> Result<u64, UlmError> {
+        get(k)?
+            .parse()
+            .map_err(|_| UlmError::BadValue(k, get(k).unwrap_or("").to_string()))
+    };
+    let parse_u32 = |k: &'static str| -> Result<u32, UlmError> {
+        get(k)?
+            .parse()
+            .map_err(|_| UlmError::BadValue(k, get(k).unwrap_or("").to_string()))
+    };
+    let parse_f64 = |k: &'static str| -> Result<f64, UlmError> {
+        get(k)?
+            .parse()
+            .map_err(|_| UlmError::BadValue(k, get(k).unwrap_or("").to_string()))
+    };
+
+    let op_str = get(keys::OP)?;
+    let operation = Operation::parse(op_str)
+        .ok_or_else(|| UlmError::BadValue(keys::OP, op_str.to_string()))?;
+
+    Ok(TransferRecord {
+        source: get(keys::SRC)?.to_string(),
+        host: get(keys::HOST)?.to_string(),
+        file_name: get(keys::FILE)?.to_string(),
+        file_size: parse_u64(keys::SIZE)?,
+        volume: get(keys::VOL)?.to_string(),
+        start_unix: parse_u64(keys::START)?,
+        end_unix: parse_u64(keys::END)?,
+        total_time_s: parse_f64(keys::SECS)?,
+        streams: parse_u32(keys::STREAMS)?,
+        tcp_buffer: parse_u64(keys::BUF)?,
+        operation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = sample_record();
+        let line = encode(&r);
+        let back = decode(&line).unwrap();
+        assert_eq!(r.source, back.source);
+        assert_eq!(r.file_size, back.file_size);
+        assert_eq!(r.operation, back.operation);
+        assert!((r.total_time_s - back.total_time_s).abs() < 1e-3);
+    }
+
+    #[test]
+    fn entry_is_under_512_bytes() {
+        // The paper: "Each log entry is well under 512 bytes."
+        let line = encode(&sample_record());
+        assert!(line.len() < 512, "entry {} bytes", line.len());
+    }
+
+    #[test]
+    fn quoted_values_roundtrip() {
+        let mut r = sample_record();
+        r.file_name = "/home/ftp/with space/10 MB".to_string();
+        r.volume = "/home/f\"tp".to_string();
+        let line = encode(&r);
+        let back = decode(&line).unwrap();
+        assert_eq!(back.file_name, r.file_name);
+        assert_eq!(back.volume, r.volume);
+    }
+
+    #[test]
+    fn tokenize_handles_plain_pairs() {
+        let toks = tokenize("A=1 B=two C=3.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                ("A".into(), "1".into()),
+                ("B".into(), "two".into()),
+                ("C".into(), "3.5".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenize_rejects_missing_equals() {
+        assert!(matches!(tokenize("JUNK"), Err(UlmError::Malformed(_))));
+    }
+
+    #[test]
+    fn tokenize_rejects_unterminated_quote() {
+        assert!(matches!(
+            tokenize("A=\"open"),
+            Err(UlmError::UnterminatedQuote)
+        ));
+    }
+
+    #[test]
+    fn decode_reports_missing_keys() {
+        assert!(matches!(
+            decode("SRC=1.2.3.4"),
+            Err(UlmError::MissingKey(_))
+        ));
+    }
+
+    #[test]
+    fn decode_reports_bad_numbers() {
+        let mut line = encode(&sample_record());
+        line = line.replace("SIZE=10240000", "SIZE=ten");
+        assert!(matches!(decode(&line), Err(UlmError::BadValue("SIZE", _))));
+    }
+
+    #[test]
+    fn decode_reports_bad_operation() {
+        let line = encode(&sample_record()).replace("OP=Read", "OP=Levitate");
+        assert!(matches!(decode(&line), Err(UlmError::BadValue("OP", _))));
+    }
+
+    #[test]
+    fn empty_value_is_quoted_and_roundtrips() {
+        let mut r = sample_record();
+        r.volume = String::new();
+        let line = encode(&r);
+        assert!(line.contains("VOL=\"\""));
+        assert_eq!(decode(&line).unwrap().volume, "");
+    }
+
+    #[test]
+    fn bandwidth_field_matches_derivation() {
+        let line = encode(&sample_record());
+        assert!(line.contains("BW_KBS=2560.0"), "{line}");
+    }
+}

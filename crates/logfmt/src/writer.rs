@@ -1,0 +1,259 @@
+//! A rotating on-disk log writer: the NetLogger strategy from §3
+//! ("flush the logs to persistent storage and restart logging") as a
+//! streaming component.
+//!
+//! The writer appends ULM lines to an *active* file; when the active
+//! file reaches the configured entry limit, it is renamed to a numbered
+//! archive segment (`<stem>.1.ulm`, `<stem>.2.ulm`, …) and a fresh
+//! active file starts. Readers that want full history concatenate the
+//! archives; predictors that only want recent data read the active file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::log::{LogError, TransferLog};
+use crate::record::TransferRecord;
+use crate::ulm;
+
+/// Configuration of a rotating writer.
+#[derive(Debug, Clone)]
+pub struct RotationConfig {
+    /// Entries per segment before rotation.
+    pub max_entries: usize,
+}
+
+impl Default for RotationConfig {
+    fn default() -> Self {
+        RotationConfig { max_entries: 10_000 }
+    }
+}
+
+/// The rotating ULM log writer.
+pub struct RotatingLogWriter {
+    /// Active file path, e.g. `/var/log/gridftp/transfers.ulm`.
+    active_path: PathBuf,
+    cfg: RotationConfig,
+    out: BufWriter<File>,
+    entries_in_active: usize,
+    segments: usize,
+}
+
+impl RotatingLogWriter {
+    /// Open (creating or appending to) the active file. Pre-existing
+    /// entries in it count toward the rotation limit.
+    pub fn open(active_path: impl Into<PathBuf>, cfg: RotationConfig) -> Result<Self, LogError> {
+        assert!(cfg.max_entries > 0, "rotation limit must be positive");
+        let active_path = active_path.into();
+        if let Some(dir) = active_path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let entries_in_active = match std::fs::read_to_string(&active_path) {
+            Ok(s) => s.lines().filter(|l| !l.trim().is_empty()).count(),
+            Err(_) => 0,
+        };
+        let segments = Self::existing_segments(&active_path);
+        let out = BufWriter::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&active_path)?,
+        );
+        Ok(RotatingLogWriter {
+            active_path,
+            cfg,
+            out,
+            entries_in_active,
+            segments,
+        })
+    }
+
+    fn segment_path(active: &Path, n: usize) -> PathBuf {
+        let stem = active
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("transfers");
+        let ext = active
+            .extension()
+            .and_then(|s| s.to_str())
+            .unwrap_or("ulm");
+        active.with_file_name(format!("{stem}.{n}.{ext}"))
+    }
+
+    fn existing_segments(active: &Path) -> usize {
+        let mut n = 0;
+        while Self::segment_path(active, n + 1).exists() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Append one record, rotating first if the active file is full.
+    pub fn append(&mut self, r: &TransferRecord) -> Result<(), LogError> {
+        if self.entries_in_active >= self.cfg.max_entries {
+            self.rotate()?;
+        }
+        writeln!(self.out, "{}", ulm::encode(r))?;
+        self.entries_in_active += 1;
+        Ok(())
+    }
+
+    /// Force a rotation: flush, archive the active file, start fresh.
+    /// A no-op when the active file is empty.
+    pub fn rotate(&mut self) -> Result<(), LogError> {
+        if self.entries_in_active == 0 {
+            return Ok(());
+        }
+        self.out.flush()?;
+        let seg = Self::segment_path(&self.active_path, self.segments + 1);
+        std::fs::rename(&self.active_path, &seg)?;
+        self.segments += 1;
+        self.out = BufWriter::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.active_path)?,
+        );
+        self.entries_in_active = 0;
+        Ok(())
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&mut self) -> Result<(), LogError> {
+        self.out.flush()?;
+        Ok(())
+    }
+
+    /// Number of archived segments.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Entries currently in the active file.
+    pub fn active_entries(&self) -> usize {
+        self.entries_in_active
+    }
+
+    /// Load the *full* history: all archive segments in order followed
+    /// by the active file.
+    pub fn load_all(&mut self) -> Result<TransferLog, LogError> {
+        self.flush()?;
+        let mut log = TransferLog::new();
+        for n in 1..=self.segments {
+            let seg = Self::segment_path(&self.active_path, n);
+            for r in TransferLog::load_ulm(&seg)?.records() {
+                log.append(r.clone());
+            }
+        }
+        if self.active_path.exists() {
+            for r in TransferLog::load_ulm(&self.active_path)?.records() {
+                log.append(r.clone());
+            }
+        }
+        Ok(log)
+    }
+
+    /// Load only the active (post-flush) window — what a NetLogger-style
+    /// predictor consumes after a restart.
+    pub fn load_active(&mut self) -> Result<TransferLog, LogError> {
+        self.flush()?;
+        if self.active_path.exists() {
+            TransferLog::load_ulm(&self.active_path)
+        } else {
+            Ok(TransferLog::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("wanpred-writer-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn rec(i: u64) -> TransferRecord {
+        let mut r = sample_record();
+        r.start_unix = 1_000 + i;
+        r.end_unix = r.start_unix + 4;
+        r
+    }
+
+    #[test]
+    fn rotation_at_limit() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("transfers.ulm");
+        let mut w =
+            RotatingLogWriter::open(&path, RotationConfig { max_entries: 3 }).unwrap();
+        for i in 0..7 {
+            w.append(&rec(i)).unwrap();
+        }
+        // 7 entries with limit 3: two archived segments (3+3) + 1 active.
+        assert_eq!(w.segments(), 2);
+        assert_eq!(w.active_entries(), 1);
+        assert!(dir.join("transfers.1.ulm").exists());
+        assert!(dir.join("transfers.2.ulm").exists());
+        let all = w.load_all().unwrap();
+        assert_eq!(all.len(), 7);
+        // Order preserved across segments.
+        let starts: Vec<u64> = all.records().iter().map(|r| r.start_unix).collect();
+        assert_eq!(starts, (1_000..1_007).collect::<Vec<_>>());
+        let active = w.load_active().unwrap();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active.records()[0].start_unix, 1_006);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_counts_existing_entries_and_segments() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("t.ulm");
+        {
+            let mut w =
+                RotatingLogWriter::open(&path, RotationConfig { max_entries: 2 }).unwrap();
+            for i in 0..3 {
+                w.append(&rec(i)).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        // Re-open: 1 segment archived, 1 active entry.
+        let mut w = RotatingLogWriter::open(&path, RotationConfig { max_entries: 2 }).unwrap();
+        assert_eq!(w.segments(), 1);
+        assert_eq!(w.active_entries(), 1);
+        w.append(&rec(3)).unwrap();
+        w.append(&rec(4)).unwrap(); // triggers rotation (limit 2)
+        assert_eq!(w.segments(), 2);
+        assert_eq!(w.load_all().unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manual_rotate_and_empty_noop() {
+        let dir = tmpdir("manual");
+        let path = dir.join("t.ulm");
+        let mut w = RotatingLogWriter::open(&path, RotationConfig::default()).unwrap();
+        // Rotating an empty active file does nothing.
+        w.rotate().unwrap();
+        assert_eq!(w.segments(), 0);
+        w.append(&rec(0)).unwrap();
+        w.rotate().unwrap();
+        assert_eq!(w.segments(), 1);
+        assert_eq!(w.active_entries(), 0);
+        assert_eq!(w.load_all().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_limit_rejected() {
+        let dir = tmpdir("zero");
+        let _ = RotatingLogWriter::open(dir.join("t.ulm"), RotationConfig { max_entries: 0 });
+    }
+}

@@ -1,0 +1,375 @@
+//! The NWS forecaster suite with dynamic selection.
+//!
+//! NWS runs a battery of cheap forecasters over each sensor's measurement
+//! stream and, for every forecast, answers with whichever forecaster has
+//! the lowest accumulated error so far — the "dynamic selection
+//! techniques" the paper names as the model for its own future work (§7).
+//! This module implements streaming forecasters (running mean, sliding
+//! means/medians, last value, adaptive-gain EWMA) and the MAE-driven
+//! [`DynamicForecaster`] ensemble.
+
+use std::collections::VecDeque;
+
+/// A streaming one-step-ahead forecaster.
+pub trait Forecaster {
+    /// Display name.
+    fn name(&self) -> &str;
+    /// Absorb one measurement.
+    fn update(&mut self, value: f64);
+    /// Forecast the next measurement, if enough state exists.
+    fn forecast(&self) -> Option<f64>;
+}
+
+/// Running (cumulative) mean.
+#[derive(Debug, Default, Clone)]
+pub struct RunningMean {
+    sum: f64,
+    n: u64,
+}
+
+impl RunningMean {
+    /// New, empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for RunningMean {
+    fn name(&self) -> &str {
+        "RUN_MEAN"
+    }
+    fn update(&mut self, value: f64) {
+        self.sum += value;
+        self.n += 1;
+    }
+    fn forecast(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+}
+
+/// Mean of the last `k` measurements.
+#[derive(Debug, Clone)]
+pub struct SlidingMean {
+    name: String,
+    k: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingMean {
+    /// Window of `k >= 1` values.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        SlidingMean {
+            name: format!("SW_MEAN{k}"),
+            k,
+            buf: VecDeque::with_capacity(k),
+            sum: 0.0,
+        }
+    }
+}
+
+impl Forecaster for SlidingMean {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn update(&mut self, value: f64) {
+        self.buf.push_back(value);
+        self.sum += value;
+        if self.buf.len() > self.k {
+            self.sum -= self.buf.pop_front().expect("non-empty");
+        }
+    }
+    fn forecast(&self) -> Option<f64> {
+        (!self.buf.is_empty()).then(|| self.sum / self.buf.len() as f64)
+    }
+}
+
+/// Median of the last `k` measurements.
+#[derive(Debug, Clone)]
+pub struct SlidingMedian {
+    name: String,
+    k: usize,
+    buf: VecDeque<f64>,
+}
+
+impl SlidingMedian {
+    /// Window of `k >= 1` values.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        SlidingMedian {
+            name: format!("SW_MED{k}"),
+            k,
+            buf: VecDeque::with_capacity(k),
+        }
+    }
+}
+
+impl Forecaster for SlidingMedian {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn update(&mut self, value: f64) {
+        self.buf.push_back(value);
+        if self.buf.len() > self.k {
+            self.buf.pop_front();
+        }
+    }
+    fn forecast(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.buf.iter().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN measurements"));
+        let t = v.len();
+        Some(if t % 2 == 1 {
+            v[t / 2]
+        } else {
+            (v[t / 2 - 1] + v[t / 2]) / 2.0
+        })
+    }
+}
+
+/// Last value.
+#[derive(Debug, Default, Clone)]
+pub struct LastMeasurement {
+    last: Option<f64>,
+}
+
+impl LastMeasurement {
+    /// New, empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for LastMeasurement {
+    fn name(&self) -> &str {
+        "LAST"
+    }
+    fn update(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+    fn forecast(&self) -> Option<f64> {
+        self.last
+    }
+}
+
+/// EWMA with a fixed gain.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    name: String,
+    gain: f64,
+    state: Option<f64>,
+}
+
+impl Ewma {
+    /// Gain in `(0, 1]`.
+    pub fn new(gain: f64) -> Self {
+        assert!(gain > 0.0 && gain <= 1.0);
+        Ewma {
+            name: format!("EWMA{:02}", (gain * 100.0).round() as u32),
+            gain,
+            state: None,
+        }
+    }
+}
+
+impl Forecaster for Ewma {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn update(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            Some(s) => self.gain * value + (1.0 - self.gain) * s,
+            None => value,
+        });
+    }
+    fn forecast(&self) -> Option<f64> {
+        self.state
+    }
+}
+
+/// The NWS-style ensemble: forecasts with whichever member has the lowest
+/// mean absolute error so far.
+pub struct DynamicForecaster {
+    members: Vec<Box<dyn Forecaster + Send>>,
+    abs_err_sum: Vec<f64>,
+    scored: Vec<u64>,
+}
+
+impl DynamicForecaster {
+    /// Build from explicit members.
+    pub fn new(members: Vec<Box<dyn Forecaster + Send>>) -> Self {
+        assert!(!members.is_empty());
+        let n = members.len();
+        DynamicForecaster {
+            members,
+            abs_err_sum: vec![0.0; n],
+            scored: vec![0; n],
+        }
+    }
+
+    /// The default NWS-like battery.
+    pub fn standard() -> Self {
+        DynamicForecaster::new(vec![
+            Box::new(RunningMean::new()),
+            Box::new(SlidingMean::new(5)),
+            Box::new(SlidingMean::new(20)),
+            Box::new(SlidingMedian::new(5)),
+            Box::new(SlidingMedian::new(21)),
+            Box::new(LastMeasurement::new()),
+            Box::new(Ewma::new(0.1)),
+            Box::new(Ewma::new(0.4)),
+        ])
+    }
+
+    /// Absorb a measurement: members are scored on their pre-update
+    /// forecast of it, then updated.
+    pub fn update(&mut self, value: f64) {
+        for (i, m) in self.members.iter_mut().enumerate() {
+            if let Some(f) = m.forecast() {
+                self.abs_err_sum[i] += (f - value).abs();
+                self.scored[i] += 1;
+            }
+            m.update(value);
+        }
+    }
+
+    /// Mean absolute error of a member so far.
+    pub fn member_mae(&self, idx: usize) -> Option<f64> {
+        (self.scored[idx] > 0).then(|| self.abs_err_sum[idx] / self.scored[idx] as f64)
+    }
+
+    /// The winning member's index and name.
+    pub fn best_member(&self) -> (usize, &str) {
+        let mut best = 0;
+        let mut best_mae = f64::INFINITY;
+        let mut found = false;
+        for i in 0..self.members.len() {
+            if let Some(m) = self.member_mae(i) {
+                if !found || m < best_mae {
+                    best = i;
+                    best_mae = m;
+                    found = true;
+                }
+            }
+        }
+        (best, self.members[best].name())
+    }
+
+    /// Forecast using the winning member; falls back through members by
+    /// score if the winner declines.
+    pub fn forecast(&self) -> Option<(&str, f64)> {
+        let mut order: Vec<usize> = (0..self.members.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ma = self.member_mae(a).unwrap_or(f64::INFINITY);
+            let mb = self.member_mae(b).unwrap_or(f64::INFINITY);
+            ma.partial_cmp(&mb).expect("MAE not NaN")
+        });
+        for i in order {
+            if let Some(f) = self.members[i].forecast() {
+                return Some((self.members[i].name(), f));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_streams() {
+        let mut f = RunningMean::new();
+        assert_eq!(f.forecast(), None);
+        f.update(2.0);
+        f.update(4.0);
+        assert_eq!(f.forecast(), Some(3.0));
+    }
+
+    #[test]
+    fn sliding_mean_window() {
+        let mut f = SlidingMean::new(2);
+        for v in [10.0, 1.0, 3.0] {
+            f.update(v);
+        }
+        assert_eq!(f.forecast(), Some(2.0));
+        assert_eq!(f.name(), "SW_MEAN2");
+    }
+
+    #[test]
+    fn sliding_median_window() {
+        let mut f = SlidingMedian::new(3);
+        for v in [10.0, 1.0, 100.0, 2.0] {
+            f.update(v);
+        }
+        // Window = [1, 100, 2] -> median 2.
+        assert_eq!(f.forecast(), Some(2.0));
+    }
+
+    #[test]
+    fn last_and_ewma() {
+        let mut l = LastMeasurement::new();
+        let mut e = Ewma::new(0.5);
+        for v in [1.0, 2.0, 3.0] {
+            l.update(v);
+            e.update(v);
+        }
+        assert_eq!(l.forecast(), Some(3.0));
+        // EWMA(0.5): 1 -> 1.5 -> 2.25.
+        assert_eq!(e.forecast(), Some(2.25));
+    }
+
+    #[test]
+    fn dynamic_picks_last_on_random_walk() {
+        // Strongly autocorrelated series: LAST (or high-gain EWMA) wins
+        // over the running mean.
+        let mut d = DynamicForecaster::standard();
+        let mut x = 100.0;
+        let mut s = 12345u64;
+        for _ in 0..500 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let step = ((s >> 33) % 1000) as f64 / 1000.0 - 0.5;
+            x += step;
+            d.update(x);
+        }
+        let (_, name) = d.best_member();
+        assert!(
+            name == "LAST" || name.starts_with("EWMA"),
+            "winner {name}"
+        );
+        assert!(d.forecast().is_some());
+    }
+
+    #[test]
+    fn dynamic_picks_smoother_on_white_noise() {
+        // i.i.d. noise around a level: averaging beats last-value.
+        let mut d = DynamicForecaster::standard();
+        let mut s = 99u64;
+        for _ in 0..2000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = ((s >> 33) % 1000) as f64 / 10.0 - 50.0;
+            d.update(1000.0 + noise);
+        }
+        let (_, name) = d.best_member();
+        assert_ne!(name, "LAST", "white noise should favour smoothing");
+    }
+
+    #[test]
+    fn empty_ensemble_forecast_is_none() {
+        let d = DynamicForecaster::standard();
+        assert!(d.forecast().is_none());
+    }
+
+    #[test]
+    fn member_mae_accumulates() {
+        let mut d = DynamicForecaster::new(vec![Box::new(LastMeasurement::new())]);
+        d.update(10.0); // no forecast yet -> unscored
+        assert_eq!(d.member_mae(0), None);
+        d.update(20.0); // LAST forecast 10, err 10
+        d.update(20.0); // forecast 20, err 0
+        assert_eq!(d.member_mae(0), Some(5.0));
+    }
+}

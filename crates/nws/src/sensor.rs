@@ -1,0 +1,153 @@
+//! The full NWS sensing pipeline: a probe agent that feeds its
+//! measurements straight into a forecaster battery, exposing both the
+//! raw series and live forecasts — what an NWS "sensor + forecaster"
+//! deployment provides per monitored path.
+
+use std::any::Any;
+
+use wanpred_simnet::engine::{Agent, Ctx, TimerTag};
+use wanpred_simnet::flow::FlowDone;
+
+use crate::forecast::DynamicForecaster;
+use crate::probe::{ProbeAgent, ProbeConfig, ProbeMeasurement};
+use crate::series::TimeSeries;
+
+/// A probe sensor with an attached dynamic forecaster.
+///
+/// Embeds a [`ProbeAgent`] and pushes every completed measurement into a
+/// [`DynamicForecaster`]. After (or during) a run, callers can read the
+/// measurement series, the current forecast, and which member technique
+/// is winning.
+pub struct ForecastingSensor {
+    probe: ProbeAgent,
+    forecaster: DynamicForecaster,
+    /// Measurements already absorbed by the forecaster.
+    absorbed: usize,
+    series: TimeSeries,
+    epoch_unix: u64,
+}
+
+impl ForecastingSensor {
+    /// Build with the standard forecaster battery. `epoch_unix` maps
+    /// simulation time zero to wall-clock for the series timestamps.
+    pub fn new(cfg: ProbeConfig, epoch_unix: u64) -> Self {
+        ForecastingSensor {
+            probe: ProbeAgent::new(cfg),
+            forecaster: DynamicForecaster::standard(),
+            absorbed: 0,
+            series: TimeSeries::new(),
+            epoch_unix,
+        }
+    }
+
+    /// Build with a custom forecaster ensemble.
+    pub fn with_forecaster(cfg: ProbeConfig, forecaster: DynamicForecaster, epoch_unix: u64) -> Self {
+        ForecastingSensor {
+            probe: ProbeAgent::new(cfg),
+            forecaster,
+            absorbed: 0,
+            series: TimeSeries::new(),
+            epoch_unix,
+        }
+    }
+
+    fn absorb_new(&mut self) {
+        let ms = self.probe.measurements();
+        while self.absorbed < ms.len() {
+            let m = ms[self.absorbed];
+            self.forecaster.update(m.bandwidth_bps);
+            self.series
+                .push(self.epoch_unix + m.at.as_secs(), m.bandwidth_bps);
+            self.absorbed += 1;
+        }
+    }
+
+    /// All measurements so far.
+    pub fn measurements(&self) -> &[ProbeMeasurement] {
+        self.probe.measurements()
+    }
+
+    /// The `(unix, bytes/sec)` series so far.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Current forecast: `(winning technique, bytes/sec)`.
+    pub fn forecast(&self) -> Option<(&str, f64)> {
+        self.forecaster.forecast()
+    }
+
+    /// The currently best-scoring member technique.
+    pub fn best_technique(&self) -> &str {
+        self.forecaster.best_member().1
+    }
+
+    /// The underlying forecaster (for MAE inspection).
+    pub fn forecaster(&self) -> &DynamicForecaster {
+        &self.forecaster
+    }
+}
+
+impl Agent for ForecastingSensor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.probe.on_start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+        self.probe.on_timer(ctx, tag);
+        self.absorb_new();
+    }
+
+    fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
+        self.probe.on_flow_complete(ctx, done);
+        self.absorb_new();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanpred_simnet::engine::Engine;
+    use wanpred_simnet::load::LoadModelConfig;
+    use wanpred_simnet::network::Network;
+    use wanpred_simnet::rng::MasterSeed;
+    use wanpred_simnet::time::{SimDuration, SimTime};
+    use wanpred_simnet::topology::Topology;
+
+    #[test]
+    fn sensor_measures_and_forecasts() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let (f, r) = t
+            .add_duplex_link("ab", a, b, 12e6, SimDuration::from_millis(27))
+            .unwrap();
+        t.add_route(a, b, vec![f]).unwrap();
+        t.add_route(b, a, vec![r]).unwrap();
+        let net = Network::with_uniform_load(t, LoadModelConfig::default(), MasterSeed(4));
+        let mut eng = Engine::new(net);
+        let id = eng.add_agent(Box::new(ForecastingSensor::new(
+            ProbeConfig::paper_default(a, b),
+            996_642_000,
+        )));
+        eng.run_until(SimTime::from_secs(4 * 3_600));
+
+        let sensor = eng.agent::<ForecastingSensor>(id).unwrap();
+        assert!(sensor.measurements().len() >= 45);
+        assert_eq!(sensor.series().len(), sensor.measurements().len());
+        let (technique, value) = sensor.forecast().expect("forecasts after warm-up");
+        assert!(!technique.is_empty());
+        // Forecast in the plausible probe band (window-limited).
+        assert!(value > 50_000.0 && value < 300_000.0, "{value}");
+        // Series timestamps carry the epoch.
+        assert!(sensor.series().points()[0].0 >= 996_642_000);
+    }
+}

@@ -1,0 +1,151 @@
+//! A simple time series container for sensor measurements, with the
+//! summary statistics the comparison figures need.
+
+use serde::{Deserialize, Serialize};
+
+/// A `(unix seconds, value)` time series in nondecreasing time order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point; panics if time runs backwards.
+    pub fn push(&mut self, at_unix: u64, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at_unix >= last, "time series must be nondecreasing");
+        }
+        self.points.push((at_unix, value));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Values only.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// `(min, mean, max)` of the values, if any.
+    pub fn summary(&self) -> Option<(f64, f64, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &(_, v) in &self.points {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some((min, sum / self.points.len() as f64, max))
+    }
+
+    /// Coefficient of variation (stddev / mean), if defined.
+    pub fn cov(&self) -> Option<f64> {
+        let (_, mean, _) = self.summary()?;
+        if mean == 0.0 {
+            return None;
+        }
+        let var = self
+            .points
+            .iter()
+            .map(|&(_, v)| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.points.len() as f64;
+        Some(var.sqrt() / mean)
+    }
+
+    /// Points within `[from, to)`.
+    pub fn window(&self, from: u64, to: u64) -> impl Iterator<Item = &(u64, f64)> {
+        self.points
+            .iter()
+            .filter(move |(t, _)| *t >= from && *t < to)
+    }
+
+    /// Downsample to at most `n` points by stride (for plotting large
+    /// series in the figure binaries).
+    pub fn thin(&self, n: usize) -> TimeSeries {
+        assert!(n > 0);
+        if self.points.len() <= n {
+            return self.clone();
+        }
+        let stride = self.points.len().div_ceil(n);
+        TimeSeries {
+            points: self.points.iter().step_by(stride).copied().collect(),
+        }
+    }
+}
+
+impl FromIterator<(u64, f64)> for TimeSeries {
+    fn from_iter<T: IntoIterator<Item = (u64, f64)>>(iter: T) -> Self {
+        let mut s = TimeSeries::new();
+        for (t, v) in iter {
+            s.push(t, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_summary() {
+        let s: TimeSeries = [(1, 2.0), (2, 4.0), (3, 6.0)].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.summary(), Some((2.0, 4.0, 6.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn backwards_time_panics() {
+        let mut s = TimeSeries::new();
+        s.push(10, 1.0);
+        s.push(5, 1.0);
+    }
+
+    #[test]
+    fn cov_of_constant_is_zero() {
+        let s: TimeSeries = [(1, 5.0), (2, 5.0)].into_iter().collect();
+        assert_eq!(s.cov(), Some(0.0));
+        let e = TimeSeries::new();
+        assert_eq!(e.cov(), None);
+    }
+
+    #[test]
+    fn window_selects_range() {
+        let s: TimeSeries = (0..10).map(|i| (i * 10, i as f64)).collect();
+        let got: Vec<u64> = s.window(25, 55).map(|&(t, _)| t).collect();
+        assert_eq!(got, vec![30, 40, 50]);
+    }
+
+    #[test]
+    fn thin_reduces_size() {
+        let s: TimeSeries = (0..100).map(|i| (i, i as f64)).collect();
+        let t = s.thin(10);
+        assert!(t.len() <= 10);
+        assert_eq!(t.points()[0], (0, 0.0));
+        let small = s.thin(1000);
+        assert_eq!(small.len(), 100);
+    }
+}

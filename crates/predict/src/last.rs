@@ -1,0 +1,50 @@
+//! The last-value predictor (`LV`): the degenerate sliding window of
+//! length one (§4.2). Downey and Harchol-Balter showed last-value to be a
+//! surprisingly strong predictor for CPU resources; the paper includes it
+//! as a baseline for network transfers.
+
+use crate::observation::Observation;
+use crate::predictor::Predictor;
+
+/// Predict the next bandwidth as exactly the previous one.
+#[derive(Debug, Clone, Default)]
+pub struct LastValue;
+
+impl LastValue {
+    /// Construct the `LV` predictor.
+    pub fn new() -> Self {
+        LastValue
+    }
+}
+
+impl Predictor for LastValue {
+    fn name(&self) -> &str {
+        "LV"
+    }
+
+    fn predict(&self, history: &[Observation], _now: u64) -> Option<f64> {
+        history.last().map(|o| o.bandwidth_kbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::testutil::history;
+
+    #[test]
+    fn returns_most_recent() {
+        let h = history(&[1.0, 2.0, 3.0]);
+        assert_eq!(LastValue::new().predict(&h, 0), Some(3.0));
+    }
+
+    #[test]
+    fn empty_history_is_none() {
+        assert_eq!(LastValue::new().predict(&[], 0), None);
+    }
+
+    #[test]
+    fn name_is_lv() {
+        assert_eq!(LastValue::new().name(), "LV");
+    }
+}

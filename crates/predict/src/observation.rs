@@ -1,0 +1,76 @@
+//! The observation type every predictor consumes.
+//!
+//! Predictors never see raw log lines; they see a time-ordered series of
+//! `(timestamp, bandwidth, file size)` triples. The file size rides along
+//! only so the *context-sensitive* wrapper (§4.3) can filter by size
+//! class — the mathematical techniques themselves (§4.1) look only at the
+//! bandwidth values.
+
+use serde::{Deserialize, Serialize};
+use wanpred_logfmt::{TransferLog, TransferRecord};
+
+/// One historical throughput observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// When the transfer started (Unix seconds).
+    pub at_unix: u64,
+    /// Achieved end-to-end bandwidth, KB/s (`size / total time`, the
+    /// paper's definition).
+    pub bandwidth_kbs: f64,
+    /// Size of the transferred file in bytes (context for classification).
+    pub file_size: u64,
+}
+
+impl Observation {
+    /// Build from a log record.
+    pub fn from_record(r: &TransferRecord) -> Self {
+        Observation {
+            at_unix: r.start_unix,
+            bandwidth_kbs: r.bandwidth_kbs(),
+            file_size: r.file_size,
+        }
+    }
+}
+
+/// Extract the observation series from a transfer log, in log order.
+///
+/// The paper's controlled logs are already time-ordered; busy production
+/// servers may interleave, so callers who need strict time order should
+/// [`sort_by_time`] afterwards.
+pub fn observations_from_log(log: &TransferLog) -> Vec<Observation> {
+    log.records().iter().map(Observation::from_record).collect()
+}
+
+/// Sort a series by timestamp (stable, preserving log order among ties).
+pub fn sort_by_time(obs: &mut [Observation]) {
+    obs.sort_by_key(|o| o.at_unix);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanpred_logfmt::sample_record;
+
+    #[test]
+    fn from_record_carries_bandwidth() {
+        let o = Observation::from_record(&sample_record());
+        assert_eq!(o.at_unix, 998_988_165);
+        assert!((o.bandwidth_kbs - 2560.0).abs() < 1e-9);
+        assert_eq!(o.file_size, 10_240_000);
+    }
+
+    #[test]
+    fn log_extraction_preserves_order() {
+        let mut log = TransferLog::new();
+        for i in [5u64, 3, 9] {
+            let mut r = sample_record();
+            r.start_unix = i;
+            r.end_unix = i + 4;
+            log.append(r);
+        }
+        let mut obs = observations_from_log(&log);
+        assert_eq!(obs.iter().map(|o| o.at_unix).collect::<Vec<_>>(), [5, 3, 9]);
+        sort_by_time(&mut obs);
+        assert_eq!(obs.iter().map(|o| o.at_unix).collect::<Vec<_>>(), [3, 5, 9]);
+    }
+}

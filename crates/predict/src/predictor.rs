@@ -1,0 +1,57 @@
+//! The predictor abstraction.
+//!
+//! A predictor maps a time-ordered throughput history to an estimate of
+//! the *next* transfer's bandwidth. Every technique in the paper's
+//! Figure 4 is the composition of a history [`Window`](crate::window::Window)
+//! with one of three estimator families (mean, median, AR); this module
+//! defines the common trait they implement.
+
+use crate::observation::Observation;
+
+/// Estimate the next transfer's bandwidth from history.
+pub trait Predictor: Send + Sync {
+    /// The predictor's display name (paper convention: `AVG25`, `MED5`,
+    /// `AR10d`, `LV`, ...).
+    fn name(&self) -> &str;
+
+    /// Predict the bandwidth (KB/s) of a transfer starting at `now`,
+    /// given the history of observations strictly preceding it. Returns
+    /// `None` when the (windowed) history is insufficient for this
+    /// technique.
+    fn predict(&self, history: &[Observation], now: u64) -> Option<f64>;
+}
+
+/// Extract bandwidth values from an observation slice.
+pub(crate) fn values(obs: &[Observation]) -> Vec<f64> {
+    obs.iter().map(|o| o.bandwidth_kbs).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::observation::Observation;
+
+    /// Build a history with 1-second spacing from bandwidth values.
+    pub fn history(values: &[f64]) -> Vec<Observation> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Observation {
+                at_unix: 1_000 + i as u64,
+                bandwidth_kbs: v,
+                file_size: 1_000_000,
+            })
+            .collect()
+    }
+
+    /// Build a history with explicit (time, value) pairs.
+    pub fn timed_history(pairs: &[(u64, f64)]) -> Vec<Observation> {
+        pairs
+            .iter()
+            .map(|&(t, v)| Observation {
+                at_unix: t,
+                bandwidth_kbs: v,
+                file_size: 1_000_000,
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,173 @@
+//! Time-of-day context filtering — a natural companion to the paper's
+//! file-size classification (§4.3).
+//!
+//! Wide-area load is strongly diurnal (the very reason the paper's
+//! controlled experiments ran 6 pm–8 am), so a transfer at 7 pm is
+//! better predicted by *previous evenings* than by this morning's
+//! congested samples. [`SeasonalPredictor`] restricts the history to
+//! observations whose local hour-of-day falls within ± `half_width`
+//! hours of the prediction instant (wrapping midnight) before applying a
+//! base estimator. Composes with file-size classification through
+//! [`crate::registry::NamedPredictor`], giving doubly-conditioned
+//! variants.
+
+use crate::observation::Observation;
+use crate::predictor::Predictor;
+
+/// Hour-of-day context wrapper around any base predictor.
+pub struct SeasonalPredictor<P> {
+    name: String,
+    inner: P,
+    /// Seconds either side of the target's time-of-day to accept.
+    half_width_secs: u64,
+    /// Seconds to subtract from Unix time to get local time (the
+    /// campaign epochs are local midnights, so 0 there; real logs need
+    /// their zone offset).
+    utc_offset_secs: u64,
+}
+
+impl<P: Predictor> SeasonalPredictor<P> {
+    /// Wrap `inner`, accepting history within ± `half_width_hours` of
+    /// the prediction instant's time of day.
+    pub fn new(inner: P, half_width_hours: u64) -> Self {
+        assert!(
+            (1..=12).contains(&half_width_hours),
+            "half width must be 1..=12 hours"
+        );
+        SeasonalPredictor {
+            name: format!("{}@±{half_width_hours}h", inner.name()),
+            inner,
+            half_width_secs: half_width_hours * 3_600,
+            utc_offset_secs: 0,
+        }
+    }
+
+    /// Set the UTC→local offset applied before extracting hour-of-day.
+    pub fn with_utc_offset(mut self, secs: u64) -> Self {
+        self.utc_offset_secs = secs;
+        self
+    }
+
+    /// Seconds-of-day for a timestamp under the configured offset.
+    fn second_of_day(&self, unix: u64) -> u64 {
+        unix.wrapping_sub(self.utc_offset_secs) % 86_400
+    }
+
+    /// Circular distance between two seconds-of-day.
+    fn circular_distance(a: u64, b: u64) -> u64 {
+        let d = a.abs_diff(b);
+        d.min(86_400 - d)
+    }
+}
+
+impl<P: Predictor> Predictor for SeasonalPredictor<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict(&self, history: &[Observation], now: u64) -> Option<f64> {
+        let target_tod = self.second_of_day(now);
+        let filtered: Vec<Observation> = history
+            .iter()
+            .filter(|o| {
+                Self::circular_distance(self.second_of_day(o.at_unix), target_tod)
+                    <= self.half_width_secs
+            })
+            .copied()
+            .collect();
+        self.inner.predict(&filtered, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mean::MeanPredictor;
+    use crate::window::Window;
+
+    fn obs(at: u64, bw: f64) -> Observation {
+        Observation {
+            at_unix: at,
+            bandwidth_kbs: bw,
+            file_size: 1,
+        }
+    }
+
+    /// History with a clean day/night split: 1000 KB/s at 03:00, 100 KB/s
+    /// at 15:00, across several days.
+    fn diurnal_history() -> Vec<Observation> {
+        let mut h = Vec::new();
+        for day in 0..5u64 {
+            h.push(obs(day * 86_400 + 3 * 3_600, 1_000.0));
+            h.push(obs(day * 86_400 + 15 * 3_600, 100.0));
+        }
+        h
+    }
+
+    #[test]
+    fn filters_to_matching_hours() {
+        let h = diurnal_history();
+        let p = SeasonalPredictor::new(MeanPredictor::new(Window::All), 2);
+        // Predicting at 03:30 on day 6: only the night samples apply.
+        let night = p.predict(&h, 6 * 86_400 + 3 * 3_600 + 1_800).unwrap();
+        assert_eq!(night, 1_000.0);
+        // At 15:30: only the afternoon samples.
+        let day = p.predict(&h, 6 * 86_400 + 15 * 3_600 + 1_800).unwrap();
+        assert_eq!(day, 100.0);
+        // The unconditioned mean mixes both regimes.
+        let plain = MeanPredictor::new(Window::All).predict(&h, 0).unwrap();
+        assert_eq!(plain, 550.0);
+    }
+
+    #[test]
+    fn wraps_midnight() {
+        // Samples at 23:30; prediction at 00:30 with ±2h must see them.
+        let h: Vec<Observation> = (0..4)
+            .map(|d| obs(d * 86_400 + 23 * 3_600 + 1_800, 777.0))
+            .collect();
+        let p = SeasonalPredictor::new(MeanPredictor::new(Window::All), 2);
+        assert_eq!(p.predict(&h, 5 * 86_400 + 1_800), Some(777.0));
+        // With ±1h at 02:30 the 23:30 samples are out of range.
+        let narrow = SeasonalPredictor::new(MeanPredictor::new(Window::All), 1);
+        assert_eq!(narrow.predict(&h, 5 * 86_400 + 2 * 3_600 + 1_800), None);
+    }
+
+    #[test]
+    fn utc_offset_shifts_the_clock() {
+        // Samples at 03:00 UTC = 22:00 local (UTC-5).
+        let h: Vec<Observation> = (0..3)
+            .map(|d| obs(d * 86_400 + 3 * 3_600, 5.0))
+            .collect();
+        let p = SeasonalPredictor::new(MeanPredictor::new(Window::All), 1)
+            .with_utc_offset(5 * 3_600);
+        // Predicting at 22:10 local (03:10 UTC): matches.
+        assert_eq!(p.predict(&h, 4 * 86_400 + 3 * 3_600 + 600), Some(5.0));
+    }
+
+    #[test]
+    fn empty_window_declines() {
+        let h = diurnal_history();
+        let p = SeasonalPredictor::new(MeanPredictor::new(Window::All), 1);
+        // 09:00 has no samples within +-1h.
+        assert_eq!(p.predict(&h, 6 * 86_400 + 9 * 3_600), None);
+    }
+
+    #[test]
+    fn name_reflects_wrapping() {
+        let p = SeasonalPredictor::new(MeanPredictor::new(Window::LastN(5)), 3);
+        assert_eq!(p.name(), "AVG5@±3h");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_excessive_width() {
+        let _ = SeasonalPredictor::new(MeanPredictor::new(Window::All), 13);
+    }
+
+    #[test]
+    fn circular_distance_symmetry() {
+        assert_eq!(SeasonalPredictor::<MeanPredictor>::circular_distance(100, 86_300), 200);
+        assert_eq!(SeasonalPredictor::<MeanPredictor>::circular_distance(86_300, 100), 200);
+        assert_eq!(SeasonalPredictor::<MeanPredictor>::circular_distance(0, 43_200), 43_200);
+    }
+}

@@ -1,0 +1,189 @@
+//! Dynamic predictor selection — the NWS-style "evaluate a number of
+//! techniques and choose the most appropriate one on the fly" extension
+//! the paper names as future work (§4.4, §7).
+//!
+//! The selector maintains, for every candidate predictor, its running
+//! mean absolute percentage error on the observations seen so far; a
+//! prediction request is answered by the candidate with the lowest
+//! running error (falling back through candidates that decline).
+
+use crate::observation::Observation;
+use crate::registry::NamedPredictor;
+
+/// A streaming dynamic selector over a set of candidate predictors.
+pub struct DynamicSelector {
+    candidates: Vec<NamedPredictor>,
+    /// Sum of absolute percentage errors and count, per candidate.
+    err_sum: Vec<f64>,
+    err_count: Vec<usize>,
+    history: Vec<Observation>,
+    /// Observations to absorb before errors start accumulating.
+    training: usize,
+}
+
+impl DynamicSelector {
+    /// Create a selector; `training` observations are absorbed before
+    /// scoring begins (mirrors the paper's 15-value training set).
+    pub fn new(candidates: Vec<NamedPredictor>, training: usize) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        let n = candidates.len();
+        DynamicSelector {
+            candidates,
+            err_sum: vec![0.0; n],
+            err_count: vec![0; n],
+            history: Vec::new(),
+            training,
+        }
+    }
+
+    /// Feed one observation: each candidate is scored on how well it
+    /// would have predicted it, then the observation joins the history.
+    pub fn observe(&mut self, o: Observation) {
+        if self.history.len() >= self.training && o.bandwidth_kbs != 0.0 {
+            for (i, p) in self.candidates.iter().enumerate() {
+                if let Some(pred) = p.predict(&self.history, o.at_unix, o.file_size) {
+                    let err = (o.bandwidth_kbs - pred).abs() / o.bandwidth_kbs.abs() * 100.0;
+                    self.err_sum[i] += err;
+                    self.err_count[i] += 1;
+                }
+            }
+        }
+        self.history.push(o);
+    }
+
+    /// Current running MAPE of a candidate (by index), if it has scored.
+    pub fn running_mape(&self, idx: usize) -> Option<f64> {
+        if self.err_count[idx] == 0 {
+            None
+        } else {
+            Some(self.err_sum[idx] / self.err_count[idx] as f64)
+        }
+    }
+
+    /// The index and name of the currently best-scoring candidate.
+    /// Candidates that have never scored rank below all scored ones.
+    pub fn best_candidate(&self) -> (usize, &str) {
+        let mut best = 0usize;
+        let mut best_mape = f64::INFINITY;
+        let mut found = false;
+        for i in 0..self.candidates.len() {
+            if let Some(m) = self.running_mape(i) {
+                if !found || m < best_mape {
+                    best = i;
+                    best_mape = m;
+                    found = true;
+                }
+            }
+        }
+        (best, self.candidates[best].name())
+    }
+
+    /// Predict for a transfer of `target_size` at `now` using the
+    /// best-scoring candidate; falls back through candidates in score
+    /// order if the best declines. Returns `(candidate name, prediction)`.
+    pub fn predict(&self, now: u64, target_size: u64) -> Option<(&str, f64)> {
+        let mut order: Vec<usize> = (0..self.candidates.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ma = self.running_mape(a).unwrap_or(f64::INFINITY);
+            let mb = self.running_mape(b).unwrap_or(f64::INFINITY);
+            ma.partial_cmp(&mb).expect("MAPEs are not NaN")
+        });
+        for i in order {
+            if let Some(pred) = self.candidates[i].predict(&self.history, now, target_size) {
+                return Some((self.candidates[i].name(), pred));
+            }
+        }
+        None
+    }
+
+    /// Number of absorbed observations.
+    pub fn observed(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::PAPER_MB;
+    use crate::last::LastValue;
+    use crate::mean::MeanPredictor;
+    use crate::registry::NamedPredictor;
+    use crate::window::Window;
+
+    fn obs(i: u64, bw: f64) -> Observation {
+        Observation {
+            at_unix: 1_000 + i,
+            bandwidth_kbs: bw,
+            file_size: 100 * PAPER_MB,
+        }
+    }
+
+    fn selector() -> DynamicSelector {
+        DynamicSelector::new(
+            vec![
+                NamedPredictor::new(Box::new(LastValue::new()), false),
+                NamedPredictor::new(Box::new(MeanPredictor::new(Window::All)), false),
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn picks_lv_on_regime_switching_series() {
+        let mut s = selector();
+        // Step series: LV tracks, AVG lags.
+        for i in 0..40 {
+            let bw = if i < 20 { 100.0 } else { 1_000.0 };
+            s.observe(obs(i, bw));
+        }
+        let (_, name) = s.best_candidate();
+        assert_eq!(name, "LV");
+        let (used, pred) = s.predict(2_000, 100 * PAPER_MB).unwrap();
+        assert_eq!(used, "LV");
+        assert_eq!(pred, 1_000.0);
+    }
+
+    #[test]
+    fn picks_mean_on_alternating_noise() {
+        let mut s = selector();
+        // Alternating 90/110: mean (100) beats last-value (always 20% off).
+        for i in 0..40 {
+            let bw = if i % 2 == 0 { 90.0 } else { 110.0 };
+            s.observe(obs(i, bw));
+        }
+        let (_, name) = s.best_candidate();
+        assert_eq!(name, "AVG");
+    }
+
+    #[test]
+    fn training_period_suppresses_scoring() {
+        let mut s = selector();
+        for i in 0..5 {
+            s.observe(obs(i, 100.0));
+        }
+        assert_eq!(s.running_mape(0), None);
+        assert_eq!(s.running_mape(1), None);
+        s.observe(obs(5, 100.0));
+        // Sixth observation scored against five-strong history.
+        assert!(s.running_mape(0).is_some());
+    }
+
+    #[test]
+    fn predict_before_any_history_declines() {
+        let s = selector();
+        assert!(s.predict(0, PAPER_MB).is_none());
+    }
+
+    #[test]
+    fn zero_bandwidth_observations_not_scored() {
+        let mut s = selector();
+        for i in 0..6 {
+            s.observe(obs(i, 100.0));
+        }
+        let before = s.err_count[0];
+        s.observe(obs(6, 0.0));
+        assert_eq!(s.err_count[0], before);
+        assert_eq!(s.observed(), 7);
+    }
+}

@@ -1,0 +1,225 @@
+//! The replica-selection broker: rank physical replicas by the predicted
+//! transfer bandwidth published in the information service.
+//!
+//! This is the consumer the whole pipeline exists for (§1): a client (or
+//! broker acting for it) asks "from which replica can I fetch this file
+//! fastest?", the broker queries the GIIS for `GridFTPPerfInfo` entries
+//! matching `(cn=<client>, hostname=<candidate server>)`, reads the
+//! size-class prediction attribute, and picks the best.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use wanpred_infod::filter;
+use wanpred_infod::Giis;
+use wanpred_predict::SizeClass;
+
+use crate::catalog::PhysicalReplica;
+use crate::policy::SelectionPolicy;
+
+/// A source of per-path performance estimates.
+pub trait PerfInfoSource {
+    /// Predicted bandwidth (KB/s) for the client pulling `size` bytes
+    /// from `server_host`, or `None` when no information exists.
+    fn predicted_bandwidth_kbs(
+        &mut self,
+        client_addr: &str,
+        server_host: &str,
+        size: u64,
+        now_unix: u64,
+    ) -> Option<f64>;
+}
+
+/// A [`PerfInfoSource`] backed by GIIS inquiries, with the attribute
+/// fallback chain: size-class prediction → overall prediction → overall
+/// read average.
+pub struct GiisPerfSource {
+    giis: Arc<Mutex<Giis>>,
+}
+
+impl GiisPerfSource {
+    /// Wrap a GIIS handle.
+    pub fn new(giis: Arc<Mutex<Giis>>) -> Self {
+        GiisPerfSource { giis }
+    }
+
+    fn class_attr(size: u64) -> &'static str {
+        match SizeClass::of_bytes(size) {
+            SizeClass::C10MB => "predictrdbandwidthtenmbrange",
+            SizeClass::C100MB => "predictrdbandwidthhundredmbrange",
+            SizeClass::C500MB => "predictrdbandwidthfivehundredmbrange",
+            SizeClass::C1GB => "predictrdbandwidthonegbrange",
+        }
+    }
+}
+
+impl PerfInfoSource for GiisPerfSource {
+    fn predicted_bandwidth_kbs(
+        &mut self,
+        client_addr: &str,
+        server_host: &str,
+        size: u64,
+        now_unix: u64,
+    ) -> Option<f64> {
+        let f = filter::parse(&format!(
+            "(&(objectclass=GridFTPPerfInfo)(cn={client_addr})(hostname={server_host}))"
+        ))
+        .expect("well-formed filter");
+        let entries = self.giis.lock().search(&f, now_unix);
+        let e = entries.first()?;
+        for attr in [
+            Self::class_attr(size),
+            "predictrdbandwidth",
+            "avgrdbandwidth",
+        ] {
+            if let Some(v) = e.get(attr) {
+                if let Ok(x) = v.parse::<f64>() {
+                    return Some(x);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// One replica's evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaScore {
+    /// The candidate.
+    pub replica: PhysicalReplica,
+    /// Predicted bandwidth (KB/s), if any information existed.
+    pub predicted_kbs: Option<f64>,
+}
+
+/// The broker's decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Index of the chosen replica within `scores`.
+    pub chosen: usize,
+    /// Every candidate's score, in catalog order.
+    pub scores: Vec<ReplicaScore>,
+    /// The policy that made the choice.
+    pub policy_name: &'static str,
+}
+
+impl Selection {
+    /// The chosen replica.
+    pub fn replica(&self) -> &PhysicalReplica {
+        &self.scores[self.chosen].replica
+    }
+}
+
+/// The broker.
+pub struct Broker<S: PerfInfoSource> {
+    source: S,
+}
+
+impl<S: PerfInfoSource> Broker<S> {
+    /// Build over a performance-information source.
+    pub fn new(source: S) -> Self {
+        Broker { source }
+    }
+
+    /// Evaluate and choose among `replicas` for `client_addr` under the
+    /// given policy. Panics if `replicas` is empty (an empty candidate
+    /// set is a catalog error the caller must surface).
+    pub fn select(
+        &mut self,
+        client_addr: &str,
+        replicas: &[PhysicalReplica],
+        policy: &mut SelectionPolicy,
+        now_unix: u64,
+    ) -> Selection {
+        assert!(!replicas.is_empty(), "no replicas to select among");
+        let scores: Vec<ReplicaScore> = replicas
+            .iter()
+            .map(|r| ReplicaScore {
+                replica: r.clone(),
+                predicted_kbs: self.source.predicted_bandwidth_kbs(
+                    client_addr,
+                    &r.host,
+                    r.size,
+                    now_unix,
+                ),
+            })
+            .collect();
+        let chosen = policy.choose(&scores);
+        Selection {
+            chosen,
+            scores,
+            policy_name: policy.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A canned source for tests.
+    pub struct MapSource(pub HashMap<String, f64>);
+
+    impl PerfInfoSource for MapSource {
+        fn predicted_bandwidth_kbs(
+            &mut self,
+            _client: &str,
+            server: &str,
+            _size: u64,
+            _now: u64,
+        ) -> Option<f64> {
+            self.0.get(server).copied()
+        }
+    }
+
+    fn reps() -> Vec<PhysicalReplica> {
+        ["lbl.gov", "isi.edu", "anl.gov"]
+            .iter()
+            .map(|h| PhysicalReplica {
+                host: (*h).into(),
+                path: "/f".into(),
+                size: 1_000_000,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn predicted_policy_picks_fastest() {
+        let mut src = HashMap::new();
+        src.insert("lbl.gov".to_string(), 4_000.0);
+        src.insert("isi.edu".to_string(), 9_000.0);
+        src.insert("anl.gov".to_string(), 2_000.0);
+        let mut b = Broker::new(MapSource(src));
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let sel = b.select("140.221.65.69", &reps(), &mut policy, 0);
+        assert_eq!(sel.replica().host, "isi.edu");
+        assert_eq!(sel.policy_name, "predicted-bandwidth");
+        assert_eq!(sel.scores.len(), 3);
+    }
+
+    #[test]
+    fn unknown_servers_rank_last_but_choice_still_made() {
+        let mut src = HashMap::new();
+        src.insert("anl.gov".to_string(), 100.0);
+        let mut b = Broker::new(MapSource(src));
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let sel = b.select("x", &reps(), &mut policy, 0);
+        assert_eq!(sel.replica().host, "anl.gov");
+    }
+
+    #[test]
+    fn no_information_falls_back_to_first() {
+        let mut b = Broker::new(MapSource(HashMap::new()));
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let sel = b.select("x", &reps(), &mut policy, 0);
+        assert_eq!(sel.chosen, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_candidates_panics() {
+        let mut b = Broker::new(MapSource(HashMap::new()));
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        b.select("x", &[], &mut policy, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! # wanpred-replica
+//!
+//! Replica selection — the application the paper's predictive framework
+//! serves (§1): a [`catalog::ReplicaCatalog`] resolving logical files to
+//! physical copies, a [`broker::Broker`] ranking the copies by the
+//! predicted transfer bandwidth published through the information
+//! service, and baseline [`policy::SelectionPolicy`]s (random,
+//! round-robin, first-listed) for the ablation benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod broker;
+pub mod catalog;
+pub mod policy;
+
+pub use broker::{Broker, GiisPerfSource, PerfInfoSource, ReplicaScore, Selection};
+pub use catalog::{PhysicalReplica, ReplicaCatalog, ReplicaError};
+pub use policy::SelectionPolicy;
+
+#[cfg(test)]
+mod integration_tests {
+    //! End-to-end: logs -> provider -> GRIS -> GIIS -> broker.
+
+    use std::sync::Arc;
+
+    use parking_lot::Mutex;
+    use wanpred_infod::{Dn, Giis, GridFtpPerfProvider, Gris, ProviderConfig, Registration};
+    use wanpred_logfmt::{Operation, TransferLog, TransferRecordBuilder};
+
+    use crate::*;
+
+    fn log_with_bandwidth(client: &str, host: &str, kbs: f64) -> TransferLog {
+        let mut log = TransferLog::new();
+        // 30 records of ~kbs KB/s for 100MB-class files.
+        for i in 0..30u64 {
+            let secs = 102_400_000.0 / (kbs * 1_000.0);
+            log.append(
+                TransferRecordBuilder::new()
+                    .source(client)
+                    .host(host)
+                    .file_name("/home/ftp/vazhkuda/100MB")
+                    .file_size(102_400_000)
+                    .volume("/home/ftp")
+                    .start_unix(1_000_000 + i * 3_600)
+                    .end_unix(1_000_000 + i * 3_600 + secs as u64)
+                    .total_time_s(secs)
+                    .streams(8)
+                    .tcp_buffer(1_000_000)
+                    .operation(Operation::Read)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        log
+    }
+
+    fn gris_for(host: &str, client: &str, kbs: f64) -> Arc<Mutex<Gris>> {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(GridFtpPerfProvider::from_snapshot(
+            ProviderConfig::new(host, "0.0.0.0"),
+            log_with_bandwidth(client, host, kbs),
+        )));
+        Arc::new(Mutex::new(g))
+    }
+
+    #[test]
+    fn broker_selects_the_faster_site_end_to_end() {
+        let client = "140.221.65.69";
+        let giis = Arc::new(Mutex::new(Giis::new("top")));
+        for (host, kbs) in [("dpsslx04.lbl.gov", 7_500.0), ("jet.isi.edu", 3_000.0)] {
+            giis.lock().register(
+                Registration {
+                    id: host.to_string(),
+                    ttl_secs: 3_600,
+                },
+                gris_for(host, client, kbs),
+                1_200_000,
+            );
+        }
+
+        let mut catalog = ReplicaCatalog::new();
+        for host in ["jet.isi.edu", "dpsslx04.lbl.gov"] {
+            catalog
+                .register(
+                    "lfn://exp/100MB",
+                    PhysicalReplica {
+                        host: host.into(),
+                        path: "/home/ftp/vazhkuda/100MB".into(),
+                        size: 102_400_000,
+                    },
+                )
+                .unwrap();
+        }
+
+        let mut broker = Broker::new(GiisPerfSource::new(giis));
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let reps = catalog.lookup("lfn://exp/100MB").unwrap();
+        let sel = broker.select(client, reps, &mut policy, 1_200_000);
+        assert_eq!(sel.replica().host, "dpsslx04.lbl.gov");
+        // Both candidates were scored with real numbers.
+        assert!(sel.scores.iter().all(|s| s.predicted_kbs.is_some()));
+        let lbl = sel
+            .scores
+            .iter()
+            .find(|s| s.replica.host == "dpsslx04.lbl.gov")
+            .unwrap();
+        assert!((lbl.predicted_kbs.unwrap() - 7_500.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn unknown_client_gets_no_predictions_but_a_choice() {
+        let giis = Arc::new(Mutex::new(Giis::new("top")));
+        giis.lock().register(
+            Registration {
+                id: "lbl".into(),
+                ttl_secs: 3_600,
+            },
+            gris_for("dpsslx04.lbl.gov", "140.221.65.69", 5_000.0),
+            0,
+        );
+        let mut broker = Broker::new(GiisPerfSource::new(giis));
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let reps = vec![PhysicalReplica {
+            host: "dpsslx04.lbl.gov".into(),
+            path: "/f".into(),
+            size: 1,
+        }];
+        let sel = broker.select("10.0.0.1", &reps, &mut policy, 10);
+        assert_eq!(sel.chosen, 0);
+        assert!(sel.scores[0].predicted_kbs.is_none());
+    }
+}

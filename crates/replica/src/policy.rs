@@ -1,0 +1,157 @@
+//! Selection policies: the prediction-driven choice plus the baselines
+//! the ablation benches compare against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::broker::ReplicaScore;
+
+/// A replica-selection policy. Policies are stateful (round-robin,
+/// random) so the broker takes them by `&mut`.
+///
+/// The `Random` variant boxes its RNG to keep the enum small (policies
+/// are stored and passed around freely).
+pub enum SelectionPolicy {
+    /// Choose the highest predicted bandwidth; candidates with no
+    /// information rank below all informed ones; ties and the
+    /// all-uninformed case fall back to the first candidate.
+    PredictedBandwidth,
+    /// Uniform random choice (seeded: reproducible baselines).
+    Random(Box<StdRng>),
+    /// Rotate through candidates.
+    RoundRobin {
+        /// Next index to pick.
+        next: usize,
+    },
+    /// Always the first catalog entry (the "no broker" strawman).
+    FirstListed,
+}
+
+impl SelectionPolicy {
+    /// The prediction-driven policy.
+    pub fn predicted_bandwidth() -> Self {
+        SelectionPolicy::PredictedBandwidth
+    }
+
+    /// Seeded random baseline.
+    pub fn random(seed: u64) -> Self {
+        SelectionPolicy::Random(Box::new(StdRng::seed_from_u64(seed)))
+    }
+
+    /// Round-robin baseline.
+    pub fn round_robin() -> Self {
+        SelectionPolicy::RoundRobin { next: 0 }
+    }
+
+    /// First-listed baseline.
+    pub fn first_listed() -> Self {
+        SelectionPolicy::FirstListed
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectionPolicy::PredictedBandwidth => "predicted-bandwidth",
+            SelectionPolicy::Random(_) => "random",
+            SelectionPolicy::RoundRobin { .. } => "round-robin",
+            SelectionPolicy::FirstListed => "first-listed",
+        }
+    }
+
+    /// Choose an index among the scored candidates (non-empty).
+    pub fn choose(&mut self, scores: &[ReplicaScore]) -> usize {
+        assert!(!scores.is_empty());
+        match self {
+            SelectionPolicy::PredictedBandwidth => {
+                let mut best = 0usize;
+                let mut best_score = f64::NEG_INFINITY;
+                let mut informed = false;
+                for (i, s) in scores.iter().enumerate() {
+                    if let Some(p) = s.predicted_kbs {
+                        if !informed || p > best_score {
+                            best = i;
+                            best_score = p;
+                            informed = true;
+                        }
+                    }
+                }
+                if informed {
+                    best
+                } else {
+                    0
+                }
+            }
+            SelectionPolicy::Random(rng) => rng.gen_range(0..scores.len()),
+            SelectionPolicy::RoundRobin { next } => {
+                let i = *next % scores.len();
+                *next = (*next + 1) % scores.len();
+                i
+            }
+            SelectionPolicy::FirstListed => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::PhysicalReplica;
+
+    fn scores(preds: &[Option<f64>]) -> Vec<ReplicaScore> {
+        preds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ReplicaScore {
+                replica: PhysicalReplica {
+                    host: format!("h{i}"),
+                    path: "/f".into(),
+                    size: 1,
+                },
+                predicted_kbs: *p,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn predicted_prefers_informed_maximum() {
+        let mut p = SelectionPolicy::predicted_bandwidth();
+        assert_eq!(p.choose(&scores(&[Some(1.0), Some(5.0), None])), 1);
+        assert_eq!(p.choose(&scores(&[None, Some(2.0)])), 1);
+        assert_eq!(p.choose(&scores(&[None, None])), 0);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = SelectionPolicy::round_robin();
+        let s = scores(&[None, None, None]);
+        assert_eq!(p.choose(&s), 0);
+        assert_eq!(p.choose(&s), 1);
+        assert_eq!(p.choose(&s), 2);
+        assert_eq!(p.choose(&s), 0);
+    }
+
+    #[test]
+    fn random_is_seed_reproducible_and_in_range() {
+        let s = scores(&[None, None, None, None]);
+        let picks_a: Vec<usize> = {
+            let mut p = SelectionPolicy::random(7);
+            (0..20).map(|_| p.choose(&s)).collect()
+        };
+        let picks_b: Vec<usize> = {
+            let mut p = SelectionPolicy::random(7);
+            (0..20).map(|_| p.choose(&s)).collect()
+        };
+        assert_eq!(picks_a, picks_b);
+        assert!(picks_a.iter().all(|&i| i < 4));
+        // Not degenerate.
+        assert!(picks_a.iter().any(|&i| i != picks_a[0]));
+    }
+
+    #[test]
+    fn first_listed_is_constant() {
+        let mut p = SelectionPolicy::first_listed();
+        let s = scores(&[Some(1.0), Some(100.0)]);
+        assert_eq!(p.choose(&s), 0);
+        assert_eq!(p.name(), "first-listed");
+    }
+}

@@ -1,0 +1,160 @@
+//! Deterministic random-number plumbing.
+//!
+//! Every stochastic component in the simulator (load models, workload
+//! generators, burst processes) draws from a stream derived from a single
+//! campaign seed plus a component label, so that adding a new component or
+//! reordering initialization does not perturb the draws seen by existing
+//! components. Reproducibility is a hard requirement: the evaluation
+//! harness replays identical campaigns when comparing predictors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A master seed for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MasterSeed(pub u64);
+
+impl MasterSeed {
+    /// Derive an independent RNG for a named component.
+    ///
+    /// The derivation hashes the label into the seed with an FNV-1a style
+    /// mix, so distinct labels yield decorrelated streams while the same
+    /// `(seed, label)` pair always yields the same stream.
+    pub fn derive(self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(self.derive_seed(label))
+    }
+
+    /// Derive a sub-seed (for components that themselves need to spawn
+    /// further streams, e.g. one per link).
+    pub fn derive_seed(self, label: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.0.rotate_left(17);
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Final avalanche (splitmix64 finalizer) so short labels still
+        // produce well-spread seeds.
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    /// Derive a child master seed, for hierarchical components.
+    pub fn child(self, label: &str) -> MasterSeed {
+        MasterSeed(self.derive_seed(label))
+    }
+}
+
+/// Sample from a bounded Pareto distribution.
+///
+/// Used for heavy-tailed burst durations in the cross-traffic model:
+/// Internet flow lifetimes are famously heavy-tailed ("mice and
+/// elephants"), which is the very effect the paper's file-size
+/// classification leans on.
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // Inverse-CDF of the Pareto truncated to [lo, hi].
+    let x = (-(u * (1.0 - la / ha) - 1.0) / la).powf(-1.0 / alpha);
+    x.clamp(lo, hi)
+}
+
+/// Sample an exponential inter-arrival time with the given mean.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Sample a standard normal via Box-Muller (avoids a rand_distr dependency
+/// in this crate; callers needing many variates should cache pairs, but the
+/// load models draw sparsely).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_label_same_stream() {
+        let s = MasterSeed(42);
+        let mut a = s.derive("link.anl-lbl");
+        let mut b = s.derive("link.anl-lbl");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let s = MasterSeed(42);
+        let mut a = s.derive("link.anl-lbl");
+        let mut b = s.derive("link.anl-isi");
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should be decorrelated");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = MasterSeed(1).derive("x");
+        let mut b = MasterSeed(2).derive("x");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn child_seed_is_stable() {
+        assert_eq!(
+            MasterSeed(7).child("campaign.august").0,
+            MasterSeed(7).child("campaign.august").0
+        );
+        assert_ne!(
+            MasterSeed(7).child("campaign.august").0,
+            MasterSeed(7).child("campaign.december").0
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_in_range_and_heavy_tailed() {
+        let mut rng = MasterSeed(9).derive("pareto");
+        let mut xs = Vec::with_capacity(4000);
+        for _ in 0..4000 {
+            let x = bounded_pareto(&mut rng, 1.2, 1.0, 1000.0);
+            assert!((1.0..=1000.0).contains(&x));
+            xs.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        // Heavy tail: mean well above median.
+        assert!(mean > 2.0 * median, "mean {mean} median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = MasterSeed(9).derive("exp");
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, 5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.25, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = MasterSeed(11).derive("norm");
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Link-state tracing for diagnostics and figure generation.
+//!
+//! A [`LinkTracer`] samples background weights and aggregate foreground
+//! rate on every load tick; the testbed harness uses it to sanity-check
+//! the cross-traffic calibration behind Figures 1–2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::Network;
+use crate::time::SimTime;
+use crate::topology::LinkId;
+
+/// One sample of a link's state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Background competing weight at the sample time.
+    pub weight: f64,
+}
+
+/// Records per-link background-weight samples over a run.
+#[derive(Debug, Default)]
+pub struct LinkTracer {
+    links: Vec<LinkId>,
+    samples: Vec<Vec<LinkSample>>,
+}
+
+impl LinkTracer {
+    /// Trace the given links.
+    pub fn new(links: Vec<LinkId>) -> Self {
+        let samples = links.iter().map(|_| Vec::new()).collect();
+        LinkTracer { links, samples }
+    }
+
+    /// Record a sample for every traced link (called by the engine on
+    /// load ticks).
+    pub fn sample(&mut self, at: SimTime, net: &Network) {
+        for (i, &l) in self.links.iter().enumerate() {
+            self.samples[i].push(LinkSample {
+                at,
+                weight: net.link_weight(l),
+            });
+        }
+    }
+
+    /// Samples collected for a link, if traced.
+    pub fn samples(&self, link: LinkId) -> Option<&[LinkSample]> {
+        let i = self.links.iter().position(|&l| l == link)?;
+        Some(&self.samples[i])
+    }
+
+    /// Summary statistics `(min, mean, max)` of the traced weight.
+    pub fn weight_stats(&self, link: LinkId) -> Option<(f64, f64, f64)> {
+        let s = self.samples(link)?;
+        if s.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for x in s {
+            min = min.min(x.weight);
+            max = max.max(x.weight);
+            sum += x.weight;
+        }
+        Some((min, sum / s.len() as f64, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::load::LoadModelConfig;
+    use crate::network::Network;
+    use crate::rng::MasterSeed;
+    use crate::time::SimDuration;
+    use crate::topology::Topology;
+
+    #[test]
+    fn tracer_collects_samples_on_ticks() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let l = t
+            .add_link("ab", a, b, 1e6, SimDuration::from_millis(10))
+            .unwrap();
+        t.add_route(a, b, vec![l]).unwrap();
+        let net = Network::with_uniform_load(t, LoadModelConfig::default(), MasterSeed(5));
+        let tick = net.load_tick();
+        let mut eng = Engine::new(net);
+        eng.set_tracer(LinkTracer::new(vec![l]));
+        eng.run_until(SimTime::ZERO + tick * 10);
+        let tracer = eng.take_tracer().unwrap();
+        let samples = tracer.samples(l).unwrap();
+        assert_eq!(samples.len(), 10);
+        let (min, mean, max) = tracer.weight_stats(l).unwrap();
+        assert!(min <= mean && mean <= max);
+        assert!(min >= 0.0);
+    }
+
+    #[test]
+    fn untraced_link_returns_none() {
+        let tracer = LinkTracer::new(vec![LinkId(0)]);
+        assert!(tracer.samples(LinkId(7)).is_none());
+        assert!(tracer.weight_stats(LinkId(0)).is_none()); // no samples yet
+    }
+}

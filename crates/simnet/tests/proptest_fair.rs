@@ -1,0 +1,114 @@
+//! Property-based tests for the weighted max-min fair allocator.
+//!
+//! Invariants checked on random configurations:
+//! 1. Feasibility: no link is allocated beyond its capacity.
+//! 2. Cap respect: no flow exceeds its own rate cap.
+//! 3. Non-negativity of every rate.
+//! 4. Work conservation: on every bottleneck link, unused capacity implies
+//!    every flow crossing it is limited elsewhere (cap or another link).
+//! 5. Weighted fairness: two flows sharing identical routes and both
+//!    bottlenecked there get rates proportional to their weights.
+
+use proptest::prelude::*;
+use wanpred_simnet::fair::{solve, FairFlow};
+
+fn arb_config() -> impl Strategy<Value = (Vec<f64>, Vec<FairFlow>)> {
+    // 1..=5 links, 1..=8 flows each over a random non-empty link subset.
+    let links = prop::collection::vec(1.0f64..1e9, 1..=5);
+    links.prop_flat_map(|caps| {
+        let n_links = caps.len();
+        let flow = (
+            0.5f64..16.0,                             // weight
+            prop::option::of(1.0f64..2e9),            // cap (None = inf)
+            prop::collection::btree_set(0..n_links, 1..=n_links),
+        )
+            .prop_map(|(weight, cap, links)| FairFlow {
+                weight,
+                cap: cap.unwrap_or(f64::INFINITY),
+                links: links.into_iter().collect(),
+            });
+        (Just(caps), prop::collection::vec(flow, 1..=8))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn allocation_is_feasible_and_work_conserving((caps, flows) in arb_config()) {
+        let rates = solve(&caps, &flows);
+        prop_assert_eq!(rates.len(), flows.len());
+
+        // (3) non-negative, (2) cap respect
+        for (f, &r) in flows.iter().zip(&rates) {
+            prop_assert!(r >= 0.0, "negative rate {}", r);
+            prop_assert!(r <= f.cap * (1.0 + 1e-9) + 1e-9, "rate {} over cap {}", r, f.cap);
+        }
+
+        // (1) feasibility per link
+        let mut used = vec![0.0f64; caps.len()];
+        for (f, &r) in flows.iter().zip(&rates) {
+            for &l in &f.links {
+                used[l] += r;
+            }
+        }
+        for (l, (&u, &c)) in used.iter().zip(&caps).enumerate() {
+            prop_assert!(u <= c * (1.0 + 1e-6) + 1e-6, "link {} over: {} > {}", l, u, c);
+        }
+
+        // (4) work conservation: if a flow is strictly below its cap and
+        // below its weighted share on *every* link it crosses, some link it
+        // crosses must be (numerically) saturated. Weaker practical check:
+        // every flow is either at cap or crosses at least one nearly
+        // saturated link.
+        for (f, &r) in flows.iter().zip(&rates) {
+            if f.cap.is_finite() && r >= f.cap * (1.0 - 1e-6) {
+                continue; // cap-limited
+            }
+            let saturated = f.links.iter().any(|&l| used[l] >= caps[l] * (1.0 - 1e-6));
+            prop_assert!(saturated, "flow under cap but no saturated link (r={}, cap={})", r, f.cap);
+        }
+    }
+
+    #[test]
+    fn identical_route_rates_proportional_to_weights(
+        cap in 10.0f64..1e6,
+        w1 in 0.5f64..8.0,
+        w2 in 0.5f64..8.0,
+    ) {
+        let flows = vec![
+            FairFlow { weight: w1, cap: f64::INFINITY, links: vec![0] },
+            FairFlow { weight: w2, cap: f64::INFINITY, links: vec![0] },
+        ];
+        let r = solve(&[cap], &flows);
+        // Both bottlenecked on the same single link: exact proportionality
+        // and full utilization.
+        prop_assert!((r[0] + r[1] - cap).abs() < cap * 1e-9);
+        prop_assert!((r[0] / r[1] - w1 / w2).abs() < 1e-6, "{:?} vs {}/{}", r, w1, w2);
+    }
+
+    #[test]
+    fn adding_a_competitor_never_helps(
+        cap in 10.0f64..1e6,
+        w in 0.5f64..8.0,
+        wc in 0.5f64..8.0,
+    ) {
+        let alone = solve(&[cap], &[FairFlow { weight: w, cap: f64::INFINITY, links: vec![0] }]);
+        let shared = solve(&[cap], &[
+            FairFlow { weight: w, cap: f64::INFINITY, links: vec![0] },
+            FairFlow { weight: wc, cap: f64::INFINITY, links: vec![0] },
+        ]);
+        prop_assert!(shared[0] <= alone[0] * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn tightening_a_cap_never_raises_own_rate(
+        cap in 10.0f64..1e6,
+        flow_cap in 1.0f64..1e6,
+    ) {
+        let loose = solve(&[cap], &[FairFlow { weight: 1.0, cap: f64::INFINITY, links: vec![0] }]);
+        let tight = solve(&[cap], &[FairFlow { weight: 1.0, cap: flow_cap, links: vec![0] }]);
+        prop_assert!(tight[0] <= loose[0] * (1.0 + 1e-9));
+        prop_assert!((tight[0] - flow_cap.min(cap)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,51 @@
+//! Calibration check: run the August campaign and print the statistics
+//! the paper reports, so the testbed's tuning can be eyeballed against
+//! §6.1 / Figures 1-2 / Figure 7.
+
+use wanpred_predict::SizeClass;
+use wanpred_testbed::{fig07, fig12_13, fig08_11, run_campaign, summary, CampaignConfig, Pair};
+
+fn main() {
+    let cfg = CampaignConfig::august(42);
+    let start = std::time::Instant::now();
+    let r = run_campaign(&cfg);
+    eprintln!("campaign simulated in {:.2?}", start.elapsed());
+
+    for pair in Pair::ALL {
+        let counts = fig07(&r, pair);
+        println!(
+            "{}: all={} per-class={:?} (paper: ~350-450 total)",
+            counts.pair, counts.all, counts.per_class
+        );
+        let log = r.log(pair);
+        let bws: Vec<f64> = log.records().iter().map(|x| x.bandwidth_mbs()).collect();
+        let min = bws.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = bws.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "  gridftp bandwidth: {:.2}..{:.2} MB/s (paper: 1.5..10.2)",
+            min, max
+        );
+        let probes = r.probes(pair);
+        let pmax = probes.iter().map(|p| p.bandwidth_mbs()).fold(0.0f64, f64::max);
+        println!("  nws probes: {} samples, max {:.3} MB/s (paper: <0.3)", probes.len(), pmax);
+        let s = summary(&r, pair);
+        println!(
+            "  worst large-class MAPE {:.1}% (paper: ~25%), worst overall {:.1}%, classification benefit {:.1} points",
+            s.worst_large_class_mape, s.worst_overall_mape, s.mean_classification_benefit
+        );
+        for class in SizeClass::ALL {
+            let cells = fig08_11(&r, pair, class);
+            let avg: f64 = {
+                let ms: Vec<f64> = cells.iter().filter_map(|c| c.mape).collect();
+                if ms.is_empty() { f64::NAN } else { ms.iter().sum::<f64>() / ms.len() as f64 }
+            };
+            println!("  class {:>5}: mean-over-predictors MAPE {:.1}%", class.label(), avg);
+        }
+        let cls = fig12_13(&r, pair);
+        let improved = cls
+            .iter()
+            .filter(|c| matches!((c.unclassified, c.classified), (Some(u), Some(x)) if x < u))
+            .count();
+        println!("  classification improves {}/{} predictors", improved, cls.len());
+    }
+}

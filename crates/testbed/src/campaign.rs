@@ -1,0 +1,421 @@
+//! Two-week measurement campaigns: the paper's August and December 2001
+//! log-collection runs, reproduced end to end.
+//!
+//! A campaign runs the controlled workload on both site pairs (LBL→ANL
+//! and ISI→ANL GETs issued by the ANL client) concurrently with NWS-style
+//! probe sensors on the same paths, then extracts the per-server transfer
+//! logs and probe series that the figure computations consume.
+
+use std::any::Any;
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use wanpred_gridftp::{TransferKind, TransferManager, TransferRequest, TransferToken};
+use wanpred_logfmt::TransferLog;
+use wanpred_nws::{ProbeAgent, ProbeConfig, ProbeMeasurement};
+use wanpred_simnet::engine::{Agent, Ctx, Engine, TimerTag};
+use wanpred_simnet::flow::FlowDone;
+use wanpred_simnet::rng::MasterSeed;
+use wanpred_simnet::time::{SimDuration, SimTime};
+use wanpred_simnet::topology::NodeId;
+
+use crate::sites::{build_testbed, Testbed};
+use crate::workload::WorkloadConfig;
+
+/// Which site pair a transfer belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pair {
+    /// LBL server → ANL client.
+    LblAnl,
+    /// ISI server → ANL client.
+    IsiAnl,
+}
+
+impl Pair {
+    /// Both pairs.
+    pub const ALL: [Pair; 2] = [Pair::LblAnl, Pair::IsiAnl];
+
+    /// Figure label ("LBL-ANL" / "ISI-ANL").
+    pub fn label(self) -> &'static str {
+        match self {
+            Pair::LblAnl => "LBL-ANL",
+            Pair::IsiAnl => "ISI-ANL",
+        }
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed for every stochastic component.
+    pub seed: MasterSeed,
+    /// Unix seconds at simulation time zero (local midnight of day one).
+    pub epoch_unix: u64,
+    /// Campaign length.
+    pub duration: SimDuration,
+    /// The per-pair workload.
+    pub workload: WorkloadConfig,
+    /// Whether to run the NWS probe sensors.
+    pub probes: bool,
+}
+
+impl CampaignConfig {
+    /// The August 2001 campaign: two weeks from Wed 2001-08-01 00:00 CDT
+    /// (Unix 996_642_000).
+    pub fn august(seed: u64) -> Self {
+        CampaignConfig {
+            seed: MasterSeed(seed),
+            epoch_unix: 996_642_000,
+            duration: SimDuration::from_days(14),
+            workload: WorkloadConfig::default(),
+            probes: true,
+        }
+    }
+
+    /// The December 2001 campaign: two weeks from Sat 2001-12-01 00:00
+    /// CST (Unix 1_007_186_400).
+    pub fn december(seed: u64) -> Self {
+        CampaignConfig {
+            seed: MasterSeed(seed).child("december"),
+            epoch_unix: 1_007_186_400,
+            duration: SimDuration::from_days(14),
+            workload: WorkloadConfig::default(),
+            probes: true,
+        }
+    }
+}
+
+/// Everything a campaign produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Unix seconds at simulation time zero.
+    pub epoch_unix: u64,
+    /// The LBL server's transfer log.
+    pub lbl_log: TransferLog,
+    /// The ISI server's transfer log.
+    pub isi_log: TransferLog,
+    /// NWS probe series per pair (empty when probes were disabled).
+    pub lbl_probes: Vec<ProbeMeasurement>,
+    /// NWS probe series for ISI→ANL.
+    pub isi_probes: Vec<ProbeMeasurement>,
+    /// Transfers that failed at submit time (should be zero).
+    pub submit_errors: usize,
+}
+
+impl CampaignResult {
+    /// The transfer log for a pair.
+    pub fn log(&self, pair: Pair) -> &TransferLog {
+        match pair {
+            Pair::LblAnl => &self.lbl_log,
+            Pair::IsiAnl => &self.isi_log,
+        }
+    }
+
+    /// The probe series for a pair.
+    pub fn probes(&self, pair: Pair) -> &[ProbeMeasurement] {
+        match pair {
+            Pair::LblAnl => &self.lbl_probes,
+            Pair::IsiAnl => &self.isi_probes,
+        }
+    }
+}
+
+struct PairRuntime {
+    pair: Pair,
+    server: NodeId,
+    rng: StdRng,
+    outstanding: Option<TransferToken>,
+}
+
+/// The campaign driver agent: embeds the transfer manager and one
+/// workload loop per pair.
+struct CampaignAgent {
+    mgr: TransferManager,
+    client: NodeId,
+    workload: WorkloadConfig,
+    pairs: Vec<PairRuntime>,
+    submit_errors: usize,
+}
+
+impl CampaignAgent {
+    /// Schedule the pair's next wake-up after `delay`, clamped into the
+    /// experiment window.
+    fn schedule_pair(&self, ctx: &mut Ctx<'_>, idx: usize, delay: SimDuration) {
+        let wake = ctx.now() + delay;
+        let wake = self.workload.next_window_start(wake);
+        let delay = wake.saturating_since(ctx.now());
+        ctx.set_timer(delay, idx as TimerTag);
+    }
+
+    fn launch_transfer(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let (path, _size) = {
+            let p = &mut self.pairs[idx];
+            self.workload.draw_file(&mut p.rng)
+        };
+        let req = TransferRequest {
+            client: self.client,
+            kind: TransferKind::Get {
+                server: self.pairs[idx].server,
+                path,
+            },
+            streams: self.workload.streams,
+            tcp_buffer: self.workload.tcp_buffer,
+            partial: None,
+        };
+        match self.mgr.submit(ctx, req) {
+            Ok(token) => self.pairs[idx].outstanding = Some(token),
+            Err(_) => {
+                self.submit_errors += 1;
+                let delay = {
+                    let p = &mut self.pairs[idx];
+                    self.workload.draw_sleep(&mut p.rng)
+                };
+                self.schedule_pair(ctx, idx, delay);
+            }
+        }
+    }
+}
+
+impl Agent for CampaignAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for idx in 0..self.pairs.len() {
+            let delay = {
+                let p = &mut self.pairs[idx];
+                self.workload.draw_sleep(&mut p.rng)
+            };
+            self.schedule_pair(ctx, idx, delay);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+        if self.mgr.on_timer(ctx, tag) {
+            return;
+        }
+        let idx = tag as usize;
+        if idx < self.pairs.len() && self.pairs[idx].outstanding.is_none() {
+            self.launch_transfer(ctx, idx);
+        }
+    }
+
+    fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
+        if let Some(c) = self.mgr.on_flow_complete(ctx, &done) {
+            if let Some(idx) = self
+                .pairs
+                .iter()
+                .position(|p| p.outstanding == Some(c.token))
+            {
+                self.pairs[idx].outstanding = None;
+                let delay = {
+                    let p = &mut self.pairs[idx];
+                    self.workload.draw_sleep(&mut p.rng)
+                };
+                self.schedule_pair(ctx, idx, delay);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Run a campaign to completion.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
+    let testbed: Testbed = build_testbed(cfg.seed, false);
+    run_campaign_on(cfg, testbed)
+}
+
+/// Run a campaign on a pre-built testbed (lets tests pass a quiet one).
+pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult {
+    let mgr = testbed.build_manager(cfg.epoch_unix);
+    let Testbed {
+        network,
+        anl,
+        lbl,
+        isi,
+        ..
+    } = testbed;
+
+    let mut engine = Engine::new(network);
+    let agent_id = engine.add_agent(Box::new(CampaignAgent {
+        mgr,
+        client: anl,
+        workload: cfg.workload.clone(),
+        pairs: vec![
+            PairRuntime {
+                pair: Pair::LblAnl,
+                server: lbl,
+                rng: cfg.seed.derive("workload.lbl-anl"),
+                outstanding: None,
+            },
+            PairRuntime {
+                pair: Pair::IsiAnl,
+                server: isi,
+                rng: cfg.seed.derive("workload.isi-anl"),
+                outstanding: None,
+            },
+        ],
+        submit_errors: 0,
+    }));
+
+    let probe_ids = if cfg.probes {
+        let lbl_probe = engine.add_agent(Box::new(ProbeAgent::new(ProbeConfig::paper_default(
+            lbl, anl,
+        ))));
+        let isi_probe = engine.add_agent(Box::new(ProbeAgent::new(ProbeConfig::paper_default(
+            isi, anl,
+        ))));
+        Some((lbl_probe, isi_probe))
+    } else {
+        None
+    };
+
+    engine.run_until(SimTime::ZERO + cfg.duration);
+
+    let (lbl_probes, isi_probes) = match probe_ids {
+        Some((l, i)) => (
+            engine
+                .agent::<ProbeAgent>(l)
+                .expect("probe agent")
+                .measurements()
+                .to_vec(),
+            engine
+                .agent::<ProbeAgent>(i)
+                .expect("probe agent")
+                .measurements()
+                .to_vec(),
+        ),
+        None => (Vec::new(), Vec::new()),
+    };
+
+    let agent = engine
+        .agent::<CampaignAgent>(agent_id)
+        .expect("campaign agent");
+    debug_assert!(agent.pairs[0].pair == Pair::LblAnl);
+    CampaignResult {
+        epoch_unix: cfg.epoch_unix,
+        lbl_log: agent.mgr.server_log(lbl).expect("lbl server").clone(),
+        isi_log: agent.mgr.server_log(isi).expect("isi server").clone(),
+        lbl_probes,
+        isi_probes,
+        submit_errors: agent.submit_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wanpred_predict::SizeClass;
+
+    fn short_campaign(days: u64, probes: bool) -> CampaignResult {
+        let cfg = CampaignConfig {
+            seed: MasterSeed(42),
+            epoch_unix: 996_642_000,
+            duration: SimDuration::from_days(days),
+            workload: WorkloadConfig::default(),
+            probes,
+        };
+        run_campaign(&cfg)
+    }
+
+    #[test]
+    fn two_day_campaign_produces_windowed_transfers() {
+        let r = short_campaign(2, false);
+        assert_eq!(r.submit_errors, 0);
+        let n_lbl = r.lbl_log.len();
+        let n_isi = r.isi_log.len();
+        // ~28-ish per pair per day; accept a broad band.
+        assert!((20..120).contains(&n_lbl), "lbl count {n_lbl}");
+        assert!((20..120).contains(&n_isi), "isi count {n_isi}");
+        // Every transfer starts inside the 6pm-8am window.
+        for rec in r.lbl_log.records().iter().chain(r.isi_log.records()) {
+            let local = rec.start_unix - r.epoch_unix;
+            let hour = (local / 3_600) % 24;
+            assert!(
+                !(8..18).contains(&hour),
+                "transfer at local hour {hour} outside the window"
+            );
+            assert!(rec.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn bandwidths_in_papers_range_and_size_correlated() {
+        let r = short_campaign(4, false);
+        let mut small = Vec::new();
+        let mut huge = Vec::new();
+        for rec in r.lbl_log.records().iter().chain(r.isi_log.records()) {
+            let mbs = rec.bandwidth_mbs();
+            assert!(
+                (0.2..13.0).contains(&mbs),
+                "bandwidth {mbs} MB/s out of plausible range ({} bytes)",
+                rec.file_size,
+            );
+            match SizeClass::of_bytes(rec.file_size) {
+                SizeClass::C10MB => small.push(mbs),
+                SizeClass::C1GB => huge.push(mbs),
+                _ => {}
+            }
+        }
+        assert!(!small.is_empty() && !huge.is_empty());
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&huge) > 1.5 * avg(&small),
+            "1GB-class {} vs 10MB-class {}",
+            avg(&huge),
+            avg(&small)
+        );
+    }
+
+    #[test]
+    fn probes_run_continuously() {
+        let r = short_campaign(1, true);
+        // Every 5 minutes all day: ~288 probes.
+        assert!(
+            (250..300).contains(&r.lbl_probes.len()),
+            "{}",
+            r.lbl_probes.len()
+        );
+        for p in &r.lbl_probes {
+            assert!(p.bandwidth_mbs() < 0.3, "{}", p.bandwidth_mbs());
+        }
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let a = short_campaign(1, false);
+        let b = short_campaign(1, false);
+        assert_eq!(a.lbl_log, b.lbl_log);
+        assert_eq!(a.isi_log, b.isi_log);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg_a = CampaignConfig {
+            seed: MasterSeed(1),
+            epoch_unix: 996_642_000,
+            duration: SimDuration::from_days(1),
+            workload: WorkloadConfig::default(),
+            probes: false,
+        };
+        let cfg_b = CampaignConfig {
+            seed: MasterSeed(2),
+            ..cfg_a.clone()
+        };
+        let a = run_campaign(&cfg_a);
+        let b = run_campaign(&cfg_b);
+        assert_ne!(a.lbl_log, b.lbl_log);
+    }
+
+    #[test]
+    fn august_and_december_presets() {
+        let aug = CampaignConfig::august(7);
+        let dec = CampaignConfig::december(7);
+        assert_eq!(aug.epoch_unix, 996_642_000);
+        assert_eq!(dec.epoch_unix, 1_007_186_400);
+        assert_ne!(aug.seed.0, dec.seed.0, "campaign seeds must decorrelate");
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: simulate a measurement campaign on the paper's testbed,
+//! run the 30-predictor suite over the logs, and print a Figure 8-style
+//! error table.
+//!
+//! Run with: `cargo run --release -p wanpred-core --example quickstart`
+
+use wanpred_core::prelude::*;
+
+fn main() {
+    // A one-week August campaign (the full paper runs are two weeks;
+    // one week keeps the quickstart subsecond).
+    let cfg = CampaignConfig {
+        seed: MasterSeed(42),
+        epoch_unix: 996_642_000, // 2001-08-01 00:00 CDT
+        duration: SimDuration::from_days(7),
+        workload: WorkloadConfig::default(),
+        probes: true,
+    };
+    println!("simulating one week of controlled GridFTP transfers + NWS probes...");
+    let result = run_campaign(&cfg);
+
+    for pair in Pair::ALL {
+        let log = result.log(pair);
+        println!(
+            "\n{}: {} transfers logged, {} NWS probes",
+            pair.label(),
+            log.len(),
+            result.probes(pair).len()
+        );
+
+        // Evaluate the full suite (15 predictors x {plain, classified}).
+        let (reports, suite) = evaluate_log(log, EvalOptions::default());
+
+        let mut table = Table::new(format!("{} mean absolute % error", pair.label()))
+            .headers(["predictor", "unclassified", "classified"]);
+        for i in 0..15 {
+            let (u, c) = (&reports[i], &reports[i + 15]);
+            table.row([
+                suite[i].name().to_string(),
+                u.mape().map(|m| format!("{m:.1}")).unwrap_or("-".into()),
+                c.mape().map(|m| format!("{m:.1}")).unwrap_or("-".into()),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+
+    // A sample of the underlying log, in the paper's ULM format.
+    let sample: String = result
+        .log(Pair::LblAnl)
+        .to_ulm_string()
+        .lines()
+        .take(3)
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("first log lines (ULM):\n{sample}");
+}

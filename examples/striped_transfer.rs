@@ -1,0 +1,136 @@
+//! Striped transfers and live path forecasting: fetch a 500 MB replica
+//! from one site, then striped across two sites at once (GridFTP's
+//! SPAS striping), while NWS-style forecasting sensors watch both paths.
+//!
+//! Run with: `cargo run --release -p wanpred-core --example striped_transfer`
+
+use std::any::Any;
+
+use wanpred_core::gridftp::{CompletedTransfer, TransferKind, TransferManager, TransferRequest};
+use wanpred_core::nws::{ForecastingSensor, ProbeConfig};
+use wanpred_core::prelude::*;
+use wanpred_core::testbed::build_testbed;
+
+struct Comparer {
+    mgr: TransferManager,
+    client: NodeId,
+    lbl: NodeId,
+    isi: NodeId,
+    phase: u8,
+    results: Vec<(String, CompletedTransfer)>,
+}
+
+impl Comparer {
+    fn submit_phase(&mut self, ctx: &mut Ctx<'_>) {
+        let path = "/home/ftp/vazhkuda/500MB".to_string();
+        let kind = match self.phase {
+            0 => TransferKind::Get {
+                server: self.lbl,
+                path,
+            },
+            1 => TransferKind::StripedGet {
+                servers: vec![self.lbl, self.isi],
+                path,
+            },
+            _ => return,
+        };
+        self.mgr
+            .submit(
+                ctx,
+                TransferRequest {
+                    client: self.client,
+                    kind,
+                    streams: 8,
+                    tcp_buffer: 1_000_000,
+                    partial: None,
+                },
+            )
+            .expect("file exists at both sites");
+    }
+}
+
+impl Agent for Comparer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_secs(60), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+        if self.mgr.on_timer(ctx, tag) {
+            return;
+        }
+        self.submit_phase(ctx);
+    }
+    fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
+        if let Some(c) = self.mgr.on_flow_complete(ctx, &done) {
+            let label = if self.phase == 0 { "plain GET (LBL only)" } else { "striped GET (LBL+ISI)" };
+            self.results.push((label.to_string(), c));
+            self.phase += 1;
+            if self.phase <= 1 {
+                // Start the next phase after a short pause.
+                ctx.set_timer(SimDuration::from_secs(30), 0);
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn main() {
+    let epoch = 996_642_000;
+    let tb = build_testbed(MasterSeed(5), false);
+    let mgr = tb.build_manager(epoch);
+    let (anl, lbl, isi) = (tb.anl, tb.lbl, tb.isi);
+    let mut engine = Engine::new(tb.network);
+
+    let comparer = engine.add_agent(Box::new(Comparer {
+        mgr,
+        client: anl,
+        lbl,
+        isi,
+        phase: 0,
+        results: Vec::new(),
+    }));
+    let lbl_sensor = engine.add_agent(Box::new(ForecastingSensor::new(
+        ProbeConfig::paper_default(lbl, anl),
+        epoch,
+    )));
+    let isi_sensor = engine.add_agent(Box::new(ForecastingSensor::new(
+        ProbeConfig::paper_default(isi, anl),
+        epoch,
+    )));
+
+    engine.run_until(SimTime::from_secs(2 * 3_600));
+
+    println!("== plain vs striped 500 MB retrieval ==");
+    let c = engine.agent::<Comparer>(comparer).expect("agent");
+    for (label, r) in &c.results {
+        let secs = r.finished.saturating_since(r.submitted).as_secs_f64();
+        println!(
+            "{label:<24} {:>6.1} s   {:>8.0} KB/s",
+            secs, r.bandwidth_kbs
+        );
+    }
+    if let [(_, plain), (_, striped)] = c.results.as_slice() {
+        println!(
+            "speedup from striping: {:.2}x",
+            striped.bandwidth_kbs / plain.bandwidth_kbs
+        );
+    }
+
+    println!("\n== path sensors after two hours ==");
+    for (name, id) in [("LBL-ANL", lbl_sensor), ("ISI-ANL", isi_sensor)] {
+        let s = engine.agent::<ForecastingSensor>(id).expect("sensor");
+        let (min, mean, max) = s.series().summary().expect("probes ran");
+        let (technique, forecast) = s.forecast().expect("warmed up");
+        println!(
+            "{name}: {} probes, {:.0}..{:.0}..{:.0} B/s; forecast {forecast:.0} B/s via {technique}",
+            s.measurements().len(),
+            min,
+            mean,
+            max,
+        );
+    }
+}

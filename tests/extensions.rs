@@ -1,0 +1,165 @@
+//! Integration tests for the beyond-the-paper extensions: seasonal
+//! prediction, the protocol-level client, striped transfers through the
+//! campaign substrate, and the rotating log writer on real logs.
+
+use wanpred_core::gridftp::{ClientSettings, GridFtpClient, TransferKind};
+use wanpred_core::logfmt::{RotatingLogWriter, RotationConfig};
+use wanpred_core::prelude::*;
+use wanpred_core::predict::seasonal::SeasonalPredictor;
+use wanpred_core::testbed::observation_series;
+
+fn campaign(days: u64) -> CampaignResult {
+    run_campaign(&CampaignConfig {
+        seed: MasterSeed(321),
+        epoch_unix: 996_642_000,
+        duration: SimDuration::from_days(days),
+        workload: WorkloadConfig::default(),
+        probes: false,
+    })
+}
+
+#[test]
+fn seasonal_wrapper_answers_inside_the_experiment_window() {
+    let r = campaign(7);
+    let obs = observation_series(&r, Pair::LblAnl);
+    assert!(obs.len() > 50);
+
+    // The campaign transfers all happen 6pm-8am; a seasonal predictor
+    // asked at 10pm (inside the window) answers, one asked at noon has
+    // no matching history and declines.
+    let p = SeasonalPredictor::new(MeanPredictor::new(Window::All), 2);
+    let evening = r.epoch_unix + 8 * 86_400 + 22 * 3_600;
+    let noon = r.epoch_unix + 8 * 86_400 + 12 * 3_600;
+    let at_evening = p.predict(&obs, evening);
+    assert!(at_evening.is_some());
+    assert!(p.predict(&obs, noon).is_none(), "no midday history exists");
+
+    // The seasonal estimate stays within the observed bandwidth range.
+    let v = at_evening.unwrap();
+    let lo = obs.iter().map(|o| o.bandwidth_kbs).fold(f64::INFINITY, f64::min);
+    let hi = obs.iter().map(|o| o.bandwidth_kbs).fold(0.0f64, f64::max);
+    assert!(v >= lo && v <= hi);
+}
+
+#[test]
+fn protocol_client_plan_matches_campaign_logging() {
+    // The client negotiates exactly the parameters the campaign logs.
+    let storage = StorageServer::vintage_with_paper_fileset("x");
+    let mut client = GridFtpClient::new(ClientSettings::paper_tuned());
+    let plan = client.get("/home/ftp/vazhkuda/250MB", &storage).unwrap();
+
+    let r = campaign(2);
+    let rec = r
+        .lbl_log
+        .records()
+        .iter()
+        .find(|rec| rec.file_name.ends_with("250MB"))
+        .expect("250MB transferred within two days");
+    assert_eq!(plan.streams, rec.streams);
+    assert_eq!(plan.tcp_buffer, rec.tcp_buffer);
+    assert_eq!(plan.bytes, rec.file_size);
+    // The transcript shows the full negotiated sequence.
+    assert!(client.transcript().iter().any(|e| e.command == "SBUF 1000000"));
+    assert!(client
+        .transcript()
+        .iter()
+        .any(|e| e.command.contains("Parallelism=8")));
+}
+
+#[test]
+fn rotating_writer_handles_a_campaign_log() {
+    let r = campaign(5);
+    let dir = std::env::temp_dir().join(format!("wanpred-ext-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut w = RotatingLogWriter::open(
+        dir.join("transfers.ulm"),
+        RotationConfig { max_entries: 40 },
+    )
+    .unwrap();
+    for rec in r.lbl_log.records() {
+        w.append(rec).unwrap();
+    }
+    let n = r.lbl_log.len();
+    assert_eq!(w.segments(), n / 40);
+    // Full reload equals the original log.
+    let all = w.load_all().unwrap();
+    assert_eq!(all.len(), n);
+    assert_eq!(all.records(), r.lbl_log.records());
+    // Active window holds the most recent remainder — the NetLogger
+    // restart view a predictor would consume.
+    let active = w.load_active().unwrap();
+    assert_eq!(active.len(), n % 40);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn striped_get_through_testbed_substrate() {
+    use std::any::Any;
+    use wanpred_core::gridftp::{CompletedTransfer, TransferManager, TransferRequest};
+    use wanpred_core::testbed::build_testbed;
+
+    struct One {
+        mgr: TransferManager,
+        req: Option<TransferRequest>,
+        done: Option<CompletedTransfer>,
+    }
+    impl Agent for One {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+            if self.mgr.on_timer(ctx, tag) {
+                return;
+            }
+            if let Some(req) = self.req.take() {
+                self.mgr.submit(ctx, req).expect("valid striped request");
+            }
+        }
+        fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
+            if let Some(c) = self.mgr.on_flow_complete(ctx, &done) {
+                self.done = Some(c);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    let tb = build_testbed(MasterSeed(2), true);
+    let mgr = tb.build_manager(996_642_000);
+    let req = TransferRequest {
+        client: tb.anl,
+        kind: TransferKind::StripedGet {
+            servers: vec![tb.lbl, tb.isi],
+            path: "/home/ftp/vazhkuda/400MB".into(),
+        },
+        streams: 8,
+        tcp_buffer: 1_000_000,
+        partial: None,
+    };
+    let (lbl, isi) = (tb.lbl, tb.isi);
+    let mut eng = Engine::new(tb.network);
+    let id = eng.add_agent(Box::new(One {
+        mgr,
+        req: Some(req),
+        done: None,
+    }));
+    eng.run_until(SimTime::from_secs(600));
+    let agent = eng.agent::<One>(id).unwrap();
+    let done = agent.done.as_ref().expect("striped transfer finished");
+    assert_eq!(done.bytes, 409_600_000);
+    // On two quiet disjoint 12.5 MB/s paths the aggregate approaches
+    // 25 MB/s (minus setup/slow-start).
+    assert!(
+        done.bandwidth_kbs > 18_000.0,
+        "aggregate {} KB/s",
+        done.bandwidth_kbs
+    );
+    // Both stripe servers logged their half.
+    assert_eq!(agent.mgr.server_log(lbl).unwrap().len(), 1);
+    assert_eq!(agent.mgr.server_log(isi).unwrap().len(), 1);
+}

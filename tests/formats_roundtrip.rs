@@ -1,0 +1,98 @@
+//! Wire/disk format integration: ULM logs, LDIF entries and the GridFTP
+//! control protocol all round-trip on real campaign data.
+
+use wanpred_core::gridftp::protocol::{format as fmt_cmd, parse as parse_cmd, Command};
+use wanpred_core::infod::{Entry, GridFtpPerfProvider, ProviderConfig};
+use wanpred_core::prelude::*;
+
+fn short_campaign() -> CampaignResult {
+    run_campaign(&CampaignConfig {
+        seed: MasterSeed(77),
+        epoch_unix: 996_642_000,
+        duration: SimDuration::from_days(2),
+        workload: WorkloadConfig::default(),
+        probes: false,
+    })
+}
+
+#[test]
+fn every_campaign_record_roundtrips_through_ulm() {
+    let r = short_campaign();
+    for log in [&r.lbl_log, &r.isi_log] {
+        let doc = log.to_ulm_string();
+        let back = TransferLog::from_ulm_str(&doc).unwrap();
+        assert_eq!(back.len(), log.len());
+        for (a, b) in log.records().iter().zip(back.records()) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.file_size, b.file_size);
+            assert_eq!(a.start_unix, b.start_unix);
+            assert!((a.total_time_s - b.total_time_s).abs() < 0.001);
+            assert_eq!(a.streams, b.streams);
+        }
+        // The paper's size bound holds for every line.
+        for line in doc.lines() {
+            assert!(line.len() < 512, "{} bytes", line.len());
+        }
+    }
+}
+
+#[test]
+fn every_provider_entry_roundtrips_through_ldif() {
+    let r = short_campaign();
+    let provider = GridFtpPerfProvider::from_snapshot(
+        ProviderConfig::new("dpsslx04.lbl.gov", "131.243.2.11"),
+        r.lbl_log.clone(),
+    );
+    for e in provider.build_entries(996_900_000) {
+        let text = e.to_ldif();
+        let back = Entry::from_ldif(&text).unwrap();
+        assert_eq!(back, e, "LDIF roundtrip\n{text}");
+    }
+}
+
+#[test]
+fn control_protocol_commands_roundtrip() {
+    let cmds = [
+        Command::AuthGssapi,
+        Command::User(":globus-mapping:".into()),
+        Command::Sbuf(1_000_000),
+        Command::OptsParallelism(8),
+        Command::Spas,
+        Command::Retr("/home/ftp/vazhkuda/500MB".into()),
+        Command::EretPartial(0, 1_024, "/home/ftp/vazhkuda/1GB".into()),
+    ];
+    for c in cmds {
+        assert_eq!(parse_cmd(&fmt_cmd(&c)).unwrap(), c);
+    }
+}
+
+#[test]
+fn protocol_session_negotiates_what_the_campaign_used() {
+    // Drive a session with the workload's parameters and confirm the
+    // negotiated plan matches what the campaign logs record.
+    use wanpred_core::gridftp::server::standard_preamble;
+    use wanpred_core::gridftp::Session;
+
+    let storage = StorageServer::vintage_with_paper_fileset("x");
+    let mut session = Session::new();
+    let replies = standard_preamble(&mut session, &storage, 1_000_000, 8);
+    assert!(replies.iter().all(|r| r.is_ok()));
+    let (reply, plan) = session.handle(
+        &Command::Retr("/home/ftp/vazhkuda/100MB".into()),
+        &storage,
+    );
+    assert_eq!(reply.code, 150);
+    let plan = plan.unwrap();
+
+    let r = short_campaign();
+    let rec = r
+        .lbl_log
+        .records()
+        .iter()
+        .find(|rec| rec.file_name.ends_with("100MB"))
+        .expect("100MB transferred in two days");
+    assert_eq!(plan.streams, rec.streams);
+    assert_eq!(plan.tcp_buffer, rec.tcp_buffer);
+    assert_eq!(plan.bytes, rec.file_size);
+    assert_eq!(plan.volume, rec.volume);
+}
