@@ -2,8 +2,10 @@
 //! two-week measurement campaign (the unit of everything in the
 //! evaluation). Also benches the per-figure computations on its output.
 
+use std::time::Instant;
+
 use criterion::{criterion_group, criterion_main, Criterion};
-use wanpred_predict::SizeClass;
+use wanpred_predict::prelude::*;
 use wanpred_simnet::rng::MasterSeed;
 use wanpred_simnet::time::SimDuration;
 use wanpred_testbed::{
@@ -45,5 +47,63 @@ fn bench_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign);
+/// A bursty multi-class log of `n` transfers: irregular gaps so temporal
+/// windows fill and drain, all four size classes represented.
+fn replay_log(n: usize) -> Vec<Observation> {
+    let mut t = 996_642_000u64;
+    (0..n)
+        .map(|i| {
+            t += 300 + (i as u64 * 7_919) % 14_400;
+            Observation {
+                at_unix: t,
+                bandwidth_kbs: 3_500.0 + 2_000.0 * ((i as f64 * 0.31).sin()),
+                file_size: [5, 100, 500, 900][i % 4] * PAPER_MB,
+            }
+        })
+        .collect()
+}
+
+/// Naive vs incremental full-suite replay, and the `BENCH_replay.json`
+/// artifact: one honest wall-clock measurement of both engines on a
+/// 10k-observation log (best of a few runs), written to the repo root.
+fn bench_replay_engines(c: &mut Criterion) {
+    let h = replay_log(10_000);
+    let suite = full_suite();
+    let opts = EvalOptions::default();
+
+    let mut group = c.benchmark_group("replay_30_predictors_10k_transfers");
+    group.sample_size(10);
+    group.bench_function("incremental", |b| {
+        b.iter(|| std::hint::black_box(evaluate_incremental(&h, &suite, opts)))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| std::hint::black_box(evaluate(&h, &suite, opts)))
+    });
+    group.finish();
+
+    let time_best = |runs: usize, f: &dyn Fn() -> Vec<PredictorReport>| -> f64 {
+        (0..runs)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed().as_secs_f64() * 1_000.0
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let naive_ms = time_best(2, &|| evaluate(&h, &suite, opts));
+    let incremental_ms = time_best(5, &|| evaluate_incremental(&h, &suite, opts));
+    let json = format!(
+        "{{\n  \"observations\": {},\n  \"predictors\": {},\n  \"naive_ms\": {:.3},\n  \"incremental_ms\": {:.3},\n  \"speedup\": {:.2}\n}}\n",
+        h.len(),
+        suite.len(),
+        naive_ms,
+        incremental_ms,
+        naive_ms / incremental_ms
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json");
+    std::fs::write(path, &json).expect("write BENCH_replay.json");
+    println!("replay comparison written to {path}:\n{json}");
+}
+
+criterion_group!(benches, bench_campaign, bench_replay_engines);
 criterion_main!(benches);

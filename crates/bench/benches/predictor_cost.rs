@@ -30,11 +30,9 @@ fn bench_predictors(c: &mut Criterion) {
             Box::new(ArPredictor::new(Window::LastSeconds(10 * 86_400))),
         ];
         for p in &preds {
-            group.bench_with_input(
-                BenchmarkId::new(p.name().to_string(), n),
-                &h,
-                |b, h| b.iter(|| std::hint::black_box(p.predict(h, now))),
-            );
+            group.bench_with_input(BenchmarkId::new(p.name().to_string(), n), &h, |b, h| {
+                b.iter(|| std::hint::black_box(p.predict(h, now)))
+            });
         }
         // The classified wrapper adds a filtering pass.
         let wrapped = NamedPredictor::new(Box::new(MeanPredictor::new(Window::LastN(25))), true);
@@ -46,12 +44,19 @@ fn bench_predictors(c: &mut Criterion) {
 }
 
 fn bench_full_replay(c: &mut Criterion) {
-    // Cost of the entire evaluation pipeline over a paper-sized log.
+    // Cost of the entire evaluation pipeline over a paper-sized log:
+    // the naive per-target recomputation vs the incremental engine
+    // (rolling state, one pass). Both produce identical reports.
     let h = history(420);
     let suite = full_suite();
-    c.bench_function("evaluate_30_predictors_420_transfers", |b| {
+    let mut group = c.benchmark_group("replay_30_predictors_420_transfers");
+    group.bench_function("naive", |b| {
         b.iter(|| std::hint::black_box(evaluate(&h, &suite, EvalOptions::default())))
     });
+    group.bench_function("incremental", |b| {
+        b.iter(|| std::hint::black_box(evaluate_incremental(&h, &suite, EvalOptions::default())))
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_predictors, bench_full_replay);

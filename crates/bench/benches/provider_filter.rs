@@ -4,7 +4,7 @@
 //! (2001 hardware). Measures our provider doing the same work.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wanpred_infod::{parse_filter, Dn, Gris, GridFtpPerfProvider, ProviderConfig};
+use wanpred_infod::{parse_filter, Dn, GridFtpPerfProvider, Gris, ProviderConfig};
 use wanpred_logfmt::{Operation, TransferLog, TransferRecordBuilder};
 
 fn synth_log(entries: usize) -> TransferLog {
@@ -15,7 +15,11 @@ fn synth_log(entries: usize) -> TransferLog {
         let secs = 10.0 + (i % 7) as f64;
         log.append(
             TransferRecordBuilder::new()
-                .source(if i % 3 == 0 { "140.221.65.69" } else { "128.9.160.11" })
+                .source(if i % 3 == 0 {
+                    "140.221.65.69"
+                } else {
+                    "128.9.160.11"
+                })
                 .host("dpsslx04.lbl.gov")
                 .file_name("/home/ftp/vazhkuda/f")
                 .file_size(size)
@@ -25,7 +29,11 @@ fn synth_log(entries: usize) -> TransferLog {
                 .total_time_s(secs)
                 .streams(8)
                 .tcp_buffer(1_000_000)
-                .operation(if i % 11 == 0 { Operation::Write } else { Operation::Read })
+                .operation(if i % 11 == 0 {
+                    Operation::Write
+                } else {
+                    Operation::Read
+                })
                 .build()
                 .expect("fields set"),
         );

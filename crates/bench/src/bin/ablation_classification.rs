@@ -7,8 +7,8 @@
 //! abundant but mixes regimes.
 
 use wanpred_bench::august_campaign;
-use wanpred_predict::prelude::*;
 use wanpred_predict::predictor::Predictor;
+use wanpred_predict::prelude::*;
 use wanpred_testbed::{fmt_mape, observation_series, Pair, Table};
 
 /// Exact-size filtering needs the target size, which the base trait does
@@ -46,9 +46,18 @@ fn main() {
         .headers(["estimator", "none", "4 classes", "exact size"]);
 
         let estimators: Vec<(&str, EstimatorFactory)> = vec![
-            ("AVG", Box::new(|| Box::new(MeanPredictor::new(Window::All)))),
-            ("AVG25", Box::new(|| Box::new(MeanPredictor::new(Window::LastN(25))))),
-            ("MED", Box::new(|| Box::new(MedianPredictor::new(Window::All)))),
+            (
+                "AVG",
+                Box::new(|| Box::new(MeanPredictor::new(Window::All))),
+            ),
+            (
+                "AVG25",
+                Box::new(|| Box::new(MeanPredictor::new(Window::LastN(25)))),
+            ),
+            (
+                "MED",
+                Box::new(|| Box::new(MedianPredictor::new(Window::All))),
+            ),
             ("LV", Box::new(|| Box::new(LastValue::new()))),
         ];
         for (name, make) in &estimators {

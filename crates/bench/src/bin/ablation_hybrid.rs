@@ -54,17 +54,12 @@ fn main() {
         let obs = observation_series(&result, pair);
         let probes = probe_points(&result, pair);
 
-        let mut table = Table::new(format!(
-            "hybrid prediction, {} (August)",
-            pair.label()
-        ))
-        .headers(["class", "AVG25+C", "HYBRID", "NWSREG", "n"]);
+        let mut table = Table::new(format!("hybrid prediction, {} (August)", pair.label()))
+            .headers(["class", "AVG25+C", "HYBRID", "NWSREG", "n"]);
 
         for class in SizeClass::ALL {
-            let base_pred = NamedPredictor::new(
-                Box::new(MeanPredictor::new(Window::LastN(25))),
-                true,
-            );
+            let base_pred =
+                NamedPredictor::new(Box::new(MeanPredictor::new(Window::LastN(25))), true);
             let (base, n) = replay_mape(&obs, class, 15, |h, now, size| {
                 base_pred.predict(h, now, size)
             });
@@ -98,19 +93,15 @@ fn main() {
     let isi_probes = probe_points(&result, Pair::IsiAnl);
     let reg = ProbeRegression::default();
 
-    let mut table = Table::new(
-        "cold start: ISI-ANL predicted from an LBL-ANL model + ISI probes only",
-    )
-    .headers(["class", "cold-start MAPE", "informed AVG25+C MAPE", "n"]);
+    let mut table =
+        Table::new("cold start: ISI-ANL predicted from an LBL-ANL model + ISI probes only")
+            .headers(["class", "cold-start MAPE", "informed AVG25+C MAPE", "n"]);
     for class in SizeClass::ALL {
         let donor = reg.fit(&lbl_obs, &lbl_probes, Some(class));
         let (cold, n) = replay_mape(&isi_obs, class, 0, |_h, now, _size| {
             donor.and_then(|d| reg.cold_start(&d, &isi_probes, now))
         });
-        let base_pred = NamedPredictor::new(
-            Box::new(MeanPredictor::new(Window::LastN(25))),
-            true,
-        );
+        let base_pred = NamedPredictor::new(Box::new(MeanPredictor::new(Window::LastN(25))), true);
         let (informed, _) = replay_mape(&isi_obs, class, 15, |h, now, size| {
             base_pred.predict(h, now, size)
         });

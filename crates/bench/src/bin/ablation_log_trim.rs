@@ -80,11 +80,8 @@ fn main() {
 
     for pair in Pair::ALL {
         let obs = observation_series(&result, pair);
-        let mut table = Table::new(format!(
-            "retention vs accuracy, {} (AVG25+C)",
-            pair.label()
-        ))
-        .headers(["policy", "100MB", "500MB", "1GB", "n(100MB)"]);
+        let mut table = Table::new(format!("retention vs accuracy, {} (AVG25+C)", pair.label()))
+            .headers(["policy", "100MB", "500MB", "1GB", "n(100MB)"]);
         for (name, policy) in &policies {
             let (m100, n100) = replay_with_policy(&obs, policy, SizeClass::C100MB);
             let (m500, _) = replay_with_policy(&obs, policy, SizeClass::C500MB);

@@ -36,7 +36,10 @@ fn main() {
 
     let hosts = ["dpsslx04.lbl.gov", "jet.isi.edu"];
     let mut policies: Vec<(&str, SelectionPolicy)> = vec![
-        ("predicted-bandwidth", SelectionPolicy::predicted_bandwidth()),
+        (
+            "predicted-bandwidth",
+            SelectionPolicy::predicted_bandwidth(),
+        ),
         ("random", SelectionPolicy::random(1)),
         ("round-robin", SelectionPolicy::round_robin()),
         ("first-listed", SelectionPolicy::first_listed()),
@@ -54,8 +57,18 @@ fn main() {
     }
     for now in decision_times {
         let mut fw = PredictiveFramework::new();
-        fw.publish_server_log(hosts[0], "131.243.2.11", log_until(&result.lbl_log, now), now);
-        fw.publish_server_log(hosts[1], "128.9.160.11", log_until(&result.isi_log, now), now);
+        fw.publish_server_log(
+            hosts[0],
+            "131.243.2.11",
+            log_until(&result.lbl_log, now),
+            now,
+        );
+        fw.publish_server_log(
+            hosts[1],
+            "128.9.160.11",
+            log_until(&result.isi_log, now),
+            now,
+        );
         for host in hosts {
             fw.register_replica(
                 "lfn://x/500MB",
@@ -68,10 +81,7 @@ fn main() {
             .expect("consistent sizes");
         }
 
-        let truth = [
-            next_measured(&lbl_obs, now),
-            next_measured(&isi_obs, now),
-        ];
+        let truth = [next_measured(&lbl_obs, now), next_measured(&isi_obs, now)];
         let (Some(lbl_truth), Some(isi_truth)) = (truth[0], truth[1]) else {
             continue;
         };
@@ -105,7 +115,11 @@ fn main() {
             format!("{:.1}", 100.0 * m / oracle_mean),
         ]);
     }
-    table.row(["oracle (hindsight)".to_string(), format!("{oracle_mean:.0}"), "100.0".into()]);
+    table.row([
+        "oracle (hindsight)".to_string(),
+        format!("{oracle_mean:.0}"),
+        "100.0".into(),
+    ]);
     println!("{}", table.render());
     println!(
         "expected shape: predicted-bandwidth beats the uninformed baselines (random,\n\

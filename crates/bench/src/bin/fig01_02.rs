@@ -12,9 +12,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = august_campaign();
 
-    let mut table = Table::new("Figures 1-2: GridFTP vs NWS bandwidth (MB/s)").headers([
-        "pair", "series", "samples", "min", "mean", "max",
-    ]);
+    let mut table = Table::new("Figures 1-2: GridFTP vs NWS bandwidth (MB/s)")
+        .headers(["pair", "series", "samples", "min", "mean", "max"]);
     for pair in [Pair::IsiAnl, Pair::LblAnl] {
         let s = fig01_02(&result, pair);
         for (name, points) in [("GridFTP", &s.gridftp), ("NWS", &s.nws)] {

@@ -79,10 +79,12 @@ fn main() {
         mgr,
         client: anl,
         server: lbl,
-        queue: ["10MB", "25MB", "50MB", "100MB", "250MB", "500MB", "750MB", "1GB"]
-            .iter()
-            .map(|n| format!("/home/ftp/vazhkuda/{n}"))
-            .collect(),
+        queue: [
+            "10MB", "25MB", "50MB", "100MB", "250MB", "500MB", "750MB", "1GB",
+        ]
+        .iter()
+        .map(|n| format!("/home/ftp/vazhkuda/{n}"))
+        .collect(),
         done: Vec::new(),
     }));
     engine.run_until(SimTime::from_secs(3_600));
@@ -120,7 +122,5 @@ fn main() {
     }
     println!("{}", table.render());
     println!("raw ULM lines:\n{}", log.to_ulm_string());
-    println!(
-        "paper row for comparison: 10 MB file, 4 s, 2560 KB/s; 1 GB file, 126 s, 8126 KB/s"
-    );
+    println!("paper row for comparison: 10 MB file, 4 s, 2560 KB/s; 1 GB file, 126 s, 8126 KB/s");
 }

@@ -10,9 +10,8 @@ use wanpred_testbed::{fig07, Pair, Table};
 fn main() {
     let (aug, dec) = join(august_campaign, december_campaign);
 
-    let mut table = Table::new("Figure 7: transfers per file-size class").headers([
-        "class", "site", "August", "December",
-    ]);
+    let mut table = Table::new("Figure 7: transfers per file-size class")
+        .headers(["class", "site", "August", "December"]);
     for pair in [Pair::LblAnl, Pair::IsiAnl] {
         let a = fig07(&aug, pair);
         let d = fig07(&dec, pair);

@@ -162,10 +162,9 @@ fn cmd_evaluate(raw: &[String]) -> Result<(), String> {
     let training: usize = args.parse("--training", 15)?;
     let class = match args.get("--class") {
         None => None,
-        Some(label) => Some(
-            SizeClass::parse_label(label)
-                .ok_or_else(|| format!("unknown class {label:?}"))?,
-        ),
+        Some(label) => {
+            Some(SizeClass::parse_label(label).ok_or_else(|| format!("unknown class {label:?}"))?)
+        }
     };
     let (reports, suite) = evaluate_log(&log, EvalOptions { training });
     let title = match class {

@@ -75,8 +75,7 @@ impl PredictiveFramework {
         log: TransferLog,
         now_unix: u64,
     ) {
-        let provider =
-            GridFtpPerfProvider::from_snapshot(ProviderConfig::new(host, address), log);
+        let provider = GridFtpPerfProvider::from_snapshot(ProviderConfig::new(host, address), log);
         let mut gris = Gris::new(Dn::parse("o=grid").expect("constant dn"));
         gris.register_provider(Box::new(provider));
         self.giis.lock().register(
@@ -135,6 +134,11 @@ impl PredictiveFramework {
 
 /// One-call helper: evaluate the paper's full 30-predictor suite over a
 /// transfer log and return `(reports, suite)` for inspection.
+///
+/// Uses the incremental replay engine: standard predictor families walk
+/// the log once with rolling state, custom predictors transparently fall
+/// back to the naive slice-based replay, and the reports are numerically
+/// identical either way.
 pub fn evaluate_log(
     log: &TransferLog,
     opts: EvalOptions,
@@ -142,7 +146,7 @@ pub fn evaluate_log(
     let mut obs = observations_from_log(log);
     sort_by_time(&mut obs);
     let suite = full_suite();
-    let reports = evaluate(&obs, &suite, opts);
+    let reports = evaluate_incremental(&obs, &suite, opts);
     (reports, suite)
 }
 
@@ -186,11 +190,25 @@ mod tests {
     #[test]
     fn publish_and_select_end_to_end() {
         let mut fw = PredictiveFramework::new();
-        fw.publish_server_log("dpsslx04.lbl.gov", "131.243.2.11", log_at("dpsslx04.lbl.gov", 8_000.0, 20), 2_000_000);
-        fw.publish_server_log("jet.isi.edu", "128.9.160.11", log_at("jet.isi.edu", 3_000.0, 20), 2_000_000);
-        fw.register_replica("lfn://x", replica("dpsslx04.lbl.gov")).unwrap();
-        fw.register_replica("lfn://x", replica("jet.isi.edu")).unwrap();
-        let sel = fw.select_replica("140.221.65.69", "lfn://x", 2_000_000).unwrap();
+        fw.publish_server_log(
+            "dpsslx04.lbl.gov",
+            "131.243.2.11",
+            log_at("dpsslx04.lbl.gov", 8_000.0, 20),
+            2_000_000,
+        );
+        fw.publish_server_log(
+            "jet.isi.edu",
+            "128.9.160.11",
+            log_at("jet.isi.edu", 3_000.0, 20),
+            2_000_000,
+        );
+        fw.register_replica("lfn://x", replica("dpsslx04.lbl.gov"))
+            .unwrap();
+        fw.register_replica("lfn://x", replica("jet.isi.edu"))
+            .unwrap();
+        let sel = fw
+            .select_replica("140.221.65.69", "lfn://x", 2_000_000)
+            .unwrap();
         assert_eq!(sel.replica().host, "dpsslx04.lbl.gov");
     }
 

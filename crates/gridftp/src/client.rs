@@ -216,7 +216,10 @@ mod tests {
     fn size_and_partial() {
         let st = storage();
         let mut c = GridFtpClient::new(ClientSettings::paper_tuned());
-        assert_eq!(c.size("/home/ftp/vazhkuda/1GB", &st).unwrap(), 1_024_000_000);
+        assert_eq!(
+            c.size("/home/ftp/vazhkuda/1GB", &st).unwrap(),
+            1_024_000_000
+        );
         let plan = c
             .get_partial("/home/ftp/vazhkuda/1GB", 1_000, 2_000, &st)
             .unwrap();

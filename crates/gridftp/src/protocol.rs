@@ -183,10 +183,7 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
             }
         }
         "SPOR" => {
-            let addrs: Vec<String> = rest
-                .split_whitespace()
-                .map(|s| s.to_string())
-                .collect();
+            let addrs: Vec<String> = rest.split_whitespace().map(|s| s.to_string()).collect();
             if addrs.is_empty() {
                 Err(ParseError::BadArgs("SPOR"))
             } else {
@@ -274,7 +271,10 @@ mod tests {
     #[test]
     fn parse_basic_commands() {
         assert_eq!(parse("AUTH GSSAPI"), Ok(Command::AuthGssapi));
-        assert_eq!(parse("USER :globus-mapping:"), Ok(Command::User(":globus-mapping:".into())));
+        assert_eq!(
+            parse("USER :globus-mapping:"),
+            Ok(Command::User(":globus-mapping:".into()))
+        );
         assert_eq!(parse("TYPE I"), Ok(Command::Type('I')));
         assert_eq!(parse("MODE E"), Ok(Command::Mode('E')));
         assert_eq!(parse("SBUF 1000000"), Ok(Command::Sbuf(1_000_000)));
@@ -298,7 +298,10 @@ mod tests {
             parse("OPTS RETR Parallelism=4;"),
             Ok(Command::OptsParallelism(4))
         );
-        assert_eq!(parse("OPTS RETR Parallelism=0;"), Err(ParseError::BadArgs("OPTS")));
+        assert_eq!(
+            parse("OPTS RETR Parallelism=0;"),
+            Err(ParseError::BadArgs("OPTS"))
+        );
         assert_eq!(parse("OPTS MLST type"), Err(ParseError::BadArgs("OPTS")));
     }
 

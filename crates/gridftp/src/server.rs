@@ -344,9 +344,7 @@ pub fn standard_preamble(
         Command::OptsParallelism(streams),
         Command::Spas,
     ];
-    cmds.iter()
-        .map(|c| session.handle(c, storage).0)
-        .collect()
+    cmds.iter().map(|c| session.handle(c, storage).0).collect()
 }
 
 #[cfg(test)]

@@ -303,7 +303,12 @@ impl TransferManager {
                 TransferKind::Get { server, path } => {
                     let total = self.lookup(*server, path)?;
                     let bytes = apply_partial(total, req.partial)?;
-                    (vec![(*server, req.client, bytes)], *server, path.clone(), None)
+                    (
+                        vec![(*server, req.client, bytes)],
+                        *server,
+                        path.clone(),
+                        None,
+                    )
                 }
                 TransferKind::Put { server, path, size } => {
                     self.servers
@@ -498,7 +503,10 @@ impl TransferManager {
                 .expect("completed flow belongs to a leg");
             leg.done = true;
             t.pending -= 1;
-            let touched = [leg.src_access.map(|(n, _)| n), leg.dst_access.map(|(n, _)| n)];
+            let touched = [
+                leg.src_access.map(|(n, _)| n),
+                leg.dst_access.map(|(n, _)| n),
+            ];
             // Close this leg's accesses.
             let closes = [leg.src_access.take(), leg.dst_access.take()];
             for (node, a) in closes.into_iter().flatten() {
@@ -529,24 +537,25 @@ impl TransferManager {
         let start_unix = self.epoch_unix + t.submitted.as_secs();
         let end_unix = self.epoch_unix + finished.as_secs();
 
-        let build_record = |mgr: &Self, server_node: NodeId, remote: NodeId, bytes: u64, op: Operation| {
-            let (_, remote_addr) = mgr.addr_of(remote);
-            let (host, _) = mgr.addr_of(server_node);
-            TransferRecordBuilder::new()
-                .source(remote_addr)
-                .host(host)
-                .file_name(t.path.clone())
-                .file_size(bytes)
-                .volume(t.volume.clone())
-                .start_unix(start_unix)
-                .end_unix(end_unix)
-                .total_time_s(total_s)
-                .streams(t.streams)
-                .tcp_buffer(t.tcp_buffer)
-                .operation(op)
-                .build()
-                .expect("all fields set")
-        };
+        let build_record =
+            |mgr: &Self, server_node: NodeId, remote: NodeId, bytes: u64, op: Operation| {
+                let (_, remote_addr) = mgr.addr_of(remote);
+                let (host, _) = mgr.addr_of(server_node);
+                TransferRecordBuilder::new()
+                    .source(remote_addr)
+                    .host(host)
+                    .file_name(t.path.clone())
+                    .file_size(bytes)
+                    .volume(t.volume.clone())
+                    .start_unix(start_unix)
+                    .end_unix(end_unix)
+                    .total_time_s(total_s)
+                    .streams(t.streams)
+                    .tcp_buffer(t.tcp_buffer)
+                    .operation(op)
+                    .build()
+                    .expect("all fields set")
+            };
 
         // Each involved registered server logs the bytes it served; the
         // remote party is the other data endpoint (or the client for
@@ -557,7 +566,11 @@ impl TransferManager {
                 if !self.servers.contains_key(&server_node) {
                     continue;
                 }
-                let other = if server_node == leg.src { leg.dst } else { leg.src };
+                let other = if server_node == leg.src {
+                    leg.dst
+                } else {
+                    leg.src
+                };
                 let remote = if self.servers.contains_key(&other) && other != t.client {
                     other
                 } else {
@@ -856,7 +869,11 @@ mod tests {
         assert_eq!(d.completed.len(), 1, "{:?}", d.errors);
         let storage = d.mgr.storage(lbl).unwrap();
         assert_eq!(
-            storage.catalog().lookup("/home/ftp/incoming/new").unwrap().size,
+            storage
+                .catalog()
+                .lookup("/home/ftp/incoming/new")
+                .unwrap()
+                .size,
             10_000_000
         );
         let r = &d.mgr.server_log(lbl).unwrap().records()[0];

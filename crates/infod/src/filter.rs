@@ -62,10 +62,7 @@ impl std::error::Error for FilterError {}
 /// Parse a filter string.
 pub fn parse(s: &str) -> Result<Filter, FilterError> {
     let bytes = s.trim();
-    let mut p = Parser {
-        s: bytes,
-        pos: 0,
-    };
+    let mut p = Parser { s: bytes, pos: 0 };
     let f = p.parse_filter()?;
     p.skip_ws();
     if p.pos != p.s.len() {
@@ -264,10 +261,7 @@ impl Filter {
             Filter::Or(fs) => fs.iter().any(|f| f.matches(e)),
             Filter::Not(f) => !f.matches(e),
             Filter::Present(a) => e.has(a),
-            Filter::Eq(a, v) => e
-                .get_all(a)
-                .iter()
-                .any(|x| x.eq_ignore_ascii_case(v)),
+            Filter::Eq(a, v) => e.get_all(a).iter().any(|x| x.eq_ignore_ascii_case(v)),
             Filter::Ge(a, v) => e
                 .get_all(a)
                 .iter()
@@ -276,9 +270,7 @@ impl Filter {
                 .get_all(a)
                 .iter()
                 .any(|x| cmp_values(x, v) != std::cmp::Ordering::Greater),
-            Filter::Substring(a, parts) => {
-                e.get_all(a).iter().any(|x| substring_match(parts, x))
-            }
+            Filter::Substring(a, parts) => e.get_all(a).iter().any(|x| substring_match(parts, x)),
         }
     }
 }
@@ -321,9 +313,11 @@ mod tests {
     #[test]
     fn boolean_combinators() {
         let e = entry();
-        assert!(parse("(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=5000))")
-            .unwrap()
-            .matches(&e));
+        assert!(
+            parse("(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=5000))")
+                .unwrap()
+                .matches(&e)
+        );
         assert!(parse("(|(hostname=nope)(dc=gov))").unwrap().matches(&e));
         assert!(parse("(!(hostname=nope))").unwrap().matches(&e));
         assert!(!parse("(&(dc=lbl)(dc=nope))").unwrap().matches(&e));

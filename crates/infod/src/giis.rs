@@ -223,7 +223,9 @@ mod tests {
         // Dead at exactly ttl with no renewal.
         assert_eq!(giis.live_registrants(60), Vec::<String>::new());
         // Search after expiry finds nothing.
-        assert!(giis.search(&filter::parse("(site=*)").unwrap(), 61).is_empty());
+        assert!(giis
+            .search(&filter::parse("(site=*)").unwrap(), 61)
+            .is_empty());
     }
 
     #[test]
@@ -282,24 +284,36 @@ mod tests {
         // indexes both site GIISes (Figure 5's tree).
         let mut lbl_giis = Giis::new("lbl-site");
         lbl_giis.register(
-            Registration { id: "lbl-gris".into(), ttl_secs: 600 },
+            Registration {
+                id: "lbl-gris".into(),
+                ttl_secs: 600,
+            },
             gris_with("lbl"),
             0,
         );
         let mut isi_giis = Giis::new("isi-site");
         isi_giis.register(
-            Registration { id: "isi-gris".into(), ttl_secs: 600 },
+            Registration {
+                id: "isi-gris".into(),
+                ttl_secs: 600,
+            },
             gris_with("isi"),
             0,
         );
         let mut org = Giis::new("org");
         org.register_directory(
-            Registration { id: "lbl-site".into(), ttl_secs: 600 },
+            Registration {
+                id: "lbl-site".into(),
+                ttl_secs: 600,
+            },
             Arc::new(Mutex::new(lbl_giis)),
             0,
         );
         org.register_directory(
-            Registration { id: "isi-site".into(), ttl_secs: 600 },
+            Registration {
+                id: "isi-site".into(),
+                ttl_secs: 600,
+            },
             Arc::new(Mutex::new(isi_giis)),
             0,
         );
@@ -309,7 +323,9 @@ mod tests {
         assert_eq!(lbl.len(), 1);
         // Expiry cascades naturally: after the ttl the whole subtree is
         // unreachable from the org index.
-        assert!(org.search(&filter::parse("(site=*)").unwrap(), 700).is_empty());
+        assert!(org
+            .search(&filter::parse("(site=*)").unwrap(), 700)
+            .is_empty());
     }
 
     #[test]

@@ -145,7 +145,10 @@ mod tests {
     #[test]
     fn search_applies_filter() {
         let mut g = Gris::new(Dn::parse("o=grid").unwrap());
-        g.register_provider(Box::new(Counter { calls: 0, ttl: 1_000 }));
+        g.register_provider(Box::new(Counter {
+            calls: 0,
+            ttl: 1_000,
+        }));
         let f = filter::parse("(calls=1)").unwrap();
         assert_eq!(g.search(&f, 0).len(), 1);
         let f = filter::parse("(calls=99)").unwrap();

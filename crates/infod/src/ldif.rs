@@ -165,9 +165,7 @@ impl Entry {
             if line.trim().is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (k, v) = line
-                .split_once(':')
-                .ok_or(LdifError::MissingColon(i + 1))?;
+            let (k, v) = line.split_once(':').ok_or(LdifError::MissingColon(i + 1))?;
             let k = k.trim();
             let v = v.trim();
             if k.eq_ignore_ascii_case("dn") {
@@ -241,7 +239,9 @@ mod tests {
         assert!(dn.is_under(&suffix));
         assert!(dn.is_under(&dn));
         assert!(!Dn::parse("o=grid").unwrap().is_under(&dn));
-        assert!(!Dn::parse("cn=y,o=grid").unwrap().is_under(&Dn::parse("cn=x,o=grid").unwrap()));
+        assert!(!Dn::parse("cn=y,o=grid")
+            .unwrap()
+            .is_under(&Dn::parse("cn=x,o=grid").unwrap()));
     }
 
     #[test]

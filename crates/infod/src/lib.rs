@@ -34,5 +34,5 @@ pub use giis::{Directory, Giis, RegisterOutcome, Registration};
 pub use gris::{Gris, InfoProvider};
 pub use ldif::{to_ldif_document, Dn, Entry, LdifError};
 pub use provider::{GridFtpPerfProvider, LogSource, ProviderConfig};
-pub use server_provider::{ServerInfo, ServerInfoProvider};
 pub use schema::{Schema, SchemaError, GRIDFTP_PERF_INFO, GRIDFTP_SERVER_INFO};
+pub use server_provider::{ServerInfo, ServerInfoProvider};

@@ -111,8 +111,11 @@ impl GridFtpPerfProvider {
     }
 
     fn entry_for_source(&self, log: &TransferLog, source: &str, now_unix: u64) -> Entry {
-        let records: Vec<&TransferRecord> =
-            log.records().iter().filter(|r| r.source == source).collect();
+        let records: Vec<&TransferRecord> = log
+            .records()
+            .iter()
+            .filter(|r| r.source == source)
+            .collect();
 
         let dn = Dn::parse(&format!(
             "cn={source}, hostname={}, {}",
@@ -139,9 +142,18 @@ impl GridFtpPerfProvider {
             let min = bw.iter().copied().fold(f64::INFINITY, f64::min);
             let max = bw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let avg = bw.iter().sum::<f64>() / bw.len() as f64;
-            e.add(&format!("min{tag}bandwidth"), format!("{}", min.round() as i64));
-            e.add(&format!("max{tag}bandwidth"), format!("{}", max.round() as i64));
-            e.add(&format!("avg{tag}bandwidth"), format!("{}", avg.round() as i64));
+            e.add(
+                &format!("min{tag}bandwidth"),
+                format!("{}", min.round() as i64),
+            );
+            e.add(
+                &format!("max{tag}bandwidth"),
+                format!("{}", max.round() as i64),
+            );
+            e.add(
+                &format!("avg{tag}bandwidth"),
+                format!("{}", avg.round() as i64),
+            );
         }
 
         // Per-size-class read averages and predictions (Figure 6's
@@ -161,12 +173,12 @@ impl GridFtpPerfProvider {
         // bandwidths, multi-valued, newest last.
         let recent_start = obs.len().saturating_sub(5);
         for o in &obs[recent_start..] {
-            e.add("recentrdbandwidth", format!("{}", o.bandwidth_kbs.round() as i64));
+            e.add(
+                "recentrdbandwidth",
+                format!("{}", o.bandwidth_kbs.round() as i64),
+            );
         }
-        let predictor = NamedPredictor::new(
-            Box::new(MeanPredictor::new(Window::LastN(25))),
-            true,
-        );
+        let predictor = NamedPredictor::new(Box::new(MeanPredictor::new(Window::LastN(25))), true);
         for (class, range) in [
             (SizeClass::C10MB, "tenmbrange"),
             (SizeClass::C100MB, "hundredmbrange"),
@@ -177,8 +189,8 @@ impl GridFtpPerfProvider {
             if class_obs.is_empty() {
                 continue;
             }
-            let avg = class_obs.iter().map(|o| o.bandwidth_kbs).sum::<f64>()
-                / class_obs.len() as f64;
+            let avg =
+                class_obs.iter().map(|o| o.bandwidth_kbs).sum::<f64>() / class_obs.len() as f64;
             e.add(
                 &format!("avgrdbandwidth{range}"),
                 format!("{}", avg.round() as i64),
@@ -201,7 +213,11 @@ impl GridFtpPerfProvider {
         // NWS-style accuracy estimate next to the forecast: the running
         // mean absolute percentage error of the published (classified
         // AVG25) predictor replayed over this endpoint's history.
-        let reports = evaluate(&obs, std::slice::from_ref(&predictor), EvalOptions::default());
+        let reports = evaluate(
+            &obs,
+            std::slice::from_ref(&predictor),
+            EvalOptions::default(),
+        );
         if let Some(m) = reports[0].mape() {
             e.add("predicterrorpct", format!("{}", m.round() as i64));
         }
@@ -250,8 +266,20 @@ mod tests {
         let mut log = TransferLog::new();
         // ANL client: two 10MB-class reads at 2000/4000 KB/s, one 1GB-class
         // read at 8000 KB/s, one write.
-        log.append(record("140.221.65.69", 10_240_000, 5.12, 1_000, Operation::Read));
-        log.append(record("140.221.65.69", 10_240_000, 2.56, 2_000, Operation::Read));
+        log.append(record(
+            "140.221.65.69",
+            10_240_000,
+            5.12,
+            1_000,
+            Operation::Read,
+        ));
+        log.append(record(
+            "140.221.65.69",
+            10_240_000,
+            2.56,
+            2_000,
+            Operation::Read,
+        ));
         log.append(record(
             "140.221.65.69",
             1_024_000_000,
@@ -259,9 +287,21 @@ mod tests {
             3_000,
             Operation::Read,
         ));
-        log.append(record("140.221.65.69", 10_240_000, 4.0, 4_000, Operation::Write));
+        log.append(record(
+            "140.221.65.69",
+            10_240_000,
+            4.0,
+            4_000,
+            Operation::Write,
+        ));
         // A second client.
-        log.append(record("128.9.160.11", 10_240_000, 8.0, 5_000, Operation::Read));
+        log.append(record(
+            "128.9.160.11",
+            10_240_000,
+            8.0,
+            5_000,
+            Operation::Read,
+        ));
         log
     }
 
@@ -321,10 +361,7 @@ mod tests {
     fn dn_matches_figure6_shape() {
         let entries = provider().build_entries(0);
         let dn = entries[0].dn.as_ref().unwrap().as_str();
-        assert!(
-            dn.contains("hostname=dpsslx04.lbl.gov"),
-            "{dn}"
-        );
+        assert!(dn.contains("hostname=dpsslx04.lbl.gov"), "{dn}");
         assert!(dn.contains("dc=lbl"), "{dn}");
         assert!(dn.contains("dc=gov"), "{dn}");
         assert!(dn.ends_with("o=grid"), "{dn}");
@@ -366,12 +403,15 @@ mod tests {
         // estimate; with constant bandwidth the error is ~0.
         let mut log = TransferLog::new();
         for i in 0..30u64 {
-            log.append(record("1.2.3.4", 102_400_000, 12.8, 1_000 + i * 600, Operation::Read));
+            log.append(record(
+                "1.2.3.4",
+                102_400_000,
+                12.8,
+                1_000 + i * 600,
+                Operation::Read,
+            ));
         }
-        let p = GridFtpPerfProvider::from_snapshot(
-            ProviderConfig::new("h.x.y", "0.0.0.0"),
-            log,
-        );
+        let p = GridFtpPerfProvider::from_snapshot(ProviderConfig::new("h.x.y", "0.0.0.0"), log);
         let entries = p.build_entries(100_000);
         let err: f64 = entries[0].get("predicterrorpct").unwrap().parse().unwrap();
         assert!(err < 1.0, "constant series predicts exactly: {err}");

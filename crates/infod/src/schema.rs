@@ -108,8 +108,7 @@ impl Schema {
 
     /// Register a class.
     pub fn add(&mut self, class: ObjectClass) {
-        self.classes
-            .insert(class.name.to_ascii_lowercase(), class);
+        self.classes.insert(class.name.to_ascii_lowercase(), class);
     }
 
     /// Look up a class by name.

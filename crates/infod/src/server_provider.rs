@@ -123,7 +123,10 @@ mod tests {
         assert_eq!(dn, "hostname=dpsslx04.lbl.gov, dc=lbl, dc=gov, o=grid");
         // Bare (domainless) hostname still forms a valid DN.
         let bare = ServerInfo::new("localhost").to_entry();
-        assert_eq!(bare.dn.as_ref().unwrap().as_str(), "hostname=localhost, o=grid");
+        assert_eq!(
+            bare.dn.as_ref().unwrap().as_str(),
+            "hostname=localhost, o=grid"
+        );
     }
 
     #[test]

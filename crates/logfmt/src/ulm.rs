@@ -107,7 +107,9 @@ pub fn encode(r: &TransferRecord) -> String {
         let _ = write!(o, "{}", r.end_unix);
     });
     kv(keys::SECS, &mut |o| {
-        let _ = write!(o, "{:.3}", r.total_time_s);
+        // Shortest round-trip form: reloading a log must reproduce the
+        // original record bit-for-bit, so no fixed-precision rounding.
+        let _ = write!(o, "{}", r.total_time_s);
     });
     kv(keys::BW, &mut |o| {
         let _ = write!(o, "{:.1}", r.bandwidth_kbs());
@@ -209,8 +211,8 @@ pub fn decode(line: &str) -> Result<TransferRecord, UlmError> {
     };
 
     let op_str = get(keys::OP)?;
-    let operation = Operation::parse(op_str)
-        .ok_or_else(|| UlmError::BadValue(keys::OP, op_str.to_string()))?;
+    let operation =
+        Operation::parse(op_str).ok_or_else(|| UlmError::BadValue(keys::OP, op_str.to_string()))?;
 
     Ok(TransferRecord {
         source: get(keys::SRC)?.to_string(),

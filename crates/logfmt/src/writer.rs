@@ -25,7 +25,9 @@ pub struct RotationConfig {
 
 impl Default for RotationConfig {
     fn default() -> Self {
-        RotationConfig { max_entries: 10_000 }
+        RotationConfig {
+            max_entries: 10_000,
+        }
     }
 }
 
@@ -75,10 +77,7 @@ impl RotatingLogWriter {
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("transfers");
-        let ext = active
-            .extension()
-            .and_then(|s| s.to_str())
-            .unwrap_or("ulm");
+        let ext = active.extension().and_then(|s| s.to_str()).unwrap_or("ulm");
         active.with_file_name(format!("{stem}.{n}.{ext}"))
     }
 
@@ -190,8 +189,7 @@ mod tests {
     fn rotation_at_limit() {
         let dir = tmpdir("rotate");
         let path = dir.join("transfers.ulm");
-        let mut w =
-            RotatingLogWriter::open(&path, RotationConfig { max_entries: 3 }).unwrap();
+        let mut w = RotatingLogWriter::open(&path, RotationConfig { max_entries: 3 }).unwrap();
         for i in 0..7 {
             w.append(&rec(i)).unwrap();
         }
@@ -216,8 +214,7 @@ mod tests {
         let dir = tmpdir("reopen");
         let path = dir.join("t.ulm");
         {
-            let mut w =
-                RotatingLogWriter::open(&path, RotationConfig { max_entries: 2 }).unwrap();
+            let mut w = RotatingLogWriter::open(&path, RotationConfig { max_entries: 2 }).unwrap();
             for i in 0..3 {
                 w.append(&rec(i)).unwrap();
             }

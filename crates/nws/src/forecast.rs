@@ -336,10 +336,7 @@ mod tests {
             d.update(x);
         }
         let (_, name) = d.best_member();
-        assert!(
-            name == "LAST" || name.starts_with("EWMA"),
-            "winner {name}"
-        );
+        assert!(name == "LAST" || name.starts_with("EWMA"), "winner {name}");
         assert!(d.forecast().is_some());
     }
 

@@ -254,7 +254,11 @@ mod tests {
         let id = eng.add_agent(Box::new(ProbeAgent::new(ProbeConfig::paper_default(a, b))));
         eng.run_until(SimTime::from_secs(6 * 3_600));
         let agent = eng.agent::<ProbeAgent>(id).unwrap();
-        let bw: Vec<f64> = agent.measurements().iter().map(|m| m.bandwidth_bps).collect();
+        let bw: Vec<f64> = agent
+            .measurements()
+            .iter()
+            .map(|m| m.bandwidth_bps)
+            .collect();
         assert!(bw.len() > 50);
         let mean = bw.iter().sum::<f64>() / bw.len() as f64;
         let var = bw.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / bw.len() as f64;

@@ -41,7 +41,11 @@ impl ForecastingSensor {
     }
 
     /// Build with a custom forecaster ensemble.
-    pub fn with_forecaster(cfg: ProbeConfig, forecaster: DynamicForecaster, epoch_unix: u64) -> Self {
+    pub fn with_forecaster(
+        cfg: ProbeConfig,
+        forecaster: DynamicForecaster,
+        epoch_unix: u64,
+    ) -> Self {
         ForecastingSensor {
             probe: ProbeAgent::new(cfg),
             forecaster,

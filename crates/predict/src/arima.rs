@@ -15,7 +15,7 @@
 //! extrapolating a meaningless line.
 
 use crate::observation::Observation;
-use crate::predictor::{values, Predictor};
+use crate::predictor::{values, Predictor, PredictorSpec};
 use crate::stats;
 use crate::window::Window;
 
@@ -78,6 +78,10 @@ impl Predictor for ArPredictor {
             // as NWS-style systems do rather than refusing to forecast.
             None => stats::mean(&values(sel)),
         }
+    }
+
+    fn spec(&self) -> Option<PredictorSpec> {
+        Some(PredictorSpec::Ar(self.window))
     }
 }
 

@@ -53,6 +53,17 @@ impl SizeClass {
         }
     }
 
+    /// Position of this class within [`SizeClass::ALL`] — used by the
+    /// incremental engine to index per-class state arrays.
+    pub fn index(self) -> usize {
+        match self {
+            SizeClass::C10MB => 0,
+            SizeClass::C100MB => 1,
+            SizeClass::C500MB => 2,
+            SizeClass::C1GB => 3,
+        }
+    }
+
     /// The figure label: `"10MB"`, `"100MB"`, `"500MB"`, `"1GB"`.
     pub fn label(self) -> &'static str {
         match self {
@@ -94,11 +105,22 @@ impl std::fmt::Display for SizeClass {
 
 /// Filter a history down to the observations in `class`.
 pub fn filter_class(history: &[Observation], class: SizeClass) -> Vec<Observation> {
-    history
-        .iter()
-        .filter(|o| SizeClass::of_bytes(o.file_size) == class)
-        .copied()
-        .collect()
+    let mut out = Vec::new();
+    filter_class_into(history, class, &mut out);
+    out
+}
+
+/// Like [`filter_class`], but reusing a caller-provided buffer so hot
+/// paths (the replay evaluator calls this once per predictor per
+/// target) do not allocate.
+pub fn filter_class_into(history: &[Observation], class: SizeClass, out: &mut Vec<Observation>) {
+    out.clear();
+    out.extend(
+        history
+            .iter()
+            .filter(|o| SizeClass::of_bytes(o.file_size) == class)
+            .copied(),
+    );
 }
 
 #[cfg(test)]

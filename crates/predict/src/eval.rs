@@ -44,12 +44,17 @@ pub struct PredictionOutcome {
 }
 
 impl PredictionOutcome {
-    /// Absolute percentage error of this prediction.
-    pub fn abs_pct_error(&self) -> f64 {
+    /// Absolute percentage error of this prediction. `None` when the
+    /// measured bandwidth is zero: a percentage of nothing is
+    /// undefined, and every error aggregate in this crate (MAPE,
+    /// percentiles, RMSPE, relative tallies) shares this convention by
+    /// excluding such targets rather than propagating an infinity into
+    /// sorts and means.
+    pub fn abs_pct_error(&self) -> Option<f64> {
         if self.measured == 0.0 {
-            return f64::INFINITY;
+            return None;
         }
-        (self.measured - self.predicted).abs() / self.measured.abs() * 100.0
+        Some((self.measured - self.predicted).abs() / self.measured.abs() * 100.0)
     }
 }
 
@@ -99,8 +104,7 @@ impl PredictorReport {
         let errs: Vec<f64> = self
             .outcomes
             .iter()
-            .filter(|o| o.measured != 0.0)
-            .map(PredictionOutcome::abs_pct_error)
+            .filter_map(PredictionOutcome::abs_pct_error)
             .collect();
         stats::percentile(&errs, p)
     }
@@ -110,8 +114,8 @@ impl PredictorReport {
         let errs: Vec<f64> = self
             .outcomes
             .iter()
-            .filter(|o| o.class == class && o.measured != 0.0)
-            .map(PredictionOutcome::abs_pct_error)
+            .filter(|o| o.class == class)
+            .filter_map(PredictionOutcome::abs_pct_error)
             .collect();
         stats::percentile(&errs, p)
     }
@@ -122,11 +126,7 @@ impl PredictorReport {
         let sq: Vec<f64> = self
             .outcomes
             .iter()
-            .filter(|o| o.measured != 0.0)
-            .map(|o| {
-                let e = o.abs_pct_error();
-                e * e
-            })
+            .filter_map(|o| o.abs_pct_error().map(|e| e * e))
             .collect();
         stats::mean(&sq).map(f64::sqrt)
     }
@@ -264,9 +264,9 @@ pub fn relative_performance(
 mod tests {
     use super::*;
     use crate::classify::PAPER_MB;
-    use crate::registry::{full_suite, paper_suite, NamedPredictor};
     use crate::last::LastValue;
     use crate::mean::MeanPredictor;
+    use crate::registry::{full_suite, paper_suite, NamedPredictor};
     use crate::window::Window;
 
     fn flat_series(n: usize, bw: f64) -> Vec<Observation> {
@@ -310,7 +310,14 @@ mod tests {
             predicted: 150.0,
             class: SizeClass::C10MB,
         };
-        assert!((o.abs_pct_error() - 25.0).abs() < 1e-12);
+        assert!((o.abs_pct_error().unwrap() - 25.0).abs() < 1e-12);
+        let zero = PredictionOutcome {
+            at_unix: 0,
+            measured: 0.0,
+            predicted: 150.0,
+            class: SizeClass::C10MB,
+        };
+        assert_eq!(zero.abs_pct_error(), None);
     }
 
     #[test]
@@ -381,7 +388,31 @@ mod tests {
             report.error_percentile_for_class(SizeClass::C10MB, 100.0),
             report.error_percentile(100.0)
         );
-        assert_eq!(report.error_percentile_for_class(SizeClass::C1GB, 50.0), None);
+        assert_eq!(
+            report.error_percentile_for_class(SizeClass::C1GB, 50.0),
+            None
+        );
+    }
+
+    #[test]
+    fn zero_bandwidth_observation_keeps_error_aggregates_finite() {
+        // Regression: a dead transfer (0 KB/s) in the replay used to
+        // contribute an infinite percentage error to the percentile
+        // sort. The shared convention now excludes it everywhere.
+        let mut series = flat_series(40, 5_000.0);
+        series[20].bandwidth_kbs = 0.0;
+        let reports = evaluate(&series, &full_suite(), EvalOptions::default());
+        for r in &reports {
+            // The zero-measured target is still predicted (history is
+            // non-empty) — it is the *aggregates* that must skip it.
+            assert_eq!(r.outcomes.len(), 25, "{}", r.name);
+            for p in [0.0, 50.0, 90.0, 100.0] {
+                let e = r.error_percentile(p).unwrap();
+                assert!(e.is_finite(), "{} p{}: {}", r.name, p, e);
+            }
+            assert!(r.rmspe().unwrap().is_finite(), "{}", r.name);
+            assert!(r.mape().unwrap().is_finite(), "{}", r.name);
+        }
     }
 
     #[test]

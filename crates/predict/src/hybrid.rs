@@ -163,11 +163,7 @@ impl ProbeRegression {
             return None;
         }
         let (a, b) = stats::ols(&xs, &ys)?;
-        Some(FittedRegression {
-            a,
-            b,
-            n: xs.len(),
-        })
+        Some(FittedRegression { a, b, n: xs.len() })
     }
 
     /// Predict on the *same* path the model was fitted on.
@@ -314,7 +310,9 @@ mod tests {
     fn regression_needs_enough_points() {
         let ps = probes(&[(0, 0.1), (10, 0.2)]);
         let history = vec![obs(1, 100.0), obs(11, 200.0)];
-        assert!(ProbeRegression::default().fit(&history, &ps, None).is_none());
+        assert!(ProbeRegression::default()
+            .fit(&history, &ps, None)
+            .is_none());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! as a baseline for network transfers.
 
 use crate::observation::Observation;
-use crate::predictor::Predictor;
+use crate::predictor::{Predictor, PredictorSpec};
 
 /// Predict the next bandwidth as exactly the previous one.
 #[derive(Debug, Clone, Default)]
@@ -24,6 +24,10 @@ impl Predictor for LastValue {
 
     fn predict(&self, history: &[Observation], _now: u64) -> Option<f64> {
         history.last().map(|o| o.bandwidth_kbs)
+    }
+
+    fn spec(&self) -> Option<PredictorSpec> {
+        Some(PredictorSpec::Last)
     }
 }
 

@@ -14,6 +14,9 @@
 //! * [`eval`] — replay evaluation: absolute percentage error per size
 //!   class (Figures 8–13) and relative best/worst tallies (Figures
 //!   14–21).
+//! * [`incremental`] — the incremental replay engine: per-predictor
+//!   rolling state (running sums, order statistics, OLS accumulators)
+//!   replacing the naive evaluator's per-target recomputation.
 //! * [`selection`] — NWS-style dynamic predictor selection (the paper's
 //!   §7 future work, implemented as an extension).
 //! * [`hybrid`] — probe-assisted prediction and cold-start cross-path
@@ -48,6 +51,7 @@ pub mod arima;
 pub mod classify;
 pub mod eval;
 pub mod hybrid;
+pub mod incremental;
 pub mod last;
 pub mod mean;
 pub mod median;
@@ -68,14 +72,14 @@ pub mod prelude {
         RelativeReport,
     };
     pub use crate::hybrid::{
-        probe_at, recent_probe_mean, ConditionScaled, FittedRegression, ProbePoint,
-        ProbeRegression,
+        probe_at, recent_probe_mean, ConditionScaled, FittedRegression, ProbePoint, ProbeRegression,
     };
+    pub use crate::incremental::evaluate_incremental;
     pub use crate::last::LastValue;
     pub use crate::mean::{EwmaPredictor, MeanPredictor};
     pub use crate::median::MedianPredictor;
     pub use crate::observation::{observations_from_log, sort_by_time, Observation};
-    pub use crate::predictor::Predictor;
+    pub use crate::predictor::{Predictor, PredictorSpec};
     pub use crate::registry::{full_suite, paper_predictors, paper_suite, NamedPredictor};
     pub use crate::seasonal::SeasonalPredictor;
     pub use crate::selection::DynamicSelector;

@@ -2,7 +2,7 @@
 //! portion of history — `AVG`, `AVG5/15/25`, `AVG5hr/15hr/25hr`.
 
 use crate::observation::Observation;
-use crate::predictor::{values, Predictor};
+use crate::predictor::{values, Predictor, PredictorSpec};
 use crate::stats;
 use crate::window::Window;
 
@@ -37,6 +37,10 @@ impl Predictor for MeanPredictor {
     fn predict(&self, history: &[Observation], now: u64) -> Option<f64> {
         let sel = self.window.select(history, now);
         stats::mean(&values(sel))
+    }
+
+    fn spec(&self) -> Option<PredictorSpec> {
+        Some(PredictorSpec::Mean(self.window))
     }
 }
 

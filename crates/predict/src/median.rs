@@ -5,7 +5,7 @@
 //! §6.2 indeed observes median predictors "varying more").
 
 use crate::observation::Observation;
-use crate::predictor::{values, Predictor};
+use crate::predictor::{values, Predictor, PredictorSpec};
 use crate::stats;
 use crate::window::Window;
 
@@ -39,6 +39,10 @@ impl Predictor for MedianPredictor {
     fn predict(&self, history: &[Observation], now: u64) -> Option<f64> {
         let sel = self.window.select(history, now);
         stats::median(&values(sel))
+    }
+
+    fn spec(&self) -> Option<PredictorSpec> {
+        Some(PredictorSpec::Median(self.window))
     }
 }
 

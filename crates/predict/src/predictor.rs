@@ -7,6 +7,24 @@
 //! defines the common trait they implement.
 
 use crate::observation::Observation;
+use crate::window::Window;
+
+/// Structural description of a predictor: which estimator family it
+/// belongs to and which window it applies. The incremental replay
+/// engine ([`crate::incremental`]) uses this to carry rolling state
+/// forward instead of re-deriving every prediction from the full
+/// history slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorSpec {
+    /// Arithmetic mean over a window (`AVG*`).
+    Mean(Window),
+    /// Median over a window (`MED*`).
+    Median(Window),
+    /// AR(1) fit over a window with mean fallback (`AR*`).
+    Ar(Window),
+    /// Last observed value (`LV`).
+    Last,
+}
 
 /// Estimate the next transfer's bandwidth from history.
 pub trait Predictor: Send + Sync {
@@ -19,6 +37,14 @@ pub trait Predictor: Send + Sync {
     /// `None` when the (windowed) history is insufficient for this
     /// technique.
     fn predict(&self, history: &[Observation], now: u64) -> Option<f64>;
+
+    /// Structural description of this predictor, if it belongs to one of
+    /// the standard families. Predictors returning `Some` are eligible
+    /// for the incremental replay fast path; the default `None` keeps
+    /// custom predictors on the (equivalent) slice-based path.
+    fn spec(&self) -> Option<PredictorSpec> {
+        None
+    }
 }
 
 /// Extract bandwidth values from an observation slice.

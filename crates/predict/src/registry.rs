@@ -2,14 +2,24 @@
 //! pairing used in the evaluation (§4.4: 15 predictors over all data plus
 //! the same 15 over size-classified data = 30).
 
+use std::cell::RefCell;
+
 use crate::arima::ArPredictor;
-use crate::classify::{filter_class, SizeClass};
+use crate::classify::{filter_class_into, SizeClass};
 use crate::last::LastValue;
 use crate::mean::MeanPredictor;
 use crate::median::MedianPredictor;
 use crate::observation::Observation;
-use crate::predictor::Predictor;
+use crate::predictor::{Predictor, PredictorSpec};
 use crate::window::{paper, Window};
+
+thread_local! {
+    // Scratch buffer for class-filtered histories. `predict` takes
+    // `&self` and must stay `Sync` (the replay engine fans predictors
+    // out across threads), so the reusable buffer is per-thread rather
+    // than per-predictor.
+    static CLASS_SCRATCH: RefCell<Vec<Observation>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Build the paper's 15 context-insensitive predictors, in Figure 4's
 /// reading order: `AVG MED AR LV AVG5 MED5 AVG15 MED15 AVG25 MED25
@@ -82,11 +92,20 @@ impl NamedPredictor {
     pub fn predict(&self, history: &[Observation], now: u64, target_size: u64) -> Option<f64> {
         if self.classified {
             let class = SizeClass::of_bytes(target_size);
-            let filtered = filter_class(history, class);
-            self.inner.predict(&filtered, now)
+            CLASS_SCRATCH.with(|scratch| {
+                let mut buf = scratch.borrow_mut();
+                filter_class_into(history, class, &mut buf);
+                self.inner.predict(&buf[..], now)
+            })
         } else {
             self.inner.predict(history, now)
         }
+    }
+
+    /// Structural description of the base predictor (see
+    /// [`Predictor::spec`]); `None` for custom predictors.
+    pub fn spec(&self) -> Option<PredictorSpec> {
+        self.inner.spec()
     }
 }
 
@@ -168,7 +187,10 @@ mod tests {
             .filter(|s| !s.is_empty())
             .collect();
         from_table.sort_unstable();
-        let mut names: Vec<String> = paper_predictors().iter().map(|p| p.name().to_string()).collect();
+        let mut names: Vec<String> = paper_predictors()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
         names.sort();
         assert_eq!(
             from_table,

@@ -135,11 +135,9 @@ mod tests {
     #[test]
     fn utc_offset_shifts_the_clock() {
         // Samples at 03:00 UTC = 22:00 local (UTC-5).
-        let h: Vec<Observation> = (0..3)
-            .map(|d| obs(d * 86_400 + 3 * 3_600, 5.0))
-            .collect();
-        let p = SeasonalPredictor::new(MeanPredictor::new(Window::All), 1)
-            .with_utc_offset(5 * 3_600);
+        let h: Vec<Observation> = (0..3).map(|d| obs(d * 86_400 + 3 * 3_600, 5.0)).collect();
+        let p =
+            SeasonalPredictor::new(MeanPredictor::new(Window::All), 1).with_utc_offset(5 * 3_600);
         // Predicting at 22:10 local (03:10 UTC): matches.
         assert_eq!(p.predict(&h, 4 * 86_400 + 3 * 3_600 + 600), Some(5.0));
     }
@@ -166,8 +164,17 @@ mod tests {
 
     #[test]
     fn circular_distance_symmetry() {
-        assert_eq!(SeasonalPredictor::<MeanPredictor>::circular_distance(100, 86_300), 200);
-        assert_eq!(SeasonalPredictor::<MeanPredictor>::circular_distance(86_300, 100), 200);
-        assert_eq!(SeasonalPredictor::<MeanPredictor>::circular_distance(0, 43_200), 43_200);
+        assert_eq!(
+            SeasonalPredictor::<MeanPredictor>::circular_distance(100, 86_300),
+            200
+        );
+        assert_eq!(
+            SeasonalPredictor::<MeanPredictor>::circular_distance(86_300, 100),
+            200
+        );
+        assert_eq!(
+            SeasonalPredictor::<MeanPredictor>::circular_distance(0, 43_200),
+            43_200
+        );
     }
 }

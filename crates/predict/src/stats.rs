@@ -50,6 +50,12 @@ pub fn max(xs: &[f64]) -> Option<f64> {
 
 /// Linear interpolated percentile `p` in `[0, 100]`; `None` for empty
 /// input.
+///
+/// Inputs must be finite (no NaN — the sort would panic). Callers that
+/// derive errors from measurements share one convention: targets with a
+/// zero measurement have *no* percentage error and are excluded before
+/// ranking (see `PredictionOutcome::abs_pct_error` and [`mape`]), so no
+/// infinities reach this function either.
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     if xs.is_empty() {
         return None;

@@ -201,7 +201,11 @@ mod tests {
         c.register("l", rep("lbl.gov", 1)).unwrap();
         assert!(matches!(
             c.register("l", rep("isi.edu", 2)),
-            Err(ReplicaError::SizeMismatch { expected: 1, got: 2, .. })
+            Err(ReplicaError::SizeMismatch {
+                expected: 1,
+                got: 2,
+                ..
+            })
         ));
     }
 

@@ -131,7 +131,11 @@ pub struct Flow {
 impl Flow {
     /// Create the admission-time state for a spec.
     pub fn admit(spec: FlowSpec, links: Vec<LinkId>, rtt: SimDuration, now: SimTime) -> Self {
-        let window = spec.tcp.init_window.min(spec.tcp.buffer_bytes).max(spec.tcp.mss);
+        let window = spec
+            .tcp
+            .init_window
+            .min(spec.tcp.buffer_bytes)
+            .max(spec.tcp.mss);
         let remaining = spec.bytes as f64;
         let external_cap = spec.external_cap;
         Flow {

@@ -37,9 +37,7 @@ pub struct DiurnalProfile {
 impl DiurnalProfile {
     /// A flat (no diurnal variation) profile.
     pub fn flat(level: f64) -> Self {
-        DiurnalProfile {
-            hours: [level; 24],
-        }
+        DiurnalProfile { hours: [level; 24] }
     }
 
     /// A typical research-network weekday profile: quiet overnight, ramping
@@ -223,8 +221,7 @@ impl LinkLoadModel {
     }
 
     fn recompute(&mut self) {
-        let diurnal =
-            self.cfg.diurnal_mean_weight * self.cfg.profile.at(self.now, self.cfg.phase);
+        let diurnal = self.cfg.diurnal_mean_weight * self.cfg.profile.at(self.now, self.cfg.phase);
         let walk = self.walk * self.cfg.diurnal_mean_weight * 0.25;
         let bursts: f64 = self.bursts.iter().map(|b| b.weight).sum();
         self.weight = (diurnal + walk + bursts).max(0.0);

@@ -19,11 +19,15 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 ///
 /// Campaign drivers map the simulation epoch to a wall-clock Unix timestamp
 /// (see `wanpred-testbed`); within the simulator only relative time matters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulation time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -293,7 +297,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_secs(5), SimTime::ZERO, SimTime::from_micros(1)];
+        let mut v = [
+            SimTime::from_secs(5),
+            SimTime::ZERO,
+            SimTime::from_micros(1),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_secs(5));

@@ -353,8 +353,14 @@ mod tests {
     #[test]
     fn unknown_lookups_error() {
         let (t, a, ..) = line3();
-        assert!(matches!(t.link(LinkId(99)), Err(TopologyError::UnknownLink(_))));
-        assert!(matches!(t.node(NodeId(99)), Err(TopologyError::UnknownNode(_))));
+        assert!(matches!(
+            t.link(LinkId(99)),
+            Err(TopologyError::UnknownLink(_))
+        ));
+        assert!(matches!(
+            t.node(NodeId(99)),
+            Err(TopologyError::UnknownNode(_))
+        ));
         assert!(matches!(t.route(a, a), Err(TopologyError::NoRoute(..))));
     }
 

@@ -58,11 +58,7 @@ fn two_nodes(capacity: f64, seed: u64, loaded: bool) -> (Network, NodeId, NodeId
             ..LoadModelConfig::default()
         }
     };
-    (
-        Network::with_uniform_load(t, cfg, MasterSeed(seed)),
-        a,
-        b,
-    )
+    (Network::with_uniform_load(t, cfg, MasterSeed(seed)), a, b)
 }
 
 proptest! {

@@ -18,8 +18,8 @@ fn arb_config() -> impl Strategy<Value = (Vec<f64>, Vec<FairFlow>)> {
     links.prop_flat_map(|caps| {
         let n_links = caps.len();
         let flow = (
-            0.5f64..16.0,                             // weight
-            prop::option::of(1.0f64..2e9),            // cap (None = inf)
+            0.5f64..16.0,                  // weight
+            prop::option::of(1.0f64..2e9), // cap (None = inf)
             prop::collection::btree_set(0..n_links, 1..=n_links),
         )
             .prop_map(|(weight, cap, links)| FairFlow {

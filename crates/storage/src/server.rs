@@ -35,7 +35,12 @@ struct Access {
 
 impl StorageServer {
     /// Create a server with the given disk spec, catalog and cache.
-    pub fn new(name: impl Into<String>, spec: DiskSpec, catalog: FileCatalog, cache: FileCache) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        spec: DiskSpec,
+        catalog: FileCatalog,
+        cache: FileCache,
+    ) -> Self {
         spec.validate();
         StorageServer {
             name: name.into(),

@@ -78,13 +78,7 @@ impl FileCatalog {
         if self.files.contains_key(&path) {
             return Err(CatalogError::Exists(path));
         }
-        self.files.insert(
-            path.clone(),
-            FileEntry {
-                path,
-                size,
-            },
-        );
+        self.files.insert(path.clone(), FileEntry { path, size });
         Ok(())
     }
 
@@ -94,13 +88,7 @@ impl FileCatalog {
         if self.volume_of(&path).is_none() {
             return Err(CatalogError::NoVolume(path));
         }
-        self.files.insert(
-            path.clone(),
-            FileEntry {
-                path,
-                size,
-            },
-        );
+        self.files.insert(path.clone(), FileEntry { path, size });
         Ok(())
     }
 

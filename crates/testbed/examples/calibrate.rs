@@ -3,7 +3,7 @@
 //! §6.1 / Figures 1-2 / Figure 7.
 
 use wanpred_predict::SizeClass;
-use wanpred_testbed::{fig07, fig12_13, fig08_11, run_campaign, summary, CampaignConfig, Pair};
+use wanpred_testbed::{fig07, fig08_11, fig12_13, run_campaign, summary, CampaignConfig, Pair};
 
 fn main() {
     let cfg = CampaignConfig::august(42);
@@ -26,8 +26,15 @@ fn main() {
             min, max
         );
         let probes = r.probes(pair);
-        let pmax = probes.iter().map(|p| p.bandwidth_mbs()).fold(0.0f64, f64::max);
-        println!("  nws probes: {} samples, max {:.3} MB/s (paper: <0.3)", probes.len(), pmax);
+        let pmax = probes
+            .iter()
+            .map(|p| p.bandwidth_mbs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "  nws probes: {} samples, max {:.3} MB/s (paper: <0.3)",
+            probes.len(),
+            pmax
+        );
         let s = summary(&r, pair);
         println!(
             "  worst large-class MAPE {:.1}% (paper: ~25%), worst overall {:.1}%, classification benefit {:.1} points",
@@ -37,15 +44,27 @@ fn main() {
             let cells = fig08_11(&r, pair, class);
             let avg: f64 = {
                 let ms: Vec<f64> = cells.iter().filter_map(|c| c.mape).collect();
-                if ms.is_empty() { f64::NAN } else { ms.iter().sum::<f64>() / ms.len() as f64 }
+                if ms.is_empty() {
+                    f64::NAN
+                } else {
+                    ms.iter().sum::<f64>() / ms.len() as f64
+                }
             };
-            println!("  class {:>5}: mean-over-predictors MAPE {:.1}%", class.label(), avg);
+            println!(
+                "  class {:>5}: mean-over-predictors MAPE {:.1}%",
+                class.label(),
+                avg
+            );
         }
         let cls = fig12_13(&r, pair);
         let improved = cls
             .iter()
             .filter(|c| matches!((c.unclassified, c.classified), (Some(u), Some(x)) if x < u))
             .count();
-        println!("  classification improves {}/{} predictors", improved, cls.len());
+        println!(
+            "  classification improves {}/{} predictors",
+            improved,
+            cls.len()
+        );
     }
 }

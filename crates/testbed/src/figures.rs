@@ -48,12 +48,7 @@ pub fn fig01_02(result: &CampaignResult, pair: Pair) -> Fig0102Series {
     let nws = result
         .probes(pair)
         .iter()
-        .map(|p| {
-            (
-                result.epoch_unix + p.at.as_secs(),
-                p.bandwidth_mbs(),
-            )
-        })
+        .map(|p| (result.epoch_unix + p.at.as_secs(), p.bandwidth_mbs()))
         .collect();
     Fig0102Series {
         pair: pair.label().to_string(),
@@ -108,7 +103,7 @@ pub struct ErrorCell {
 pub fn fig08_11(result: &CampaignResult, pair: Pair, class: SizeClass) -> Vec<ErrorCell> {
     let obs = observation_series(result, pair);
     let suite = paper_suite(true);
-    let reports = evaluate(&obs, &suite, EvalOptions::default());
+    let reports = evaluate_incremental(&obs, &suite, EvalOptions::default());
     reports
         .iter()
         .zip(&suite)
@@ -135,9 +130,9 @@ pub struct ClassificationCell {
 /// Compute Figures 12–13 for one pair.
 pub fn fig12_13(result: &CampaignResult, pair: Pair) -> Vec<ClassificationCell> {
     let obs = observation_series(result, pair);
-    let unclassified = evaluate(&obs, &paper_suite(false), EvalOptions::default());
+    let unclassified = evaluate_incremental(&obs, &paper_suite(false), EvalOptions::default());
     let classified_suite = paper_suite(true);
-    let classified = evaluate(&obs, &classified_suite, EvalOptions::default());
+    let classified = evaluate_incremental(&obs, &classified_suite, EvalOptions::default());
     unclassified
         .iter()
         .zip(classified.iter())
@@ -234,8 +229,7 @@ mod tests {
             // NWS probes dense and slow; GridFTP sparse and fast.
             assert!(s.nws.len() > 4 * s.gridftp.len());
             let nws_max = s.nws.iter().map(|&(_, v)| v).fold(0.0, f64::max);
-            let ftp_mean = s.gridftp.iter().map(|&(_, v)| v).sum::<f64>()
-                / s.gridftp.len() as f64;
+            let ftp_mean = s.gridftp.iter().map(|&(_, v)| v).sum::<f64>() / s.gridftp.len() as f64;
             assert!(nws_max < 0.3, "nws max {nws_max}");
             assert!(ftp_mean > 1.0, "gridftp mean {ftp_mean}");
         }

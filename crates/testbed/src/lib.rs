@@ -25,5 +25,7 @@ pub use figures::{
     Fig0102Series, Fig07Counts, SummaryStats,
 };
 pub use report::{fmt_mape, fmt_pct, Table};
-pub use sites::{build_testbed, paper_sites, quiet_load_config, wan_load_config, SiteSpec, Testbed};
+pub use sites::{
+    build_testbed, paper_sites, quiet_load_config, wan_load_config, SiteSpec, Testbed,
+};
 pub use workload::WorkloadConfig;

@@ -98,7 +98,11 @@ impl Table {
             let _ = writeln!(
                 out,
                 "{}",
-                self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(",")
+                self.headers
+                    .iter()
+                    .map(|h| field(h))
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
         }
         for r in &self.rows {

@@ -218,7 +218,10 @@ mod tests {
             rtt_cross.as_micros(),
             2 * (ANL_LBL_DELAY_US + ANL_ISI_DELAY_US)
         );
-        assert_eq!(topo.bottleneck_bps(tb.lbl, tb.anl).unwrap(), WAN_CAPACITY_BPS);
+        assert_eq!(
+            topo.bottleneck_bps(tb.lbl, tb.anl).unwrap(),
+            WAN_CAPACITY_BPS
+        );
     }
 
     #[test]
@@ -228,10 +231,7 @@ mod tests {
         for node in [tb.lbl, tb.isi] {
             let storage = mgr.storage(node).expect("server registered");
             assert_eq!(storage.catalog().len(), 13);
-            assert!(storage
-                .catalog()
-                .lookup("/home/ftp/vazhkuda/1GB")
-                .is_ok());
+            assert!(storage.catalog().lookup("/home/ftp/vazhkuda/1GB").is_ok());
         }
         assert!(mgr.storage(tb.anl).is_none(), "ANL is a plain client");
     }

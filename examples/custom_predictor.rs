@@ -48,8 +48,8 @@ fn main() {
     suite.push(NamedPredictor::new(Box::new(TrimmedMean25), true));
 
     let reports = evaluate(&obs, &suite, EvalOptions::default());
-    let mut table = Table::new("LBL-ANL, classified, all classes")
-        .headers(["predictor", "MAPE %", "answered"]);
+    let mut table =
+        Table::new("LBL-ANL, classified, all classes").headers(["predictor", "MAPE %", "answered"]);
     let mut ranked: Vec<(&str, Option<f64>, usize)> = reports
         .iter()
         .map(|r| (r.name.as_str(), r.mape(), r.outcomes.len()))
@@ -80,11 +80,11 @@ fn main() {
         selector.observe(*o);
     }
     let (_, best) = selector.best_candidate();
-    println!("\ndynamic selector's running winner after {} transfers: {best}", obs.len());
-    if let Some((used, pred)) = selector.predict(
-        cfg.epoch_unix + 15 * 86_400,
-        100 * PAPER_MB,
-    ) {
+    println!(
+        "\ndynamic selector's running winner after {} transfers: {best}",
+        obs.len()
+    );
+    if let Some((used, pred)) = selector.predict(cfg.epoch_unix + 15 * 86_400, 100 * PAPER_MB) {
         println!("next 100MB-class transfer predicted by {used}: {pred:.0} KB/s");
     }
 }

@@ -67,7 +67,9 @@ fn main() {
     let entries = provider.build_entries(now);
     let schema = Schema::standard();
     for e in &entries {
-        schema.validate(e).expect("provider output obeys the schema");
+        schema
+            .validate(e)
+            .expect("provider output obeys the schema");
         println!("{}", e.to_ldif());
     }
 

@@ -31,8 +31,11 @@ fn main() {
         // Evaluate the full suite (15 predictors x {plain, classified}).
         let (reports, suite) = evaluate_log(log, EvalOptions::default());
 
-        let mut table = Table::new(format!("{} mean absolute % error", pair.label()))
-            .headers(["predictor", "unclassified", "classified"]);
+        let mut table = Table::new(format!("{} mean absolute % error", pair.label())).headers([
+            "predictor",
+            "unclassified",
+            "classified",
+        ]);
         for i in 0..15 {
             let (u, c) = (&reports[i], &reports[i + 15]);
             table.row([

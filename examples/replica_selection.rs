@@ -76,8 +76,7 @@ fn main() {
     for pair in Pair::ALL {
         let obs = wanpred_core::testbed::observation_series(&result, pair);
         let class_obs = filter_class(&obs, SizeClass::C500MB);
-        let mean =
-            class_obs.iter().map(|o| o.bandwidth_kbs).sum::<f64>() / class_obs.len() as f64;
+        let mean = class_obs.iter().map(|o| o.bandwidth_kbs).sum::<f64>() / class_obs.len() as f64;
         let host = match pair {
             Pair::LblAnl => "dpsslx04.lbl.gov",
             Pair::IsiAnl => "jet.isi.edu",

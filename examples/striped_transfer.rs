@@ -61,7 +61,11 @@ impl Agent for Comparer {
     }
     fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
         if let Some(c) = self.mgr.on_flow_complete(ctx, &done) {
-            let label = if self.phase == 0 { "plain GET (LBL only)" } else { "striped GET (LBL+ISI)" };
+            let label = if self.phase == 0 {
+                "plain GET (LBL only)"
+            } else {
+                "striped GET (LBL+ISI)"
+            };
             self.results.push((label.to_string(), c));
             self.phase += 1;
             if self.phase <= 1 {

@@ -28,9 +28,7 @@ fn campaign_then_evaluate_then_predict() {
     let dir_s = dir.to_str().expect("utf-8 temp path");
 
     // campaign: writes per-pair logs + probe CSVs.
-    let o = wanpred(&[
-        "campaign", "--days", "3", "--seed", "7", "--out", dir_s,
-    ]);
+    let o = wanpred(&["campaign", "--days", "3", "--seed", "7", "--out", dir_s]);
     assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
     let log_path = dir.join("lbl-anl.ulm");
     assert!(log_path.exists());
@@ -54,7 +52,10 @@ fn campaign_then_evaluate_then_predict() {
     assert!(o.status.success());
     let text = stdout(&o);
     assert!(text.contains("dynamic selection"), "{text}");
-    assert!(text.contains("500MB class") || text.contains("500 MB"), "{text}");
+    assert!(
+        text.contains("500MB class") || text.contains("500 MB"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -78,7 +79,10 @@ fn provider_and_select() {
     ]);
     assert!(o.status.success());
     let ldif = stdout(&o);
-    assert!(ldif.contains("dn: cn=140.221.65.69, hostname=dpsslx04.lbl.gov"), "{ldif}");
+    assert!(
+        ldif.contains("dn: cn=140.221.65.69, hostname=dpsslx04.lbl.gov"),
+        "{ldif}"
+    );
     assert!(ldif.contains("avgrdbandwidth:"));
     assert!(ldif.contains("objectclass: GridFTPPerfInfo"));
 

@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use wanpred_core::infod::{parse_filter, Dn, Giis, GridFtpPerfProvider, Gris, ProviderConfig, Registration, Schema};
+use wanpred_core::infod::{
+    parse_filter, Dn, Giis, GridFtpPerfProvider, Gris, ProviderConfig, Registration, Schema,
+};
 use wanpred_core::prelude::*;
 use wanpred_core::testbed::observation_series;
 
@@ -107,9 +109,15 @@ fn framework_selects_a_replica_consistent_with_published_predictions() {
         )
         .unwrap();
     }
-    let sel = fw.select_replica("140.221.65.69", "lfn://x/1GB", now).unwrap();
+    let sel = fw
+        .select_replica("140.221.65.69", "lfn://x/1GB", now)
+        .unwrap();
     // Both candidates informed; the chosen one has the max prediction.
-    let preds: Vec<f64> = sel.scores.iter().map(|s| s.predicted_kbs.unwrap()).collect();
+    let preds: Vec<f64> = sel
+        .scores
+        .iter()
+        .map(|s| s.predicted_kbs.unwrap())
+        .collect();
     let max = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     assert_eq!(sel.scores[sel.chosen].predicted_kbs.unwrap(), max);
 

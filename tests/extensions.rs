@@ -4,8 +4,8 @@
 
 use wanpred_core::gridftp::{ClientSettings, GridFtpClient, TransferKind};
 use wanpred_core::logfmt::{RotatingLogWriter, RotationConfig};
-use wanpred_core::prelude::*;
 use wanpred_core::predict::seasonal::SeasonalPredictor;
+use wanpred_core::prelude::*;
 use wanpred_core::testbed::observation_series;
 
 fn campaign(days: u64) -> CampaignResult {
@@ -36,7 +36,10 @@ fn seasonal_wrapper_answers_inside_the_experiment_window() {
 
     // The seasonal estimate stays within the observed bandwidth range.
     let v = at_evening.unwrap();
-    let lo = obs.iter().map(|o| o.bandwidth_kbs).fold(f64::INFINITY, f64::min);
+    let lo = obs
+        .iter()
+        .map(|o| o.bandwidth_kbs)
+        .fold(f64::INFINITY, f64::min);
     let hi = obs.iter().map(|o| o.bandwidth_kbs).fold(0.0f64, f64::max);
     assert!(v >= lo && v <= hi);
 }
@@ -59,7 +62,10 @@ fn protocol_client_plan_matches_campaign_logging() {
     assert_eq!(plan.tcp_buffer, rec.tcp_buffer);
     assert_eq!(plan.bytes, rec.file_size);
     // The transcript shows the full negotiated sequence.
-    assert!(client.transcript().iter().any(|e| e.command == "SBUF 1000000"));
+    assert!(client
+        .transcript()
+        .iter()
+        .any(|e| e.command == "SBUF 1000000"));
     assert!(client
         .transcript()
         .iter()

@@ -77,10 +77,7 @@ fn protocol_session_negotiates_what_the_campaign_used() {
     let mut session = Session::new();
     let replies = standard_preamble(&mut session, &storage, 1_000_000, 8);
     assert!(replies.iter().all(|r| r.is_ok()));
-    let (reply, plan) = session.handle(
-        &Command::Retr("/home/ftp/vazhkuda/100MB".into()),
-        &storage,
-    );
+    let (reply, plan) = session.handle(&Command::Retr("/home/ftp/vazhkuda/100MB".into()), &storage);
     assert_eq!(reply.code, 150);
     let plan = plan.unwrap();
 

@@ -49,7 +49,11 @@ fn figures_1_2_bandwidth_regimes() {
         assert!(min < 2.5, "{}: min {min}", pair.label());
         // GridFTP mean far above the NWS ceiling (the Figures 1-2 gap).
         let mean = ftp.iter().sum::<f64>() / ftp.len() as f64;
-        assert!(mean > 10.0 * nws_max, "{}: mean {mean} vs nws {nws_max}", pair.label());
+        assert!(
+            mean > 10.0 * nws_max,
+            "{}: mean {mean} vs nws {nws_max}",
+            pair.label()
+        );
     }
 }
 
@@ -139,16 +143,12 @@ fn ar_models_do_not_beat_simple_means() {
                 .and_then(|x| x.mape())
                 .expect("predictor answered")
         };
-        let ar = mape_of("AR+C").min(mape_of("AR5d+C")).min(mape_of("AR10d+C"));
+        let ar = mape_of("AR+C")
+            .min(mape_of("AR5d+C"))
+            .min(mape_of("AR10d+C"));
         let avg = mape_of("AVG+C");
         // AR is not decisively better: no more than a couple points.
-        assert!(
-            ar > avg - 3.0,
-            "{}: AR {} vs AVG {}",
-            pair.label(),
-            ar,
-            avg
-        );
+        assert!(ar > avg - 3.0, "{}: AR {} vs AVG {}", pair.label(), ar, avg);
     }
 }
 

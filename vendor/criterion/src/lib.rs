@@ -1,0 +1,282 @@
+#![allow(clippy::all)]
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Mirrors the subset of the criterion 0.5 API this workspace uses
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_batched`, `BenchmarkId`, `BatchSize`) and reports wall-clock
+//! timings to stdout. Sampling is deliberately small so `cargo bench`
+//! stays fast; `CRITERION_SAMPLE_MS` overrides the per-benchmark
+//! measurement budget in milliseconds.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim times setup and
+/// routine together per invocation regardless of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group, e.g. `AVG25+C/1000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs timing loops for one benchmark.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean wall-clock time of one routine invocation.
+    pub(crate) mean: Duration,
+    pub(crate) iters: u64,
+}
+
+impl Bencher {
+    fn measure(&mut self, mut once: impl FnMut()) {
+        // Warm-up invocation, also the fallback measurement.
+        let t0 = Instant::now();
+        once();
+        let first = t0.elapsed();
+        let mut total = first;
+        let mut iters = 1u64;
+        while total < self.budget {
+            let t = Instant::now();
+            once();
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.mean = total / iters as u32;
+        self.iters = iters;
+    }
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.measure(|| {
+            black_box(routine());
+        });
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.measure(|| {
+            let input = setup();
+            black_box(routine(input));
+        });
+    }
+
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        self.measure(|| {
+            let mut input = setup();
+            black_box(routine(&mut input));
+        });
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget.min(Duration::from_millis(500));
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            budget: self.criterion.budget,
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            budget: self.criterion.budget,
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    println!(
+        "{group}/{id}: mean {:>12} over {} iters",
+        format_ns(b.mean.as_nanos()),
+        b.iters
+    );
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// CLI arguments (`--bench`, filters) are accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: String::new(),
+            criterion: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_nonzero_mean() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 8usize), &8usize, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,79 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// That strategy's type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (all values, uniformly).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform over the whole domain of a primitive.
+pub struct FullRange<T>(PhantomData<T>);
+
+impl<T> Default for FullRange<T> {
+    fn default() -> Self {
+        FullRange(PhantomData)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullRange::default()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FullRange::default()
+    }
+}
+
+impl Strategy for FullRange<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = (rng.unit_f64() * 600.0 - 300.0).exp2();
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+impl Arbitrary for f64 {
+    type Strategy = FullRange<f64>;
+    fn arbitrary() -> Self::Strategy {
+        FullRange::default()
+    }
+}

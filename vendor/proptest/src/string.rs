@@ -1,0 +1,191 @@
+//! `string_regex` — string strategies from a character-class regex
+//! subset: concatenations of `[...]` classes or literal characters, each
+//! optionally quantified with `{n}` or `{lo,hi}` (enough for patterns
+//! like `"[a-z][a-z0-9]{0,15}"` used in this workspace).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Error from an unsupported or malformed pattern.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Inclusive character ranges this atom may produce.
+    ranges: Vec<(char, char)>,
+    lo: usize,
+    hi: usize,
+}
+
+/// A compiled pattern; see [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = atom.lo + rng.below(atom.hi - atom.lo + 1);
+            let total: u32 = atom
+                .ranges
+                .iter()
+                .map(|&(a, b)| b as u32 - a as u32 + 1)
+                .sum();
+            for _ in 0..n {
+                let mut k = (rng.next_u64() % total as u64) as u32;
+                for &(a, b) in &atom.ranges {
+                    let span = b as u32 - a as u32 + 1;
+                    if k < span {
+                        out.push(char::from_u32(a as u32 + k).expect("in-range char"));
+                        break;
+                    }
+                    k -= span;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compile a character-class pattern into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or_else(|| Error("unterminated character class".into()))?
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                parse_class(class)?
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .ok_or_else(|| Error("dangling escape".into()))?;
+                i += 2;
+                vec![(c, c)]
+            }
+            '.' => {
+                i += 1;
+                vec![(' ', '~')]
+            }
+            c if !"{}()|*+?".contains(c) => {
+                i += 1;
+                vec![(c, c)]
+            }
+            c => return Err(Error(format!("unsupported regex construct `{c}`"))),
+        };
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| Error("unterminated quantifier".into()))?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            let parts: Vec<&str> = body.split(',').collect();
+            match parts.as_slice() {
+                [n] => {
+                    let n = n.trim().parse().map_err(|_| Error("bad {n}".into()))?;
+                    (n, n)
+                }
+                [lo, hi] => (
+                    lo.trim().parse().map_err(|_| Error("bad {lo,hi}".into()))?,
+                    hi.trim().parse().map_err(|_| Error("bad {lo,hi}".into()))?,
+                ),
+                _ => return Err(Error("bad quantifier".into())),
+            }
+        } else {
+            (1, 1)
+        };
+        if lo > hi {
+            return Err(Error("quantifier lo > hi".into()));
+        }
+        atoms.push(Atom { ranges, lo, hi });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+fn parse_class(class: &[char]) -> Result<Vec<(char, char)>, Error> {
+    if class.is_empty() {
+        return Err(Error("empty character class".into()));
+    }
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < class.len() {
+        let a = if class[i] == '\\' {
+            i += 1;
+            *class
+                .get(i)
+                .ok_or_else(|| Error("dangling class escape".into()))?
+        } else {
+            class[i]
+        };
+        // `x-y` range (a trailing `-` is a literal).
+        if class.get(i + 1) == Some(&'-') && i + 2 < class.len() {
+            let b = class[i + 2];
+            if b < a {
+                return Err(Error(format!("inverted range {a}-{b}")));
+            }
+            ranges.push((a, b));
+            i += 3;
+        } else {
+            ranges.push((a, a));
+            i += 1;
+        }
+    }
+    Ok(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_class_stays_printable() {
+        let s = string_regex("[ -~]{0,64}").unwrap();
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() <= 64);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn concatenation_and_fixed_counts() {
+        let s = string_regex("[a-z][a-z0-9]{0,15}").unwrap();
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 16);
+            assert!(v.chars().next().unwrap().is_ascii_lowercase());
+        }
+        let s = string_regex("[01]{8}").unwrap();
+        assert_eq!(s.sample(&mut rng).len(), 8);
+    }
+
+    #[test]
+    fn literal_dash_in_class() {
+        let s = string_regex("[a-zA-Z0-9._/-]{1,24}").unwrap();
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..=24).contains(&v.len()));
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "._/-".contains(c)));
+        }
+    }
+}

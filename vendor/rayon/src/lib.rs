@@ -1,0 +1,168 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `rayon`, covering the API surface this workspace
+//! uses: [`join`], and `par_iter().map(..).collect()` / `for_each` over
+//! slices. Parallelism comes from `std::thread::scope` with one chunk
+//! per available core — no work stealing, but the call sites here are
+//! embarrassingly parallel with coarse items, where static chunking is
+//! within noise of a real deque scheduler.
+
+use std::num::NonZeroUsize;
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: joined closure panicked"))
+    })
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` in parallel, preserving order.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let workers = threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon shim: worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A pending parallel iterator over a slice.
+pub struct ParIter<'a, T>(&'a [T]);
+
+/// A pending parallel map over a slice.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R, F: Fn(&'a T) -> R + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap { items: self.0, f }
+    }
+
+    /// Run `f` on every item in parallel for its side effects.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let _ = self.map(|t| f(t)).collect::<Vec<()>>();
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    /// Execute the map and gather results in order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        let n = self.items.len();
+        let workers = threads().min(n.max(1));
+        let results = if workers <= 1 || n <= 1 {
+            self.items.iter().map(&self.f).collect()
+        } else {
+            let chunk = n.div_ceil(workers);
+            let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks(chunk)
+                    .map(|c| s.spawn(|| c.iter().map(&self.f).collect::<Vec<R>>()))
+                    .collect();
+                for h in handles {
+                    out.push(h.join().expect("rayon shim: worker panicked"));
+                }
+            });
+            out.into_iter().flatten().collect()
+        };
+        C::from_ordered(results)
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallel<R> {
+    /// Build the collection from in-order results.
+    fn from_ordered(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_ordered(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Extension trait providing `.par_iter()` on slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter(self)
+    }
+}
+
+/// Glob-import target mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(super::par_map(&items, |x| x + 1)[999], 1000);
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(empty.par_iter().map(|x| *x).collect::<Vec<u8>>().is_empty());
+        assert_eq!(
+            vec![7].par_iter().map(|x| x * 3).collect::<Vec<i32>>(),
+            vec![21]
+        );
+    }
+}

@@ -1,0 +1,380 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment,
+//! so the workspace vendors a minimal `serde` whose data model is a
+//! single JSON-like [`Value`] enum. This proc-macro crate derives that
+//! model's `Serialize`/`Deserialize` traits for plain structs and enums
+//! (no generics, no `#[serde(...)]` attributes — the workspace uses
+//! neither).
+//!
+//! Encoding conventions (mirroring serde's externally-tagged defaults):
+//! * named struct        -> `Value::Map([(field, value), ...])`
+//! * tuple struct        -> `Value::Seq([...])`
+//! * unit enum variant   -> `Value::Str(variant)`
+//! * tuple enum variant  -> `Value::Map([(variant, Seq([...]))])`
+//! * struct enum variant -> `Value::Map([(variant, Map([...]))])`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derive `serde::Serialize` for a plain struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` for a plain struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected item name, found {t}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                t => panic!("unexpected struct body: {t:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                t => panic!("unexpected enum body: {t:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        k => panic!("cannot derive for `{k}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consume one field type: everything until a comma at angle-bracket
+/// depth zero (groups are atomic token trees, but `<...>` are bare
+/// puncts, so commas inside generics must be depth-tracked).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let fname = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected field name, found {t}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("expected `:` after field `{fname}`, found {t}"),
+        }
+        skip_type(&toks, &mut i);
+        i += 1; // the comma (or past the end)
+        out.push(fname);
+    }
+    out
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut n = 0usize;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        i += 1;
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let vname = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected variant name, found {t}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        while let Some(t) = toks.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        out.push((vname, fields));
+    }
+    out
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            s.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Unit => s.push_str("        ::serde::Value::Null\n"),
+                Fields::Named(fs) => {
+                    s.push_str("        ::serde::Value::Map(::std::vec![\n");
+                    for f in fs {
+                        s.push_str(&format!(
+                            "            (::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),\n"
+                        ));
+                    }
+                    s.push_str("        ])\n");
+                }
+                Fields::Tuple(n) => {
+                    s.push_str("        ::serde::Value::Seq(::std::vec![\n");
+                    for k in 0..*n {
+                        s.push_str(&format!(
+                            "            ::serde::Serialize::to_value(&self.{k}),\n"
+                        ));
+                    }
+                    s.push_str("        ])\n");
+                }
+            }
+            s.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            s.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => s.push_str(&format!(
+                        "            {name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        s.push_str(&format!(
+                            "            {name}::{v}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Seq(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        s.push_str(&format!(
+                            "            {name}::{v} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Map(::std::vec![{}]))]),\n",
+                            fs.join(", "),
+                            fs.iter()
+                                .map(|f| format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str("        }\n    }\n}\n");
+        }
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            s.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            match fields {
+                Fields::Unit => s.push_str(&format!("        Ok({name})\n")),
+                Fields::Named(fs) => {
+                    s.push_str(&format!(
+                        "        let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?;\n        Ok({name} {{\n"
+                    ));
+                    for f in fs {
+                        s.push_str(&format!(
+                            "            {f}: ::serde::Deserialize::from_value(::serde::map_get(__m, \"{f}\")?)?,\n"
+                        ));
+                    }
+                    s.push_str("        })\n");
+                }
+                Fields::Tuple(n) => {
+                    s.push_str(&format!(
+                        "        let __q = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected seq for {name}\"))?;\n        if __q.len() != {n} {{ return Err(::serde::Error::custom(\"wrong seq arity for {name}\")); }}\n        Ok({name}(\n"
+                    ));
+                    for k in 0..*n {
+                        s.push_str(&format!(
+                            "            ::serde::Deserialize::from_value(&__q[{k}])?,\n"
+                        ));
+                    }
+                    s.push_str("        ))\n");
+                }
+            }
+            s.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            s.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            s.push_str(
+                "        if let Some(__s) = __v.as_str() {\n            return match __s {\n",
+            );
+            for (v, fields) in variants {
+                if matches!(fields, Fields::Unit) {
+                    s.push_str(&format!("                \"{v}\" => Ok({name}::{v}),\n"));
+                }
+            }
+            s.push_str(&format!(
+                "                other => Err(::serde::Error::custom(::std::format!(\"unknown {name} variant {{other}}\"))),\n            }};\n        }}\n"
+            ));
+            s.push_str(&format!(
+                "        let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected variant map for {name}\"))?;\n        let (__tag, __payload) = __m.first().ok_or_else(|| ::serde::Error::custom(\"empty variant map for {name}\"))?;\n        match __tag.as_str() {{\n"
+            ));
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        // Also accept the map form for unit variants.
+                        s.push_str(&format!("            \"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    Fields::Tuple(n) => {
+                        s.push_str(&format!(
+                            "            \"{v}\" => {{\n                let __q = __payload.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected seq payload for {name}::{v}\"))?;\n                if __q.len() != {n} {{ return Err(::serde::Error::custom(\"wrong payload arity for {name}::{v}\")); }}\n                Ok({name}::{v}(\n"
+                        ));
+                        for k in 0..*n {
+                            s.push_str(&format!(
+                                "                    ::serde::Deserialize::from_value(&__q[{k}])?,\n"
+                            ));
+                        }
+                        s.push_str("                ))\n            }\n");
+                    }
+                    Fields::Named(fs) => {
+                        s.push_str(&format!(
+                            "            \"{v}\" => {{\n                let __fm = __payload.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map payload for {name}::{v}\"))?;\n                Ok({name}::{v} {{\n"
+                        ));
+                        for f in fs {
+                            s.push_str(&format!(
+                                "                    {f}: ::serde::Deserialize::from_value(::serde::map_get(__fm, \"{f}\")?)?,\n"
+                            ));
+                        }
+                        s.push_str("                })\n            }\n");
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "            other => Err(::serde::Error::custom(::std::format!(\"unknown {name} variant {{other}}\"))),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    s
+}
