@@ -6,11 +6,8 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wanpred_predict::prelude::*;
-use wanpred_simnet::rng::MasterSeed;
 use wanpred_simnet::time::SimDuration;
-use wanpred_testbed::{
-    fig07, fig08_11, fig12_13, run_campaign, CampaignConfig, Pair, WorkloadConfig,
-};
+use wanpred_testbed::{fig07, fig08_11, fig12_13, run_campaign, CampaignConfig, Pair};
 
 fn bench_campaign(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign");
@@ -23,11 +20,9 @@ fn bench_campaign(c: &mut Criterion) {
     group.bench_function("two_day_campaign_no_probes", |b| {
         b.iter(|| {
             std::hint::black_box(run_campaign(&CampaignConfig {
-                seed: MasterSeed(1),
-                epoch_unix: 996_642_000,
                 duration: SimDuration::from_days(2),
-                workload: WorkloadConfig::default(),
                 probes: false,
+                ..CampaignConfig::august(1)
             }));
         })
     });

@@ -1,0 +1,124 @@
+//! Fault-robustness ablation: how much predictor accuracy survives an
+//! unreliable wide area.
+//!
+//! Runs the August campaign twice from the same seed — once on the clean
+//! network the paper's logs come from, once with the calibrated fault
+//! profile (outages, degradations, connection resets) and the default
+//! retry policy — then replays the full 30-predictor suite over both log
+//! sets. Retried-and-recovered transfers log end-to-end times (submit →
+//! final completion), so faults show up as genuinely slower, noisier
+//! observations rather than being silently dropped.
+//!
+//! Writes the headline comparison to `BENCH_faults.json` at the repo
+//! root. `--days N` shortens the campaign (CI smoke runs use `--days 2`).
+
+use std::env;
+
+use wanpred_bench::{arg_value, DEFAULT_SEED};
+use wanpred_core::evaluate_log;
+use wanpred_predict::prelude::*;
+use wanpred_simnet::time::SimDuration;
+use wanpred_testbed::{fmt_mape, run_campaign, CampaignConfig, CampaignResult, Pair, Table};
+
+/// Accuracy digest of one pair's log: (best MAPE, median MAPE over the
+/// suite, answered-predictor count).
+struct Digest {
+    best: Option<f64>,
+    median: Option<f64>,
+    transfers: usize,
+}
+
+fn digest(result: &CampaignResult, pair: Pair) -> Digest {
+    let log = result.log(pair);
+    let (reports, _suite) = evaluate_log(log, EvalOptions::default());
+    let mut mapes: Vec<f64> = reports.iter().filter_map(PredictorReport::mape).collect();
+    mapes.sort_by(|a, b| a.total_cmp(b));
+    Digest {
+        best: mapes.first().copied(),
+        median: (!mapes.is_empty()).then(|| mapes[mapes.len() / 2]),
+        transfers: log.len(),
+    }
+}
+
+fn json_num(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}"),
+        None => "null".into(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let days: u64 = arg_value(&args, "--days")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(14);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+
+    let base = CampaignConfig {
+        duration: SimDuration::from_days(days),
+        probes: false,
+        ..CampaignConfig::august(seed)
+    };
+    let clean = run_campaign(&base);
+    let faulty = run_campaign(&base.clone().with_faults());
+
+    assert_eq!(clean.fault_events, 0);
+    assert!(faulty.fault_events > 0, "fault schedule came up empty");
+
+    println!(
+        "campaign: {days} days, seed {seed}; faulty run scheduled {} fault \
+         actions, saw {} retries and abandoned {} transfers\n",
+        faulty.fault_events, faulty.retries, faulty.failed_transfers
+    );
+
+    let mut table = Table::new("predictor accuracy, clean vs faulty logs (MAPE %)").headers([
+        "pair",
+        "network",
+        "best",
+        "median",
+        "transfers",
+    ]);
+    let mut cells = Vec::new();
+    for pair in Pair::ALL {
+        for (label, result) in [("clean", &clean), ("faulty", &faulty)] {
+            let d = digest(result, pair);
+            table.row([
+                pair.label().to_string(),
+                label.to_string(),
+                fmt_mape(d.best),
+                fmt_mape(d.median),
+                d.transfers.to_string(),
+            ]);
+            cells.push((pair, label, d));
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape: the faulty logs keep the predictors usable — recovered\n\
+         transfers stretch the bandwidth tail, so errors grow by a factor, they\n\
+         don't explode — which is the operating regime the paper's log-based\n\
+         predictors were built for."
+    );
+
+    let mut pairs_json = String::new();
+    for (pair, label, d) in &cells {
+        pairs_json.push_str(&format!(
+            "    {{\"pair\": \"{}\", \"network\": \"{}\", \"best_mape\": {}, \"median_mape\": {}, \"transfers\": {}}},\n",
+            pair.label(),
+            label,
+            json_num(d.best),
+            json_num(d.median),
+            d.transfers
+        ));
+    }
+    let pairs_json = pairs_json.trim_end().trim_end_matches(',').to_string();
+    let json = format!(
+        "{{\n  \"days\": {days},\n  \"seed\": {seed},\n  \"fault_events\": {},\n  \"retries\": {},\n  \"failed_transfers\": {},\n  \"results\": [\n{pairs_json}\n  ]\n}}\n",
+        faulty.fault_events, faulty.retries, faulty.failed_transfers
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    std::fs::write(path, &json).expect("write BENCH_faults.json");
+    println!("comparison written to {path}");
+}

@@ -20,6 +20,7 @@
 //! | `ablation_windows` | window-choice ablation (§6.2 claim) |
 //! | `ablation_classification` | classification-granularity ablation |
 //! | `ablation_replica_gain` | broker vs baseline policies |
+//! | `ablation_faults` | predictor accuracy on clean vs faulty logs |
 //!
 //! Run any of them with
 //! `cargo run --release -p wanpred-bench --bin <name> [-- args]`.

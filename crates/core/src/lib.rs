@@ -32,10 +32,9 @@
 //! // Simulate a short measurement campaign on the paper's testbed...
 //! let cfg = CampaignConfig {
 //!     seed: MasterSeed(7),
-//!     epoch_unix: 996_642_000,
 //!     duration: SimDuration::from_days(2),
-//!     workload: WorkloadConfig::default(),
 //!     probes: false,
+//!     ..CampaignConfig::august(7)
 //! };
 //! let result = run_campaign(&cfg);
 //!

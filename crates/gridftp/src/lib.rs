@@ -36,6 +36,6 @@ pub use instrument::{measure_logging_cost, LoggingCost, PAPER_LOGGING_OVERHEAD_M
 pub use protocol::{parse, Command, ParseError, Reply};
 pub use server::{ServerConfig, Session, TransferPlan, DEFAULT_TCP_BUFFER};
 pub use transfer::{
-    owns_tag, CompletedTransfer, SubmitError, TransferKind, TransferManager, TransferRequest,
-    TransferToken, TAG_BASE,
+    owns_tag, CompletedTransfer, FailureReason, RetryPolicy, SubmitError, TransferEvent,
+    TransferKind, TransferManager, TransferRequest, TransferToken, TAG_BASE,
 };

@@ -280,16 +280,20 @@ impl Session {
             Ok(e) => e,
             Err(_) => return (Reply::new(550, "No such file"), None),
         };
+        // Any nonzero offset at or past EOF is a 554 — the `off > 0`
+        // half matters for zero-size files, where an unchecked offset
+        // would wrap `entry.size - off`. Offset 0 into an empty file is
+        // a legal zero-byte retrieve.
         let (offset, bytes) = match partial {
             Some((off, len)) => {
-                if off >= entry.size {
+                if off > 0 && off >= entry.size {
                     return (Reply::new(554, "Offset beyond end of file"), None);
                 }
                 (off, len.min(entry.size - off))
             }
             None => {
                 let off = self.take_rest();
-                if off >= entry.size && entry.size > 0 {
+                if off > 0 && off >= entry.size {
                     return (Reply::new(554, "Restart beyond end of file"), None);
                 }
                 (off, entry.size - off)
@@ -469,6 +473,38 @@ mod tests {
             &st,
         );
         assert_eq!(r.code, 554);
+    }
+
+    /// Regression: a REST or ERET offset into a zero-size file used to
+    /// evade the 554 guard (`off >= size && size > 0`) and underflow
+    /// `entry.size - off`; it must reply 554. Offset 0 stays legal.
+    #[test]
+    fn zero_size_file_rest_and_eret_offsets() {
+        let mut st = storage();
+        st.catalog_mut().put_file("/home/ftp/empty", 0).unwrap();
+        let mut s = authed_session(&st);
+
+        // RETR of the empty file: a legal zero-byte plan.
+        let (r, plan) = s.handle(&Command::Retr("/home/ftp/empty".into()), &st);
+        assert_eq!(r.code, 150);
+        assert_eq!(plan.unwrap().bytes, 0);
+
+        // REST 1 into the empty file: 554, not an underflowed plan.
+        let (r, _) = s.handle(&Command::Rest(1), &st);
+        assert_eq!(r.code, 350);
+        let (r, plan) = s.handle(&Command::Retr("/home/ftp/empty".into()), &st);
+        assert_eq!(r.code, 554, "plan: {plan:?}");
+        assert!(plan.is_none());
+
+        // ERET with nonzero offset: same 554.
+        let (r, plan) = s.handle(&Command::EretPartial(1, 10, "/home/ftp/empty".into()), &st);
+        assert_eq!(r.code, 554, "plan: {plan:?}");
+        assert!(plan.is_none());
+
+        // ERET at offset 0 of the empty file: zero-byte plan, no error.
+        let (r, plan) = s.handle(&Command::EretPartial(0, 10, "/home/ftp/empty".into()), &st);
+        assert_eq!(r.code, 150);
+        assert_eq!(plan.unwrap().bytes, 0);
     }
 
     #[test]

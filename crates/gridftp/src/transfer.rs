@@ -31,7 +31,7 @@ use std::collections::HashMap;
 
 use wanpred_logfmt::{Operation, TransferLog, TransferRecord, TransferRecordBuilder};
 use wanpred_simnet::engine::{Ctx, TimerTag};
-use wanpred_simnet::flow::{FlowDone, FlowId, FlowSpec, TcpParams};
+use wanpred_simnet::flow::{FlowDone, FlowFailed, FlowId, FlowSpec, TcpParams};
 use wanpred_simnet::time::{SimDuration, SimTime};
 use wanpred_simnet::topology::NodeId;
 use wanpred_storage::{AccessId, StorageServer};
@@ -42,9 +42,147 @@ use crate::server::ServerConfig;
 /// must forward any tag for which [`owns_tag`] is true.
 pub const TAG_BASE: TimerTag = 1 << 62;
 
+/// Bit offset of the timer-kind field inside a manager tag.
+const KIND_SHIFT: u32 = 56;
+/// Bit offset of the attempt number inside a manager tag.
+const ATTEMPT_SHIFT: u32 = 48;
+/// Low bits holding the transfer id.
+const ID_MASK: u64 = (1 << ATTEMPT_SHIFT) - 1;
+/// Timer kind: control-channel setup finished, start the data flows.
+const KIND_SETUP: u64 = 0;
+/// Timer kind: the per-attempt deadline expired.
+const KIND_DEADLINE: u64 = 1;
+
+fn setup_tag(id: u64, attempt: u32) -> TimerTag {
+    TAG_BASE | (KIND_SETUP << KIND_SHIFT) | ((u64::from(attempt) & 0xFF) << ATTEMPT_SHIFT) | id
+}
+
+fn deadline_tag(id: u64, attempt: u32) -> TimerTag {
+    TAG_BASE | (KIND_DEADLINE << KIND_SHIFT) | ((u64::from(attempt) & 0xFF) << ATTEMPT_SHIFT) | id
+}
+
 /// Does a timer tag belong to a [`TransferManager`]?
 pub fn owns_tag(tag: TimerTag) -> bool {
     tag & TAG_BASE != 0
+}
+
+/// Retry-and-timeout policy applied to every transfer a manager runs.
+///
+/// An *attempt* ends in one of three ways: completion, a connection
+/// reset (an injected flow kill), or the attempt deadline expiring. On
+/// the latter two, surviving legs are torn down, the delivered byte
+/// counts are retained, and — while the attempt budget lasts — a fresh
+/// attempt is scheduled after an exponentially growing, jittered backoff
+/// that resumes each leg from its delivered offset via the partial
+/// (`REST`) machinery. Backoff for completed attempt `k` (1-based) is
+/// `min(backoff_base * backoff_factor^(k-1), backoff_max)`, scaled by a
+/// deterministic jitter in `[1 - jitter_frac, 1 + jitter_frac)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempt budget, including the first try (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied per further failed attempt.
+    pub backoff_factor: f64,
+    /// Upper bound on the backoff delay.
+    pub backoff_max: SimDuration,
+    /// Jitter half-width as a fraction of the backoff (decorrelates
+    /// retry storms; deterministic per transfer and attempt).
+    pub jitter_frac: f64,
+    /// Fixed floor of every attempt deadline (covers setup latency).
+    pub deadline_floor: SimDuration,
+    /// The deadline allows the attempt's remaining bytes to move at this
+    /// floor rate (KB/s) before declaring the attempt dead.
+    pub deadline_kbs: f64,
+}
+
+impl RetryPolicy {
+    /// A calibrated wide-area policy: five attempts, 5 s → 5 min
+    /// exponential backoff with 25 % jitter, and a deadline sized so an
+    /// attempt effectively moving under 50 KB/s (far below even the
+    /// congested testbed floor) is declared dead.
+    pub fn wan_default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            backoff_base: SimDuration::from_secs(5),
+            backoff_factor: 2.0,
+            backoff_max: SimDuration::from_mins(5),
+            jitter_frac: 0.25,
+            deadline_floor: SimDuration::from_secs(60),
+            deadline_kbs: 50.0,
+        }
+    }
+
+    /// Backoff delay after `failed_attempts` completed attempts (≥ 1)
+    /// for transfer `id`, jitter included.
+    fn backoff(&self, id: u64, failed_attempts: u32) -> SimDuration {
+        let exp = self
+            .backoff_factor
+            .powi(failed_attempts.saturating_sub(1) as i32);
+        let raw = (self.backoff_base.as_secs_f64() * exp).min(self.backoff_max.as_secs_f64());
+        // Deterministic jitter in [1 - f, 1 + f): transfers are decorrelated
+        // by id, attempts by the counter, with no shared RNG state.
+        let unit = jitter_unit(id, failed_attempts);
+        let scale = 1.0 + self.jitter_frac * (2.0 * unit - 1.0);
+        SimDuration::from_secs_f64((raw * scale).max(0.0))
+    }
+
+    /// Deadline for an attempt still owing `remaining` bytes.
+    fn deadline(&self, remaining: u64) -> SimDuration {
+        self.deadline_floor
+            + SimDuration::from_secs_f64(remaining as f64 / (self.deadline_kbs * 1000.0))
+    }
+}
+
+/// SplitMix64-style avalanche of `(id, attempt)` to a unit float.
+fn jitter_unit(id: u64, attempt: u32) -> f64 {
+    let mut z = id ^ (u64::from(attempt) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Why an attempt (or a whole transfer) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// A data flow was torn down by the network (connection reset).
+    ConnectionReset,
+    /// The attempt deadline expired (stalled or crawling transfer).
+    DeadlineExceeded,
+}
+
+/// Recovery-path notifications surfaced to the embedding agent. Drain
+/// with [`TransferManager::take_events`] after forwarding timer and flow
+/// events.
+#[derive(Debug, Clone)]
+pub enum TransferEvent {
+    /// An attempt failed and another one was scheduled.
+    RetryScheduled {
+        /// The transfer.
+        token: TransferToken,
+        /// The upcoming attempt number (2 = first retry).
+        attempt: u32,
+        /// Backoff delay before the attempt's control setup starts.
+        delay: SimDuration,
+        /// What ended the previous attempt.
+        reason: FailureReason,
+        /// Bytes delivered so far across all attempts and legs.
+        delivered_bytes: u64,
+    },
+    /// The transfer exhausted its attempt budget and was abandoned.
+    /// No ULM record is written (servers log completed transfers only).
+    Failed {
+        /// The transfer.
+        token: TransferToken,
+        /// Attempts consumed.
+        attempts: u32,
+        /// What ended the final attempt.
+        reason: FailureReason,
+        /// Bytes delivered so far across all attempts and legs.
+        delivered_bytes: u64,
+    },
 }
 
 /// Identifier of a submitted transfer.
@@ -151,8 +289,12 @@ pub struct CompletedTransfer {
     /// Total bytes moved across all legs.
     pub bytes: u64,
     /// End-to-end bandwidth in KB/s over submit→finish (the paper's
-    /// definition: file size / transfer time).
+    /// definition: file size / transfer time). For transfers that
+    /// recovered from failed attempts, the denominator includes backoff
+    /// and re-setup time — the end-to-end experience.
     pub bandwidth_kbs: f64,
+    /// Attempts consumed (1 = clean first try).
+    pub attempts: u32,
     /// A record describing the whole logical transfer from the primary
     /// server's perspective (for single-leg transfers this is exactly
     /// the record appended to the primary server's log).
@@ -170,11 +312,32 @@ struct ServerRuntime {
 struct Leg {
     src: NodeId,
     dst: NodeId,
+    /// Bytes the *current* attempt still has to move on this leg.
     bytes: u64,
+    /// Bytes delivered by earlier (failed) attempts: the REST offset the
+    /// current attempt resumes from. The leg's original share is
+    /// `bytes + prior_delivered`.
+    prior_delivered: u64,
     flow: Option<FlowId>,
     src_access: Option<(NodeId, AccessId)>,
     dst_access: Option<(NodeId, AccessId)>,
     done: bool,
+}
+
+impl Leg {
+    /// Bytes delivered so far across all attempts.
+    fn delivered(&self) -> u64 {
+        if self.done {
+            self.prior_delivered + self.bytes
+        } else {
+            self.prior_delivered
+        }
+    }
+
+    /// The leg's original payload share (for logging).
+    fn share(&self) -> u64 {
+        self.bytes + self.prior_delivered
+    }
 }
 
 /// In-flight transfer state.
@@ -194,6 +357,10 @@ struct Inflight {
     submitted: SimTime,
     legs: Vec<Leg>,
     pending: usize,
+    /// Current attempt number (1-based; bumped when a retry is scheduled).
+    attempt: u32,
+    /// Control-channel setup delay, re-charged on every attempt.
+    setup: SimDuration,
 }
 
 /// The embedded transfer engine.
@@ -205,6 +372,10 @@ pub struct TransferManager {
     next: u64,
     /// Unix seconds corresponding to `SimTime::ZERO`.
     epoch_unix: u64,
+    /// Retry/timeout policy; `None` fails transfers on the first fault.
+    retry: Option<RetryPolicy>,
+    /// Recovery notifications awaiting [`TransferManager::take_events`].
+    events: Vec<TransferEvent>,
 }
 
 impl TransferManager {
@@ -218,7 +389,28 @@ impl TransferManager {
             by_flow: HashMap::new(),
             next: 0,
             epoch_unix,
+            retry: None,
+            events: Vec::new(),
         }
+    }
+
+    /// Install a retry/timeout policy (attempt deadlines, exponential
+    /// backoff, resume-from-offset). Without one, a connection reset
+    /// fails the transfer outright and no deadlines are armed.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        self.retry = Some(policy);
+    }
+
+    /// The installed retry policy, if any.
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
+    }
+
+    /// Drain pending recovery notifications (retries scheduled, transfers
+    /// abandoned). Call after forwarding timer/flow events.
+    pub fn take_events(&mut self) -> Vec<TransferEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Register a GridFTP server at a node.
@@ -286,7 +478,9 @@ impl TransferManager {
         let apply_partial = |total: u64, partial: Option<(u64, u64)>| -> Result<u64, SubmitError> {
             match partial {
                 Some((off, len)) => {
-                    if off >= total && total > 0 {
+                    // Any nonzero offset at or past EOF is a 554 — including
+                    // into a zero-size file, where `total - off` would wrap.
+                    if off > 0 && off >= total {
                         return Err(SubmitError::BadOffset);
                     }
                     Ok(len.min(total - off))
@@ -413,6 +607,7 @@ impl TransferManager {
                         src,
                         dst,
                         bytes,
+                        prior_delivered: 0,
                         flow: None,
                         src_access: None,
                         dst_access: None,
@@ -420,9 +615,11 @@ impl TransferManager {
                     })
                     .collect(),
                 pending,
+                attempt: 1,
+                setup,
             },
         );
-        ctx.set_timer(setup, TAG_BASE | id);
+        ctx.set_timer(setup, setup_tag(id, 1));
         Ok(token)
     }
 
@@ -432,10 +629,26 @@ impl TransferManager {
         if !owns_tag(tag) {
             return false;
         }
-        let id = tag & !TAG_BASE;
+        let id = tag & ID_MASK;
+        let kind = (tag >> KIND_SHIFT) & 0x3F;
+        let attempt = ((tag >> ATTEMPT_SHIFT) & 0xFF) as u32;
+        match kind {
+            KIND_SETUP => self.start_attempt(ctx, id, attempt),
+            KIND_DEADLINE => self.deadline_fired(ctx, id, attempt),
+            _ => {}
+        }
+        true
+    }
+
+    /// A setup timer fired: open storage accesses and start the data
+    /// flows for every unfinished leg, then arm the attempt deadline.
+    fn start_attempt(&mut self, ctx: &mut Ctx<'_>, id: u64, attempt: u32) {
         let Some(t) = self.inflight.get(&id) else {
-            return true; // stale timer for an aborted transfer
+            return; // stale timer for an aborted transfer
         };
+        if t.attempt != attempt {
+            return; // stale setup from a superseded attempt
+        }
         let path = t.path.clone();
         let streams = t.streams;
         let tcp_buffer = t.tcp_buffer;
@@ -443,6 +656,7 @@ impl TransferManager {
             .legs
             .iter()
             .enumerate()
+            .filter(|(_, l)| !l.done)
             .map(|(i, l)| (i, l.src, l.dst, l.bytes))
             .collect();
 
@@ -483,7 +697,118 @@ impl TransferManager {
         // Contention changed at every touched server: refresh every
         // affected cap, including the new flows' own.
         self.refresh_caps(ctx, &touched);
+
+        // Arm this attempt's deadline, sized to its remaining bytes.
+        if let Some(p) = &self.retry {
+            let t = &self.inflight[&id];
+            let remaining: u64 = t.legs.iter().filter(|l| !l.done).map(|l| l.bytes).sum();
+            ctx.set_timer(p.deadline(remaining), deadline_tag(id, attempt));
+        }
+    }
+
+    /// A deadline timer fired. Ignore it unless it belongs to the
+    /// transfer's *current* attempt (completion removes the transfer;
+    /// failure bumps the attempt counter, staling old deadlines).
+    fn deadline_fired(&mut self, ctx: &mut Ctx<'_>, id: u64, attempt: u32) {
+        let Some(t) = self.inflight.get(&id) else {
+            return;
+        };
+        if t.attempt != attempt {
+            return;
+        }
+        self.fail_attempt(ctx, id, FailureReason::DeadlineExceeded);
+    }
+
+    /// Handle a flow-failed event (connection reset injected by the
+    /// network). Returns `true` if the flow belonged to this manager.
+    pub fn on_flow_failed(&mut self, ctx: &mut Ctx<'_>, failed: &FlowFailed) -> bool {
+        let Some(&id) = self.by_flow.get(&failed.id) else {
+            return false;
+        };
+        // The network already tore the flow down: credit its delivered
+        // bytes to the leg, then fail the whole attempt (GridFTP aborts
+        // the transfer when any stripe's connection drops).
+        self.by_flow.remove(&failed.id);
+        let t = self.inflight.get_mut(&id).expect("flow maps to inflight");
+        if let Some(leg) = t.legs.iter_mut().find(|l| l.flow == Some(failed.id)) {
+            leg.flow = None;
+            let delivered = failed.delivered_bytes.min(leg.bytes);
+            leg.prior_delivered += delivered;
+            leg.bytes -= delivered;
+        }
+        self.fail_attempt(ctx, id, FailureReason::ConnectionReset);
         true
+    }
+
+    /// Tear down the current attempt (abort surviving flows, close
+    /// storage accesses, bank delivered bytes) and either schedule the
+    /// next attempt or abandon the transfer.
+    fn fail_attempt(&mut self, ctx: &mut Ctx<'_>, id: u64, reason: FailureReason) {
+        let mut touched = Vec::new();
+        {
+            let t = self
+                .inflight
+                .get_mut(&id)
+                .expect("failing unknown transfer");
+            for leg in &mut t.legs {
+                if leg.done {
+                    continue;
+                }
+                if let Some(flow) = leg.flow.take() {
+                    self.by_flow.remove(&flow);
+                    if let Some(fraction) = ctx.abort_flow(flow) {
+                        let delivered =
+                            ((fraction * leg.bytes as f64).floor() as u64).min(leg.bytes);
+                        leg.prior_delivered += delivered;
+                        leg.bytes -= delivered;
+                    }
+                }
+                for access in [leg.src_access.take(), leg.dst_access.take()]
+                    .into_iter()
+                    .flatten()
+                {
+                    let (node, a) = access;
+                    if let Some(rt) = self.servers.get_mut(&node) {
+                        rt.storage.close(a);
+                    }
+                    touched.push(Some(node));
+                }
+            }
+        }
+        self.refresh_caps(ctx, &touched);
+
+        let t = self.inflight.get_mut(&id).expect("still present");
+        let delivered: u64 = t.legs.iter().map(Leg::delivered).sum();
+        let retry_allowed = self
+            .retry
+            .as_ref()
+            .map(|p| t.attempt < p.max_attempts)
+            .unwrap_or(false);
+        if retry_allowed {
+            let policy = self.retry.as_ref().expect("checked above");
+            let failed_attempts = t.attempt;
+            t.attempt += 1;
+            t.pending = t.legs.iter().filter(|l| !l.done).count();
+            let backoff = policy.backoff(id, failed_attempts);
+            // Re-run control-channel setup after the backoff: retries pay
+            // authentication and command round trips again.
+            ctx.set_timer(backoff + t.setup, setup_tag(id, t.attempt));
+            self.events.push(TransferEvent::RetryScheduled {
+                token: t.token,
+                attempt: t.attempt,
+                delay: backoff,
+                reason,
+                delivered_bytes: delivered,
+            });
+        } else {
+            let t = self.inflight.remove(&id).expect("still present");
+            self.events.push(TransferEvent::Failed {
+                token: t.token,
+                attempts: t.attempt,
+                reason,
+                delivered_bytes: delivered,
+            });
+        }
     }
 
     /// Handle a flow completion. Returns the completed transfer when its
@@ -560,6 +885,8 @@ impl TransferManager {
         // Each involved registered server logs the bytes it served; the
         // remote party is the other data endpoint (or the client for
         // GET/PUT, matching Figure 3 where LBL logs the ANL client).
+        // A retried leg logs its full original share (earlier attempts'
+        // bytes included), so per-server records sum to the file size.
         for leg in &t.legs {
             for (server_node, op_here) in [(leg.src, Operation::Read), (leg.dst, Operation::Write)]
             {
@@ -576,7 +903,7 @@ impl TransferManager {
                 } else {
                     t.client
                 };
-                let record = build_record(self, server_node, remote, leg.bytes, op_here);
+                let record = build_record(self, server_node, remote, leg.share(), op_here);
                 self.servers
                     .get_mut(&server_node)
                     .expect("checked above")
@@ -599,6 +926,7 @@ impl TransferManager {
             finished,
             bytes: t.total_bytes,
             bandwidth_kbs,
+            attempts: t.attempt,
             record,
         })
     }
@@ -627,7 +955,7 @@ impl TransferManager {
                 }
                 None => 0.0, // setup timer still pending
             };
-            delivered += leg_fraction * leg.bytes as f64;
+            delivered += leg_fraction * leg.bytes as f64 + leg.prior_delivered as f64;
             for access in [leg.src_access, leg.dst_access].into_iter().flatten() {
                 let (node, a) = access;
                 if let Some(rt) = self.servers.get_mut(&node) {
@@ -1114,6 +1442,307 @@ mod tests {
         let d = eng.agent::<Driver>(id).unwrap();
         assert!(matches!(d.errors[0], SubmitError::FileNotFound(_)));
         let _ = (anl, lbl, isi);
+    }
+
+    // ---- zero-size files (regression) ---------------------------------
+
+    #[test]
+    fn zero_size_get_offset_rejected_and_offset_zero_legal() {
+        // Regression: a nonzero partial offset into a zero-size file used
+        // to pass the `off >= total && total > 0` guard and wrap
+        // `total - off`; it must be a 554/BadOffset.
+        let (net, anl, lbl, isi) = testnet();
+        let mut mgr = manager(anl, lbl, isi);
+        mgr.servers
+            .get_mut(&lbl)
+            .unwrap()
+            .storage
+            .catalog_mut()
+            .put_file("/home/ftp/empty", 0)
+            .unwrap();
+        let mut bad = get_req(anl, lbl, "/home/ftp/empty");
+        bad.partial = Some((5, 10));
+        let mut ok = get_req(anl, lbl, "/home/ftp/empty");
+        ok.partial = Some((0, 10));
+        let mut eng = Engine::new(net);
+        let id = eng.add_agent(Box::new(Driver {
+            mgr,
+            script: vec![
+                (SimDuration::from_secs(1), bad),
+                (SimDuration::from_secs(2), ok),
+            ],
+            completed: Vec::new(),
+            errors: Vec::new(),
+        }));
+        eng.run_until(SimTime::from_secs(60));
+        let d = eng.agent::<Driver>(id).unwrap();
+        assert_eq!(d.errors, vec![SubmitError::BadOffset]);
+        assert_eq!(d.completed.len(), 1, "offset 0 into empty file is legal");
+        assert_eq!(d.completed[0].bytes, 0);
+    }
+
+    // ---- faults and retries -------------------------------------------
+
+    use wanpred_simnet::fault::{FaultAction, FaultSchedule, TimedFault};
+
+    /// Driver that forwards flow failures to the manager and collects
+    /// recovery events.
+    struct FaultyDriver {
+        mgr: TransferManager,
+        script: Vec<(SimDuration, TransferRequest)>,
+        completed: Vec<CompletedTransfer>,
+        events: Vec<TransferEvent>,
+        errors: Vec<SubmitError>,
+    }
+
+    impl FaultyDriver {
+        fn drain(&mut self) {
+            self.events.extend(self.mgr.take_events());
+        }
+    }
+
+    impl Agent for FaultyDriver {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for (i, (delay, _)) in self.script.iter().enumerate() {
+                ctx.set_timer(*delay, i as TimerTag);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+            if !self.mgr.on_timer(ctx, tag) {
+                let req = self.script[tag as usize].1.clone();
+                if let Err(e) = self.mgr.submit(ctx, req) {
+                    self.errors.push(e);
+                }
+            }
+            self.drain();
+        }
+        fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
+            if let Some(c) = self.mgr.on_flow_complete(ctx, &done) {
+                self.completed.push(c);
+            }
+            self.drain();
+        }
+        fn on_flow_failed(&mut self, ctx: &mut Ctx<'_>, failed: FlowFailed) {
+            self.mgr.on_flow_failed(ctx, &failed);
+            self.drain();
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn run_faulty(
+        script: Vec<(SimDuration, TransferRequest)>,
+        policy: Option<RetryPolicy>,
+        faults: FaultSchedule,
+        secs: u64,
+    ) -> FaultyDriver {
+        let (net, anl, lbl, isi) = testnet();
+        let mut mgr = manager(anl, lbl, isi);
+        if let Some(p) = policy {
+            mgr.set_retry_policy(p);
+        }
+        let mut eng = Engine::new(net);
+        eng.inject_faults(&faults);
+        let id = eng.add_agent(Box::new(FaultyDriver {
+            mgr,
+            script,
+            completed: Vec::new(),
+            events: Vec::new(),
+            errors: Vec::new(),
+        }));
+        eng.run_until(SimTime::from_secs(secs));
+        let d = eng.agent_mut::<FaultyDriver>(id).unwrap();
+        std::mem::replace(
+            d,
+            FaultyDriver {
+                mgr: TransferManager::new(0),
+                script: Vec::new(),
+                completed: Vec::new(),
+                events: Vec::new(),
+                errors: Vec::new(),
+            },
+        )
+    }
+
+    /// Kill the lbl→anl data flow mid-transfer; with a retry policy the
+    /// transfer resumes from the delivered offset and completes, and its
+    /// `total_time_s` spans submit→final completion (backoff included).
+    #[test]
+    fn killed_flow_retries_resumes_and_logs_end_to_end_time() {
+        let (net, anl, lbl, _) = testnet();
+        let link = net.topology().route(lbl, anl).unwrap().links[0];
+        let faults = FaultSchedule::from_events(vec![TimedFault {
+            at: SimTime::from_secs(5),
+            action: FaultAction::KillFlows(link),
+        }]);
+        let d = run_faulty(
+            vec![(
+                SimDuration::from_secs(1),
+                get_req(anl, lbl, "/home/ftp/vazhkuda/100MB"),
+            )],
+            Some(RetryPolicy::wan_default()),
+            faults,
+            600,
+        );
+        assert_eq!(d.completed.len(), 1, "errors {:?}", d.errors);
+        let c = &d.completed[0];
+        assert_eq!(c.attempts, 2);
+        assert_eq!(c.bytes, 102_400_000);
+        assert!(d
+            .events
+            .iter()
+            .any(|e| matches!(e, TransferEvent::RetryScheduled { attempt: 2, .. })));
+        // The kill at t=5 delivered ~40 MB; with a >=3.75 s backoff and
+        // re-setup, end-to-end time must exceed the clean ~9.2 s run.
+        let secs = c.finished.saturating_since(c.submitted).as_secs_f64();
+        assert!(secs > 12.0, "took {secs}s — no recovery time included?");
+        assert!((c.record.total_time_s - secs).abs() < 0.5);
+        // The server logged the whole file once, not just the resumed tail.
+        let log = d.mgr.server_log(NodeId(1)).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records()[0].file_size, 102_400_000);
+    }
+
+    /// Without a retry policy, a connection reset abandons the transfer:
+    /// a `Failed` event, no log record, nothing left in flight.
+    #[test]
+    fn killed_flow_without_policy_fails_fast() {
+        let (net, anl, lbl, _) = testnet();
+        let link = net.topology().route(lbl, anl).unwrap().links[0];
+        let faults = FaultSchedule::from_events(vec![TimedFault {
+            at: SimTime::from_secs(5),
+            action: FaultAction::KillFlows(link),
+        }]);
+        let d = run_faulty(
+            vec![(
+                SimDuration::from_secs(1),
+                get_req(anl, lbl, "/home/ftp/vazhkuda/100MB"),
+            )],
+            None,
+            faults,
+            600,
+        );
+        assert!(d.completed.is_empty());
+        assert_eq!(d.mgr.inflight_count(), 0);
+        assert_eq!(d.mgr.server_log(NodeId(1)).unwrap().len(), 0);
+        match &d.events[..] {
+            [TransferEvent::Failed {
+                attempts,
+                reason,
+                delivered_bytes,
+                ..
+            }] => {
+                assert_eq!(*attempts, 1);
+                assert_eq!(*reason, FailureReason::ConnectionReset);
+                assert!(*delivered_bytes > 0);
+            }
+            other => panic!("expected one Failed event, got {other:?}"),
+        }
+    }
+
+    /// A striped transfer loses one stripe's flow to a fault: the whole
+    /// attempt aborts (both legs torn down) and the retry re-splits the
+    /// remaining bytes, completing with per-server logs that sum to the
+    /// file size.
+    #[test]
+    fn striped_transfer_aborts_under_fault_and_recovers() {
+        let (net, anl, _, isi) = testnet();
+        let isi_link = net.topology().route(isi, anl).unwrap().links[0];
+        let faults = FaultSchedule::from_events(vec![TimedFault {
+            at: SimTime::from_secs(10),
+            action: FaultAction::KillFlows(isi_link),
+        }]);
+        let (_, anl2, lbl2, isi2) = testnet();
+        let d = run_faulty(
+            vec![(
+                SimDuration::from_secs(1),
+                striped_req(anl2, vec![lbl2, isi2], "/home/ftp/vazhkuda/500MB"),
+            )],
+            Some(RetryPolicy::wan_default()),
+            faults,
+            900,
+        );
+        let _ = anl;
+        assert_eq!(d.completed.len(), 1, "errors {:?}", d.errors);
+        let c = &d.completed[0];
+        assert_eq!(c.attempts, 2);
+        assert_eq!(c.bytes, 512_000_000);
+        // Both stripes' logs carry their full original share.
+        let lbl_rec = &d.mgr.server_log(lbl2).unwrap().records()[0];
+        let isi_rec = &d.mgr.server_log(isi2).unwrap().records()[0];
+        assert_eq!(lbl_rec.file_size + isi_rec.file_size, 512_000_000);
+        // During the attempt no storage access leaked.
+        assert_eq!(d.mgr.storage(lbl2).unwrap().disk_population(), 0);
+        assert_eq!(d.mgr.storage(isi2).unwrap().disk_population(), 0);
+    }
+
+    /// An outage stalls the only data flow; the attempt deadline expires,
+    /// and the retry lands after the link recovers.
+    #[test]
+    fn deadline_times_out_stalled_attempt_then_recovers() {
+        let (net, anl, lbl, _) = testnet();
+        let link = net.topology().route(lbl, anl).unwrap().links[0];
+        let faults = FaultSchedule::from_events(vec![
+            TimedFault {
+                at: SimTime::from_secs(3),
+                action: FaultAction::LinkDown(link),
+            },
+            TimedFault {
+                at: SimTime::from_secs(40),
+                action: FaultAction::LinkUp(link),
+            },
+        ]);
+        let policy = RetryPolicy {
+            // Tight deadline so the stall is caught inside the outage.
+            deadline_floor: SimDuration::from_secs(5),
+            deadline_kbs: 10_000.0,
+            ..RetryPolicy::wan_default()
+        };
+        let d = run_faulty(
+            vec![(
+                SimDuration::from_secs(1),
+                get_req(anl, lbl, "/home/ftp/vazhkuda/100MB"),
+            )],
+            Some(policy),
+            faults,
+            600,
+        );
+        assert_eq!(d.completed.len(), 1, "events {:?}", d.events);
+        let c = &d.completed[0];
+        assert!(c.attempts >= 2, "attempts {}", c.attempts);
+        assert!(
+            c.finished > SimTime::from_secs(40),
+            "finished {} before the link came back",
+            c.finished
+        );
+        assert!(d.events.iter().any(|e| matches!(
+            e,
+            TransferEvent::RetryScheduled {
+                reason: FailureReason::DeadlineExceeded,
+                ..
+            }
+        )));
+    }
+
+    /// Retry backoff grows and is jittered deterministically.
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let p = RetryPolicy::wan_default();
+        let b1 = p.backoff(7, 1);
+        let b2 = p.backoff(7, 2);
+        let b3 = p.backoff(7, 3);
+        assert_eq!(b1, p.backoff(7, 1), "same inputs, same backoff");
+        // Jitter is ±25%, growth is 2x: consecutive backoffs still rank.
+        assert!(b2 > b1, "{b1} !< {b2}");
+        assert!(b3 > b2, "{b2} !< {b3}");
+        assert_ne!(p.backoff(8, 1), b1, "different transfers decorrelate");
+        // Bounded by backoff_max plus jitter headroom.
+        let late = p.backoff(7, 30);
+        assert!(late.as_secs_f64() <= 300.0 * 1.25);
     }
 
     // ---- aborts -------------------------------------------------------

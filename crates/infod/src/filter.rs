@@ -219,10 +219,15 @@ impl Parser<'_> {
     }
 }
 
-fn cmp_values(a: &str, b: &str) -> std::cmp::Ordering {
+/// Compare two attribute values: numerically when both parse as finite
+/// numbers, lexically when neither does. `None` means *not comparable* —
+/// a NaN (which `"NaN".parse::<f64>()` happily produces) or a
+/// numeric/non-numeric mix must not satisfy an ordering filter.
+fn cmp_values(a: &str, b: &str) -> Option<std::cmp::Ordering> {
     match (a.parse::<f64>(), b.parse::<f64>()) {
-        (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
-        _ => a.cmp(b),
+        (Ok(x), Ok(y)) => x.partial_cmp(&y),
+        (Err(_), Err(_)) => Some(a.cmp(b)),
+        _ => None,
     }
 }
 
@@ -262,14 +267,18 @@ impl Filter {
             Filter::Not(f) => !f.matches(e),
             Filter::Present(a) => e.has(a),
             Filter::Eq(a, v) => e.get_all(a).iter().any(|x| x.eq_ignore_ascii_case(v)),
-            Filter::Ge(a, v) => e
-                .get_all(a)
-                .iter()
-                .any(|x| cmp_values(x, v) != std::cmp::Ordering::Less),
-            Filter::Le(a, v) => e
-                .get_all(a)
-                .iter()
-                .any(|x| cmp_values(x, v) != std::cmp::Ordering::Greater),
+            Filter::Ge(a, v) => e.get_all(a).iter().any(|x| {
+                matches!(
+                    cmp_values(x, v),
+                    Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                )
+            }),
+            Filter::Le(a, v) => e.get_all(a).iter().any(|x| {
+                matches!(
+                    cmp_values(x, v),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                )
+            }),
             Filter::Substring(a, parts) => e.get_all(a).iter().any(|x| substring_match(parts, x)),
         }
     }
@@ -308,6 +317,26 @@ mod tests {
         assert!(parse("(avgrdbandwidth<=7000)").unwrap().matches(&e));
         // Numeric, not lexical: "999" < "6062".
         assert!(parse("(avgrdbandwidth>=999)").unwrap().matches(&e));
+    }
+
+    /// Regression: `partial_cmp(..).unwrap_or(Equal)` made NaN and
+    /// non-numeric attribute values satisfy every `>=`/`<=` filter. A
+    /// value that is not comparable to the bound must not match.
+    #[test]
+    fn non_comparable_values_fail_ordering_filters() {
+        let mut e = Entry::new(Dn::parse("cn=y, o=grid").unwrap());
+        e.add("avgrdbandwidth", "NaN");
+        assert!(!parse("(avgrdbandwidth>=1)").unwrap().matches(&e));
+        assert!(!parse("(avgrdbandwidth<=1)").unwrap().matches(&e));
+
+        let mut e2 = Entry::new(Dn::parse("cn=z, o=grid").unwrap());
+        e2.add("avgrdbandwidth", "unknown");
+        // Mixed numeric bound vs non-numeric value: not comparable.
+        assert!(!parse("(avgrdbandwidth>=1)").unwrap().matches(&e2));
+        assert!(!parse("(avgrdbandwidth<=1)").unwrap().matches(&e2));
+        // Two non-numeric values still compare lexically.
+        assert!(parse("(avgrdbandwidth>=aaa)").unwrap().matches(&e2));
+        assert!(!parse("(avgrdbandwidth<=aaa)").unwrap().matches(&e2));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::any::Any;
 
 use serde::{Deserialize, Serialize};
 use wanpred_simnet::engine::{Agent, Ctx, TimerTag};
-use wanpred_simnet::flow::{FlowDone, FlowSpec, TcpParams};
+use wanpred_simnet::flow::{FlowDone, FlowFailed, FlowSpec, TcpParams};
 use wanpred_simnet::time::{SimDuration, SimTime};
 use wanpred_simnet::topology::NodeId;
 
@@ -79,6 +79,7 @@ pub struct ProbeAgent {
     measurements: Vec<ProbeMeasurement>,
     in_flight: Option<(wanpred_simnet::flow::FlowId, SimTime)>,
     timeouts: usize,
+    failures: usize,
 }
 
 impl ProbeAgent {
@@ -89,6 +90,7 @@ impl ProbeAgent {
             measurements: Vec::new(),
             in_flight: None,
             timeouts: 0,
+            failures: 0,
         }
     }
 
@@ -100,6 +102,12 @@ impl ProbeAgent {
     /// Probes abandoned after the timeout.
     pub fn timeouts(&self) -> usize {
         self.timeouts
+    }
+
+    /// Probes torn down by the network (connection resets). Like NWS,
+    /// the sensor records nothing for them and keeps its schedule.
+    pub fn failures(&self) -> usize {
+        self.failures
     }
 
     fn launch(&mut self, ctx: &mut Ctx<'_>) {
@@ -168,6 +176,15 @@ impl Agent for ProbeAgent {
                     },
                 });
                 self.in_flight = None;
+            }
+        }
+    }
+
+    fn on_flow_failed(&mut self, _ctx: &mut Ctx<'_>, failed: FlowFailed) {
+        if let Some((id, _)) = self.in_flight {
+            if id == failed.id {
+                self.in_flight = None;
+                self.failures += 1;
             }
         }
     }
@@ -267,6 +284,28 @@ mod tests {
             "window-limited probes should be comparatively stable"
         );
         assert!(mean < 0.3e6, "and below the 0.3 MB/s ceiling");
+    }
+
+    #[test]
+    fn killed_probe_frees_the_sensor() {
+        use wanpred_simnet::fault::{FaultAction, FaultSchedule, TimedFault};
+
+        let (network, a, b) = net(12e6, true);
+        let link = network.topology().links().next().unwrap().0;
+        let mut eng = Engine::new(network);
+        // Kill whatever is on the link shortly after the first probe
+        // launches; the sensor must drop it and stay on schedule.
+        eng.inject_faults(&FaultSchedule::from_events(vec![TimedFault {
+            at: SimTime::from_secs_f64(0.2),
+            action: FaultAction::KillFlows(link),
+        }]));
+        let id = eng.add_agent(Box::new(ProbeAgent::new(ProbeConfig::paper_default(a, b))));
+        eng.run_until(SimTime::from_secs(3_600));
+        let agent = eng.agent::<ProbeAgent>(id).unwrap();
+        assert_eq!(agent.failures(), 1);
+        assert_eq!(agent.timeouts(), 0);
+        // 12 slots, one lost to the reset.
+        assert_eq!(agent.measurements().len(), 11);
     }
 
     #[test]

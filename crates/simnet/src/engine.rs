@@ -17,7 +17,8 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::flow::{FlowDone, FlowId, FlowSpec};
+use crate::fault::{FaultAction, FaultSchedule};
+use crate::flow::{FlowDone, FlowFailed, FlowId, FlowSpec};
 use crate::network::Network;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::TopologyError;
@@ -45,6 +46,11 @@ pub trait Agent {
     /// A flow started through [`Ctx::start_flow`] finished draining.
     fn on_flow_complete(&mut self, _ctx: &mut Ctx<'_>, _done: FlowDone) {}
 
+    /// A flow started through [`Ctx::start_flow`] was torn down by an
+    /// injected fault (connection reset) before completing. The default
+    /// ignores the event — the flow is simply gone.
+    fn on_flow_failed(&mut self, _ctx: &mut Ctx<'_>, _failed: FlowFailed) {}
+
     /// Downcasting support so drivers can retrieve results after a run.
     fn as_any(&self) -> &dyn Any;
 
@@ -52,12 +58,17 @@ pub trait Agent {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 enum EventKind {
     LoadTick,
     Timer { agent: AgentId, tag: TimerTag },
     Ramp { flow: FlowId },
+    Fault(FaultAction),
 }
+
+// Degradation factors are finite by construction (drawn from a bounded
+// range), so the reflexive-equality marker is sound despite the f64.
+impl Eq for EventKind {}
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Event {
@@ -202,6 +213,22 @@ impl Engine {
         id
     }
 
+    /// Inject a fault schedule: every action is queued at its scheduled
+    /// time and applied to the network (outages, degradations) or to the
+    /// affected flows' owners (kills) as the run reaches it. May be
+    /// called multiple times; schedules accumulate. Must be called
+    /// before the events' times are reached to take effect.
+    pub fn inject_faults(&mut self, schedule: &FaultSchedule) {
+        for ev in schedule.events() {
+            let e = Event {
+                at: ev.at,
+                seq: bump(&mut self.seq),
+                kind: EventKind::Fault(ev.action),
+            };
+            self.queue.push(Reverse(e));
+        }
+    }
+
     /// Attach a link tracer sampling background weights on every load tick.
     pub fn set_tracer(&mut self, tracer: LinkTracer) {
         self.tracer = Some(tracer);
@@ -311,6 +338,7 @@ impl Engine {
                     EventKind::Timer { agent, tag } => {
                         self.dispatch(agent, Dispatch::Timer(tag));
                     }
+                    EventKind::Fault(action) => self.apply_fault(action, ev.at),
                 }
             }
         }
@@ -318,6 +346,33 @@ impl Engine {
         // `until` even if the queue ran dry earlier.
         if self.time < until {
             self.time = until;
+        }
+    }
+
+    fn apply_fault(&mut self, action: FaultAction, at: SimTime) {
+        match action {
+            FaultAction::LinkDown(l) => self.network.set_link_outage(l, true, at),
+            FaultAction::LinkUp(l) => self.network.set_link_outage(l, false, at),
+            FaultAction::DegradeStart(l, f) => self.network.set_link_degradation(l, f, at),
+            FaultAction::DegradeEnd(l) => self.network.set_link_degradation(l, 1.0, at),
+            FaultAction::KillFlows(l) => {
+                // Deterministic victim order: ascending flow id.
+                let victims = self.network.flows_on_link(l);
+                for id in victims {
+                    let Some(failed) = self.network.fail_flow(id, at) else {
+                        continue;
+                    };
+                    let owner = self
+                        .flow_owner
+                        .iter()
+                        .find(|(f, _)| *f == id)
+                        .map(|(_, a)| *a);
+                    self.flow_owner.retain(|(f, _)| *f != id);
+                    if let Some(owner) = owner {
+                        self.dispatch(owner, Dispatch::FlowFailed(failed));
+                    }
+                }
+            }
         }
     }
 
@@ -336,6 +391,7 @@ impl Engine {
                 Dispatch::Start => agent.on_start(&mut ctx),
                 Dispatch::Timer(tag) => agent.on_timer(&mut ctx, tag),
                 Dispatch::FlowDone(done) => agent.on_flow_complete(&mut ctx, done),
+                Dispatch::FlowFailed(failed) => agent.on_flow_failed(&mut ctx, failed),
             }
         }
         self.agents[id.0] = Some(agent);
@@ -346,6 +402,7 @@ enum Dispatch {
     Start,
     Timer(TimerTag),
     FlowDone(FlowDone),
+    FlowFailed(FlowFailed),
 }
 
 #[cfg(test)]
@@ -525,6 +582,98 @@ mod tests {
             out
         }
         assert_eq!(run(), run());
+    }
+
+    /// Agent that starts one flow at t=0 and records both outcomes.
+    struct Watcher {
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        done: Option<FlowDone>,
+        failed: Option<FlowFailed>,
+    }
+
+    impl Agent for Watcher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let tcp = TcpParams {
+                buffer_bytes: 1 << 24,
+                init_window: 1 << 24,
+                mss: 1460,
+            };
+            ctx.start_flow(FlowSpec::new(self.from, self.to, self.bytes, 1, tcp))
+                .unwrap();
+        }
+        fn on_flow_complete(&mut self, _ctx: &mut Ctx<'_>, done: FlowDone) {
+            self.done = Some(done);
+        }
+        fn on_flow_failed(&mut self, _ctx: &mut Ctx<'_>, failed: FlowFailed) {
+            self.failed = Some(failed);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn outage_window_delays_completion() {
+        use crate::fault::{FaultAction, FaultSchedule, TimedFault};
+        let (network, a, b) = net(1e6);
+        let link = network.topology().route(a, b).unwrap().links[0];
+        let mut eng = Engine::new(network);
+        let id = eng.add_agent(Box::new(Watcher {
+            from: a,
+            to: b,
+            bytes: 1_000_000,
+            done: None,
+            failed: None,
+        }));
+        // Down for [0.5s, 5.5s]: the 1s transfer stretches to ~6s.
+        eng.inject_faults(&FaultSchedule::from_events(vec![
+            TimedFault {
+                at: SimTime::from_secs_f64(0.5),
+                action: FaultAction::LinkDown(link),
+            },
+            TimedFault {
+                at: SimTime::from_secs_f64(5.5),
+                action: FaultAction::LinkUp(link),
+            },
+        ]));
+        eng.run_until(SimTime::from_secs(30));
+        let done = eng.agent::<Watcher>(id).unwrap().done.clone().unwrap();
+        assert!(
+            (done.finished.as_secs_f64() - 6.0).abs() < 0.01,
+            "finished {}",
+            done.finished
+        );
+    }
+
+    #[test]
+    fn kill_dispatches_on_flow_failed() {
+        use crate::fault::{FaultAction, FaultSchedule, TimedFault};
+        let (network, a, b) = net(1e6);
+        let link = network.topology().route(a, b).unwrap().links[0];
+        let mut eng = Engine::new(network);
+        let id = eng.add_agent(Box::new(Watcher {
+            from: a,
+            to: b,
+            bytes: 1_000_000,
+            done: None,
+            failed: None,
+        }));
+        eng.inject_faults(&FaultSchedule::from_events(vec![TimedFault {
+            at: SimTime::from_secs_f64(0.25),
+            action: FaultAction::KillFlows(link),
+        }]));
+        eng.run_until(SimTime::from_secs(30));
+        let w = eng.agent::<Watcher>(id).unwrap();
+        assert!(w.done.is_none(), "flow must not complete");
+        let failed = w.failed.clone().expect("failure delivered");
+        assert!((failed.delivered_fraction - 0.25).abs() < 1e-6);
+        assert_eq!(failed.failed, SimTime::from_secs_f64(0.25));
+        assert_eq!(eng.network().active_flows(), 0);
     }
 
     #[test]

@@ -213,6 +213,25 @@ pub struct FlowDone {
     pub mean_rate: f64,
 }
 
+/// Failure report delivered to the owning agent when a flow is killed by
+/// fault injection (connection reset, server crash) before completing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowFailed {
+    /// The failed flow's id.
+    pub id: FlowId,
+    /// Admission time.
+    pub started: SimTime,
+    /// Time of the failure.
+    pub failed: SimTime,
+    /// Payload size in bytes the flow was carrying.
+    pub bytes: u64,
+    /// Bytes actually delivered before the failure (fluid estimate,
+    /// rounded down).
+    pub delivered_bytes: u64,
+    /// Fraction of the payload delivered, in `[0, 1]`.
+    pub delivered_fraction: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

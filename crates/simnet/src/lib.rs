@@ -49,6 +49,7 @@
 
 pub mod engine;
 pub mod fair;
+pub mod fault;
 pub mod flow;
 pub mod load;
 pub mod network;
@@ -60,7 +61,8 @@ pub mod trace;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::engine::{Agent, AgentId, Ctx, Engine, TimerTag};
-    pub use crate::flow::{FlowDone, FlowId, FlowSpec, TcpParams};
+    pub use crate::fault::{FaultAction, FaultConfig, FaultSchedule, TimedFault};
+    pub use crate::flow::{FlowDone, FlowFailed, FlowId, FlowSpec, TcpParams};
     pub use crate::load::{DiurnalProfile, LinkLoadModel, LoadModelConfig};
     pub use crate::network::Network;
     pub use crate::rng::MasterSeed;

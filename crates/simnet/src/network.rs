@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use crate::fair::{solve, FairFlow};
-use crate::flow::{Flow, FlowDone, FlowId, FlowSpec};
+use crate::flow::{Flow, FlowDone, FlowFailed, FlowId, FlowSpec};
 use crate::load::{LinkLoadModel, LoadModelConfig};
 use crate::rng::MasterSeed;
 use crate::time::{SimDuration, SimTime};
@@ -23,6 +23,12 @@ pub const QUEUE_DELAY_PER_WEIGHT: f64 = 0.015;
 /// Upper bound on the RTT inflation factor.
 pub const QUEUE_FACTOR_MAX: f64 = 2.5;
 
+/// Floor on a link's effective capacity in bytes/sec. The max-min solver
+/// requires strictly positive capacities, so an outage clamps the link
+/// here instead of zero: flows on it stall (their ETA recedes past any
+/// horizon) and recover when the link comes back.
+pub const OUTAGE_CAPACITY_FLOOR: f64 = 1e-3;
+
 /// The live network: topology + load + flows.
 #[derive(Debug)]
 pub struct Network {
@@ -34,6 +40,12 @@ pub struct Network {
     integrated_to: SimTime,
     /// Rates are stale and must be re-solved before use.
     dirty: bool,
+    /// Per-link outage flag (fault injection): an out link's effective
+    /// capacity is clamped to [`OUTAGE_CAPACITY_FLOOR`].
+    outages: Vec<bool>,
+    /// Per-link capacity-degradation factor in `(0, 1]` (fault
+    /// injection); 1.0 means healthy.
+    degrade: Vec<f64>,
 }
 
 impl Network {
@@ -51,6 +63,7 @@ impl Network {
             .zip(topo.links())
             .map(|(cfg, (_, link))| LinkLoadModel::new(cfg, seed, &link.name))
             .collect();
+        let n_links = topo.link_count();
         Network {
             topo,
             loads,
@@ -58,6 +71,8 @@ impl Network {
             next_id: 0,
             integrated_to: SimTime::ZERO,
             dirty: true,
+            outages: vec![false; n_links],
+            degrade: vec![1.0; n_links],
         }
     }
 
@@ -136,6 +151,82 @@ impl Network {
         }
     }
 
+    /// Mark a link as down (`out = true`) or restored (`out = false`).
+    /// While down, the link's effective capacity is
+    /// [`OUTAGE_CAPACITY_FLOOR`], stalling every flow that traverses it.
+    pub fn set_link_outage(&mut self, link: LinkId, out: bool, now: SimTime) {
+        self.integrate_to(now);
+        let slot = &mut self.outages[link.0 as usize];
+        if *slot != out {
+            *slot = out;
+            self.dirty = true;
+        }
+    }
+
+    /// Set a link's capacity-degradation factor (1.0 restores full
+    /// capacity). Factors are clamped to `(0, 1]`; the effective capacity
+    /// never drops below [`OUTAGE_CAPACITY_FLOOR`].
+    pub fn set_link_degradation(&mut self, link: LinkId, factor: f64, now: SimTime) {
+        self.integrate_to(now);
+        let factor = factor.clamp(0.0, 1.0);
+        let slot = &mut self.degrade[link.0 as usize];
+        if (*slot - factor).abs() > f64::EPSILON {
+            *slot = factor;
+            self.dirty = true;
+        }
+    }
+
+    /// The link's current effective-capacity factor in `[0, 1]`: 0 while
+    /// the link is out, its degradation factor otherwise.
+    pub fn link_capacity_factor(&self, link: LinkId) -> f64 {
+        if self.outages[link.0 as usize] {
+            0.0
+        } else {
+            self.degrade[link.0 as usize]
+        }
+    }
+
+    /// Effective capacity of link index `l` in bytes/sec, after outage
+    /// and degradation, floored so the solver stays well-posed.
+    fn effective_capacity(&self, l: usize, nominal: f64) -> f64 {
+        let factor = if self.outages[l] {
+            0.0
+        } else {
+            self.degrade[l]
+        };
+        (nominal * factor).max(OUTAGE_CAPACITY_FLOOR)
+    }
+
+    /// Ids of active flows whose route traverses `link`, ascending.
+    pub fn flows_on_link(&self, link: LinkId) -> Vec<FlowId> {
+        let mut ids: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.links.contains(&link))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Kill an in-flight flow (fault injection), producing the failure
+    /// report delivered to its owner. Returns `None` for unknown flows.
+    pub fn fail_flow(&mut self, id: FlowId, now: SimTime) -> Option<FlowFailed> {
+        self.integrate_to(now);
+        let f = self.flows.remove(&id)?;
+        self.dirty = true;
+        let fraction = f.progress().clamp(0.0, 1.0);
+        let delivered = (f.spec.bytes as f64 - f.remaining).max(0.0);
+        Some(FlowFailed {
+            id,
+            started: f.started,
+            failed: now,
+            bytes: f.spec.bytes,
+            delivered_bytes: (delivered.floor() as u64).min(f.spec.bytes),
+            delivered_fraction: fraction,
+        })
+    }
+
     /// Advance background load models to `t` and mark rates stale if any
     /// foreground flow is active.
     pub fn load_tick_to(&mut self, t: SimTime) {
@@ -172,8 +263,8 @@ impl Network {
 
         let n_links = self.topo.link_count();
         let mut capacities = Vec::with_capacity(n_links);
-        for (_, link) in self.topo.links() {
-            capacities.push(link.capacity_bps);
+        for (l, (_, link)) in self.topo.links().enumerate() {
+            capacities.push(self.effective_capacity(l, link.capacity_bps));
         }
 
         let mut fair_flows = Vec::with_capacity(ids.len() + n_links);
@@ -228,10 +319,12 @@ impl Network {
         for (&id, f) in &self.flows {
             let eta = if f.remaining <= 0.0 {
                 self.integrated_to
-            } else if f.rate > 1e-9 {
+            } else if f.rate > OUTAGE_CAPACITY_FLOOR {
                 self.integrated_to + SimDuration::from_secs_f64(f.remaining / f.rate)
             } else {
-                continue; // stalled flow: no completion until rates change
+                // Stalled (rate 0, or pinned at the outage floor): no
+                // completion until rates change.
+                continue;
             };
             match best {
                 Some((t, bid)) if (t, bid) <= (eta, id) => {}
@@ -514,6 +607,112 @@ mod tests {
 impl SimTime {
     fn from_millis_t(ms: u64) -> SimTime {
         SimTime::from_micros(ms * 1_000)
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::flow::TcpParams;
+    use crate::load::LoadModelConfig;
+    use crate::topology::NodeId;
+
+    fn quiet_cfg() -> LoadModelConfig {
+        LoadModelConfig {
+            diurnal_mean_weight: 0.0,
+            walk_sigma: 0.0,
+            burst_weight: 0.0,
+            ..LoadModelConfig::default()
+        }
+    }
+
+    fn net() -> (Network, NodeId, NodeId, LinkId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let l = t
+            .add_link("ab", a, b, 1e6, SimDuration::from_millis(25))
+            .unwrap();
+        t.add_route(a, b, vec![l]).unwrap();
+        (
+            Network::with_uniform_load(t, quiet_cfg(), MasterSeed(1)),
+            a,
+            b,
+            l,
+        )
+    }
+
+    fn big_window() -> TcpParams {
+        TcpParams {
+            buffer_bytes: 1 << 24,
+            init_window: 1 << 24,
+            mss: 1460,
+        }
+    }
+
+    #[test]
+    fn outage_stalls_then_recovery_restores_rate() {
+        let (mut net, a, b, l) = net();
+        let id = net
+            .start_flow(
+                FlowSpec::new(a, b, 1_000_000, 1, big_window()),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        net.resolve();
+        assert!((net.flow(id).unwrap().rate - 1e6).abs() < 1.0);
+        net.set_link_outage(l, true, SimTime::from_secs_f64(0.5));
+        net.resolve();
+        // Effectively stalled: no completion at a ~0 rate.
+        assert!(net.flow(id).unwrap().rate <= OUTAGE_CAPACITY_FLOOR);
+        assert!(net.next_completion().is_none());
+        assert_eq!(net.link_capacity_factor(l), 0.0);
+        net.set_link_outage(l, false, SimTime::from_secs(10));
+        net.resolve();
+        assert!((net.flow(id).unwrap().rate - 1e6).abs() < 1.0);
+        assert_eq!(net.link_capacity_factor(l), 1.0);
+        // 0.5 MB drained before the outage, none during: 0.5s to go.
+        let (eta, _) = net.next_completion().unwrap();
+        assert!((eta.as_secs_f64() - 10.5).abs() < 1e-3, "{eta}");
+    }
+
+    #[test]
+    fn degradation_scales_capacity() {
+        let (mut net, a, b, l) = net();
+        let id = net
+            .start_flow(
+                FlowSpec::new(a, b, 1_000_000, 1, big_window()),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        net.set_link_degradation(l, 0.25, SimTime::ZERO);
+        net.resolve();
+        assert!((net.flow(id).unwrap().rate - 0.25e6).abs() < 1.0);
+        assert_eq!(net.link_capacity_factor(l), 0.25);
+        net.set_link_degradation(l, 1.0, SimTime::ZERO);
+        net.resolve();
+        assert!((net.flow(id).unwrap().rate - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn fail_flow_reports_delivered_bytes() {
+        let (mut net, a, b, l) = net();
+        let id = net
+            .start_flow(
+                FlowSpec::new(a, b, 1_000_000, 1, big_window()),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        net.resolve();
+        assert_eq!(net.flows_on_link(l), vec![id]);
+        let failed = net
+            .fail_flow(id, SimTime::from_secs_f64(0.25))
+            .expect("flow existed");
+        assert_eq!(failed.bytes, 1_000_000);
+        assert_eq!(failed.delivered_bytes, 250_000);
+        assert!((failed.delivered_fraction - 0.25).abs() < 1e-9);
+        assert_eq!(net.active_flows(), 0);
+        assert!(net.fail_flow(id, SimTime::from_secs(1)).is_none());
     }
 }
 

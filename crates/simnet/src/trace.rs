@@ -17,6 +17,9 @@ pub struct LinkSample {
     pub at: SimTime,
     /// Background competing weight at the sample time.
     pub weight: f64,
+    /// Effective-capacity factor from fault injection: 1.0 healthy,
+    /// `(0, 1)` degraded, 0.0 while the link is out.
+    pub capacity_factor: f64,
 }
 
 /// Records per-link background-weight samples over a run.
@@ -40,6 +43,7 @@ impl LinkTracer {
             self.samples[i].push(LinkSample {
                 at,
                 weight: net.link_weight(l),
+                capacity_factor: net.link_capacity_factor(l),
             });
         }
     }

@@ -10,11 +10,14 @@ use std::any::Any;
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
-use wanpred_gridftp::{TransferKind, TransferManager, TransferRequest, TransferToken};
+use wanpred_gridftp::{
+    RetryPolicy, TransferEvent, TransferKind, TransferManager, TransferRequest, TransferToken,
+};
 use wanpred_logfmt::TransferLog;
 use wanpred_nws::{ProbeAgent, ProbeConfig, ProbeMeasurement};
 use wanpred_simnet::engine::{Agent, Ctx, Engine, TimerTag};
-use wanpred_simnet::flow::FlowDone;
+use wanpred_simnet::fault::{FaultConfig, FaultSchedule};
+use wanpred_simnet::flow::{FlowDone, FlowFailed};
 use wanpred_simnet::rng::MasterSeed;
 use wanpred_simnet::time::{SimDuration, SimTime};
 use wanpred_simnet::topology::NodeId;
@@ -57,6 +60,12 @@ pub struct CampaignConfig {
     pub workload: WorkloadConfig,
     /// Whether to run the NWS probe sensors.
     pub probes: bool,
+    /// Fault processes injected into the network ([`FaultConfig::none`]
+    /// reproduces the original clean campaigns bit for bit).
+    pub faults: FaultConfig,
+    /// Retry policy installed on the transfer manager; `None` means a
+    /// faulted transfer fails on its first connection reset.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl CampaignConfig {
@@ -69,6 +78,8 @@ impl CampaignConfig {
             duration: SimDuration::from_days(14),
             workload: WorkloadConfig::default(),
             probes: true,
+            faults: FaultConfig::none(),
+            retry: None,
         }
     }
 
@@ -81,7 +92,17 @@ impl CampaignConfig {
             duration: SimDuration::from_days(14),
             workload: WorkloadConfig::default(),
             probes: true,
+            faults: FaultConfig::none(),
+            retry: None,
         }
+    }
+
+    /// Turn on the calibrated unreliable-WAN fault profile together with
+    /// the default retry policy, leaving everything else unchanged.
+    pub fn with_faults(mut self) -> Self {
+        self.faults = FaultConfig::wan_default();
+        self.retry = Some(RetryPolicy::wan_default());
+        self
     }
 }
 
@@ -100,6 +121,12 @@ pub struct CampaignResult {
     pub isi_probes: Vec<ProbeMeasurement>,
     /// Transfers that failed at submit time (should be zero).
     pub submit_errors: usize,
+    /// Fault actions scheduled over the campaign (0 on clean runs).
+    pub fault_events: usize,
+    /// Attempts that failed and were retried under the retry policy.
+    pub retries: usize,
+    /// Transfers abandoned after exhausting their attempt budget.
+    pub failed_transfers: usize,
 }
 
 impl CampaignResult {
@@ -135,6 +162,8 @@ struct CampaignAgent {
     workload: WorkloadConfig,
     pairs: Vec<PairRuntime>,
     submit_errors: usize,
+    retries: usize,
+    failed_transfers: usize,
 }
 
 impl CampaignAgent {
@@ -174,6 +203,30 @@ impl CampaignAgent {
             }
         }
     }
+
+    /// Drain the manager's recovery notifications: count retries, and
+    /// when a transfer is abandoned free its pair's workload slot so the
+    /// loop keeps issuing transfers (a dead pair would silently truncate
+    /// the log).
+    fn drain_transfer_events(&mut self, ctx: &mut Ctx<'_>) {
+        for ev in self.mgr.take_events() {
+            match ev {
+                TransferEvent::RetryScheduled { .. } => self.retries += 1,
+                TransferEvent::Failed { token, .. } => {
+                    self.failed_transfers += 1;
+                    if let Some(idx) = self.pairs.iter().position(|p| p.outstanding == Some(token))
+                    {
+                        self.pairs[idx].outstanding = None;
+                        let delay = {
+                            let p = &mut self.pairs[idx];
+                            self.workload.draw_sleep(&mut p.rng)
+                        };
+                        self.schedule_pair(ctx, idx, delay);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Agent for CampaignAgent {
@@ -189,6 +242,7 @@ impl Agent for CampaignAgent {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
         if self.mgr.on_timer(ctx, tag) {
+            self.drain_transfer_events(ctx);
             return;
         }
         let idx = tag as usize;
@@ -214,6 +268,11 @@ impl Agent for CampaignAgent {
         }
     }
 
+    fn on_flow_failed(&mut self, ctx: &mut Ctx<'_>, failed: FlowFailed) {
+        self.mgr.on_flow_failed(ctx, &failed);
+        self.drain_transfer_events(ctx);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -230,7 +289,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
 
 /// Run a campaign on a pre-built testbed (lets tests pass a quiet one).
 pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult {
-    let mgr = testbed.build_manager(cfg.epoch_unix);
+    let mut mgr = testbed.build_manager(cfg.epoch_unix);
+    if let Some(policy) = &cfg.retry {
+        mgr.set_retry_policy(policy.clone());
+    }
     let Testbed {
         network,
         anl,
@@ -239,7 +301,13 @@ pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult
         ..
     } = testbed;
 
+    // The schedule is a pure function of (faults, topology, seed,
+    // duration): materialize it before the network moves into the engine.
+    let schedule = FaultSchedule::generate(&cfg.faults, network.topology(), cfg.seed, cfg.duration);
+    let fault_events = schedule.len();
+
     let mut engine = Engine::new(network);
+    engine.inject_faults(&schedule);
     let agent_id = engine.add_agent(Box::new(CampaignAgent {
         mgr,
         client: anl,
@@ -259,6 +327,8 @@ pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult
             },
         ],
         submit_errors: 0,
+        retries: 0,
+        failed_transfers: 0,
     }));
 
     let probe_ids = if cfg.probes {
@@ -302,6 +372,9 @@ pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult
         lbl_probes,
         isi_probes,
         submit_errors: agent.submit_errors,
+        fault_events,
+        retries: agent.retries,
+        failed_transfers: agent.failed_transfers,
     }
 }
 
@@ -310,15 +383,29 @@ mod tests {
     use super::*;
     use wanpred_predict::SizeClass;
 
-    fn short_campaign(days: u64, probes: bool) -> CampaignResult {
-        let cfg = CampaignConfig {
+    fn short_config(days: u64, probes: bool) -> CampaignConfig {
+        CampaignConfig {
             seed: MasterSeed(42),
             epoch_unix: 996_642_000,
             duration: SimDuration::from_days(days),
             workload: WorkloadConfig::default(),
             probes,
-        };
-        run_campaign(&cfg)
+            faults: FaultConfig::none(),
+            retry: None,
+        }
+    }
+
+    fn short_campaign(days: u64, probes: bool) -> CampaignResult {
+        run_campaign(&short_config(days, probes))
+    }
+
+    /// An aggressive fault profile so even short test campaigns see kills
+    /// land on in-flight transfers.
+    fn hostile_faults() -> FaultConfig {
+        FaultConfig {
+            kill_mean_interarrival: SimDuration::from_mins(40),
+            ..FaultConfig::wan_default()
+        }
     }
 
     #[test]
@@ -396,10 +483,7 @@ mod tests {
     fn different_seeds_differ() {
         let cfg_a = CampaignConfig {
             seed: MasterSeed(1),
-            epoch_unix: 996_642_000,
-            duration: SimDuration::from_days(1),
-            workload: WorkloadConfig::default(),
-            probes: false,
+            ..short_config(1, false)
         };
         let cfg_b = CampaignConfig {
             seed: MasterSeed(2),
@@ -408,6 +492,58 @@ mod tests {
         let a = run_campaign(&cfg_a);
         let b = run_campaign(&cfg_b);
         assert_ne!(a.lbl_log, b.lbl_log);
+    }
+
+    #[test]
+    fn clean_campaign_reports_no_fault_activity() {
+        let r = short_campaign(1, false);
+        assert_eq!(r.fault_events, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.failed_transfers, 0);
+    }
+
+    #[test]
+    fn faulty_campaign_retries_and_stays_deterministic() {
+        let cfg = CampaignConfig {
+            faults: hostile_faults(),
+            retry: Some(RetryPolicy::wan_default()),
+            ..short_config(3, false)
+        };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        // Same seed → byte-identical logs and identical recovery counts:
+        // the fault schedule, backoff jitter and resumed legs are all pure
+        // functions of the seed.
+        assert_eq!(a.lbl_log, b.lbl_log);
+        assert_eq!(a.isi_log, b.isi_log);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.failed_transfers, b.failed_transfers);
+        assert!(a.fault_events > 0);
+        assert!(a.retries > 0, "no kill landed on an in-flight transfer");
+        // Retried-and-recovered transfers still produce valid ULM records
+        // whose total_time_s spans submit → final completion (≥ end-start
+        // by construction, and every record validates).
+        for rec in a.lbl_log.records().iter().chain(a.isi_log.records()) {
+            assert!(rec.validate().is_ok());
+        }
+        // The faulty log must actually differ from the clean one.
+        let clean = run_campaign(&short_config(3, false));
+        assert_ne!(clean.lbl_log, a.lbl_log);
+    }
+
+    #[test]
+    fn faulty_campaign_without_retry_drops_transfers() {
+        let cfg = CampaignConfig {
+            faults: hostile_faults(),
+            retry: None,
+            ..short_config(3, false)
+        };
+        let r = run_campaign(&cfg);
+        // First reset abandons the transfer; the workload loop must keep
+        // going afterwards (the pair slot is freed on failure).
+        assert!(r.failed_transfers > 0);
+        assert_eq!(r.retries, 0);
+        assert!(r.lbl_log.len() + r.isi_log.len() > 20);
     }
 
     #[test]

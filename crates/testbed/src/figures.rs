@@ -212,10 +212,10 @@ mod tests {
     fn campaign(days: u64) -> CampaignResult {
         run_campaign(&CampaignConfig {
             seed: MasterSeed(2024),
-            epoch_unix: 996_642_000,
             duration: SimDuration::from_days(days),
             workload: WorkloadConfig::default(),
             probes: true,
+            ..CampaignConfig::august(2024)
         })
     }
 

@@ -34,10 +34,9 @@ impl Predictor for TrimmedMean25 {
 fn main() {
     let cfg = CampaignConfig {
         seed: MasterSeed(11),
-        epoch_unix: 996_642_000,
         duration: SimDuration::from_days(14),
-        workload: WorkloadConfig::default(),
         probes: false,
+        ..CampaignConfig::august(11)
     };
     println!("simulating the August campaign...");
     let result = run_campaign(&cfg);

@@ -53,10 +53,9 @@ fn main() {
     println!("\n== information provider output (Figure 6 style) ==");
     let cfg = CampaignConfig {
         seed: MasterSeed(3),
-        epoch_unix: 996_642_000,
         duration: SimDuration::from_days(3),
-        workload: WorkloadConfig::default(),
         probes: false,
+        ..CampaignConfig::august(3)
     };
     let result = run_campaign(&cfg);
     let now = cfg.epoch_unix + 3 * 86_400;

@@ -11,10 +11,8 @@ fn main() {
     // one week keeps the quickstart subsecond).
     let cfg = CampaignConfig {
         seed: MasterSeed(42),
-        epoch_unix: 996_642_000, // 2001-08-01 00:00 CDT
         duration: SimDuration::from_days(7),
-        workload: WorkloadConfig::default(),
-        probes: true,
+        ..CampaignConfig::august(42)
     };
     println!("simulating one week of controlled GridFTP transfers + NWS probes...");
     let result = run_campaign(&cfg);

@@ -13,10 +13,9 @@ fn main() {
     // Two weeks of history on both paths.
     let cfg = CampaignConfig {
         seed: MasterSeed(7),
-        epoch_unix: 996_642_000,
         duration: SimDuration::from_days(14),
-        workload: WorkloadConfig::default(),
         probes: false,
+        ..CampaignConfig::august(7)
     };
     println!("simulating two weeks of transfer history...");
     let result = run_campaign(&cfg);

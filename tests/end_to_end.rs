@@ -13,10 +13,8 @@ use wanpred_core::testbed::observation_series;
 fn campaign(days: u64) -> (CampaignConfig, CampaignResult) {
     let cfg = CampaignConfig {
         seed: MasterSeed(555),
-        epoch_unix: 996_642_000,
         duration: SimDuration::from_days(days),
-        workload: WorkloadConfig::default(),
-        probes: true,
+        ..CampaignConfig::august(555)
     };
     let r = run_campaign(&cfg);
     (cfg, r)

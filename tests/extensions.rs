@@ -11,10 +11,9 @@ use wanpred_core::testbed::observation_series;
 fn campaign(days: u64) -> CampaignResult {
     run_campaign(&CampaignConfig {
         seed: MasterSeed(321),
-        epoch_unix: 996_642_000,
         duration: SimDuration::from_days(days),
-        workload: WorkloadConfig::default(),
         probes: false,
+        ..CampaignConfig::august(321)
     })
 }
 

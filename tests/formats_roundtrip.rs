@@ -8,10 +8,9 @@ use wanpred_core::prelude::*;
 fn short_campaign() -> CampaignResult {
     run_campaign(&CampaignConfig {
         seed: MasterSeed(77),
-        epoch_unix: 996_642_000,
         duration: SimDuration::from_days(2),
-        workload: WorkloadConfig::default(),
         probes: false,
+        ..CampaignConfig::august(77)
     })
 }
 
