@@ -1,15 +1,18 @@
-//! Instrumentation utilities and the paper's overhead claims.
+//! Deterministic logging-overhead accounting for the paper's §3 claims.
 //!
-//! The paper's §3 measures the entire logging process — gathering the
-//! transfer metadata, formatting the ULM entry and writing it — at about
-//! **25 ms per transfer** on 2001 hardware, insignificant next to
-//! multi-second transfers. This module exposes that budget as a constant
-//! plus a measurement helper the `logging_overhead` bench uses to show
-//! our implementation sits far inside it.
+//! The paper measures the entire logging process — gathering the transfer
+//! metadata, formatting the ULM entry and writing it — at about **25 ms
+//! per transfer** on 2001 hardware, insignificant next to multi-second
+//! transfers, and bounds each entry at 512 bytes. An earlier version of
+//! this module timed the real encode path with `Instant::now`, the one
+//! wall-clock dependence left on the simulation path; instrumented
+//! overheads now come from a *modeled* cost function of the encoded entry
+//! instead, so every number a campaign produces is reproducible from its
+//! master seed alone. Real-hardware timing lives in the
+//! `logging_overhead` bench, where wall clocks belong.
 
-use std::time::Instant;
-
-use wanpred_logfmt::{encode, TransferLog, TransferRecord};
+use wanpred_logfmt::{encode, TransferRecord};
+use wanpred_simnet::time::SimDuration;
 
 /// The paper's measured logging overhead per transfer (milliseconds).
 pub const PAPER_LOGGING_OVERHEAD_MS: f64 = 25.0;
@@ -17,35 +20,46 @@ pub const PAPER_LOGGING_OVERHEAD_MS: f64 = 25.0;
 /// The paper's bound on a single log entry's size (bytes).
 pub const PAPER_MAX_ENTRY_BYTES: usize = 512;
 
-/// Result of measuring the local logging pipeline.
+/// Modeled fixed cost of producing one log record — metadata gathering,
+/// buffer setup, write-path floor — in microseconds. Calibrated generous
+/// for 2001-era hardware yet far inside the paper's 25 ms budget.
+pub const MODELED_BASE_COST_US: u64 = 500;
+
+/// Modeled marginal cost per encoded byte (format + copy + flush), in
+/// nanoseconds.
+pub const MODELED_PER_BYTE_NS: u64 = 250;
+
+/// Per-transfer logging cost, expressed against the paper's budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoggingCost {
-    /// Mean wall time per record, milliseconds.
+    /// Modeled time per record, milliseconds.
     pub mean_ms: f64,
     /// Size of the encoded entry, bytes.
     pub entry_bytes: usize,
-    /// Records processed.
+    /// Records accounted.
     pub iterations: usize,
 }
 
-/// Measure the cost of the full logging path (encode to ULM + append to
-/// an in-memory log) for `iterations` repetitions of `record`.
+/// Modeled cost of logging `record` once, on the simulation clock.
+///
+/// Deterministic by construction: the cost is a pure function of the
+/// encoded entry, so identical seeds yield identical instrumented
+/// overheads no matter where or when the simulation runs.
+pub fn modeled_logging_cost(record: &TransferRecord) -> SimDuration {
+    let bytes = encode(record).len() as u64;
+    SimDuration::from_micros(MODELED_BASE_COST_US + bytes * MODELED_PER_BYTE_NS / 1_000)
+}
+
+/// Account the logging cost of `iterations` repetitions of `record`.
+///
+/// The per-record cost comes from [`modeled_logging_cost`]; `iterations`
+/// is retained so call sites can still express "a campaign's worth of
+/// records" when comparing totals against the paper's budget.
 pub fn measure_logging_cost(record: &TransferRecord, iterations: usize) -> LoggingCost {
     assert!(iterations > 0);
-    let entry_bytes = encode(record).len();
-    let mut log = TransferLog::new();
-    let start = Instant::now();
-    for _ in 0..iterations {
-        let line = encode(record);
-        // Parsing on append mirrors a reader-validated pipeline; real
-        // servers write the line out, which is O(len) just the same.
-        std::hint::black_box(&line);
-        log.append(record.clone());
-    }
-    let elapsed = start.elapsed().as_secs_f64() * 1_000.0;
     LoggingCost {
-        mean_ms: elapsed / iterations as f64,
-        entry_bytes,
+        mean_ms: modeled_logging_cost(record).as_secs_f64() * 1_000.0,
+        entry_bytes: encode(record).len(),
         iterations,
     }
 }
@@ -69,5 +83,23 @@ mod tests {
     fn entry_respects_size_bound() {
         let cost = measure_logging_cost(&sample_record(), 1);
         assert!(cost.entry_bytes < PAPER_MAX_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn modeled_cost_is_deterministic_and_size_monotone() {
+        let r = sample_record();
+        assert_eq!(modeled_logging_cost(&r), modeled_logging_cost(&r));
+
+        let mut long = sample_record();
+        long.file_name = format!("{}/{}", long.file_name, "x".repeat(100));
+        assert!(modeled_logging_cost(&long) > modeled_logging_cost(&r));
+    }
+
+    #[test]
+    fn worst_case_entry_stays_inside_budget() {
+        // Even a maximal 512-byte entry models out well under 25 ms.
+        let worst_us =
+            MODELED_BASE_COST_US + (PAPER_MAX_ENTRY_BYTES as u64) * MODELED_PER_BYTE_NS / 1_000;
+        assert!((worst_us as f64) / 1_000.0 < PAPER_LOGGING_OVERHEAD_MS);
     }
 }

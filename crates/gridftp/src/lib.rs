@@ -32,7 +32,9 @@ pub mod server;
 pub mod transfer;
 
 pub use client::{ClientError, ClientSettings, Exchange, GridFtpClient};
-pub use instrument::{measure_logging_cost, LoggingCost, PAPER_LOGGING_OVERHEAD_MS};
+pub use instrument::{
+    measure_logging_cost, modeled_logging_cost, LoggingCost, PAPER_LOGGING_OVERHEAD_MS,
+};
 pub use protocol::{parse, Command, ParseError, Reply};
 pub use server::{ServerConfig, Session, TransferPlan, DEFAULT_TCP_BUFFER};
 pub use transfer::{

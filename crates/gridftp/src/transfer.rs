@@ -27,7 +27,7 @@
 //!    spanning submit→completion — the paper's end-to-end definition
 //!    including protocol overheads.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wanpred_logfmt::{Operation, TransferLog, TransferRecord, TransferRecordBuilder};
 use wanpred_simnet::engine::{Ctx, TimerTag};
@@ -365,10 +365,10 @@ struct Inflight {
 
 /// The embedded transfer engine.
 pub struct TransferManager {
-    servers: HashMap<NodeId, ServerRuntime>,
-    hosts: HashMap<NodeId, (String, String)>,
-    inflight: HashMap<u64, Inflight>,
-    by_flow: HashMap<FlowId, u64>,
+    servers: BTreeMap<NodeId, ServerRuntime>,
+    hosts: BTreeMap<NodeId, (String, String)>,
+    inflight: BTreeMap<u64, Inflight>,
+    by_flow: BTreeMap<FlowId, u64>,
     next: u64,
     /// Unix seconds corresponding to `SimTime::ZERO`.
     epoch_unix: u64,
@@ -383,10 +383,10 @@ impl TransferManager {
     /// clock for log timestamps.
     pub fn new(epoch_unix: u64) -> Self {
         TransferManager {
-            servers: HashMap::new(),
-            hosts: HashMap::new(),
-            inflight: HashMap::new(),
-            by_flow: HashMap::new(),
+            servers: BTreeMap::new(),
+            hosts: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            by_flow: BTreeMap::new(),
             next: 0,
             epoch_unix,
             retry: None,

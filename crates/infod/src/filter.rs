@@ -225,6 +225,7 @@ impl Parser<'_> {
 /// numeric/non-numeric mix must not satisfy an ordering filter.
 fn cmp_values(a: &str, b: &str) -> Option<std::cmp::Ordering> {
     match (a.parse::<f64>(), b.parse::<f64>()) {
+        // tidy: allow(float-ord): None on NaN is the point — a NaN value must not satisfy >=/<= filters
         (Ok(x), Ok(y)) => x.partial_cmp(&y),
         (Err(_), Err(_)) => Some(a.cmp(b)),
         _ => None,

@@ -210,6 +210,14 @@ pub fn decode(line: &str) -> Result<TransferRecord, UlmError> {
             .map_err(|_| UlmError::BadValue(k, get(k).unwrap_or("").to_string()))
     };
 
+    // BW_KBS is derived from SIZE/SECS at encode time and recomputed on
+    // demand after reload, so its value is not stored — but a present,
+    // unparsable BW field means the line is corrupt, not merely stale.
+    if let Ok(bw) = get(keys::BW) {
+        bw.parse::<f64>()
+            .map_err(|_| UlmError::BadValue(keys::BW, bw.to_string()))?;
+    }
+
     let op_str = get(keys::OP)?;
     let operation =
         Operation::parse(op_str).ok_or_else(|| UlmError::BadValue(keys::OP, op_str.to_string()))?;

@@ -120,7 +120,7 @@ impl Forecaster for SlidingMedian {
             return None;
         }
         let mut v: Vec<f64> = self.buf.iter().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN measurements"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let t = v.len();
         Some(if t % 2 == 1 {
             v[t / 2]
@@ -265,7 +265,7 @@ impl DynamicForecaster {
         order.sort_by(|&a, &b| {
             let ma = self.member_mae(a).unwrap_or(f64::INFINITY);
             let mb = self.member_mae(b).unwrap_or(f64::INFINITY);
-            ma.partial_cmp(&mb).expect("MAE not NaN")
+            ma.total_cmp(&mb)
         });
         for i in order {
             if let Some(f) = self.members[i].forecast() {
@@ -279,6 +279,25 @@ impl DynamicForecaster {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn forecasters_survive_nan_measurements() {
+        // Regression: SlidingMedian's sort and the dynamic ranking both
+        // used partial_cmp().expect(..); a NaN measurement (e.g. from a
+        // corrupted probe) aborted forecasting. Both are total now.
+        let mut m = SlidingMedian::new(5);
+        for v in [800.0, f64::NAN, 900.0, 850.0] {
+            m.update(v);
+        }
+        assert!(m.forecast().is_some());
+
+        let mut d = DynamicForecaster::standard();
+        for v in [800.0, f64::NAN, 900.0, 850.0, 870.0] {
+            d.update(v);
+        }
+        let _ = d.forecast();
+        let _ = d.best_member();
+    }
 
     #[test]
     fn running_mean_streams() {

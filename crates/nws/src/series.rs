@@ -62,6 +62,7 @@ impl TimeSeries {
     /// Coefficient of variation (stddev / mean), if defined.
     pub fn cov(&self) -> Option<f64> {
         let (_, mean, _) = self.summary()?;
+        // tidy: allow(float-eq): a zero mean is the exact division guard, not a tolerance question
         if mean == 0.0 {
             return None;
         }

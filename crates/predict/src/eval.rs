@@ -51,6 +51,7 @@ impl PredictionOutcome {
     /// excluding such targets rather than propagating an infinity into
     /// sorts and means.
     pub fn abs_pct_error(&self) -> Option<f64> {
+        // tidy: allow(float-eq): 0.0 is the exact "no measurement" sentinel this convention is built on
         if self.measured == 0.0 {
             return None;
         }
@@ -202,6 +203,7 @@ pub fn relative_performance(
 
     for i in opts.training..series.len() {
         let target = &series[i];
+        // tidy: allow(float-eq): mirrors abs_pct_error's exact zero-measurement sentinel
         if target.bandwidth_kbs == 0.0 {
             continue;
         }

@@ -271,7 +271,10 @@ impl StreamState {
                 sorted,
             } => {
                 vals.push_back((o.at_unix, v));
-                let at = sorted.partition_point(|x| *x < v);
+                // Total order (NaN sorts last) so that a NaN-tainted
+                // observation keeps insert/evict positions consistent
+                // instead of corrupting the order statistic.
+                let at = sorted.partition_point(|x| x.total_cmp(&v).is_lt());
                 sorted.insert(at, v);
                 if let Window::LastN(n) = *window {
                     while vals.len() > n {
@@ -394,8 +397,11 @@ impl StreamState {
 /// Remove one occurrence of `v` from a sorted vector. The value is
 /// always present: it was inserted by `observe` and not yet removed.
 fn remove_sorted(sorted: &mut Vec<f64>, v: f64) {
-    let at = sorted.partition_point(|x| *x < v);
-    debug_assert!(sorted[at] == v, "evicted value missing from order stat");
+    let at = sorted.partition_point(|x| x.total_cmp(&v).is_lt());
+    debug_assert!(
+        sorted[at].total_cmp(&v).is_eq(),
+        "evicted value missing from order stat"
+    );
     sorted.remove(at);
 }
 

@@ -39,6 +39,7 @@ impl DynamicSelector {
     /// Feed one observation: each candidate is scored on how well it
     /// would have predicted it, then the observation joins the history.
     pub fn observe(&mut self, o: Observation) {
+        // tidy: allow(float-eq): exact zero-measurement sentinel, same convention as eval::abs_pct_error
         if self.history.len() >= self.training && o.bandwidth_kbs != 0.0 {
             for (i, p) in self.candidates.iter().enumerate() {
                 if let Some(pred) = p.predict(&self.history, o.at_unix, o.file_size) {
@@ -86,7 +87,7 @@ impl DynamicSelector {
         order.sort_by(|&a, &b| {
             let ma = self.running_mape(a).unwrap_or(f64::INFINITY);
             let mb = self.running_mape(b).unwrap_or(f64::INFINITY);
-            ma.partial_cmp(&mb).expect("MAPEs are not NaN")
+            ma.total_cmp(&mb)
         });
         for i in order {
             if let Some(pred) = self.candidates[i].predict(&self.history, now, target_size) {

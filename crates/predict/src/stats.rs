@@ -18,7 +18,7 @@ pub fn median(xs: &[f64]) -> Option<f64> {
         return None;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in bandwidth series"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let t = v.len();
     if t % 2 == 1 {
         Some(v[t / 2])
@@ -62,7 +62,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     }
     assert!((0.0..=100.0).contains(&p), "percentile out of range");
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    v.sort_by(|a, b| a.total_cmp(b));
     if v.len() == 1 {
         return Some(v[0]);
     }
@@ -104,6 +104,7 @@ pub fn ols(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
 pub fn mape(pairs: &[(f64, f64)]) -> Option<f64> {
     let errs: Vec<f64> = pairs
         .iter()
+        // tidy: allow(float-eq): exact zero-measurement sentinel, same convention as eval::abs_pct_error
         .filter(|(measured, _)| *measured != 0.0)
         .map(|(measured, predicted)| (measured - predicted).abs() / measured.abs() * 100.0)
         .collect();
@@ -122,6 +123,15 @@ mod tests {
         assert_eq!(median(&[5.0]), Some(5.0));
         assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn order_statistics_survive_nan() {
+        // Regression: these sorts used partial_cmp().expect(..) and
+        // aborted the replay when a fault-injected log produced a NaN
+        // bandwidth. total_cmp orders NaN last instead of panicking.
+        assert!(median(&[1.0, f64::NAN, 2.0]).is_some());
+        assert!(percentile(&[4.0, f64::NAN, 1.0], 50.0).is_some());
     }
 
     #[test]

@@ -155,10 +155,10 @@ impl<S: PerfInfoSource> Broker<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     /// A canned source for tests.
-    pub struct MapSource(pub HashMap<String, f64>);
+    pub struct MapSource(pub BTreeMap<String, f64>);
 
     impl PerfInfoSource for MapSource {
         fn predicted_bandwidth_kbs(
@@ -185,7 +185,7 @@ mod tests {
 
     #[test]
     fn predicted_policy_picks_fastest() {
-        let mut src = HashMap::new();
+        let mut src = BTreeMap::new();
         src.insert("lbl.gov".to_string(), 4_000.0);
         src.insert("isi.edu".to_string(), 9_000.0);
         src.insert("anl.gov".to_string(), 2_000.0);
@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn unknown_servers_rank_last_but_choice_still_made() {
-        let mut src = HashMap::new();
+        let mut src = BTreeMap::new();
         src.insert("anl.gov".to_string(), 100.0);
         let mut b = Broker::new(MapSource(src));
         let mut policy = SelectionPolicy::predicted_bandwidth();
@@ -209,7 +209,7 @@ mod tests {
 
     #[test]
     fn no_information_falls_back_to_first() {
-        let mut b = Broker::new(MapSource(HashMap::new()));
+        let mut b = Broker::new(MapSource(BTreeMap::new()));
         let mut policy = SelectionPolicy::predicted_bandwidth();
         let sel = b.select("x", &reps(), &mut policy, 0);
         assert_eq!(sel.chosen, 0);
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn empty_candidates_panics() {
-        let mut b = Broker::new(MapSource(HashMap::new()));
+        let mut b = Broker::new(MapSource(BTreeMap::new()));
         let mut policy = SelectionPolicy::predicted_bandwidth();
         b.select("x", &[], &mut policy, 0);
     }

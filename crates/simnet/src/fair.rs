@@ -62,6 +62,7 @@ pub fn solve(link_capacity: &[f64], flows: &[FairFlow]) -> Vec<f64> {
 
     // Flows with a zero cap freeze immediately at rate 0.
     for (i, f) in flows.iter().enumerate() {
+        // tidy: allow(float-eq): caps are set to exactly 0.0 to freeze a flow; no arithmetic precedes this
         if f.cap == 0.0 {
             frozen[i] = true;
             for &l in &f.links {

@@ -7,7 +7,7 @@
 //! max-min allocator; between changes, flows drain linearly, so the next
 //! completion time is exact.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::fair::{solve, FairFlow};
 use crate::flow::{Flow, FlowDone, FlowFailed, FlowId, FlowSpec};
@@ -34,7 +34,7 @@ pub const OUTAGE_CAPACITY_FLOOR: f64 = 1e-3;
 pub struct Network {
     topo: Topology,
     loads: Vec<LinkLoadModel>,
-    flows: HashMap<FlowId, Flow>,
+    flows: BTreeMap<FlowId, Flow>,
     next_id: u64,
     /// Time to which flow byte-counts have been integrated.
     integrated_to: SimTime,
@@ -67,7 +67,7 @@ impl Network {
         Network {
             topo,
             loads,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             next_id: 0,
             integrated_to: SimTime::ZERO,
             dirty: true,
@@ -199,14 +199,11 @@ impl Network {
 
     /// Ids of active flows whose route traverses `link`, ascending.
     pub fn flows_on_link(&self, link: LinkId) -> Vec<FlowId> {
-        let mut ids: Vec<FlowId> = self
-            .flows
+        self.flows
             .iter()
             .filter(|(_, f)| f.links.contains(&link))
             .map(|(&id, _)| id)
-            .collect();
-        ids.sort();
-        ids
+            .collect()
     }
 
     /// Kill an in-flight flow (fault injection), producing the failure
@@ -244,9 +241,9 @@ impl Network {
         if !self.dirty {
             return;
         }
-        // Deterministic ordering: sort by flow id.
-        let mut ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        ids.sort();
+        // BTreeMap keys iterate in ascending flow-id order, so the solve
+        // order is deterministic by construction.
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
 
         // Queueing delay: background load along a path inflates the
         // effective RTT seen by its flows, which lowers window-limited

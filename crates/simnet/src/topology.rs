@@ -5,7 +5,7 @@
 //! topology so larger Grid configurations can be expressed (the replica
 //! broker examples use more sites).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -79,7 +79,7 @@ pub struct Route {
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    routes: HashMap<(NodeId, NodeId), Route>,
+    routes: BTreeMap<(NodeId, NodeId), Route>,
 }
 
 /// Errors raised while building or querying a topology.

@@ -1,0 +1,6 @@
+// Fixture: emits `avgwrbandwidth`, which the fixture schema does not
+// declare (typo'd-attribute drift).
+pub fn publish(e: &mut Entry) {
+    e.add("avgrdbandwidth", "1000");
+    e.add("avgwrbandwidth", "900");
+}

@@ -1,0 +1,13 @@
+// Fixture: the perf class declares `numtransfers`, which the fixture
+// provider never emits (declared-but-unpublished drift).
+pub const GRIDFTP_PERF_INFO: ObjectClass = ObjectClass {
+    name: "GridFTPPerfInfo",
+    required: &["cn", "hostname"],
+    optional: &["avgrdbandwidth", "numtransfers"],
+};
+
+pub const GRIDFTP_SERVER_INFO: ObjectClass = ObjectClass {
+    name: "GridFTPServerInfo",
+    required: &["hostname", "port"],
+    optional: &["version"],
+};

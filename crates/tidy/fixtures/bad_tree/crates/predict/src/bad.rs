@@ -1,0 +1,18 @@
+// Fixture: panic-policy violation plus an unjustified pragma.
+pub fn first(r: Result<u32, ()>) -> u32 {
+    r.unwrap()
+}
+
+pub fn second(x: f64) -> bool {
+    // tidy: allow(float-eq)
+    x == 1.5
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let r: Result<u32, ()> = Ok(1);
+        let _ = r.unwrap();
+    }
+}

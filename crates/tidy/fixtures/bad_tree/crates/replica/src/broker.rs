@@ -1,0 +1,5 @@
+// Fixture: queries `predictrdbandwidth`, which the fixture schema does
+// not declare (consumer-side drift).
+pub fn best(entry: &Entry) -> Option<f64> {
+    entry.get("predictrdbandwidth").and_then(|v| v.parse().ok())
+}

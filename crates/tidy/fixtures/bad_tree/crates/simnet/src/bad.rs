@@ -1,0 +1,16 @@
+// Fixture: one seeded violation per determinism/float rule. Never
+// compiled — the tidy self-test lints this tree and asserts every rule
+// fires (and the real workspace walk skips `fixtures/` entirely).
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn naughty() {
+    let _t = Instant::now();
+    let _r = rand::thread_rng();
+    let _m: HashMap<u32, u32> = HashMap::new();
+    let mut v = vec![1.0f64, 2.0];
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    if v[0] == 0.0 {
+        let _ = SystemTime::now();
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: a file that satisfies every rule; the CLI must exit 0 here.
+use std::collections::BTreeMap;
+
+pub fn orderly(xs: &mut [f64]) -> BTreeMap<u32, f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let mut out = BTreeMap::new();
+    if let Some(first) = xs.first() {
+        out.insert(0, *first);
+    }
+    out
+}

@@ -1,0 +1,122 @@
+//! Mechanical `--fix` rewrites. The only rewrite tidy trusts itself to
+//! make is the NaN-safety one: `a.partial_cmp(&b).unwrap()` and
+//! `a.partial_cmp(&b).expect("..")` become `a.total_cmp(&b)` — identical
+//! ordering on NaN-free input, total (and panic-free) otherwise. Forms
+//! that change semantics (`unwrap_or(..)`) are reported but never
+//! rewritten.
+
+/// Rewrite every fixable `partial_cmp` chain in `text`; returns the new
+/// text and the number of rewrites applied.
+pub fn fix_partial_cmp(text: &str) -> (String, usize) {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    let mut count = 0usize;
+    while let Some(pos) = rest.find(".partial_cmp(") {
+        let (head, tail) = rest.split_at(pos);
+        out.push_str(head);
+        let after_open = &tail[".partial_cmp(".len()..];
+        let Some(close) = matching_paren(after_open) else {
+            out.push_str(".partial_cmp(");
+            rest = after_open;
+            continue;
+        };
+        let args = &after_open[..close];
+        let after_call = after_open[close + 1..].trim_start();
+        if let Some(rem) = after_call.strip_prefix(".unwrap()") {
+            out.push_str(".total_cmp(");
+            out.push_str(args);
+            out.push(')');
+            rest = rem;
+            count += 1;
+        } else if let Some(exp) = after_call.strip_prefix(".expect(") {
+            if let Some(ec) = matching_paren(exp) {
+                out.push_str(".total_cmp(");
+                out.push_str(args);
+                out.push(')');
+                rest = &exp[ec + 1..];
+                count += 1;
+            } else {
+                out.push_str(".partial_cmp(");
+                rest = after_open;
+            }
+        } else {
+            out.push_str(".partial_cmp(");
+            rest = after_open;
+        }
+    }
+    out.push_str(rest);
+    (out, count)
+}
+
+/// Index of the `)` matching an already-open paren at position 0 of `s`,
+/// skipping string literal contents.
+fn matching_paren(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut depth = 1i32;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'"' => {
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrites_expect_form() {
+        let src = r#"v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));"#;
+        let (out, n) = fix_partial_cmp(src);
+        assert_eq!(n, 1);
+        assert_eq!(out, "v.sort_by(|a, b| a.total_cmp(b));");
+    }
+
+    #[test]
+    fn rewrites_unwrap_form_with_nested_parens() {
+        let src = "x.partial_cmp(&(y + f(z))).unwrap()";
+        let (out, n) = fix_partial_cmp(src);
+        assert_eq!(n, 1);
+        assert_eq!(out, "x.total_cmp(&(y + f(z)))");
+    }
+
+    #[test]
+    fn leaves_unwrap_or_and_bare_forms_alone() {
+        for src in [
+            "a.partial_cmp(&b).unwrap_or(Ordering::Equal)",
+            "a.partial_cmp(&b)",
+            "a.partial_cmp(&b).map(|o| o.reverse())",
+        ] {
+            let (out, n) = fix_partial_cmp(src);
+            assert_eq!(n, 0);
+            assert_eq!(out, src);
+        }
+    }
+
+    #[test]
+    fn expect_message_with_parens_and_quotes() {
+        let src = r#"m.partial_cmp(&n).expect("cmp (should) work")"#;
+        let (out, n) = fix_partial_cmp(src);
+        assert_eq!(n, 1);
+        assert_eq!(out, "m.total_cmp(&n)");
+    }
+}

@@ -1,0 +1,249 @@
+//! A minimal line-oriented Rust lexer.
+//!
+//! Rule patterns must only ever match *code* — a doc comment that mentions
+//! `HashMap`, or a format string containing `{`, must not trip a lint or
+//! corrupt brace-depth tracking. This module strips comments and string
+//! literal contents from each line and reports the brace-depth delta, with
+//! just enough state (block-comment nesting) carried across lines.
+//!
+//! It is deliberately not a full lexer: string literals are assumed to
+//! close on the line they open (true everywhere in this workspace), and
+//! raw strings support up to the `r###"..."###` form.
+
+/// One source line after lexing.
+pub struct LexedLine {
+    /// The line with comments removed and string/char literal *contents*
+    /// blanked out (delimiters kept). Rule patterns match against this.
+    pub code: String,
+    /// Like `code`, but string literal contents are preserved. Used by the
+    /// cross-file schema checker, which extracts attribute names from
+    /// string literals.
+    pub code_with_strings: String,
+    /// Text of any `//` line comment (pragmas live here).
+    pub comment: String,
+    /// Net `{` minus `}` on this line, counted outside strings/comments.
+    pub brace_delta: i32,
+}
+
+/// Carries block-comment state across lines of one file.
+#[derive(Default)]
+pub struct Lexer {
+    /// Nesting depth of `/* */` block comments (Rust block comments nest).
+    block_depth: u32,
+}
+
+impl Lexer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn lex_line(&mut self, line: &str) -> LexedLine {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(line.len());
+        let mut with_strings = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let mut delta = 0i32;
+        let mut i = 0usize;
+
+        while i < chars.len() {
+            if self.block_depth > 0 {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    self.block_depth -= 1;
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    self.block_depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            let c = chars[i];
+            match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    comment = chars[i + 2..].iter().collect();
+                    break;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    self.block_depth += 1;
+                    i += 2;
+                }
+                '"' => {
+                    code.push('"');
+                    with_strings.push('"');
+                    i += 1;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => {
+                                if let Some(e) = chars.get(i + 1) {
+                                    with_strings.push('\\');
+                                    with_strings.push(*e);
+                                }
+                                i += 2;
+                            }
+                            '"' => {
+                                code.push('"');
+                                with_strings.push('"');
+                                i += 1;
+                                break;
+                            }
+                            other => {
+                                with_strings.push(other);
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+                'r' if is_raw_string_start(&chars, i) => {
+                    let hashes = count_hashes(&chars, i + 1);
+                    // Skip `r##"`.
+                    i += 1 + hashes + 1;
+                    code.push('"');
+                    with_strings.push('"');
+                    while i < chars.len() {
+                        if chars[i] == '"' && matches_hashes(&chars, i + 1, hashes) {
+                            i += 1 + hashes;
+                            code.push('"');
+                            with_strings.push('"');
+                            break;
+                        }
+                        with_strings.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Disambiguate char literal from lifetime: a char
+                    // literal is `'\..'` or `'x'`; a lifetime never has a
+                    // closing quote right after one character.
+                    let is_char_lit = chars.get(i + 1) == Some(&'\\')
+                        || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''));
+                    if is_char_lit {
+                        code.push('\'');
+                        with_strings.push('\'');
+                        i += 1;
+                        while i < chars.len() {
+                            match chars[i] {
+                                '\\' => i += 2,
+                                '\'' => {
+                                    code.push('\'');
+                                    with_strings.push('\'');
+                                    i += 1;
+                                    break;
+                                }
+                                _ => i += 1,
+                            }
+                        }
+                    } else {
+                        code.push('\'');
+                        with_strings.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    if c == '{' {
+                        delta += 1;
+                    } else if c == '}' {
+                        delta -= 1;
+                    }
+                    code.push(c);
+                    with_strings.push(c);
+                    i += 1;
+                }
+            }
+        }
+
+        LexedLine {
+            code,
+            code_with_strings: with_strings,
+            comment,
+            brace_delta: delta,
+        }
+    }
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r"` or `r#`..`#"`; make sure `r` is not the tail of an identifier
+    // (e.g. `writer"` can't happen, but `var"` style tokens guard anyway).
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> usize {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn matches_hashes(chars: &[char], i: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(line: &str) -> LexedLine {
+        Lexer::new().lex_line(line)
+    }
+
+    #[test]
+    fn strips_line_comments() {
+        let l = lex("let x = 1; // HashMap in a comment");
+        assert_eq!(l.code.trim_end(), "let x = 1;");
+        assert!(l.comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_them_in_with_strings() {
+        let l = lex(r#"e.add("avgrdbandwidth", 1.0);"#);
+        assert!(!l.code.contains("avgrdbandwidth"));
+        assert!(l.code_with_strings.contains("avgrdbandwidth"));
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_count() {
+        let l = lex(r#"let name = format!("{stem}.{n}.{ext}");"#);
+        assert_eq!(l.brace_delta, 0);
+    }
+
+    #[test]
+    fn char_literal_brace_does_not_count_and_lifetimes_survive() {
+        assert_eq!(lex("if c == '{' {").brace_delta, 1);
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(l.brace_delta, 0);
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let mut lx = Lexer::new();
+        let a = lx.lex_line("/* Instant::now() in a block comment");
+        let b = lx.lex_line("   still comment */ let y = 2;");
+        assert!(!a.code.contains("Instant"));
+        assert!(b.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let l = lex(r##"let s = r#"SystemTime::now()"#;"##);
+        assert!(!l.code.contains("SystemTime"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let l = lex(r#"let s = "a\"b.unwrap()"; f();"#);
+        assert!(!l.code.contains(".unwrap()"));
+        assert!(l.code.contains("f();"));
+    }
+}

@@ -1,0 +1,343 @@
+//! `wanpred-tidy`: the workspace's own static-analysis pass.
+//!
+//! The paper's methodology — replay GridFTP transfer logs through ~30
+//! predictors and compare percentage error — is only trustworthy if a
+//! campaign is bit-for-bit reproducible from its master seed and no
+//! predictor mis-orders or panics on NaN-tainted series. This crate
+//! machine-enforces those invariants rustc-tidy style: a dependency-free
+//! lexical pass over every workspace `.rs` file, a table-driven lint
+//! catalog ([`rules`]), a cross-file ULM/LDAP schema coherence check
+//! ([`schema_check`]), per-line pragma suppression with mandatory
+//! justifications, `--json` output for CI, and `--fix` for the one
+//! rewrite that is mechanically safe (`partial_cmp` → `total_cmp`).
+//!
+//! Run it with `cargo run -p tidy`. Exit status is nonzero iff findings
+//! exist. See DESIGN.md § "Invariants and the tidy pass".
+
+pub mod fix;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod schema_check;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::LintRule;
+use scan::scan_source;
+
+/// One lint violation (or pragma problem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`wall-clock`, `float-ord`, `ulm-schema`, `pragma`, ...).
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line, or 0 for findings that point at an absence.
+    pub line: usize,
+    pub message: String,
+    pub suggestion: String,
+}
+
+impl Finding {
+    fn lint(rule: &LintRule, path: &str, line: usize, token: &str) -> Self {
+        Finding {
+            rule: rule.id.to_string(),
+            path: path.to_string(),
+            line,
+            message: format!("`{token}`: {}", rule.message),
+            suggestion: rule.suggestion.to_string(),
+        }
+    }
+
+    pub fn cross_file(path: &str, line: usize, message: String, suggestion: &str) -> Self {
+        Finding {
+            rule: schema_check::rule_id().to_string(),
+            path: path.to_string(),
+            line,
+            message,
+            suggestion: suggestion.to_string(),
+        }
+    }
+}
+
+/// Where a file sits relative to the lint policy.
+struct FileContext {
+    /// Crate directory name under `crates/`, when applicable.
+    krate: Option<String>,
+    /// Tests, benches, examples, build scripts and fixtures are exempt.
+    exempt: bool,
+}
+
+fn file_context(rel: &str) -> FileContext {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let exempt = parts.iter().any(|p| {
+        matches!(
+            *p,
+            "tests" | "benches" | "examples" | "fixtures" | "target" | "vendor"
+        )
+    }) || parts.last() == Some(&"build.rs");
+    let krate = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        Some(parts[1].to_string())
+    } else {
+        None
+    };
+    FileContext { krate, exempt }
+}
+
+/// Parse pragmas of the form `tidy: allow(<rule>): <justification>`.
+/// Returns `(rule, justification_present)` pairs. A pragma must *start*
+/// the comment (after doc-comment markers) — prose that merely mentions
+/// the syntax, like this sentence, is not a pragma.
+fn parse_pragmas(comment: &str) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    let trimmed = comment.trim_start_matches(['/', '!', ' ', '\t']);
+    if !trimmed.starts_with("tidy: allow(") {
+        return out;
+    }
+    let mut rest = trimmed;
+    while let Some(pos) = rest.find("tidy: allow(") {
+        rest = &rest[pos + "tidy: allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        let justified = after
+            .strip_prefix(':')
+            .map(|j| {
+                let j = j.trim();
+                !j.is_empty() && !j.starts_with("tidy: allow(")
+            })
+            .unwrap_or(false);
+        out.push((rule, justified));
+        rest = &rest[close + 1..];
+    }
+    out
+}
+
+/// Check one file against the standard rule catalog.
+pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
+    check_file_with(rel, src, &rules::rules())
+}
+
+/// Check one file against an explicit rule table (used by self-tests).
+pub fn check_file_with(rel: &str, src: &str, table: &[LintRule]) -> Vec<Finding> {
+    let ctx = file_context(rel);
+    if ctx.exempt {
+        return Vec::new();
+    }
+    let scanned = scan_source(src);
+    let mut findings = Vec::new();
+
+    // Pragmas: a pragma on its own line covers the next line, an inline
+    // pragma covers its own line. Only justified pragmas suppress.
+    let known = rules::known_rule_ids();
+    let mut allow: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (i, l) in scanned.lines.iter().enumerate() {
+        for (rule, justified) in parse_pragmas(&l.comment) {
+            if !known.contains(&rule.as_str()) {
+                findings.push(Finding {
+                    rule: "pragma".into(),
+                    path: rel.into(),
+                    line: i + 1,
+                    message: format!("pragma references unknown rule `{rule}`"),
+                    suggestion: format!("known rules: {}", known.join(", ")),
+                });
+                continue;
+            }
+            if !justified {
+                findings.push(Finding {
+                    rule: "pragma".into(),
+                    path: rel.into(),
+                    line: i + 1,
+                    message: format!("pragma for `{rule}` carries no justification"),
+                    suggestion: "write `// tidy: allow(<rule>): <why this is sound>`".into(),
+                });
+                continue;
+            }
+            let target = if l.code.trim().is_empty() { i + 1 } else { i };
+            allow.entry(target).or_default().push(rule);
+        }
+    }
+
+    let Some(krate) = ctx.krate else {
+        return findings;
+    };
+    for rule in table {
+        if !rule.crates.contains(&krate.as_str()) {
+            continue;
+        }
+        for (i, l) in scanned.lines.iter().enumerate() {
+            if l.in_test {
+                continue;
+            }
+            let Some(token) = rule.pattern.matches(&l.code) else {
+                continue;
+            };
+            let suppressed = allow
+                .get(&i)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule.id));
+            if !suppressed {
+                findings.push(Finding::lint(rule, rel, i + 1, &token));
+            }
+        }
+    }
+    findings
+}
+
+/// All `.rs` files under `dir`, sorted, skipping build output and fixture
+/// trees (a fixture *is* a violation — it must never fail the real run).
+pub fn walk_rs_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | "fixtures" | ".git" | "vendor") {
+                continue;
+            }
+            out.extend(walk_rs_files(&path)?);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Run the whole pass over the workspace at `root`. With `apply_fix`,
+/// mechanically rewrite fixable `float-ord` findings in place first, then
+/// report whatever remains.
+pub fn run_tidy(root: &Path, apply_fix: bool) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in walk_rs_files(&root.join("crates"))? {
+        let rel = rel_path(root, &path);
+        let mut src = fs::read_to_string(&path)?;
+        let mut file_findings = check_file(&rel, &src);
+        if apply_fix && file_findings.iter().any(|f| f.rule == "float-ord") {
+            let mut lines: Vec<String> = src.split('\n').map(str::to_string).collect();
+            let mut changed = false;
+            for f in file_findings.iter().filter(|f| f.rule == "float-ord") {
+                if f.line == 0 || f.line > lines.len() {
+                    continue;
+                }
+                let (fixed, n) = fix::fix_partial_cmp(&lines[f.line - 1]);
+                if n > 0 {
+                    lines[f.line - 1] = fixed;
+                    changed = true;
+                }
+            }
+            if changed {
+                src = lines.join("\n");
+                fs::write(&path, &src)?;
+                file_findings = check_file(&rel, &src);
+            }
+        }
+        findings.extend(file_findings);
+    }
+    findings.extend(schema_check::check_schema(root));
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+    });
+    Ok(findings)
+}
+
+/// Serialize findings as a JSON array (hand-rolled: tidy takes no deps).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            r#"{{"rule":"{}","path":"{}","line":{},"message":"{}","suggestion":"{}"}}"#,
+            json_escape(&f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.suggestion),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_parsing() {
+        assert_eq!(
+            parse_pragmas(" tidy: allow(float-ord): NaN rejected upstream"),
+            vec![("float-ord".to_string(), true)]
+        );
+        assert_eq!(
+            parse_pragmas(" tidy: allow(float-eq)"),
+            vec![("float-eq".to_string(), false)]
+        );
+        assert_eq!(
+            parse_pragmas(" tidy: allow(float-eq):   "),
+            vec![("float-eq".to_string(), false)]
+        );
+        assert!(parse_pragmas("ordinary comment").is_empty());
+    }
+
+    #[test]
+    fn exempt_contexts() {
+        assert!(file_context("crates/simnet/tests/x.rs").exempt);
+        assert!(file_context("crates/bench/benches/x.rs").exempt);
+        assert!(file_context("crates/core/examples/x.rs").exempt);
+        assert!(!file_context("crates/simnet/src/network.rs").exempt);
+        assert_eq!(
+            file_context("crates/simnet/src/network.rs")
+                .krate
+                .as_deref(),
+            Some("simnet")
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        let f = Finding {
+            rule: "x".into(),
+            path: "a/b.rs".into(),
+            line: 3,
+            message: "say \"hi\"\n".into(),
+            suggestion: "s".into(),
+        };
+        let j = to_json(&[f]);
+        assert!(j.contains(r#"\"hi\"\n"#));
+    }
+}

@@ -1,0 +1,77 @@
+//! CLI for the workspace tidy pass.
+//!
+//! ```text
+//! cargo run -p tidy                 # human-readable report, exit 1 on findings
+//! cargo run -p tidy -- --json       # machine-readable report (CI gate)
+//! cargo run -p tidy -- --fix        # apply mechanical partial_cmp -> total_cmp rewrites
+//! cargo run -p tidy -- --root DIR   # lint a different tree (fixtures, subsets)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut apply_fix = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix" => apply_fix = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("tidy: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: tidy [--json] [--fix] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tidy: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default to the workspace root this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let findings = match tidy::run_tidy(&root, apply_fix) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tidy: error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", tidy::to_json(&findings));
+    } else if findings.is_empty() {
+        println!("tidy: clean ({} ok)", root.display());
+    } else {
+        for f in &findings {
+            if f.line > 0 {
+                println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+            } else {
+                println!("{}: [{}] {}", f.path, f.rule, f.message);
+            }
+            println!("    -> {}", f.suggestion);
+        }
+        println!("tidy: {} finding(s)", findings.len());
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-file scanning: lexes every line and marks which lines sit inside
+//! `#[cfg(test)]` regions, so rules can exempt inline test modules the
+//! same way whole `tests/`/`benches/` directories are exempt.
+
+use crate::lexer::Lexer;
+
+/// One scanned line of a source file.
+pub struct LineInfo {
+    /// Comments stripped, string/char contents blanked. Patterns match this.
+    pub code: String,
+    /// Comments stripped, string contents kept. The schema checker reads this.
+    pub code_with_strings: String,
+    /// Trailing `//` comment text, if any (pragmas are parsed from here).
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Net brace delta, counted outside strings/comments (for span tracking).
+    pub brace_delta: i32,
+}
+
+pub struct ScannedFile {
+    pub lines: Vec<LineInfo>,
+}
+
+impl ScannedFile {
+    /// The file's non-test code with comments stripped and string contents
+    /// preserved, joined back into one string. Cross-file checks parse this
+    /// so that doc comments and test fixtures can't confuse extraction.
+    pub fn non_test_source(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            if !l.in_test {
+                out.push_str(&l.code_with_strings);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Lex a whole file and compute `#[cfg(test)]` region membership.
+///
+/// The region tracker is lexical: after a `#[cfg(test)]` attribute, the
+/// next `{` opens a test region that ends when brace depth returns to the
+/// opening level. An attribute that ends in `;` before any `{` (e.g.
+/// `#[cfg(test)] mod tests;`) introduces no region. `cfg(not(test))` and
+/// `cfg(any(..))` never match — only the exact `cfg(test)` form does,
+/// which is the only form used in this workspace.
+pub fn scan_source(src: &str) -> ScannedFile {
+    let mut lexer = Lexer::new();
+    let mut depth: i32 = 0;
+    let mut pending_cfg_test = false;
+    let mut test_open_depth: Option<i32> = None;
+    let mut lines = Vec::new();
+
+    for raw in src.lines() {
+        let lexed = lexer.lex_line(raw);
+
+        if test_open_depth.is_none() && lexed.code.contains("cfg(test)") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && test_open_depth.is_none() {
+            if lexed.code.contains('{') {
+                test_open_depth = Some(depth);
+                pending_cfg_test = false;
+            } else if lexed.code.trim_end().ends_with(';') {
+                // Out-of-line module or cfg-gated statement: no region.
+                pending_cfg_test = false;
+            }
+        }
+
+        let in_test = test_open_depth.is_some();
+        depth += lexed.brace_delta;
+        if let Some(open) = test_open_depth {
+            if depth <= open {
+                test_open_depth = None;
+            }
+        }
+
+        lines.push(LineInfo {
+            code: lexed.code,
+            code_with_strings: lexed.code_with_strings,
+            comment: lexed.comment,
+            in_test,
+            brace_delta: lexed.brace_delta,
+        });
+    }
+
+    ScannedFile { lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_test_module_lines() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let s = scan_source(src);
+        let flags: Vec<bool> = s.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let src = "#[cfg(not(test))]\nfn prod() {\n    body();\n}\n";
+        let s = scan_source(src);
+        assert!(s.lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn cfg_test_out_of_line_module_is_not_a_region() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() {}\n";
+        let s = scan_source(src);
+        assert!(!s.lines[2].in_test);
+    }
+
+    #[test]
+    fn single_line_test_item_is_covered() {
+        let src = "#[cfg(test)] fn helper() { body(); }\nfn prod() {}\n";
+        let s = scan_source(src);
+        assert!(s.lines[0].in_test);
+        assert!(!s.lines[1].in_test);
+    }
+
+    #[test]
+    fn intervening_attributes_keep_the_pending_region() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    x();\n}\n";
+        let s = scan_source(src);
+        assert!(s.lines[3].in_test);
+    }
+}

@@ -1,0 +1,337 @@
+//! Cross-file ULM / LDAP-schema coherence (rule id `ulm-schema`).
+//!
+//! Two families of drift are caught here, both of which bit real Grid
+//! deployments of the paper's monitoring stack:
+//!
+//! 1. **ULM keyword drift** — every keyword constant declared in
+//!    `logfmt::ulm::keys` must be written by `encode` *and* read back by
+//!    `decode`. A keyword emitted but never parsed silently drops data on
+//!    reload; one declared but never emitted is dead vocabulary.
+//! 2. **LDAP attribute drift** — every performance attribute the GRIS
+//!    provider publishes (`infod::provider`) and every attribute the
+//!    replica broker queries (`replica::broker`) must be declared in
+//!    `infod::schema`, and every performance attribute the perf object
+//!    class declares must actually be emitted by the provider. A typo'd
+//!    attribute name otherwise just reads as "absent" at run time.
+//!
+//! Extraction is lexical but operates on comment-stripped, test-stripped
+//! source (see [`crate::scan`]), so doc comments and test fixtures cannot
+//! confuse it. Provider attributes built with `format!` are expanded over
+//! the known `{tag}` (rd/wr) and `{range}` (size-class) placeholders;
+//! literals with any other placeholder are skipped as dynamic.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use crate::scan::{scan_source, ScannedFile};
+use crate::Finding;
+
+const RULE: &str = "ulm-schema";
+const TAG_VALUES: &[&str] = &["rd", "wr"];
+const RANGE_VALUES: &[&str] = &[
+    "tenmbrange",
+    "hundredmbrange",
+    "fivehundredmbrange",
+    "onegbrange",
+];
+
+/// Run every coherence check against files under `root`. Files that do
+/// not exist are skipped (the checker also runs against fixture trees).
+pub fn check_schema(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_ulm_keys(root, &mut findings);
+    check_ldap_attrs(root, &mut findings);
+    findings
+}
+
+fn load(root: &Path, rel: &str) -> Option<(String, ScannedFile)> {
+    let src = fs::read_to_string(root.join(rel)).ok()?;
+    let scanned = scan_source(&src);
+    Some((rel.to_string(), scanned))
+}
+
+fn check_ulm_keys(root: &Path, findings: &mut Vec<Finding>) {
+    let Some((rel, scanned)) = load(root, "crates/logfmt/src/ulm.rs") else {
+        return;
+    };
+    let Some(keys_span) = span_lines(&scanned, "mod keys") else {
+        return;
+    };
+    // Markers keep the trailing `(` so `fn encode_value` is not mistaken
+    // for `fn encode`.
+    let encode = span_text(&scanned, "fn encode(");
+    let decode = span_text(&scanned, "fn decode(");
+
+    for (name, line) in key_consts(&scanned, keys_span) {
+        let reference = format!("keys::{name}");
+        if let Some(e) = &encode {
+            if !e.contains(&reference) {
+                findings.push(Finding::cross_file(
+                    &rel,
+                    line,
+                    format!(
+                        "ULM keyword `{name}` is declared in `keys` but never written by `encode`"
+                    ),
+                    "emit it in encode or delete the constant",
+                ));
+            }
+        }
+        if let Some(d) = &decode {
+            if !d.contains(&reference) {
+                findings.push(Finding::cross_file(
+                    &rel,
+                    line,
+                    format!("ULM keyword `{name}` is emitted but never parsed back by `decode`"),
+                    "parse it in decode so records round-trip losslessly",
+                ));
+            }
+        }
+    }
+}
+
+fn check_ldap_attrs(root: &Path, findings: &mut Vec<Finding>) {
+    let Some((schema_rel, schema)) = load(root, "crates/infod/src/schema.rs") else {
+        return;
+    };
+
+    // Declared: candidate-shaped literals inside the object-class consts.
+    let perf_declared = class_attrs(&schema, "GRIDFTP_PERF_INFO");
+    let server_declared = class_attrs(&schema, "GRIDFTP_SERVER_INFO");
+    let declared: BTreeSet<String> = perf_declared.union(&server_declared).cloned().collect();
+    let _ = schema_rel;
+
+    // Emitted: first argument of every `.add(` call in the provider.
+    let mut emitted = BTreeSet::new();
+    if let Some((rel, provider)) = load(root, "crates/infod/src/provider.rs") {
+        let text = provider.non_test_source();
+        for attr in add_call_attrs(&text) {
+            if !is_candidate_attr(&attr) {
+                continue;
+            }
+            emitted.insert(attr.clone());
+            if !declared.contains(&attr) {
+                findings.push(Finding::cross_file(
+                    &rel,
+                    find_line(&provider, &attr),
+                    format!(
+                        "provider emits attribute `{attr}` that infod::schema does not declare"
+                    ),
+                    "declare it in the object class or fix the attribute name",
+                ));
+            }
+        }
+        // Declared perf attributes must actually be published.
+        for attr in &perf_declared {
+            if !emitted.contains(attr) {
+                findings.push(Finding::cross_file(
+                    &schema_rel,
+                    find_line(&schema, attr),
+                    format!("schema declares attribute `{attr}` that the provider never emits"),
+                    "emit it from the provider or drop it from the schema",
+                ));
+            }
+        }
+    }
+
+    // Consumed: candidate-shaped literals anywhere in the broker.
+    if let Some((rel, broker)) = load(root, "crates/replica/src/broker.rs") {
+        let text = broker.non_test_source();
+        for attr in string_literals(&text) {
+            if is_candidate_attr(&attr) && !declared.contains(&attr) {
+                findings.push(Finding::cross_file(
+                    &rel,
+                    find_line(&broker, &attr),
+                    format!(
+                        "broker queries attribute `{attr}` that infod::schema does not declare"
+                    ),
+                    "fix the attribute name or declare it in the schema",
+                ));
+            }
+        }
+    }
+}
+
+/// Line range (0-based, end exclusive) of the item whose header contains
+/// `marker`, tracked by brace depth on non-test lines.
+fn span_lines(scanned: &ScannedFile, marker: &str) -> Option<(usize, usize)> {
+    let start = scanned
+        .lines
+        .iter()
+        .position(|l| !l.in_test && l.code.contains(marker))?;
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (i, l) in scanned.lines.iter().enumerate().skip(start) {
+        depth += l.brace_delta;
+        if l.brace_delta > 0 {
+            opened = true;
+        }
+        if opened && depth <= 0 {
+            return Some((start, i + 1));
+        }
+    }
+    Some((start, scanned.lines.len()))
+}
+
+fn span_text(scanned: &ScannedFile, marker: &str) -> Option<String> {
+    let (a, b) = span_lines(scanned, marker)?;
+    let mut out = String::new();
+    for l in &scanned.lines[a..b] {
+        out.push_str(&l.code_with_strings);
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// `pub const NAME: &str = "..";` declarations inside a line range.
+fn key_consts(scanned: &ScannedFile, (a, b): (usize, usize)) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, l) in scanned.lines[a..b].iter().enumerate() {
+        if let Some(rest) = l.code.trim_start().strip_prefix("pub const ") {
+            if let Some(name) = rest.split(':').next() {
+                let name = name.trim();
+                if !name.is_empty() {
+                    out.push((name.to_string(), a + i + 1));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Candidate-shaped literals within an object-class const's span.
+fn class_attrs(scanned: &ScannedFile, const_name: &str) -> BTreeSet<String> {
+    let Some(text) = span_text(scanned, const_name) else {
+        return BTreeSet::new();
+    };
+    string_literals(&text)
+        .into_iter()
+        .filter(|s| is_candidate_attr(s))
+        .collect()
+}
+
+/// First-argument attribute names of `.add(` calls, with `format!`
+/// placeholders expanded over the known tag/range vocabularies.
+fn add_call_attrs(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(".add(") {
+        rest = &rest[pos + ".add(".len()..];
+        let arg = rest.trim_start();
+        let arg = arg.strip_prefix('&').unwrap_or(arg).trim_start();
+        if let Some(lit) = arg.strip_prefix('"') {
+            if let Some(end) = lit.find('"') {
+                out.insert(lit[..end].to_string());
+            }
+        } else if let Some(fmt) = arg.strip_prefix("format!(") {
+            let fmt = fmt.trim_start();
+            if let Some(lit) = fmt.strip_prefix('"') {
+                if let Some(end) = lit.find('"') {
+                    for expanded in expand_placeholders(&lit[..end]) {
+                        out.insert(expanded);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Expand `{tag}` and `{range}` over their vocabularies; a literal with
+/// any other placeholder is dynamic and yields nothing.
+fn expand_placeholders(template: &str) -> Vec<String> {
+    let mut work = vec![template.to_string()];
+    for (placeholder, values) in [("{tag}", TAG_VALUES), ("{range}", RANGE_VALUES)] {
+        let mut next = Vec::new();
+        for t in work {
+            if t.contains(placeholder) {
+                for v in values {
+                    next.push(t.replace(placeholder, v));
+                }
+            } else {
+                next.push(t);
+            }
+        }
+        work = next;
+    }
+    work.retain(|t| !t.contains('{'));
+    work
+}
+
+/// An LDAP performance attribute as this stack names them: all-lowercase
+/// alphanumeric, mentioning bandwidth/transfer (or the error-pct gauge).
+/// Filter strings, class names, and prose never pass this shape.
+fn is_candidate_attr(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+        && (s.contains("bandwidth") || s.contains("transfer") || s == "predicterrorpct")
+}
+
+/// All `"..."` literal contents in comment-stripped text.
+fn string_literals(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if j <= bytes.len() {
+                if let Ok(s) = std::str::from_utf8(&bytes[start..j.min(bytes.len())]) {
+                    out.push(s.to_string());
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// 1-based line of the first non-test occurrence of `needle`, for finding
+/// locations in reports (0 when not found — cross-file findings may point
+/// at an absence rather than a line).
+fn find_line(scanned: &ScannedFile, needle: &str) -> usize {
+    scanned
+        .lines
+        .iter()
+        .position(|l| !l.in_test && l.code_with_strings.contains(needle))
+        .map(|i| i + 1)
+        .unwrap_or(0)
+}
+
+pub fn rule_id() -> &'static str {
+    RULE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expands_tag_and_range() {
+        assert_eq!(expand_placeholders("num{tag}transfers").len(), 2);
+        assert_eq!(expand_placeholders("avgrdbandwidth{range}").len(), 4);
+        assert_eq!(expand_placeholders("plain").len(), 1);
+        // Unknown placeholders are dynamic: expansion yields nothing.
+        assert!(expand_placeholders("dc={c}").is_empty());
+    }
+
+    #[test]
+    fn candidate_filter_rejects_classes_and_filters() {
+        assert!(is_candidate_attr("avgrdbandwidthonegbrange"));
+        assert!(is_candidate_attr("lasttransfertime"));
+        assert!(is_candidate_attr("predicterrorpct"));
+        assert!(!is_candidate_attr("GridFTPPerfInfo"));
+        assert!(!is_candidate_attr("objectclass"));
+        assert!(!is_candidate_attr("(&(objectclass=x)(cn=y))"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Self-tests for the tidy pass: every rule must fire on its seeded
+//! fixture, pragma suppression must demand justifications, and — the
+//! acceptance gate — the real workspace must lint clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+const ALL_RULES: &[&str] = &[
+    "wall-clock",
+    "thread-rng",
+    "unordered-map",
+    "float-ord",
+    "float-eq",
+    "panic-unwrap",
+    "pragma",
+    "ulm-schema",
+];
+
+#[test]
+fn every_rule_fires_on_the_bad_tree() {
+    let findings = tidy::run_tidy(&fixture("bad_tree"), false).expect("fixture tree walk");
+    for rule in ALL_RULES {
+        assert!(
+            findings.iter().any(|f| f.rule == *rule),
+            "rule `{rule}` produced no finding on its fixture; got: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn schema_drift_findings_name_the_drifted_attributes() {
+    let findings = tidy::schema_check::check_schema(&fixture("bad_tree"));
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    // Keyword emitted but not parsed, and declared but dead.
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`DEST`") && m.contains("never parsed")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`STALE`") && m.contains("never written")));
+    // Provider emits an attribute the schema lacks.
+    assert!(messages.iter().any(|m| m.contains("`avgwrbandwidth`")));
+    // Schema declares an attribute the provider never publishes.
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`numtransfers`") && m.contains("never emits")));
+    // Broker queries an attribute the schema lacks.
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`predictrdbandwidth`") && m.contains("broker")));
+}
+
+#[test]
+fn cli_exits_nonzero_on_bad_tree_and_zero_on_clean_tree() {
+    let bad = Command::new(env!("CARGO_BIN_EXE_tidy"))
+        .args(["--json", "--root"])
+        .arg(fixture("bad_tree"))
+        .output()
+        .expect("run tidy");
+    assert!(!bad.status.success(), "bad_tree must fail the lint");
+    let json = String::from_utf8(bad.stdout).expect("utf8 json");
+    for rule in ALL_RULES {
+        assert!(
+            json.contains(rule),
+            "JSON output missing rule `{rule}`: {json}"
+        );
+    }
+
+    let clean = Command::new(env!("CARGO_BIN_EXE_tidy"))
+        .args(["--json", "--root"])
+        .arg(fixture("clean_tree"))
+        .output()
+        .expect("run tidy");
+    assert!(clean.status.success(), "clean_tree must pass the lint");
+    assert_eq!(String::from_utf8_lossy(&clean.stdout).trim(), "[]");
+}
+
+#[test]
+fn the_workspace_itself_lints_clean() {
+    let findings = tidy::run_tidy(&workspace_root(), false).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "the tree must satisfy its own tidy pass; found: {findings:#?}"
+    );
+}
+
+#[test]
+fn justified_pragmas_suppress_and_unjustified_ones_do_not() {
+    let rel = "crates/simnet/src/x.rs";
+    let justified = "fn f(a: f64) -> bool {\n    // tidy: allow(float-eq): sentinel comparison, justified here\n    a == 0.0\n}\n";
+    assert!(tidy::check_file(rel, justified).is_empty());
+
+    let inline = "fn f(a: f64) -> bool {\n    a == 0.0 // tidy: allow(float-eq): inline justification works too\n}\n";
+    assert!(tidy::check_file(rel, inline).is_empty());
+
+    let unjustified = "fn f(a: f64) -> bool {\n    // tidy: allow(float-eq)\n    a == 0.0\n}\n";
+    let findings = tidy::check_file(rel, unjustified);
+    assert!(findings.iter().any(|f| f.rule == "pragma"));
+    assert!(
+        findings.iter().any(|f| f.rule == "float-eq"),
+        "an unjustified pragma must not suppress the lint"
+    );
+
+    let unknown = "fn f() {\n    // tidy: allow(no-such-rule): whatever\n    g();\n}\n";
+    let findings = tidy::check_file(rel, unknown);
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "pragma" && f.message.contains("unknown rule")));
+}
+
+#[test]
+fn test_modules_and_test_dirs_are_exempt() {
+    let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    fn t() { let _ = Instant::now(); }\n}\n";
+    assert!(tidy::check_file("crates/simnet/src/x.rs", src).is_empty());
+
+    let bad = "fn t() { let _ = std::time::Instant::now(); }\n";
+    assert!(tidy::check_file("crates/simnet/tests/x.rs", bad).is_empty());
+    assert!(tidy::check_file("crates/bench/benches/x.rs", bad).is_empty());
+    assert!(!tidy::check_file("crates/simnet/src/x.rs", bad).is_empty());
+}
+
+#[test]
+fn fix_clears_the_fixable_float_ord_findings() {
+    let rel = "crates/predict/src/x.rs";
+    let src = "pub fn m(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).expect(\"no NaN\"));\n}\n";
+    assert!(tidy::check_file(rel, src)
+        .iter()
+        .any(|f| f.rule == "float-ord"));
+    let (fixed, n) = tidy::fix::fix_partial_cmp(src);
+    assert_eq!(n, 1);
+    assert!(tidy::check_file(rel, &fixed).is_empty());
+}

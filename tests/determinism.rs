@@ -67,6 +67,32 @@ fn faulty_campaigns_replay_identically() {
 }
 
 #[test]
+fn faulty_double_run_is_byte_identical() {
+    // Stronger than structural equality: the exact ULM text and the
+    // serialized CampaignResult must match byte for byte, so a re-run
+    // can be diffed against an archived artifact. This is what the
+    // BTreeMap decision paths and the modeled (wall-clock-free) logging
+    // cost buy us — and what the tidy pass guards.
+    let a = run_faulty(11, 2);
+    let b = run_faulty(11, 2);
+
+    let ulm_bytes = |log: &wanpred_core::logfmt::TransferLog| -> Vec<u8> {
+        let mut s = String::new();
+        for r in log.records() {
+            s.push_str(&wanpred_core::logfmt::encode(r));
+            s.push('\n');
+        }
+        s.into_bytes()
+    };
+    assert_eq!(ulm_bytes(&a.lbl_log), ulm_bytes(&b.lbl_log));
+    assert_eq!(ulm_bytes(&a.isi_log), ulm_bytes(&b.isi_log));
+
+    let ja = serde_json::to_string(&a).expect("serialize campaign result");
+    let jb = serde_json::to_string(&b).expect("serialize campaign result");
+    assert_eq!(ja.into_bytes(), jb.into_bytes());
+}
+
+#[test]
 fn different_seeds_different_histories() {
     let a = run(1, 2);
     let b = run(2, 2);

@@ -1,0 +1,59 @@
+//! NaN robustness of the replay path.
+//!
+//! A fault-injected or corrupt log can yield a NaN bandwidth observation
+//! (e.g. a zero-duration or unparsable record). Every predictor sort used
+//! to order on `partial_cmp().expect(..)`, so one such observation
+//! aborted the whole 30-predictor replay. The sorts are now
+//! `f64::total_cmp` — these regressions feed NaN all the way through
+//! `evaluate_log` and must complete without panicking.
+
+use wanpred_core::prelude::*;
+use wanpred_logfmt::sample_record;
+
+/// A log of `n` well-formed records on one (source, host) pair, with a
+/// NaN-bandwidth record spliced in after the training window so it is
+/// both an evaluation target and part of later histories.
+fn log_with_nan(n: usize) -> TransferLog {
+    let mut log = TransferLog::new();
+    for i in 0..n {
+        let mut r = sample_record();
+        r.start_unix += (i as u64) * 600;
+        r.end_unix = r.start_unix + 110;
+        r.file_size = 1_000_000_000 + (i as u64 % 7) * 50_000_000;
+        if i == 20 {
+            // bandwidth_kbs() = size / NaN = NaN.
+            r.total_time_s = f64::NAN;
+        }
+        log.append(r);
+    }
+    log
+}
+
+#[test]
+fn evaluate_log_survives_a_nan_observation() {
+    let log = log_with_nan(40);
+    let (reports, suite) = evaluate_log(&log, EvalOptions::default());
+    assert_eq!(reports.len(), suite.len());
+    assert!(!reports.is_empty());
+    // The evaluation saw targets on both sides of the NaN record.
+    assert!(reports.iter().any(|r| !r.outcomes.is_empty()));
+}
+
+#[test]
+fn dynamic_selector_survives_a_nan_observation() {
+    let mut sel = DynamicSelector::new(full_suite(), 5);
+    for i in 0..30u64 {
+        let mut bw = 5_000.0 + (i % 5) as f64 * 100.0;
+        if i == 12 {
+            bw = f64::NAN;
+        }
+        sel.observe(Observation {
+            at_unix: 996_642_000 + i * 600,
+            file_size: 1_000_000_000,
+            bandwidth_kbs: bw,
+        });
+    }
+    // Ranking by running MAPE must stay total even though one candidate
+    // history is NaN-tainted; prediction must not panic.
+    let _ = sel.predict(996_642_000 + 31 * 600, 1_000_000_000);
+}
