@@ -10,7 +10,10 @@
 //! observations rather than being silently dropped.
 //!
 //! Writes the headline comparison to `BENCH_faults.json` at the repo
-//! root. `--days N` shortens the campaign (CI smoke runs use `--days 2`).
+//! root. `--days N` shortens the campaign (CI smoke runs use `--days 2`);
+//! `--chaos RATE` additionally corrupts the faulty run's logs with the
+//! seeded injector and replays the suite over what strict salvage
+//! recovers, compounding wide-area faults with storage damage.
 
 use std::env;
 
@@ -55,6 +58,7 @@ fn main() {
     let seed: u64 = arg_value(&args, "--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_SEED);
+    let chaos: Option<f64> = arg_value(&args, "--chaos").and_then(|v| v.parse().ok());
 
     let base = CampaignConfig {
         duration: SimDuration::from_days(days),
@@ -62,7 +66,11 @@ fn main() {
         ..CampaignConfig::august(seed)
     };
     let clean = run_campaign(&base);
-    let faulty = run_campaign(&base.clone().with_faults());
+    let mut faulty_cfg = base.clone().with_faults();
+    if let Some(rate) = chaos {
+        faulty_cfg = faulty_cfg.with_chaos(rate);
+    }
+    let faulty = run_campaign(&faulty_cfg);
 
     assert_eq!(clean.fault_events, 0);
     assert!(faulty.fault_events > 0, "fault schedule came up empty");
@@ -72,6 +80,20 @@ fn main() {
          actions, saw {} retries and abandoned {} transfers\n",
         faulty.fault_events, faulty.retries, faulty.failed_transfers
     );
+    if let Some(rate) = chaos {
+        for pair in Pair::ALL {
+            let report = faulty.salvage(pair).expect("chaos was enabled");
+            println!(
+                "chaos {rate}: {} salvage kept {} records, quarantined {} lines \
+                 ({:.1}% recovery)",
+                pair.label(),
+                report.kept,
+                report.quarantined.len(),
+                report.recovery_fraction() * 100.0
+            );
+        }
+        println!();
+    }
 
     let mut table = Table::new("predictor accuracy, clean vs faulty logs (MAPE %)").headers([
         "pair",
@@ -114,8 +136,24 @@ fn main() {
         ));
     }
     let pairs_json = pairs_json.trim_end().trim_end_matches(',').to_string();
+    let chaos_json = match chaos {
+        Some(rate) => {
+            let recovered: usize = Pair::ALL
+                .iter()
+                .filter_map(|p| faulty.salvage(*p))
+                .map(|r| r.kept)
+                .sum();
+            let quarantined: usize = Pair::ALL
+                .iter()
+                .filter_map(|p| faulty.salvage(*p))
+                .map(|r| r.quarantined.len())
+                .sum();
+            format!("{{\"rate\": {rate}, \"kept\": {recovered}, \"quarantined\": {quarantined}}}")
+        }
+        None => "null".into(),
+    };
     let json = format!(
-        "{{\n  \"days\": {days},\n  \"seed\": {seed},\n  \"fault_events\": {},\n  \"retries\": {},\n  \"failed_transfers\": {},\n  \"results\": [\n{pairs_json}\n  ]\n}}\n",
+        "{{\n  \"days\": {days},\n  \"seed\": {seed},\n  \"fault_events\": {},\n  \"retries\": {},\n  \"failed_transfers\": {},\n  \"chaos\": {chaos_json},\n  \"results\": [\n{pairs_json}\n  ]\n}}\n",
         faulty.fault_events, faulty.retries, faulty.failed_transfers
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");

@@ -21,6 +21,7 @@
 //! | `ablation_classification` | classification-granularity ablation |
 //! | `ablation_replica_gain` | broker vs baseline policies |
 //! | `ablation_faults` | predictor accuracy on clean vs faulty logs |
+//! | `ablation_salvage` | salvaged-log accuracy across corruption rates |
 //!
 //! Run any of them with
 //! `cargo run --release -p wanpred-bench --bin <name> [-- args]`.

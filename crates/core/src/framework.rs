@@ -128,7 +128,7 @@ impl PredictiveFramework {
     ) -> Result<Selection, ReplicaError> {
         let replicas = self.catalog.lookup(lfn)?.to_vec();
         let mut broker = Broker::new(GiisPerfSource::new(self.giis.clone()));
-        Ok(broker.select(client_addr, &replicas, policy, now_unix))
+        broker.select(client_addr, &replicas, policy, now_unix)
     }
 }
 

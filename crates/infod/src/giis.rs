@@ -37,6 +37,94 @@ impl Directory for Giis {
     }
 }
 
+/// Per-registrant retry backoff for the soft-state registration
+/// protocol: when a GIIS is unreachable (or rejects a registration), the
+/// GRIS must not hammer it on a fixed cadence — MDS deployments stagger
+/// retries with exponential backoff and *jitter* so that a recovering
+/// index is not hit by a synchronized thundering herd.
+///
+/// The jitter is deterministic: it is derived by hashing `(registrant id,
+/// attempt)` (FNV-1a + splitmix64 avalanche, the same derivation idiom as
+/// the simulator's `MasterSeed`), so campaigns stay replayable while
+/// distinct registrants still spread out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrationBackoff {
+    /// Delay after the first failure, seconds.
+    pub base_secs: u64,
+    /// Delay ceiling, seconds.
+    pub max_secs: u64,
+    /// Jitter half-width as a fraction of the delay (0.25 → ±25%).
+    pub jitter: f64,
+    consecutive_failures: u32,
+}
+
+impl Default for RegistrationBackoff {
+    fn default() -> Self {
+        RegistrationBackoff::mds_default()
+    }
+}
+
+impl RegistrationBackoff {
+    /// The deployment defaults: 30 s base, 10 min ceiling, ±25% jitter.
+    pub fn mds_default() -> Self {
+        RegistrationBackoff {
+            base_secs: 30,
+            max_secs: 600,
+            jitter: 0.25,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// Failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Record a failed registration attempt; returns the seconds to wait
+    /// before the next attempt for this registrant.
+    pub fn on_failure(&mut self, id: &str) -> u64 {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        self.delay_secs(id)
+    }
+
+    /// Record a successful registration: the schedule resets.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// The current delay for a registrant (0 when healthy): exponential
+    /// in the failure count, capped, with deterministic jitter.
+    pub fn delay_secs(&self, id: &str) -> u64 {
+        if self.consecutive_failures == 0 {
+            return 0;
+        }
+        let exp = self.consecutive_failures.saturating_sub(1).min(32);
+        let raw = self
+            .base_secs
+            .saturating_mul(1u64 << exp.min(63))
+            .min(self.max_secs);
+        let u = jitter_unit(id, self.consecutive_failures);
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * u;
+        ((raw as f64 * factor).round() as u64).max(1)
+    }
+}
+
+/// Deterministic uniform-[0,1) jitter from `(id, attempt)`: FNV-1a over
+/// the id folded with the attempt, finished with a splitmix64 avalanche.
+fn jitter_unit(id: &str, attempt: u32) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (u64::from(attempt).rotate_left(17));
+    for b in id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// A soft-state registration message (the wire protocol's payload).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Registration {
@@ -65,6 +153,12 @@ struct Registrant {
 pub struct Giis {
     name: String,
     registrants: BTreeMap<String, Registrant>,
+    /// Whether the index currently accepts registrations (a down GIIS
+    /// refuses them; registrants back off and retry).
+    available: bool,
+    /// Per-registrant retry schedules, kept across registration expiry
+    /// so a flapping registrant cannot reset its own backoff.
+    backoffs: BTreeMap<String, RegistrationBackoff>,
 }
 
 impl Giis {
@@ -73,12 +167,51 @@ impl Giis {
         Giis {
             name: name.into(),
             registrants: BTreeMap::new(),
+            available: true,
+            backoffs: BTreeMap::new(),
         }
     }
 
     /// The index's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Mark the index up or down (fault injection / maintenance).
+    pub fn set_available(&mut self, available: bool) {
+        self.available = available;
+    }
+
+    /// Whether the index currently accepts registrations.
+    pub fn is_available(&self) -> bool {
+        self.available
+    }
+
+    /// A registrant's current retry delay in seconds (0 when healthy).
+    pub fn backoff_delay(&self, id: &str) -> u64 {
+        self.backoffs.get(id).map_or(0, |b| b.delay_secs(id))
+    }
+
+    /// Process a registration attempt against a possibly-down index.
+    /// On success the registrant's backoff resets; on refusal the
+    /// per-registrant schedule advances and `Err(delay_secs)` tells the
+    /// registrant how long to wait before retrying (exponential, capped,
+    /// deterministically jittered — see [`RegistrationBackoff`]).
+    pub fn try_register(
+        &mut self,
+        msg: Registration,
+        dir: Arc<Mutex<dyn Directory>>,
+        now_unix: u64,
+    ) -> Result<RegisterOutcome, u64> {
+        let id = msg.id.clone();
+        if !self.available {
+            let delay = self.backoffs.entry(id.clone()).or_default().on_failure(&id);
+            return Err(delay);
+        }
+        if let Some(b) = self.backoffs.get_mut(&id) {
+            b.on_success();
+        }
+        Ok(self.register_directory(msg, dir, now_unix))
     }
 
     /// Process a registration (initial or renewal) from a GRIS.
@@ -158,7 +291,7 @@ impl Giis {
 mod tests {
     use super::*;
     use crate::filter;
-    use crate::gris::InfoProvider;
+    use crate::gris::{InfoProvider, ProviderError};
     use crate::ldif::Dn;
 
     struct Fixed {
@@ -169,10 +302,10 @@ mod tests {
         fn name(&self) -> &str {
             self.tag
         }
-        fn provide(&mut self, _now: u64) -> Vec<Entry> {
+        fn provide(&mut self, _now: u64) -> Result<Vec<Entry>, ProviderError> {
             let mut e = Entry::new(Dn::parse(format!("cn={}, o=grid", self.tag).as_str()).unwrap());
             e.add("site", self.tag);
-            vec![e]
+            Ok(vec![e])
         }
     }
 
@@ -326,6 +459,72 @@ mod tests {
         assert!(org
             .search(&filter::parse("(site=*)").unwrap(), 700)
             .is_empty());
+    }
+
+    #[test]
+    fn down_index_refuses_with_exponential_jittered_backoff() {
+        let mut giis = Giis::new("top");
+        giis.set_available(false);
+        let reg = || Registration {
+            id: "lbl".into(),
+            ttl_secs: 300,
+        };
+        let d1 = giis.try_register(reg(), gris_with("lbl"), 0).unwrap_err();
+        let d2 = giis.try_register(reg(), gris_with("lbl"), 10).unwrap_err();
+        let d3 = giis.try_register(reg(), gris_with("lbl"), 20).unwrap_err();
+        // Exponential growth around base 30 with ±25% jitter.
+        assert!((23..=38).contains(&d1), "first delay {d1}");
+        assert!((45..=75).contains(&d2), "second delay {d2}");
+        assert!((90..=150).contains(&d3), "third delay {d3}");
+        assert_eq!(giis.backoff_delay("lbl"), d3);
+        // Deterministic: a replay produces identical delays.
+        let mut replay = Giis::new("top");
+        replay.set_available(false);
+        assert_eq!(
+            replay.try_register(reg(), gris_with("lbl"), 0).unwrap_err(),
+            d1
+        );
+        // Distinct registrants get decorrelated jitter.
+        let other = giis
+            .try_register(
+                Registration {
+                    id: "isi".into(),
+                    ttl_secs: 300,
+                },
+                gris_with("isi"),
+                0,
+            )
+            .unwrap_err();
+        assert_ne!(other, d1);
+    }
+
+    #[test]
+    fn backoff_caps_and_resets_on_success() {
+        let mut b = RegistrationBackoff::mds_default();
+        let mut last = 0;
+        for _ in 0..12 {
+            last = b.on_failure("lbl");
+        }
+        // Capped at max_secs ± jitter.
+        assert!(last <= 750, "capped delay {last}");
+        assert!(last >= 450, "capped delay {last}");
+        b.on_success();
+        assert_eq!(b.consecutive_failures(), 0);
+        assert_eq!(b.delay_secs("lbl"), 0);
+
+        // And through the Giis: recovery accepts and clears the schedule.
+        let mut giis = Giis::new("top");
+        giis.set_available(false);
+        let reg = || Registration {
+            id: "lbl".into(),
+            ttl_secs: 300,
+        };
+        giis.try_register(reg(), gris_with("lbl"), 0).unwrap_err();
+        giis.set_available(true);
+        let outcome = giis.try_register(reg(), gris_with("lbl"), 60).unwrap();
+        assert_eq!(outcome, RegisterOutcome::New);
+        assert_eq!(giis.backoff_delay("lbl"), 0);
+        assert_eq!(giis.live_registrants(100), vec!["lbl".to_string()]);
     }
 
     #[test]

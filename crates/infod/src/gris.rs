@@ -1,13 +1,51 @@
 //! The Grid Resource Information Service: a per-site directory server
-//! fed by pluggable information providers, with TTL caching.
+//! fed by pluggable information providers, with TTL caching and
+//! degraded-mode serving.
 //!
 //! MDS-2's GRIS invokes its providers on demand and caches their output
 //! for a provider-declared lifetime (information like transfer statistics
 //! is expensive to recompute, and inquiry rates can be high). Search
 //! applies an LDAP filter over the cached entries.
+//!
+//! Providers are *fallible*: a provider whose backing store is
+//! unavailable (log unreadable, filesystem gone) returns a
+//! [`ProviderError`] instead of entries. The GRIS then keeps serving the
+//! last-known-good cache, stamping every served entry with a
+//! `stalenesssecs` attribute — the age of the data at inquiry time — so
+//! downstream consumers (the replica broker's ranking in particular) can
+//! discount it instead of either trusting it blindly or losing the site
+//! entirely. On the next successful refresh the stamp disappears.
 
 use crate::filter::Filter;
 use crate::ldif::{Dn, Entry};
+
+/// Why a provider refresh failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProviderError {
+    message: String,
+}
+
+impl ProviderError {
+    /// An error with a human-readable cause.
+    pub fn new(message: impl Into<String>) -> Self {
+        ProviderError {
+            message: message.into(),
+        }
+    }
+
+    /// The cause.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for ProviderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "provider refresh failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProviderError {}
 
 /// A pluggable information source.
 pub trait InfoProvider: Send {
@@ -15,8 +53,10 @@ pub trait InfoProvider: Send {
     fn name(&self) -> &str;
 
     /// Produce the provider's current entries. `now_unix` is the inquiry
-    /// time, letting providers compute temporal-window statistics.
-    fn provide(&mut self, now_unix: u64) -> Vec<Entry>;
+    /// time, letting providers compute temporal-window statistics. A
+    /// failing provider returns an error; the GRIS degrades to its
+    /// last-known-good cache.
+    fn provide(&mut self, now_unix: u64) -> Result<Vec<Entry>, ProviderError>;
 
     /// Seconds the produced entries may be served from cache.
     fn ttl_secs(&self) -> u64 {
@@ -24,10 +64,20 @@ pub trait InfoProvider: Send {
     }
 }
 
+/// The attribute stamped onto entries served from a cache whose refresh
+/// failed: seconds since the data was last known good.
+pub const STALENESS_ATTR: &str = "stalenesssecs";
+
 struct Slot {
     provider: Box<dyn InfoProvider>,
     cache: Vec<Entry>,
-    fetched_at: Option<u64>,
+    /// When the cache contents were last produced successfully.
+    last_good_at: Option<u64>,
+    /// When the provider was last invoked (success or failure) — TTL
+    /// scheduling runs off this so a dead provider is retried once per
+    /// TTL, not on every inquiry.
+    checked_at: Option<u64>,
+    consecutive_failures: u32,
 }
 
 /// A GRIS instance.
@@ -37,6 +87,8 @@ pub struct Gris {
     /// Cumulative provider invocations (cache-miss counter for tests and
     /// the provider-cost bench).
     invocations: u64,
+    /// Cumulative failed refresh attempts.
+    refresh_failures: u64,
 }
 
 impl Gris {
@@ -46,6 +98,7 @@ impl Gris {
             base_dn,
             slots: Vec::new(),
             invocations: 0,
+            refresh_failures: 0,
         }
     }
 
@@ -59,7 +112,9 @@ impl Gris {
         self.slots.push(Slot {
             provider,
             cache: Vec::new(),
-            fetched_at: None,
+            last_good_at: None,
+            checked_at: None,
+            consecutive_failures: 0,
         });
     }
 
@@ -73,23 +128,61 @@ impl Gris {
         self.invocations
     }
 
-    /// All current entries, refreshing stale caches.
+    /// Total failed refresh attempts so far.
+    pub fn refresh_failures(&self) -> u64 {
+        self.refresh_failures
+    }
+
+    /// Providers currently serving stale (degraded-mode) data.
+    pub fn degraded_providers(&self) -> Vec<&str> {
+        self.slots
+            .iter()
+            .filter(|s| s.consecutive_failures > 0)
+            .map(|s| s.provider.name())
+            .collect()
+    }
+
+    /// All current entries, refreshing stale caches. A provider whose
+    /// refresh fails keeps serving its last-known-good entries, each
+    /// stamped with [`STALENESS_ATTR`].
     pub fn entries(&mut self, now_unix: u64) -> Vec<Entry> {
         let mut out = Vec::new();
-        let mut invocations = 0;
         for s in &mut self.slots {
-            let stale = match s.fetched_at {
+            let due = match s.checked_at {
                 None => true,
                 Some(t) => now_unix.saturating_sub(t) >= s.provider.ttl_secs(),
             };
-            if stale {
-                s.cache = s.provider.provide(now_unix);
-                s.fetched_at = Some(now_unix);
-                invocations += 1;
+            if due {
+                self.invocations += 1;
+                s.checked_at = Some(now_unix);
+                match s.provider.provide(now_unix) {
+                    Ok(entries) => {
+                        s.cache = entries;
+                        s.last_good_at = Some(now_unix);
+                        s.consecutive_failures = 0;
+                    }
+                    Err(_) => {
+                        self.refresh_failures += 1;
+                        s.consecutive_failures += 1;
+                    }
+                }
             }
-            out.extend(s.cache.iter().cloned());
+            if s.consecutive_failures > 0 {
+                // Degraded mode: serve the last-known-good cache with its
+                // age stamped on every entry.
+                let age = s
+                    .last_good_at
+                    .map(|t| now_unix.saturating_sub(t))
+                    .unwrap_or(now_unix);
+                for e in &s.cache {
+                    let mut stale = e.clone();
+                    stale.set(STALENESS_ATTR, age.to_string());
+                    out.push(stale);
+                }
+            } else {
+                out.extend(s.cache.iter().cloned());
+            }
         }
-        self.invocations += invocations;
         out
     }
 
@@ -116,15 +209,49 @@ mod tests {
         fn name(&self) -> &str {
             "counter"
         }
-        fn provide(&mut self, now_unix: u64) -> Vec<Entry> {
+        fn provide(&mut self, now_unix: u64) -> Result<Vec<Entry>, ProviderError> {
             self.calls += 1;
             let mut e = Entry::new(Dn::parse("cn=c, o=grid").unwrap());
             e.add("calls", self.calls.to_string());
             e.add("now", now_unix.to_string());
-            vec![e]
+            Ok(vec![e])
         }
         fn ttl_secs(&self) -> u64 {
             self.ttl
+        }
+    }
+
+    /// A provider whose availability is scripted per call.
+    struct Flaky {
+        outcomes: std::collections::VecDeque<bool>,
+        calls: u64,
+    }
+
+    impl Flaky {
+        fn new(outcomes: &[bool]) -> Self {
+            Flaky {
+                outcomes: outcomes.iter().copied().collect(),
+                calls: 0,
+            }
+        }
+    }
+
+    impl InfoProvider for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn provide(&mut self, _now: u64) -> Result<Vec<Entry>, ProviderError> {
+            self.calls += 1;
+            if self.outcomes.pop_front().unwrap_or(false) {
+                let mut e = Entry::new(Dn::parse("cn=f, o=grid").unwrap());
+                e.add("calls", self.calls.to_string());
+                Ok(vec![e])
+            } else {
+                Err(ProviderError::new("log unreadable"))
+            }
+        }
+        fn ttl_secs(&self) -> u64 {
+            10
         }
     }
 
@@ -163,5 +290,65 @@ mod tests {
         assert_eq!(g.provider_count(), 2);
         let all = g.entries(0);
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn failed_refresh_serves_stale_entries_with_staleness_stamp() {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Flaky::new(&[true, false, false])));
+        // First inquiry succeeds: fresh data, no stamp.
+        let fresh = g.entries(100);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].get(STALENESS_ATTR), None);
+        // TTL lapses, refresh fails: last-known-good served, stamped with
+        // its age (115 - 100 = 15s).
+        let stale = g.entries(115);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].get("calls"), Some("1"));
+        assert_eq!(stale[0].get(STALENESS_ATTR), Some("15"));
+        assert_eq!(g.refresh_failures(), 1);
+        assert_eq!(g.degraded_providers(), vec!["flaky"]);
+        // Still failing later: the stamp grows.
+        let staler = g.entries(130);
+        assert_eq!(staler[0].get(STALENESS_ATTR), Some("30"));
+        assert_eq!(g.refresh_failures(), 2);
+    }
+
+    #[test]
+    fn recovery_clears_the_staleness_stamp() {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Flaky::new(&[true, false, true])));
+        g.entries(0);
+        let stale = g.entries(10);
+        assert_eq!(stale[0].get(STALENESS_ATTR), Some("10"));
+        // Provider comes back: fresh entries, no stamp, counters reset.
+        let fresh = g.entries(20);
+        assert_eq!(fresh[0].get("calls"), Some("3"));
+        assert_eq!(fresh[0].get(STALENESS_ATTR), None);
+        assert!(g.degraded_providers().is_empty());
+    }
+
+    #[test]
+    fn dead_provider_with_no_history_serves_nothing_but_is_retried() {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Flaky::new(&[false, false, true])));
+        assert!(g.entries(0).is_empty());
+        // Within TTL the failure is not retried (no hammering).
+        assert!(g.entries(5).is_empty());
+        assert_eq!(g.invocations(), 1);
+        // After the TTL it is.
+        assert!(g.entries(10).is_empty());
+        assert_eq!(g.invocations(), 2);
+        // Eventually it comes up.
+        assert_eq!(g.entries(20).len(), 1);
+    }
+
+    #[test]
+    fn staleness_is_searchable() {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Flaky::new(&[true, false])));
+        g.entries(0);
+        let hits = g.search(&filter::parse("(stalenesssecs=*)").unwrap(), 10);
+        assert_eq!(hits.len(), 1);
     }
 }

@@ -30,8 +30,8 @@ pub mod schema;
 pub mod server_provider;
 
 pub use filter::{parse as parse_filter, Filter, FilterError};
-pub use giis::{Directory, Giis, RegisterOutcome, Registration};
-pub use gris::{Gris, InfoProvider};
+pub use giis::{Directory, Giis, RegisterOutcome, Registration, RegistrationBackoff};
+pub use gris::{Gris, InfoProvider, ProviderError, STALENESS_ATTR};
 pub use ldif::{to_ldif_document, Dn, Entry, LdifError};
 pub use provider::{GridFtpPerfProvider, LogSource, ProviderConfig};
 pub use schema::{Schema, SchemaError, GRIDFTP_PERF_INFO, GRIDFTP_SERVER_INFO};

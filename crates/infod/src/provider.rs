@@ -9,13 +9,14 @@
 //! the `provider_filter` bench shows this implementation is orders of
 //! magnitude inside that.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use wanpred_logfmt::{Operation, TransferLog, TransferRecord};
 use wanpred_predict::prelude::*;
 
-use crate::gris::InfoProvider;
+use crate::gris::{InfoProvider, ProviderError};
 use crate::ldif::{Dn, Entry};
 
 /// Configuration of one provider instance.
@@ -64,6 +65,11 @@ pub enum LogSource {
     Snapshot(TransferLog),
     /// A live, shared log the transfer service keeps appending to.
     Shared(Arc<RwLock<TransferLog>>),
+    /// A ULM file on disk, re-read (through the salvage decoder) on
+    /// every refresh. The only source that can *fail*: an unreadable
+    /// file surfaces as a [`ProviderError`] and the GRIS degrades to its
+    /// last-known-good cache.
+    File(PathBuf),
 }
 
 /// The provider.
@@ -89,16 +95,29 @@ impl GridFtpPerfProvider {
         }
     }
 
-    fn with_log<R>(&self, f: impl FnOnce(&TransferLog) -> R) -> R {
-        match &self.source {
-            LogSource::Snapshot(l) => f(l),
-            LogSource::Shared(l) => f(&l.read()),
+    /// Build over a ULM file re-read on every refresh (fallible).
+    pub fn from_file(cfg: ProviderConfig, path: impl Into<PathBuf>) -> Self {
+        GridFtpPerfProvider {
+            cfg,
+            source: LogSource::File(path.into()),
         }
     }
 
-    /// Build the entries for the current log contents (public so callers
-    /// can bypass the GRIS cache, e.g. the figure binaries).
-    pub fn build_entries(&self, now_unix: u64) -> Vec<Entry> {
+    fn with_log<R>(&self, f: impl FnOnce(&TransferLog) -> R) -> Result<R, ProviderError> {
+        match &self.source {
+            LogSource::Snapshot(l) => Ok(f(l)),
+            LogSource::Shared(l) => Ok(f(&l.read())),
+            LogSource::File(p) => {
+                let (log, _) = TransferLog::load_ulm_salvaged(p)
+                    .map_err(|e| ProviderError::new(format!("{}: {e}", p.display())))?;
+                Ok(f(&log))
+            }
+        }
+    }
+
+    /// Build the entries for the current log contents, surfacing log
+    /// source failures (only a [`LogSource::File`] can fail).
+    pub fn try_build_entries(&self, now_unix: u64) -> Result<Vec<Entry>, ProviderError> {
         self.with_log(|log| {
             let mut sources: Vec<&str> = log.records().iter().map(|r| r.source.as_str()).collect();
             sources.sort_unstable();
@@ -108,6 +127,17 @@ impl GridFtpPerfProvider {
                 .map(|src| self.entry_for_source(log, src, now_unix))
                 .collect()
         })
+    }
+
+    /// Build the entries for the current log contents (public so callers
+    /// can bypass the GRIS cache, e.g. the figure binaries).
+    ///
+    /// # Panics
+    /// If the log source fails — use [`GridFtpPerfProvider::try_build_entries`]
+    /// with a [`LogSource::File`] source.
+    pub fn build_entries(&self, now_unix: u64) -> Vec<Entry> {
+        self.try_build_entries(now_unix)
+            .expect("log source unavailable")
     }
 
     fn entry_for_source(&self, log: &TransferLog, source: &str, now_unix: u64) -> Entry {
@@ -230,8 +260,8 @@ impl InfoProvider for GridFtpPerfProvider {
         "gridftp-perf"
     }
 
-    fn provide(&mut self, now_unix: u64) -> Vec<Entry> {
-        self.build_entries(now_unix)
+    fn provide(&mut self, now_unix: u64) -> Result<Vec<Entry>, ProviderError> {
+        self.try_build_entries(now_unix)
     }
 
     fn ttl_secs(&self) -> u64 {
@@ -419,6 +449,23 @@ mod tests {
         // no estimate is published.
         let small = provider().build_entries(10_000);
         assert!(small[0].get("predicterrorpct").is_none());
+    }
+
+    #[test]
+    fn file_source_is_fallible_and_salvages() {
+        let dir = std::env::temp_dir().join(format!("wanpred-provider-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("transfers.ulm");
+        let p = GridFtpPerfProvider::from_file(ProviderConfig::new("h.x.y", "1.2.3.4"), &path);
+        // Missing file: the provider fails rather than inventing data.
+        assert!(p.try_build_entries(0).is_err());
+        // A damaged file still yields the intact records.
+        let mut doc = sample_log().to_ulm_string_checksummed();
+        doc.push_str("torn gar\n");
+        std::fs::write(&path, doc).unwrap();
+        let entries = p.try_build_entries(10_000).unwrap();
+        assert_eq!(entries.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub const GRIDFTP_PERF_INFO: ObjectClass = ObjectClass {
         "predictrdbandwidthonegbrange",
         "predicterrorpct",
         "lasttransfertime",
+        // Stamped by the GRIS on entries served from a last-known-good
+        // cache after a provider refresh failure (degraded mode).
+        "stalenesssecs",
     ],
 };
 

@@ -3,7 +3,7 @@
 //! data, so inquiries can discover where a server listens and which
 //! volumes it exports before asking for throughput predictions.
 
-use crate::gris::InfoProvider;
+use crate::gris::{InfoProvider, ProviderError};
 use crate::ldif::{Dn, Entry};
 
 /// Static description of one GridFTP endpoint.
@@ -86,8 +86,8 @@ impl InfoProvider for ServerInfoProvider {
         "gridftp-server"
     }
 
-    fn provide(&mut self, _now_unix: u64) -> Vec<Entry> {
-        vec![self.info.to_entry()]
+    fn provide(&mut self, _now_unix: u64) -> Result<Vec<Entry>, ProviderError> {
+        Ok(vec![self.info.to_entry()])
     }
 
     /// Static facts can be cached for a long time.

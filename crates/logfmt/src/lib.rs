@@ -8,18 +8,32 @@
 //! ([`trim`]): NWS-style running windows and NetLogger-style
 //! flush-and-restart, and a rotating on-disk writer ([`writer`])
 //! implementing the latter as a streaming component.
+//!
+//! The durability layer (DESIGN.md § "Durability and degraded mode")
+//! adds per-record integrity trailers ([`integrity`]), a salvage decoder
+//! that recovers intact records from damaged documents ([`salvage`]),
+//! crash-safe rotation with torn-tail recovery in [`writer`], and a
+//! deterministic corruption injector ([`chaos`]) to prove all of it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
+pub mod integrity;
 pub mod log;
 pub mod record;
+pub mod salvage;
 pub mod trim;
 pub mod ulm;
 pub mod writer;
 
+pub use crate::chaos::{corrupt_doc, ChaosConfig, ChaosOp, ChaosReport};
+pub use crate::integrity::{append_crc, check_line, crc32, CrcStatus};
 pub use crate::log::{LogError, TransferLog};
 pub use crate::record::{sample_record, Operation, TransferRecord, TransferRecordBuilder};
+pub use crate::salvage::{
+    salvage_doc, QuarantinedLine, SalvageOptions, SalvageReason, SalvageReport,
+};
 pub use crate::trim::{TrimOutcome, TrimPolicy};
 pub use crate::ulm::{decode, encode, UlmError};
-pub use crate::writer::{RotatingLogWriter, RotationConfig};
+pub use crate::writer::{atomic_write, RotatingLogWriter, RotationConfig};

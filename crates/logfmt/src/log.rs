@@ -7,11 +7,14 @@
 //! experiments emit them in nondecreasing start-time order, but arbitrary
 //! interleavings are tolerated by the query helpers.
 
-use std::io::{self, BufRead, BufWriter, Write};
+use std::io::{self, BufRead};
 use std::path::Path;
 
+use crate::integrity;
 use crate::record::TransferRecord;
+use crate::salvage::{salvage_doc, SalvageOptions, SalvageReport};
 use crate::ulm;
+use crate::writer::atomic_write;
 
 /// Errors from log file I/O.
 #[derive(Debug)]
@@ -110,6 +113,18 @@ impl TransferLog {
         s
     }
 
+    /// Like [`TransferLog::to_ulm_string`], with a CRC integrity trailer
+    /// sealing every line (see [`crate::integrity`]). Old readers ignore
+    /// the extra keyword; the salvage decoder uses it to reject damage.
+    pub fn to_ulm_string_checksummed(&self) -> String {
+        let mut s = String::new();
+        for r in &self.records {
+            s.push_str(&integrity::append_crc(&ulm::encode(r)));
+            s.push('\n');
+        }
+        s
+    }
+
     /// Parse a ULM document (one record per line; blank lines and `#`
     /// comments are skipped).
     pub fn from_ulm_str(doc: &str) -> Result<Self, LogError> {
@@ -125,14 +140,32 @@ impl TransferLog {
         Ok(log)
     }
 
-    /// Write the log to a file in ULM format.
+    /// Salvage a ULM document under the lenient regime: keep every
+    /// provably intact record, quarantine the rest. Never errors — a
+    /// fully damaged document yields an empty log and a full quarantine.
+    /// See [`crate::salvage`] for semantics.
+    pub fn salvage_ulm(doc: &str) -> (Self, SalvageReport) {
+        salvage_doc(doc, &SalvageOptions::default())
+    }
+
+    /// [`TransferLog::salvage_ulm`] with explicit decoding options
+    /// (e.g. [`SalvageOptions::strict`]).
+    pub fn salvage_ulm_with(doc: &str, opts: &SalvageOptions) -> (Self, SalvageReport) {
+        salvage_doc(doc, opts)
+    }
+
+    /// Write the log to a file in ULM format. The write is atomic
+    /// (tmp file + fsync + rename): a crash leaves either the previous
+    /// file or the complete new one.
     pub fn save_ulm(&self, path: &Path) -> Result<(), LogError> {
-        let f = std::fs::File::create(path)?;
-        let mut w = BufWriter::new(f);
-        for r in &self.records {
-            writeln!(w, "{}", ulm::encode(r))?;
-        }
-        w.flush()?;
+        atomic_write(path, &self.to_ulm_string())?;
+        Ok(())
+    }
+
+    /// Like [`TransferLog::save_ulm`], sealing every line with a CRC
+    /// integrity trailer.
+    pub fn save_ulm_checksummed(&self, path: &Path) -> Result<(), LogError> {
+        atomic_write(path, &self.to_ulm_string_checksummed())?;
         Ok(())
     }
 
@@ -151,6 +184,14 @@ impl TransferLog {
             log.append(r);
         }
         Ok(log)
+    }
+
+    /// Load a log from a ULM file through the salvage decoder: I/O
+    /// failures still error, but damaged lines are quarantined into the
+    /// report instead of aborting the load.
+    pub fn load_ulm_salvaged(path: &Path) -> Result<(Self, SalvageReport), LogError> {
+        let doc = std::fs::read_to_string(path)?;
+        Ok(Self::salvage_ulm(&doc))
     }
 
     /// The bandwidth series `(start_unix, KB/s)` in arrival order — the
@@ -270,6 +311,42 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert_eq!(back.records()[1].file_size, 200);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_ulm_keeps_intact_records_from_a_damaged_doc() {
+        let mut log = TransferLog::new();
+        for i in 0..4 {
+            log.append(rec(i * 100, 1000));
+        }
+        let mut doc = log.to_ulm_string_checksummed();
+        doc.push_str("torn gar\n");
+        let (back, report) = TransferLog::salvage_ulm(&doc);
+        assert_eq!(back.len(), 4);
+        assert_eq!(report.kept, 4);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].line, 5);
+    }
+
+    #[test]
+    fn checksummed_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("wanpred-logfmt-crc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sealed.ulm");
+        let mut log = TransferLog::new();
+        log.append(rec(10, 100));
+        log.append(rec(20, 200));
+        log.save_ulm_checksummed(&path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.lines().all(|l| l.contains(" CRC=")));
+        // The strict loader tolerates the extra keyword...
+        let back = TransferLog::load_ulm(&path).unwrap();
+        assert_eq!(back, log);
+        // ...and the salvaging loader verifies it.
+        let (back, report) = TransferLog::load_ulm_salvaged(&path).unwrap();
+        assert_eq!(back, log);
+        assert!(report.is_clean());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,19 +1,36 @@
 //! A rotating on-disk log writer: the NetLogger strategy from §3
 //! ("flush the logs to persistent storage and restart logging") as a
-//! streaming component.
+//! streaming component — hardened for crashes.
 //!
 //! The writer appends ULM lines to an *active* file; when the active
 //! file reaches the configured entry limit, it is renamed to a numbered
 //! archive segment (`<stem>.1.ulm`, `<stem>.2.ulm`, …) and a fresh
 //! active file starts. Readers that want full history concatenate the
 //! archives; predictors that only want recent data read the active file.
+//!
+//! Durability contract (see DESIGN.md § "Durability and degraded mode"):
+//!
+//! * Rotation and whole-file writes go through [`atomic_write`]'s
+//!   tmp-file + fsync + rename protocol; a crash leaves either the old
+//!   state or the new one, never a half-written file.
+//! * [`RotatingLogWriter::open`] first adopts or discards leftover
+//!   `.tmp` files, then *salvages* the active file: a torn tail (crash
+//!   mid-`append`) or any other damaged line is moved to the quarantine
+//!   file (`<stem>.quarantine`, annotated with line number and reason)
+//!   and the active file is atomically rewritten to the last good
+//!   record. Reopening is therefore always possible.
+//! * With [`RotationConfig::checksums`] on (the default), every line
+//!   carries a CRC trailer ([`crate::integrity`]) so salvage can reject
+//!   damaged-but-parsable lines, not just torn ones.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use crate::integrity;
 use crate::log::{LogError, TransferLog};
 use crate::record::TransferRecord;
+use crate::salvage::{salvage_doc, SalvageOptions, SalvageReport};
 use crate::ulm;
 
 /// Configuration of a rotating writer.
@@ -21,14 +38,51 @@ use crate::ulm;
 pub struct RotationConfig {
     /// Entries per segment before rotation.
     pub max_entries: usize,
+    /// Append a CRC integrity trailer to every line (backward compatible:
+    /// readers without trailer support ignore the extra keyword).
+    pub checksums: bool,
 }
 
 impl Default for RotationConfig {
     fn default() -> Self {
         RotationConfig {
             max_entries: 10_000,
+            checksums: true,
         }
     }
+}
+
+impl RotationConfig {
+    /// Default config with an explicit rotation limit.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        RotationConfig {
+            max_entries,
+            ..RotationConfig::default()
+        }
+    }
+}
+
+/// The tmp-file twin of `path` used by [`atomic_write`].
+fn tmp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("atomic");
+    path.with_file_name(format!("{name}.tmp"))
+}
+
+/// Write `contents` to `path` atomically: write a tmp twin, fsync it,
+/// rename over the destination. A crash at any point leaves either the
+/// old file or the complete new one.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(contents.as_bytes())?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// The rotating ULM log writer.
@@ -39,11 +93,16 @@ pub struct RotatingLogWriter {
     out: BufWriter<File>,
     entries_in_active: usize,
     segments: usize,
+    /// What the salvage pass found (and quarantined) on open.
+    open_report: SalvageReport,
 }
 
 impl RotatingLogWriter {
-    /// Open (creating or appending to) the active file. Pre-existing
-    /// entries in it count toward the rotation limit.
+    /// Open (creating or appending to) the active file. Leftover `.tmp`
+    /// files from an interrupted atomic write are adopted or discarded,
+    /// the active file is salvaged (torn tails and damaged lines move to
+    /// the quarantine file), and pre-existing records count toward the
+    /// rotation limit.
     pub fn open(active_path: impl Into<PathBuf>, cfg: RotationConfig) -> Result<Self, LogError> {
         assert!(cfg.max_entries > 0, "rotation limit must be positive");
         let active_path = active_path.into();
@@ -52,11 +111,9 @@ impl RotatingLogWriter {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        let entries_in_active = match std::fs::read_to_string(&active_path) {
-            Ok(s) => s.lines().filter(|l| !l.trim().is_empty()).count(),
-            Err(_) => 0,
-        };
+        Self::recover_tmp_files(&active_path)?;
         let segments = Self::existing_segments(&active_path);
+        let (entries_in_active, open_report) = Self::recover_active(&active_path, &cfg)?;
         let out = BufWriter::new(
             OpenOptions::new()
                 .create(true)
@@ -69,7 +126,83 @@ impl RotatingLogWriter {
             out,
             entries_in_active,
             segments,
+            open_report,
         })
+    }
+
+    /// Finish (or roll back) atomic writes a crash interrupted: a `.tmp`
+    /// whose final file exists is stale and dropped; one whose final file
+    /// is missing is incomplete by definition (rename is the commit
+    /// point) and also dropped.
+    fn recover_tmp_files(active: &Path) -> Result<(), LogError> {
+        let leftover = tmp_path(active);
+        if leftover.exists() {
+            std::fs::remove_file(&leftover)?;
+        }
+        let mut n = 1;
+        loop {
+            let seg = Self::segment_path(active, n);
+            let seg_tmp = tmp_path(&seg);
+            if seg_tmp.exists() {
+                std::fs::remove_file(&seg_tmp)?;
+            } else if !seg.exists() {
+                break;
+            }
+            n += 1;
+        }
+        Ok(())
+    }
+
+    /// Salvage the active file: keep intact records, append everything
+    /// else to the quarantine file, and truncate (atomically rewrite) the
+    /// active file to the kept records. Returns the kept count.
+    fn recover_active(
+        active: &Path,
+        cfg: &RotationConfig,
+    ) -> Result<(usize, SalvageReport), LogError> {
+        let doc = match std::fs::read_to_string(active) {
+            Ok(d) => d,
+            Err(_) => return Ok((0, SalvageReport::default())),
+        };
+        let (log, report) = salvage_doc(&doc, &SalvageOptions::default());
+        if report.is_clean() {
+            return Ok((log.len(), report));
+        }
+        Self::append_quarantine(&Self::quarantine_path_for(active), &report)?;
+        let mut clean = String::new();
+        for r in log.records() {
+            clean.push_str(&Self::encode_line(r, cfg));
+            clean.push('\n');
+        }
+        atomic_write(active, &clean)?;
+        Ok((log.len(), report))
+    }
+
+    fn encode_line(r: &TransferRecord, cfg: &RotationConfig) -> String {
+        let line = ulm::encode(r);
+        if cfg.checksums {
+            integrity::append_crc(&line)
+        } else {
+            line
+        }
+    }
+
+    fn append_quarantine(path: &Path, report: &SalvageReport) -> Result<(), LogError> {
+        let mut out = BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
+        for q in &report.quarantined {
+            writeln!(out, "# line {}: {}", q.line, q.reason)?;
+            writeln!(out, "{}", q.content)?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    fn quarantine_path_for(active: &Path) -> PathBuf {
+        let stem = active
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("transfers");
+        active.with_file_name(format!("{stem}.quarantine"))
     }
 
     fn segment_path(active: &Path, n: usize) -> PathBuf {
@@ -89,23 +222,35 @@ impl RotatingLogWriter {
         n
     }
 
+    /// Where damaged lines salvaged from the active file end up.
+    pub fn quarantine_path(&self) -> PathBuf {
+        Self::quarantine_path_for(&self.active_path)
+    }
+
+    /// What the salvage pass at [`RotatingLogWriter::open`] kept and
+    /// quarantined (clean when the active file was intact or absent).
+    pub fn open_report(&self) -> &SalvageReport {
+        &self.open_report
+    }
+
     /// Append one record, rotating first if the active file is full.
     pub fn append(&mut self, r: &TransferRecord) -> Result<(), LogError> {
         if self.entries_in_active >= self.cfg.max_entries {
             self.rotate()?;
         }
-        writeln!(self.out, "{}", ulm::encode(r))?;
+        writeln!(self.out, "{}", Self::encode_line(r, &self.cfg))?;
         self.entries_in_active += 1;
         Ok(())
     }
 
-    /// Force a rotation: flush, archive the active file, start fresh.
-    /// A no-op when the active file is empty.
+    /// Force a rotation: flush + fsync, archive the active file via an
+    /// atomic rename, start fresh. A no-op when the active file is empty.
     pub fn rotate(&mut self) -> Result<(), LogError> {
         if self.entries_in_active == 0 {
             return Ok(());
         }
         self.out.flush()?;
+        self.out.get_ref().sync_all()?;
         let seg = Self::segment_path(&self.active_path, self.segments + 1);
         std::fs::rename(&self.active_path, &seg)?;
         self.segments += 1;
@@ -136,30 +281,46 @@ impl RotatingLogWriter {
     }
 
     /// Load the *full* history: all archive segments in order followed
-    /// by the active file.
+    /// by the active file, through the salvage decoder (damage in any
+    /// segment costs only the damaged lines, never the load).
     pub fn load_all(&mut self) -> Result<TransferLog, LogError> {
+        Ok(self.load_all_salvaged()?.0)
+    }
+
+    /// Like [`RotatingLogWriter::load_all`], also returning the combined
+    /// salvage report (line numbers are local to each segment).
+    pub fn load_all_salvaged(&mut self) -> Result<(TransferLog, SalvageReport), LogError> {
         self.flush()?;
         let mut log = TransferLog::new();
+        let mut report = SalvageReport::default();
         for n in 1..=self.segments {
             let seg = Self::segment_path(&self.active_path, n);
-            for r in TransferLog::load_ulm(&seg)?.records() {
+            let doc = std::fs::read_to_string(&seg)?;
+            let (part, part_report) = salvage_doc(&doc, &SalvageOptions::default());
+            for r in part.records() {
                 log.append(r.clone());
             }
+            report.merge(part_report);
         }
         if self.active_path.exists() {
-            for r in TransferLog::load_ulm(&self.active_path)?.records() {
+            let doc = std::fs::read_to_string(&self.active_path)?;
+            let (part, part_report) = salvage_doc(&doc, &SalvageOptions::default());
+            for r in part.records() {
                 log.append(r.clone());
             }
+            report.merge(part_report);
         }
-        Ok(log)
+        Ok((log, report))
     }
 
     /// Load only the active (post-flush) window — what a NetLogger-style
-    /// predictor consumes after a restart.
+    /// predictor consumes after a restart. Salvaging, like
+    /// [`RotatingLogWriter::load_all`].
     pub fn load_active(&mut self) -> Result<TransferLog, LogError> {
         self.flush()?;
         if self.active_path.exists() {
-            TransferLog::load_ulm(&self.active_path)
+            let doc = std::fs::read_to_string(&self.active_path)?;
+            Ok(salvage_doc(&doc, &SalvageOptions::default()).0)
         } else {
             Ok(TransferLog::new())
         }
@@ -189,7 +350,7 @@ mod tests {
     fn rotation_at_limit() {
         let dir = tmpdir("rotate");
         let path = dir.join("transfers.ulm");
-        let mut w = RotatingLogWriter::open(&path, RotationConfig { max_entries: 3 }).unwrap();
+        let mut w = RotatingLogWriter::open(&path, RotationConfig::with_max_entries(3)).unwrap();
         for i in 0..7 {
             w.append(&rec(i)).unwrap();
         }
@@ -214,20 +375,128 @@ mod tests {
         let dir = tmpdir("reopen");
         let path = dir.join("t.ulm");
         {
-            let mut w = RotatingLogWriter::open(&path, RotationConfig { max_entries: 2 }).unwrap();
+            let mut w =
+                RotatingLogWriter::open(&path, RotationConfig::with_max_entries(2)).unwrap();
             for i in 0..3 {
                 w.append(&rec(i)).unwrap();
             }
             w.flush().unwrap();
         }
         // Re-open: 1 segment archived, 1 active entry.
-        let mut w = RotatingLogWriter::open(&path, RotationConfig { max_entries: 2 }).unwrap();
+        let mut w = RotatingLogWriter::open(&path, RotationConfig::with_max_entries(2)).unwrap();
         assert_eq!(w.segments(), 1);
         assert_eq!(w.active_entries(), 1);
+        assert!(w.open_report().is_clean());
         w.append(&rec(3)).unwrap();
         w.append(&rec(4)).unwrap(); // triggers rotation (limit 2)
         assert_eq!(w.segments(), 2);
         assert_eq!(w.load_all().unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_after_torn_final_line_recovers() {
+        // Regression: a crash mid-append leaves a partial final line; the
+        // old open() counted it as an entry and load_all() then refused
+        // the whole log with LogError::Parse.
+        let dir = tmpdir("torn");
+        let path = dir.join("t.ulm");
+        {
+            let mut w = RotatingLogWriter::open(&path, RotationConfig::default()).unwrap();
+            for i in 0..3 {
+                w.append(&rec(i)).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        // Simulate the crash: append a partial line with no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "SRC=1.2.3.4 HOST=h FI").unwrap();
+        }
+        let mut w = RotatingLogWriter::open(&path, RotationConfig::default()).unwrap();
+        assert_eq!(w.active_entries(), 3, "torn tail must not count");
+        assert_eq!(w.open_report().kept, 3);
+        assert_eq!(w.open_report().quarantined.len(), 1);
+        // The torn prefix landed in the quarantine file.
+        let q = std::fs::read_to_string(w.quarantine_path()).unwrap();
+        assert!(q.contains("SRC=1.2.3.4 HOST=h FI"), "{q}");
+        assert!(q.contains("# line 4:"), "{q}");
+        // The log loads, appends keep working, and the record count is
+        // exactly the intact history.
+        w.append(&rec(3)).unwrap();
+        let all = w.load_all().unwrap();
+        assert_eq!(all.len(), 4);
+        let starts: Vec<u64> = all.records().iter().map(|r| r.start_unix).collect();
+        assert_eq!(starts, vec![1_000, 1_001, 1_002, 1_003]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksummed_lines_catch_bit_rot_on_load() {
+        let dir = tmpdir("bitrot");
+        let path = dir.join("t.ulm");
+        let mut w = RotatingLogWriter::open(&path, RotationConfig::default()).unwrap();
+        for i in 0..4 {
+            w.append(&rec(i)).unwrap();
+        }
+        w.flush().unwrap();
+        // Flip a digit inside the second line's SIZE field on disk.
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = doc.lines().map(str::to_string).collect();
+        lines[1] = lines[1].replacen("START=1001", "START=1091", 1);
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let (log, report) = w.load_all_salvaged().unwrap();
+        assert_eq!(log.len(), 3, "the rotted line must be dropped");
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(
+            report.quarantined[0].reason,
+            crate::salvage::SalvageReason::ChecksumMismatch
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_discarded_on_open() {
+        let dir = tmpdir("tmpfiles");
+        let path = dir.join("t.ulm");
+        {
+            let mut w = RotatingLogWriter::open(&path, RotationConfig::default()).unwrap();
+            w.append(&rec(0)).unwrap();
+            w.flush().unwrap();
+        }
+        // A crashed atomic write left tmp twins behind.
+        std::fs::write(dir.join("t.ulm.tmp"), "half-written").unwrap();
+        std::fs::write(dir.join("t.1.ulm.tmp"), "half-rotated").unwrap();
+        let mut w = RotatingLogWriter::open(&path, RotationConfig::default()).unwrap();
+        assert!(!dir.join("t.ulm.tmp").exists());
+        assert!(!dir.join("t.1.ulm.tmp").exists());
+        assert_eq!(w.segments(), 0);
+        assert_eq!(w.load_all().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_unchecksummed_logs_still_load() {
+        let dir = tmpdir("legacy");
+        let path = dir.join("t.ulm");
+        {
+            let cfg = RotationConfig {
+                checksums: false,
+                ..RotationConfig::default()
+            };
+            let mut w = RotatingLogWriter::open(&path, cfg).unwrap();
+            for i in 0..3 {
+                w.append(&rec(i)).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(!doc.contains("CRC="), "legacy mode must not seal lines");
+        // A checksummed writer reopens the legacy file fine.
+        let mut w = RotatingLogWriter::open(&path, RotationConfig::default()).unwrap();
+        assert_eq!(w.active_entries(), 3);
+        assert_eq!(w.load_all().unwrap().len(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -248,9 +517,21 @@ mod tests {
     }
 
     #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("f.txt");
+        atomic_write(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     #[should_panic]
     fn zero_limit_rejected() {
         let dir = tmpdir("zero");
-        let _ = RotatingLogWriter::open(dir.join("t.ulm"), RotationConfig { max_entries: 0 });
+        let _ = RotatingLogWriter::open(dir.join("t.ulm"), RotationConfig::with_max_entries(0));
     }
 }

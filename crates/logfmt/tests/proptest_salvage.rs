@@ -1,0 +1,120 @@
+//! Property tests for the durability layer: for any log and any seeded
+//! corruption, strict salvage of `corrupt(encode_checksummed(log))`
+//! recovers exactly the uncorrupted records and quarantines the rest;
+//! and the chaos injector itself is a deterministic function of its seed.
+
+use proptest::prelude::*;
+use wanpred_logfmt::{
+    append_crc, corrupt_doc, encode, salvage_doc, ChaosConfig, Operation, SalvageOptions,
+    TransferLog, TransferRecord,
+};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{1,32}").expect("valid regex")
+}
+
+/// A record that passes `TransferRecord::validate` (strict salvage
+/// re-validates, so corruption-free records must survive it).
+fn arb_valid_record() -> impl Strategy<Value = TransferRecord> {
+    (
+        arb_name(),
+        arb_name(),
+        arb_name(),
+        0u64..=2_000_000_000,
+        1u64..=10_000,
+        0.0f64..1.0,
+        1u32..=64,
+        any::<u64>(),
+        prop_oneof![Just(Operation::Read), Just(Operation::Write)],
+    )
+        .prop_map(
+            |(source, host, file_name, file_size, dur, skew, streams, buf, op)| TransferRecord {
+                source,
+                host,
+                file_name,
+                file_size,
+                volume: "/vol".into(),
+                start_unix: 0, // rewritten below to make lines distinct
+                end_unix: dur,
+                total_time_s: dur as f64 + skew,
+                streams,
+                tcp_buffer: buf,
+                operation: op,
+            },
+        )
+}
+
+/// A log of 1..40 valid records with pairwise-distinct lines (distinct
+/// start times), so the duplicate-line quarantine never fires on clean
+/// input.
+fn arb_log() -> impl Strategy<Value = TransferLog> {
+    proptest::collection::vec(arb_valid_record(), 1..40).prop_map(|recs| {
+        recs.into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                let dur = r.end_unix;
+                r.start_unix = 1_000_000 + i as u64 * 100;
+                r.end_unix = r.start_unix + dur;
+                r
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn strict_salvage_recovers_exactly_the_uncorrupted_records(
+        log in arb_log(),
+        rate in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let doc = log.to_ulm_string_checksummed();
+        let originals: Vec<&str> = doc.lines().collect();
+        let (damaged, chaos) = corrupt_doc(&doc, &ChaosConfig::new(rate, seed));
+        let lost = chaos.lost_lines();
+
+        let (salvaged, report) = salvage_doc(&damaged, &SalvageOptions::strict());
+
+        // Exactness: the kept records are precisely the untouched
+        // original lines, in order, byte for byte after re-encoding.
+        let expected: Vec<&&str> = originals
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !lost.contains(i))
+            .map(|(_, l)| l)
+            .collect();
+        prop_assert_eq!(salvaged.len(), expected.len());
+        prop_assert_eq!(report.kept, expected.len());
+        for (r, line) in salvaged.records().iter().zip(&expected) {
+            prop_assert_eq!(&append_crc(&encode(r)), **line);
+        }
+        // Quarantined lines carry in-range 1-based line numbers.
+        let damaged_lines = damaged.lines().count();
+        for q in &report.quarantined {
+            prop_assert!(q.line >= 1 && q.line <= damaged_lines);
+        }
+    }
+
+    #[test]
+    fn chaos_is_a_deterministic_function_of_its_seed(
+        log in arb_log(),
+        rate in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let doc = log.to_ulm_string_checksummed();
+        let (a, ra) = corrupt_doc(&doc, &ChaosConfig::new(rate, seed));
+        let (b, rb) = corrupt_doc(&doc, &ChaosConfig::new(rate, seed));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn lenient_salvage_of_clean_docs_is_lossless(log in arb_log()) {
+        // Both vintages: sealed and legacy lines fully recovered.
+        for doc in [log.to_ulm_string_checksummed(), log.to_ulm_string()] {
+            let (salvaged, report) = TransferLog::salvage_ulm(&doc);
+            prop_assert_eq!(salvaged.len(), log.len());
+            prop_assert!(report.is_clean());
+        }
+    }
+}

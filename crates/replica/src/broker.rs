@@ -6,33 +6,135 @@
 //! fastest?", the broker queries the GIIS for `GridFTPPerfInfo` entries
 //! matching `(cn=<client>, hostname=<candidate server>)`, reads the
 //! size-class prediction attribute, and picks the best.
+//!
+//! In degraded mode the broker descends a **fallback ladder** per
+//! candidate (DESIGN.md § "Durability and degraded mode"):
+//!
+//! 1. [`FallbackRung::SizeClass`] — the per-size-class prediction
+//!    attribute (the paper's primary signal).
+//! 2. [`FallbackRung::Overall`] — the unclassified prediction or the
+//!    overall read average.
+//! 3. [`FallbackRung::ProbeForecast`] — an NWS probe forecast for the
+//!    path, when a probe source is wired in (the paper's §4 comparison
+//!    stream pressed into service as a fallback).
+//! 4. [`FallbackRung::StaticPolicy`] — an operator-configured static
+//!    bandwidth map.
+//!
+//! Entries served stale by a degraded GRIS carry `stalenesssecs`; the
+//! broker decays their bandwidth by `0.5^(staleness/half_life)` before
+//! ranking, so a site with fresh information beats an equally-fast site
+//! whose data is an hour old, but stale information still beats none.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use wanpred_infod::filter;
-use wanpred_infod::Giis;
+use wanpred_infod::{Giis, STALENESS_ATTR};
 use wanpred_predict::SizeClass;
 
-use crate::catalog::PhysicalReplica;
+use crate::catalog::{PhysicalReplica, ReplicaError};
 use crate::policy::SelectionPolicy;
+
+/// Which rung of the fallback ladder produced an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FallbackRung {
+    /// Per-size-class prediction from the information service.
+    SizeClass,
+    /// Overall (unclassified) prediction or read average.
+    Overall,
+    /// NWS probe forecast for the client-server path.
+    ProbeForecast,
+    /// Operator-configured static bandwidth.
+    StaticPolicy,
+}
+
+impl FallbackRung {
+    /// Display name (bench/report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackRung::SizeClass => "size-class",
+            FallbackRung::Overall => "overall",
+            FallbackRung::ProbeForecast => "probe-forecast",
+            FallbackRung::StaticPolicy => "static-policy",
+        }
+    }
+}
+
+/// A bandwidth estimate with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfEstimate {
+    /// Estimated bandwidth, KB/s.
+    pub kbs: f64,
+    /// Which ladder rung produced it.
+    pub rung: FallbackRung,
+    /// Age of the underlying data when served stale (0 when fresh).
+    pub staleness_secs: u64,
+}
 
 /// A source of per-path performance estimates.
 pub trait PerfInfoSource {
-    /// Predicted bandwidth (KB/s) for the client pulling `size` bytes
-    /// from `server_host`, or `None` when no information exists.
-    fn predicted_bandwidth_kbs(
+    /// Estimated bandwidth for the client pulling `size` bytes from
+    /// `server_host`, or `None` when no information exists.
+    fn estimate(
         &mut self,
         client_addr: &str,
         server_host: &str,
         size: u64,
         now_unix: u64,
-    ) -> Option<f64>;
+    ) -> Option<PerfEstimate>;
+}
+
+/// A source of NWS-style probe forecasts for a network path — the
+/// broker's third ladder rung when the information service has nothing.
+pub trait ProbeForecastSource {
+    /// Forecast bandwidth (KB/s) for the path, or `None`.
+    fn forecast_kbs(&mut self, client_addr: &str, server_host: &str, now_unix: u64) -> Option<f64>;
+}
+
+/// A [`ProbeForecastSource`] over a table of per-path forecasts, fed by
+/// whatever runs the probes (the campaign driver updates it from its NWS
+/// forecaster battery).
+#[derive(Debug, Clone, Default)]
+pub struct ProbeForecastTable {
+    forecasts: BTreeMap<(String, String), f64>,
+}
+
+impl ProbeForecastTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the latest forecast for a `(client, server)` path.
+    pub fn set(&mut self, client_addr: &str, server_host: &str, kbs: f64) {
+        self.forecasts
+            .insert((client_addr.to_string(), server_host.to_string()), kbs);
+    }
+
+    /// Paths currently known.
+    pub fn len(&self) -> usize {
+        self.forecasts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forecasts.is_empty()
+    }
+}
+
+impl ProbeForecastSource for ProbeForecastTable {
+    fn forecast_kbs(&mut self, client_addr: &str, server_host: &str, _now: u64) -> Option<f64> {
+        self.forecasts
+            .get(&(client_addr.to_string(), server_host.to_string()))
+            .copied()
+    }
 }
 
 /// A [`PerfInfoSource`] backed by GIIS inquiries, with the attribute
 /// fallback chain: size-class prediction → overall prediction → overall
-/// read average.
+/// read average. Entries stamped `stalenesssecs` by a degraded GRIS
+/// surface that age in the estimate.
 pub struct GiisPerfSource {
     giis: Arc<Mutex<Giis>>,
 }
@@ -54,27 +156,35 @@ impl GiisPerfSource {
 }
 
 impl PerfInfoSource for GiisPerfSource {
-    fn predicted_bandwidth_kbs(
+    fn estimate(
         &mut self,
         client_addr: &str,
         server_host: &str,
         size: u64,
         now_unix: u64,
-    ) -> Option<f64> {
+    ) -> Option<PerfEstimate> {
         let f = filter::parse(&format!(
             "(&(objectclass=GridFTPPerfInfo)(cn={client_addr})(hostname={server_host}))"
         ))
         .expect("well-formed filter");
         let entries = self.giis.lock().search(&f, now_unix);
         let e = entries.first()?;
-        for attr in [
-            Self::class_attr(size),
-            "predictrdbandwidth",
-            "avgrdbandwidth",
+        let staleness_secs = e
+            .get(STALENESS_ATTR)
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        for (attr, rung) in [
+            (Self::class_attr(size), FallbackRung::SizeClass),
+            ("predictrdbandwidth", FallbackRung::Overall),
+            ("avgrdbandwidth", FallbackRung::Overall),
         ] {
             if let Some(v) = e.get(attr) {
-                if let Ok(x) = v.parse::<f64>() {
-                    return Some(x);
+                if let Ok(kbs) = v.parse::<f64>() {
+                    return Some(PerfEstimate {
+                        kbs,
+                        rung,
+                        staleness_secs,
+                    });
                 }
             }
         }
@@ -87,8 +197,15 @@ impl PerfInfoSource for GiisPerfSource {
 pub struct ReplicaScore {
     /// The candidate.
     pub replica: PhysicalReplica,
-    /// Predicted bandwidth (KB/s), if any information existed.
+    /// Estimated bandwidth (KB/s) as produced, if any rung answered.
     pub predicted_kbs: Option<f64>,
+    /// Estimated bandwidth after the staleness decay — what ranking
+    /// actually uses.
+    pub effective_kbs: Option<f64>,
+    /// Which ladder rung answered.
+    pub rung: Option<FallbackRung>,
+    /// Age of the information when served stale (0 when fresh).
+    pub staleness_secs: u64,
 }
 
 /// The broker's decision.
@@ -107,68 +224,170 @@ impl Selection {
     pub fn replica(&self) -> &PhysicalReplica {
         &self.scores[self.chosen].replica
     }
+
+    /// Whether any candidate was scored from stale or fallback (probe /
+    /// static) information — the selection ran in degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.scores.iter().any(|s| {
+            s.staleness_secs > 0
+                || matches!(
+                    s.rung,
+                    Some(FallbackRung::ProbeForecast | FallbackRung::StaticPolicy)
+                )
+        })
+    }
 }
+
+/// Half-life of stale information in the ranking decay (10 minutes —
+/// the order of a GRIS registration lifetime).
+pub const DEFAULT_STALENESS_HALF_LIFE_SECS: u64 = 600;
 
 /// The broker.
 pub struct Broker<S: PerfInfoSource> {
     source: S,
+    probe_source: Option<Box<dyn ProbeForecastSource + Send>>,
+    static_kbs: BTreeMap<String, f64>,
+    staleness_half_life_secs: u64,
 }
 
 impl<S: PerfInfoSource> Broker<S> {
     /// Build over a performance-information source.
     pub fn new(source: S) -> Self {
-        Broker { source }
+        Broker {
+            source,
+            probe_source: None,
+            static_kbs: BTreeMap::new(),
+            staleness_half_life_secs: DEFAULT_STALENESS_HALF_LIFE_SECS,
+        }
+    }
+
+    /// Wire in an NWS probe-forecast fallback (third ladder rung).
+    pub fn with_probe_source(mut self, probes: Box<dyn ProbeForecastSource + Send>) -> Self {
+        self.probe_source = Some(probes);
+        self
+    }
+
+    /// Configure a static per-host bandwidth (fourth ladder rung).
+    pub fn with_static_kbs(mut self, server_host: impl Into<String>, kbs: f64) -> Self {
+        self.static_kbs.insert(server_host.into(), kbs);
+        self
+    }
+
+    /// Override the staleness decay half-life.
+    pub fn with_staleness_half_life(mut self, secs: u64) -> Self {
+        self.staleness_half_life_secs = secs.max(1);
+        self
+    }
+
+    /// Descend the ladder for one candidate.
+    fn estimate(
+        &mut self,
+        client_addr: &str,
+        server_host: &str,
+        size: u64,
+        now_unix: u64,
+    ) -> Option<PerfEstimate> {
+        if let Some(e) = self
+            .source
+            .estimate(client_addr, server_host, size, now_unix)
+        {
+            return Some(e);
+        }
+        if let Some(p) = self.probe_source.as_mut() {
+            if let Some(kbs) = p.forecast_kbs(client_addr, server_host, now_unix) {
+                return Some(PerfEstimate {
+                    kbs,
+                    rung: FallbackRung::ProbeForecast,
+                    staleness_secs: 0,
+                });
+            }
+        }
+        self.static_kbs.get(server_host).map(|&kbs| PerfEstimate {
+            kbs,
+            rung: FallbackRung::StaticPolicy,
+            staleness_secs: 0,
+        })
     }
 
     /// Evaluate and choose among `replicas` for `client_addr` under the
-    /// given policy. Panics if `replicas` is empty (an empty candidate
-    /// set is a catalog error the caller must surface).
+    /// given policy. An empty candidate set is a catalog error
+    /// ([`ReplicaError::NoCandidates`]), not a panic.
     pub fn select(
         &mut self,
         client_addr: &str,
         replicas: &[PhysicalReplica],
         policy: &mut SelectionPolicy,
         now_unix: u64,
-    ) -> Selection {
-        assert!(!replicas.is_empty(), "no replicas to select among");
+    ) -> Result<Selection, ReplicaError> {
+        if replicas.is_empty() {
+            return Err(ReplicaError::NoCandidates);
+        }
+        let half_life = self.staleness_half_life_secs as f64;
         let scores: Vec<ReplicaScore> = replicas
             .iter()
-            .map(|r| ReplicaScore {
-                replica: r.clone(),
-                predicted_kbs: self.source.predicted_bandwidth_kbs(
-                    client_addr,
-                    &r.host,
-                    r.size,
-                    now_unix,
-                ),
+            .map(|r| {
+                let est = self.estimate(client_addr, &r.host, r.size, now_unix);
+                let effective =
+                    est.map(|e| e.kbs * 0.5f64.powf(e.staleness_secs as f64 / half_life));
+                ReplicaScore {
+                    replica: r.clone(),
+                    predicted_kbs: est.map(|e| e.kbs),
+                    effective_kbs: effective,
+                    rung: est.map(|e| e.rung),
+                    staleness_secs: est.map_or(0, |e| e.staleness_secs),
+                }
             })
             .collect();
         let chosen = policy.choose(&scores);
-        Selection {
+        Ok(Selection {
             chosen,
             scores,
             policy_name: policy.name(),
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeMap;
 
-    /// A canned source for tests.
+    /// A canned source for tests: fresh size-class estimates per host.
     pub struct MapSource(pub BTreeMap<String, f64>);
 
     impl PerfInfoSource for MapSource {
-        fn predicted_bandwidth_kbs(
+        fn estimate(
             &mut self,
             _client: &str,
             server: &str,
             _size: u64,
             _now: u64,
-        ) -> Option<f64> {
-            self.0.get(server).copied()
+        ) -> Option<PerfEstimate> {
+            self.0.get(server).map(|&kbs| PerfEstimate {
+                kbs,
+                rung: FallbackRung::SizeClass,
+                staleness_secs: 0,
+            })
+        }
+    }
+
+    /// A canned source with per-host staleness.
+    struct StaleSource(BTreeMap<String, (f64, u64)>);
+
+    impl PerfInfoSource for StaleSource {
+        fn estimate(
+            &mut self,
+            _client: &str,
+            server: &str,
+            _size: u64,
+            _now: u64,
+        ) -> Option<PerfEstimate> {
+            self.0
+                .get(server)
+                .map(|&(kbs, staleness_secs)| PerfEstimate {
+                    kbs,
+                    rung: FallbackRung::SizeClass,
+                    staleness_secs,
+                })
         }
     }
 
@@ -191,10 +410,11 @@ mod tests {
         src.insert("anl.gov".to_string(), 2_000.0);
         let mut b = Broker::new(MapSource(src));
         let mut policy = SelectionPolicy::predicted_bandwidth();
-        let sel = b.select("140.221.65.69", &reps(), &mut policy, 0);
+        let sel = b.select("140.221.65.69", &reps(), &mut policy, 0).unwrap();
         assert_eq!(sel.replica().host, "isi.edu");
         assert_eq!(sel.policy_name, "predicted-bandwidth");
         assert_eq!(sel.scores.len(), 3);
+        assert!(!sel.degraded());
     }
 
     #[test]
@@ -203,7 +423,7 @@ mod tests {
         src.insert("anl.gov".to_string(), 100.0);
         let mut b = Broker::new(MapSource(src));
         let mut policy = SelectionPolicy::predicted_bandwidth();
-        let sel = b.select("x", &reps(), &mut policy, 0);
+        let sel = b.select("x", &reps(), &mut policy, 0).unwrap();
         assert_eq!(sel.replica().host, "anl.gov");
     }
 
@@ -211,15 +431,70 @@ mod tests {
     fn no_information_falls_back_to_first() {
         let mut b = Broker::new(MapSource(BTreeMap::new()));
         let mut policy = SelectionPolicy::predicted_bandwidth();
-        let sel = b.select("x", &reps(), &mut policy, 0);
+        let sel = b.select("x", &reps(), &mut policy, 0).unwrap();
         assert_eq!(sel.chosen, 0);
     }
 
     #[test]
-    #[should_panic]
-    fn empty_candidates_panics() {
+    fn empty_candidates_is_an_error_not_a_panic() {
         let mut b = Broker::new(MapSource(BTreeMap::new()));
         let mut policy = SelectionPolicy::predicted_bandwidth();
-        b.select("x", &[], &mut policy, 0);
+        let err = b.select("x", &[], &mut policy, 0).unwrap_err();
+        assert!(matches!(err, ReplicaError::NoCandidates));
+    }
+
+    #[test]
+    fn staleness_decays_the_ranking_but_not_the_reported_prediction() {
+        // lbl is slightly faster on paper but its data is an hour old;
+        // isi's fresh 7000 beats lbl's decayed 8000.
+        let mut src = BTreeMap::new();
+        src.insert("lbl.gov".to_string(), (8_000.0, 3_600));
+        src.insert("isi.edu".to_string(), (7_000.0, 0));
+        let mut b = Broker::new(StaleSource(src));
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let sel = b.select("c", &reps()[..2], &mut policy, 0).unwrap();
+        assert_eq!(sel.replica().host, "isi.edu");
+        assert!(sel.degraded());
+        let lbl = &sel.scores[0];
+        assert_eq!(lbl.predicted_kbs, Some(8_000.0));
+        // 3600s at 600s half-life: 2^-6 = 1/64 of the original.
+        assert!((lbl.effective_kbs.unwrap() - 8_000.0 / 64.0).abs() < 1e-6);
+        assert_eq!(lbl.staleness_secs, 3_600);
+    }
+
+    #[test]
+    fn probe_forecast_rung_fills_information_gaps() {
+        // The info service knows only anl; probes know isi; lbl is
+        // covered by static policy. All three rungs coexist in one
+        // selection and the best *effective* estimate wins.
+        let mut src = BTreeMap::new();
+        src.insert("anl.gov".to_string(), 2_000.0);
+        let mut probes = ProbeForecastTable::new();
+        probes.set("c", "isi.edu", 6_000.0);
+        let mut b = Broker::new(MapSource(src))
+            .with_probe_source(Box::new(probes))
+            .with_static_kbs("lbl.gov", 500.0);
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let sel = b.select("c", &reps(), &mut policy, 0).unwrap();
+        assert_eq!(sel.replica().host, "isi.edu");
+        assert!(sel.degraded());
+        let rungs: Vec<Option<FallbackRung>> = sel.scores.iter().map(|s| s.rung).collect();
+        assert_eq!(
+            rungs,
+            vec![
+                Some(FallbackRung::StaticPolicy),
+                Some(FallbackRung::ProbeForecast),
+                Some(FallbackRung::SizeClass),
+            ]
+        );
+    }
+
+    #[test]
+    fn static_policy_is_the_last_resort() {
+        let mut b = Broker::new(MapSource(BTreeMap::new())).with_static_kbs("isi.edu", 1_000.0);
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let sel = b.select("c", &reps(), &mut policy, 0).unwrap();
+        assert_eq!(sel.replica().host, "isi.edu");
+        assert_eq!(sel.scores[1].rung, Some(FallbackRung::StaticPolicy));
     }
 }

@@ -50,6 +50,8 @@ pub enum ReplicaError {
         /// The conflicting size.
         got: u64,
     },
+    /// The broker was handed an empty candidate list.
+    NoCandidates,
 }
 
 impl std::fmt::Display for ReplicaError {
@@ -62,6 +64,7 @@ impl std::fmt::Display for ReplicaError {
             ReplicaError::SizeMismatch { lfn, expected, got } => {
                 write!(f, "replica of {lfn} size {got} != registered {expected}")
             }
+            ReplicaError::NoCandidates => write!(f, "no candidate replicas to select among"),
         }
     }
 }

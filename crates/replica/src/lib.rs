@@ -14,7 +14,10 @@ pub mod broker;
 pub mod catalog;
 pub mod policy;
 
-pub use broker::{Broker, GiisPerfSource, PerfInfoSource, ReplicaScore, Selection};
+pub use broker::{
+    Broker, FallbackRung, GiisPerfSource, PerfEstimate, PerfInfoSource, ProbeForecastSource,
+    ProbeForecastTable, ReplicaScore, Selection, DEFAULT_STALENESS_HALF_LIFE_SECS,
+};
 pub use catalog::{PhysicalReplica, ReplicaCatalog, ReplicaError};
 pub use policy::SelectionPolicy;
 
@@ -96,7 +99,9 @@ mod integration_tests {
         let mut broker = Broker::new(GiisPerfSource::new(giis));
         let mut policy = SelectionPolicy::predicted_bandwidth();
         let reps = catalog.lookup("lfn://exp/100MB").unwrap();
-        let sel = broker.select(client, reps, &mut policy, 1_200_000);
+        let sel = broker
+            .select(client, reps, &mut policy, 1_200_000)
+            .expect("candidates exist");
         assert_eq!(sel.replica().host, "dpsslx04.lbl.gov");
         // Both candidates were scored with real numbers.
         assert!(sel.scores.iter().all(|s| s.predicted_kbs.is_some()));
@@ -126,8 +131,80 @@ mod integration_tests {
             path: "/f".into(),
             size: 1,
         }];
-        let sel = broker.select("10.0.0.1", &reps, &mut policy, 10);
+        let sel = broker
+            .select("10.0.0.1", &reps, &mut policy, 10)
+            .expect("candidates exist");
         assert_eq!(sel.chosen, 0);
         assert!(sel.scores[0].predicted_kbs.is_none());
+    }
+
+    #[test]
+    fn failing_provider_degrades_to_stale_then_probe_forecast() {
+        // A GRIS whose provider reads a log *file*: once warm, delete the
+        // file — refreshes fail, the GRIS serves stale-stamped entries,
+        // and the broker keeps selecting (with decayed ranking). A second
+        // site with no information at all is covered by the probe rung.
+        let client = "140.221.65.69";
+        let dir = std::env::temp_dir().join(format!("wanpred-degraded-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lbl.ulm");
+        log_with_bandwidth(client, "dpsslx04.lbl.gov", 7_500.0)
+            .save_ulm_checksummed(&path)
+            .unwrap();
+
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(GridFtpPerfProvider::from_file(
+            ProviderConfig::new("dpsslx04.lbl.gov", "0.0.0.0"),
+            &path,
+        )));
+        let giis = Arc::new(Mutex::new(Giis::new("top")));
+        giis.lock().register(
+            Registration {
+                id: "lbl".into(),
+                ttl_secs: 1_000_000,
+            },
+            Arc::new(Mutex::new(g)),
+            1_200_000,
+        );
+
+        let mut probes = ProbeForecastTable::new();
+        probes.set(client, "jet.isi.edu", 2_000.0);
+        let mut broker = Broker::new(GiisPerfSource::new(giis)).with_probe_source(Box::new(probes));
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let reps = vec![
+            PhysicalReplica {
+                host: "dpsslx04.lbl.gov".into(),
+                path: "/home/ftp/vazhkuda/100MB".into(),
+                size: 102_400_000,
+            },
+            PhysicalReplica {
+                host: "jet.isi.edu".into(),
+                path: "/home/ftp/vazhkuda/100MB".into(),
+                size: 102_400_000,
+            },
+        ];
+
+        // Warm: fresh information wins outright.
+        let warm = broker
+            .select(client, &reps, &mut policy, 1_200_000)
+            .expect("candidates exist");
+        assert_eq!(warm.replica().host, "dpsslx04.lbl.gov");
+        assert_eq!(warm.scores[0].staleness_secs, 0);
+
+        // Kill the log; past the provider TTL the refresh fails and the
+        // cached entries come back stale-stamped — but a selection is
+        // still made, never a panic.
+        std::fs::remove_file(&path).unwrap();
+        let later = 1_200_000 + 120;
+        let degraded = broker
+            .select(client, &reps, &mut policy, later)
+            .expect("degraded mode still selects");
+        assert!(degraded.degraded());
+        assert_eq!(degraded.replica().host, "dpsslx04.lbl.gov");
+        let lbl = &degraded.scores[0];
+        assert_eq!(lbl.staleness_secs, 120);
+        assert!(lbl.effective_kbs.unwrap() < lbl.predicted_kbs.unwrap());
+        assert_eq!(degraded.scores[1].rung, Some(FallbackRung::ProbeForecast));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

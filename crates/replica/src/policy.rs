@@ -58,7 +58,9 @@ impl SelectionPolicy {
         }
     }
 
-    /// Choose an index among the scored candidates (non-empty).
+    /// Choose an index among the scored candidates (non-empty). Ranking
+    /// uses the *effective* bandwidth — the staleness-decayed estimate —
+    /// so fresh information outranks equally-fast stale information.
     pub fn choose(&mut self, scores: &[ReplicaScore]) -> usize {
         assert!(!scores.is_empty());
         match self {
@@ -67,7 +69,7 @@ impl SelectionPolicy {
                 let mut best_score = f64::NEG_INFINITY;
                 let mut informed = false;
                 for (i, s) in scores.iter().enumerate() {
-                    if let Some(p) = s.predicted_kbs {
+                    if let Some(p) = s.effective_kbs {
                         if !informed || p > best_score {
                             best = i;
                             best_score = p;
@@ -108,6 +110,9 @@ mod tests {
                     size: 1,
                 },
                 predicted_kbs: *p,
+                effective_kbs: *p,
+                rung: p.map(|_| crate::broker::FallbackRung::SizeClass),
+                staleness_secs: 0,
             })
             .collect()
     }

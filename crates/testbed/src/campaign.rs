@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 use wanpred_gridftp::{
     RetryPolicy, TransferEvent, TransferKind, TransferManager, TransferRequest, TransferToken,
 };
-use wanpred_logfmt::TransferLog;
+use wanpred_logfmt::{
+    corrupt_doc, salvage_doc, ChaosConfig, SalvageOptions, SalvageReport, TransferLog,
+};
 use wanpred_nws::{ProbeAgent, ProbeConfig, ProbeMeasurement};
 use wanpred_simnet::engine::{Agent, Ctx, Engine, TimerTag};
 use wanpred_simnet::fault::{FaultConfig, FaultSchedule};
@@ -66,6 +68,13 @@ pub struct CampaignConfig {
     /// Retry policy installed on the transfer manager; `None` means a
     /// faulted transfer fails on its first connection reset.
     pub retry: Option<RetryPolicy>,
+    /// Log-corruption chaos rate. When set, each extracted server log is
+    /// serialized with integrity trailers, damaged by the seeded
+    /// [`corrupt_doc`] injector at this per-line probability, and decoded
+    /// back through the strict salvage path — so the campaign's outputs
+    /// exercise exactly what a predictor reading a crash-damaged log would
+    /// see. Chaos seeds derive from [`CampaignConfig::seed`].
+    pub chaos: Option<f64>,
 }
 
 impl CampaignConfig {
@@ -80,6 +89,7 @@ impl CampaignConfig {
             probes: true,
             faults: FaultConfig::none(),
             retry: None,
+            chaos: None,
         }
     }
 
@@ -94,6 +104,7 @@ impl CampaignConfig {
             probes: true,
             faults: FaultConfig::none(),
             retry: None,
+            chaos: None,
         }
     }
 
@@ -102,6 +113,17 @@ impl CampaignConfig {
     pub fn with_faults(mut self) -> Self {
         self.faults = FaultConfig::wan_default();
         self.retry = Some(RetryPolicy::wan_default());
+        self
+    }
+
+    /// Pass the extracted server logs through the corruption-chaos
+    /// injector and strict salvage at the given per-line rate.
+    pub fn with_chaos(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "chaos rate {rate} not in [0,1]"
+        );
+        self.chaos = Some(rate);
         self
     }
 }
@@ -127,6 +149,11 @@ pub struct CampaignResult {
     pub retries: usize,
     /// Transfers abandoned after exhausting their attempt budget.
     pub failed_transfers: usize,
+    /// What the salvage pass kept and quarantined on the LBL log (`None`
+    /// unless chaos was enabled).
+    pub lbl_salvage: Option<SalvageReport>,
+    /// What the salvage pass kept and quarantined on the ISI log.
+    pub isi_salvage: Option<SalvageReport>,
 }
 
 impl CampaignResult {
@@ -145,6 +172,22 @@ impl CampaignResult {
             Pair::IsiAnl => &self.isi_probes,
         }
     }
+
+    /// The salvage report for a pair (`None` unless chaos was enabled).
+    pub fn salvage(&self, pair: Pair) -> Option<&SalvageReport> {
+        match pair {
+            Pair::LblAnl => self.lbl_salvage.as_ref(),
+            Pair::IsiAnl => self.isi_salvage.as_ref(),
+        }
+    }
+}
+
+/// Serialize a log with integrity trailers, damage it with the seeded
+/// injector, and decode it back through strict salvage.
+fn corrupt_and_salvage(log: &TransferLog, rate: f64, seed: u64) -> (TransferLog, SalvageReport) {
+    let doc = log.to_ulm_string_checksummed();
+    let (damaged, _chaos) = corrupt_doc(&doc, &ChaosConfig::new(rate, seed));
+    salvage_doc(&damaged, &SalvageOptions::strict())
 }
 
 struct PairRuntime {
@@ -365,16 +408,31 @@ pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult
         .agent::<CampaignAgent>(agent_id)
         .expect("campaign agent");
     debug_assert!(agent.pairs[0].pair == Pair::LblAnl);
+    let mut lbl_log = agent.mgr.server_log(lbl).expect("lbl server").clone();
+    let mut isi_log = agent.mgr.server_log(isi).expect("isi server").clone();
+    let (mut lbl_salvage, mut isi_salvage) = (None, None);
+    if let Some(rate) = cfg.chaos {
+        // Damage is decorrelated per pair but still a pure function of the
+        // campaign seed, so chaotic campaigns replay byte for byte.
+        let (log, report) = corrupt_and_salvage(&lbl_log, rate, cfg.seed.derive_seed("chaos.lbl"));
+        lbl_log = log;
+        lbl_salvage = Some(report);
+        let (log, report) = corrupt_and_salvage(&isi_log, rate, cfg.seed.derive_seed("chaos.isi"));
+        isi_log = log;
+        isi_salvage = Some(report);
+    }
     CampaignResult {
         epoch_unix: cfg.epoch_unix,
-        lbl_log: agent.mgr.server_log(lbl).expect("lbl server").clone(),
-        isi_log: agent.mgr.server_log(isi).expect("isi server").clone(),
+        lbl_log,
+        isi_log,
         lbl_probes,
         isi_probes,
         submit_errors: agent.submit_errors,
         fault_events,
         retries: agent.retries,
         failed_transfers: agent.failed_transfers,
+        lbl_salvage,
+        isi_salvage,
     }
 }
 
@@ -392,6 +450,7 @@ mod tests {
             probes,
             faults: FaultConfig::none(),
             retry: None,
+            chaos: None,
         }
     }
 
@@ -544,6 +603,45 @@ mod tests {
         assert!(r.failed_transfers > 0);
         assert_eq!(r.retries, 0);
         assert!(r.lbl_log.len() + r.isi_log.len() > 20);
+    }
+
+    #[test]
+    fn chaotic_campaign_salvages_and_stays_deterministic() {
+        let cfg = short_config(3, false).with_chaos(0.3);
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        // Same seed → same damage → byte-identical salvaged logs and
+        // identical reports.
+        assert_eq!(a.lbl_log, b.lbl_log);
+        assert_eq!(a.isi_log, b.isi_log);
+        assert_eq!(a.lbl_salvage, b.lbl_salvage);
+        assert_eq!(a.isi_salvage, b.isi_salvage);
+        // At a 30% rate damage certainly landed, and the report's kept
+        // count is exactly what the log now holds.
+        let s = a.salvage(Pair::LblAnl).unwrap();
+        assert!(!s.is_clean());
+        assert_eq!(s.kept, a.lbl_log.len());
+        assert!(s.recovery_fraction() > 0.4, "{}", s.recovery_fraction());
+        // Every salvaged record is one the clean campaign produced, in
+        // order: corruption can remove records but never invent them.
+        let clean = run_campaign(&short_config(3, false));
+        let mut it = clean.lbl_log.records().iter();
+        for r in a.lbl_log.records() {
+            assert!(it.any(|c| c == r), "salvaged record absent from clean log");
+        }
+        assert!(a.lbl_log.len() <= clean.lbl_log.len());
+    }
+
+    #[test]
+    fn zero_rate_chaos_is_lossless() {
+        let chaotic = run_campaign(&short_config(1, false).with_chaos(0.0));
+        let clean = run_campaign(&short_config(1, false));
+        assert_eq!(chaotic.lbl_log, clean.lbl_log);
+        assert_eq!(chaotic.isi_log, clean.isi_log);
+        let s = chaotic.salvage(Pair::LblAnl).unwrap();
+        assert!(s.is_clean());
+        assert_eq!(s.kept, clean.lbl_log.len());
+        assert!(clean.salvage(Pair::LblAnl).is_none());
     }
 
     #[test]

@@ -1,0 +1,10 @@
+// Fixture: a direct filesystem write outside the crash-safe writer
+// module. A crash between this write and its flush leaves a torn file the
+// salvage path then has to clean up — the fs-direct rule must fire here.
+pub fn persist(path: &std::path::Path, doc: &str) {
+    std::fs::write(path, doc).expect("write log");
+}
+
+pub fn open_for_append(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path)
+}

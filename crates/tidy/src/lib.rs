@@ -168,6 +168,11 @@ pub fn check_file_with(rel: &str, src: &str, table: &[LintRule]) -> Vec<Finding>
         if !rule.crates.contains(&krate.as_str()) {
             continue;
         }
+        // The module implementing a guarded behavior is the one place the
+        // guard does not apply (e.g. the crash-safe writer vs fs-direct).
+        if rule.exempt_files.contains(&rel) {
+            continue;
+        }
         for (i, l) in scanned.lines.iter().enumerate() {
             if l.in_test {
                 continue;

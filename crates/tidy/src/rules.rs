@@ -35,6 +35,10 @@ pub struct LintRule {
     pub message: &'static str,
     /// What to do instead.
     pub suggestion: &'static str,
+    /// Workspace-relative files the rule never applies to — the module
+    /// that *implements* the guarded behavior (e.g. the crash-safe writer
+    /// is the one place allowed to touch the filesystem directly).
+    pub exempt_files: &'static [&'static str],
 }
 
 /// Crates on the simulation decision path: anything here feeding a
@@ -57,6 +61,7 @@ pub fn rules() -> Vec<LintRule> {
             pattern: Pattern::AnyOf(&["SystemTime::now", "Instant::now"]),
             message: "wall-clock time in a simulation-facing crate breaks seed reproducibility",
             suggestion: "use the simulation clock (simnet::time::SimTime) or a modeled cost",
+            exempt_files: &[],
         },
         LintRule {
             id: "thread-rng",
@@ -64,6 +69,7 @@ pub fn rules() -> Vec<LintRule> {
             pattern: Pattern::AnyOf(&["thread_rng", "from_entropy", "rand::random"]),
             message: "OS-entropy randomness in a simulation-facing crate breaks seed reproducibility",
             suggestion: "derive an rng from simnet::rng::MasterSeed",
+            exempt_files: &[],
         },
         LintRule {
             id: "unordered-map",
@@ -71,6 +77,7 @@ pub fn rules() -> Vec<LintRule> {
             pattern: Pattern::AnyOf(&["HashMap", "HashSet"]),
             message: "hash-map iteration order is unspecified and varies across runs",
             suggestion: "use BTreeMap/BTreeSet (or sort before iterating)",
+            exempt_files: &[],
         },
         LintRule {
             id: "float-ord",
@@ -78,6 +85,7 @@ pub fn rules() -> Vec<LintRule> {
             pattern: Pattern::AnyOf(&[".partial_cmp("]),
             message: "partial_cmp on floats panics or mis-orders when a NaN reaches the comparison",
             suggestion: "use f64::total_cmp, or justify with `// tidy: allow(float-ord): <reason>`",
+            exempt_files: &[],
         },
         LintRule {
             id: "float-eq",
@@ -85,6 +93,7 @@ pub fn rules() -> Vec<LintRule> {
             pattern: Pattern::FloatEq,
             message: "exact equality against a float literal is a sentinel-value smell",
             suggestion: "compare with a tolerance, or justify with `// tidy: allow(float-eq): <reason>`",
+            exempt_files: &[],
         },
         LintRule {
             id: "panic-unwrap",
@@ -92,6 +101,20 @@ pub fn rules() -> Vec<LintRule> {
             pattern: Pattern::AnyOf(&[".unwrap()"]),
             message: "unwrap in library non-test code turns recoverable errors into aborts",
             suggestion: "propagate the error, use expect with an invariant message, or justify with a pragma",
+            exempt_files: &[],
+        },
+        LintRule {
+            id: "fs-direct",
+            crates: &["logfmt"],
+            pattern: Pattern::AnyOf(&[
+                "fs::write(",
+                "File::create(",
+                "File::options(",
+                "OpenOptions::new(",
+            ]),
+            message: "direct file writes in logfmt bypass the crash-safe tmp-file + rename protocol",
+            suggestion: "go through writer::atomic_write or RotatingLogWriter, or justify with `// tidy: allow(fs-direct): <reason>`",
+            exempt_files: &["crates/logfmt/src/writer.rs"],
         },
     ]
 }

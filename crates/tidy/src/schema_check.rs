@@ -8,11 +8,13 @@
 //!    `decode`. A keyword emitted but never parsed silently drops data on
 //!    reload; one declared but never emitted is dead vocabulary.
 //! 2. **LDAP attribute drift** — every performance attribute the GRIS
-//!    provider publishes (`infod::provider`) and every attribute the
-//!    replica broker queries (`replica::broker`) must be declared in
-//!    `infod::schema`, and every performance attribute the perf object
-//!    class declares must actually be emitted by the provider. A typo'd
-//!    attribute name otherwise just reads as "absent" at run time.
+//!    provider publishes (`infod::provider`), every degraded-mode
+//!    attribute the GRIS itself stamps onto cached entries
+//!    (`infod::gris`), and every attribute the replica broker queries
+//!    (`replica::broker`) must be declared in `infod::schema`, and every
+//!    performance attribute the perf object class declares must actually
+//!    be emitted somewhere. A typo'd attribute name otherwise just reads
+//!    as "absent" at run time.
 //!
 //! Extraction is lexical but operates on comment-stripped, test-stripped
 //! source (see [`crate::scan`]), so doc comments and test fixtures cannot
@@ -101,27 +103,40 @@ fn check_ldap_attrs(root: &Path, findings: &mut Vec<Finding>) {
     let declared: BTreeSet<String> = perf_declared.union(&server_declared).cloned().collect();
     let _ = schema_rel;
 
-    // Emitted: first argument of every `.add(` call in the provider.
+    // Emitted: attribute-name first arguments of `.add(`/`.set(` calls in
+    // the provider (steady state) and the GRIS (degraded-mode stamps like
+    // the staleness attribute). Simple `const NAME: &str = ".."`
+    // references are resolved within each file.
     let mut emitted = BTreeSet::new();
-    if let Some((rel, provider)) = load(root, "crates/infod/src/provider.rs") {
-        let text = provider.non_test_source();
-        for attr in add_call_attrs(&text) {
-            if !is_candidate_attr(&attr) {
-                continue;
-            }
-            emitted.insert(attr.clone());
-            if !declared.contains(&attr) {
-                findings.push(Finding::cross_file(
-                    &rel,
-                    find_line(&provider, &attr),
-                    format!(
-                        "provider emits attribute `{attr}` that infod::schema does not declare"
-                    ),
-                    "declare it in the object class or fix the attribute name",
-                ));
+    let mut any_emitter = false;
+    for rel in ["crates/infod/src/provider.rs", "crates/infod/src/gris.rs"] {
+        let Some((rel, scanned)) = load(root, rel) else {
+            continue;
+        };
+        any_emitter = true;
+        let text = scanned.non_test_source();
+        let consts = const_str_values(&text);
+        for marker in [".add(", ".set("] {
+            for attr in call_attrs(&text, marker, &consts) {
+                if !is_candidate_attr(&attr) {
+                    continue;
+                }
+                emitted.insert(attr.clone());
+                if !declared.contains(&attr) {
+                    findings.push(Finding::cross_file(
+                        &rel,
+                        find_line(&scanned, &attr),
+                        format!(
+                            "provider emits attribute `{attr}` that infod::schema does not declare"
+                        ),
+                        "declare it in the object class or fix the attribute name",
+                    ));
+                }
             }
         }
-        // Declared perf attributes must actually be published.
+    }
+    // Declared perf attributes must actually be published.
+    if any_emitter {
         for attr in &perf_declared {
             if !emitted.contains(attr) {
                 findings.push(Finding::cross_file(
@@ -210,13 +225,42 @@ fn class_attrs(scanned: &ScannedFile, const_name: &str) -> BTreeSet<String> {
         .collect()
 }
 
-/// First-argument attribute names of `.add(` calls, with `format!`
-/// placeholders expanded over the known tag/range vocabularies.
-fn add_call_attrs(text: &str) -> BTreeSet<String> {
+/// `const NAME: &str = "value";` bindings in comment-stripped text, so
+/// attribute names published through a named constant still resolve.
+fn const_str_values(text: &str) -> std::collections::BTreeMap<String, String> {
+    let mut out = std::collections::BTreeMap::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("const ") {
+        rest = &rest[pos + "const ".len()..];
+        let Some(colon) = rest.find(':') else { break };
+        let name = rest[..colon].trim().to_string();
+        let after = &rest[colon + 1..];
+        let Some(eq) = after.find('=') else { continue };
+        if !after[..eq].contains("str") {
+            continue;
+        }
+        let init = after[eq + 1..].trim_start();
+        if let Some(lit) = init.strip_prefix('"') {
+            if let Some(end) = lit.find('"') {
+                out.insert(name, lit[..end].to_string());
+            }
+        }
+    }
+    out
+}
+
+/// First-argument attribute names of `marker` calls (`.add(` / `.set(`),
+/// with `format!` placeholders expanded over the known tag/range
+/// vocabularies and identifier arguments resolved through `consts`.
+fn call_attrs(
+    text: &str,
+    marker: &str,
+    consts: &std::collections::BTreeMap<String, String>,
+) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     let mut rest = text;
-    while let Some(pos) = rest.find(".add(") {
-        rest = &rest[pos + ".add(".len()..];
+    while let Some(pos) = rest.find(marker) {
+        rest = &rest[pos + marker.len()..];
         let arg = rest.trim_start();
         let arg = arg.strip_prefix('&').unwrap_or(arg).trim_start();
         if let Some(lit) = arg.strip_prefix('"') {
@@ -231,6 +275,14 @@ fn add_call_attrs(text: &str) -> BTreeSet<String> {
                         out.insert(expanded);
                     }
                 }
+            }
+        } else {
+            let ident: String = arg
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if let Some(v) = consts.get(&ident) {
+                out.insert(v.clone());
             }
         }
     }
@@ -259,13 +311,17 @@ fn expand_placeholders(template: &str) -> Vec<String> {
 }
 
 /// An LDAP performance attribute as this stack names them: all-lowercase
-/// alphanumeric, mentioning bandwidth/transfer (or the error-pct gauge).
-/// Filter strings, class names, and prose never pass this shape.
+/// alphanumeric, mentioning bandwidth/transfer/staleness (or the
+/// error-pct gauge). Filter strings, class names, and prose never pass
+/// this shape.
 fn is_candidate_attr(s: &str) -> bool {
     !s.is_empty()
         && s.chars()
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
-        && (s.contains("bandwidth") || s.contains("transfer") || s == "predicterrorpct")
+        && (s.contains("bandwidth")
+            || s.contains("transfer")
+            || s.contains("staleness")
+            || s == "predicterrorpct")
 }
 
 /// All `"..."` literal contents in comment-stripped text.
@@ -330,8 +386,27 @@ mod tests {
         assert!(is_candidate_attr("avgrdbandwidthonegbrange"));
         assert!(is_candidate_attr("lasttransfertime"));
         assert!(is_candidate_attr("predicterrorpct"));
+        assert!(is_candidate_attr("stalenesssecs"));
         assert!(!is_candidate_attr("GridFTPPerfInfo"));
         assert!(!is_candidate_attr("objectclass"));
         assert!(!is_candidate_attr("(&(objectclass=x)(cn=y))"));
+    }
+
+    #[test]
+    fn call_attrs_resolves_named_constants() {
+        let consts = const_str_values("pub const STALENESS_ATTR: &str = \"stalenesssecs\";\n");
+        assert_eq!(
+            consts.get("STALENESS_ATTR").map(String::as_str),
+            Some("stalenesssecs")
+        );
+        let attrs = call_attrs(
+            "stale.set(STALENESS_ATTR, age.to_string());",
+            ".set(",
+            &consts,
+        );
+        assert!(attrs.contains("stalenesssecs"));
+        // Literal and format! arguments still work through the same path.
+        let attrs = call_attrs("e.add(\"avgrdbandwidth\", v);", ".add(", &consts);
+        assert!(attrs.contains("avgrdbandwidth"));
     }
 }

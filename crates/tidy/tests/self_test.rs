@@ -22,6 +22,7 @@ const ALL_RULES: &[&str] = &[
     "float-ord",
     "float-eq",
     "panic-unwrap",
+    "fs-direct",
     "pragma",
     "ulm-schema",
 ];
@@ -127,6 +128,20 @@ fn test_modules_and_test_dirs_are_exempt() {
     assert!(tidy::check_file("crates/simnet/tests/x.rs", bad).is_empty());
     assert!(tidy::check_file("crates/bench/benches/x.rs", bad).is_empty());
     assert!(!tidy::check_file("crates/simnet/src/x.rs", bad).is_empty());
+}
+
+#[test]
+fn fs_direct_exempts_the_writer_module_only() {
+    let src = "pub fn f(p: &std::path::Path) {\n    let _ = std::fs::File::create(p);\n}\n";
+    // The crash-safe writer is the one module allowed to touch the
+    // filesystem directly; everywhere else in logfmt the rule fires.
+    assert!(tidy::check_file("crates/logfmt/src/writer.rs", src).is_empty());
+    assert!(tidy::check_file("crates/logfmt/src/log.rs", src)
+        .iter()
+        .any(|f| f.rule == "fs-direct"));
+    // A justified pragma still works as the escape hatch.
+    let justified = "pub fn f(p: &std::path::Path) {\n    // tidy: allow(fs-direct): read-only fixture generator, no durability stakes\n    let _ = std::fs::File::create(p);\n}\n";
+    assert!(tidy::check_file("crates/logfmt/src/log.rs", justified).is_empty());
 }
 
 #[test]

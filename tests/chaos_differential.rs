@@ -1,0 +1,134 @@
+//! Differential acceptance tests for the corruption-chaos harness: the
+//! paper's prediction pipeline must keep working on logs that survived
+//! real damage. A campaign is run clean and with the seeded injector at a
+//! realistic corruption rate; the salvaged logs must preserve both the
+//! record stream (≥95% recovery at ≤5% damage) and the prediction quality
+//! (per-predictor MAPE within 2 percentage points of clean).
+
+use wanpred_core::prelude::*;
+
+fn base_config(days: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed: MasterSeed(2001),
+        duration: SimDuration::from_days(days),
+        probes: false,
+        ..CampaignConfig::august(2001)
+    }
+}
+
+/// Suite MAPEs keyed by predictor name.
+fn mapes(log: &TransferLog) -> Vec<(String, Option<f64>)> {
+    let (reports, _) = evaluate_log(log, EvalOptions::default());
+    reports
+        .into_iter()
+        .map(|r| {
+            let m = r.mape();
+            (r.name, m)
+        })
+        .collect()
+}
+
+#[test]
+fn five_percent_corruption_keeps_predictors_within_two_points() {
+    let clean = run_campaign(&base_config(30));
+    let chaotic = run_campaign(&base_config(30).with_chaos(0.05));
+
+    for pair in Pair::ALL {
+        let salvage = chaotic.salvage(pair).expect("chaos was enabled");
+        let original = clean.log(pair).len();
+        let kept = chaotic.log(pair).len();
+        assert_eq!(salvage.kept, kept);
+        assert!(
+            kept as f64 >= 0.95 * original as f64,
+            "{}: salvaged {kept} of {original} records",
+            pair.label()
+        );
+
+        // Every predictor that answers on both logs must land within two
+        // percentage points of its clean-log error.
+        let a = mapes(clean.log(pair));
+        let b = mapes(chaotic.log(pair));
+        assert_eq!(a.len(), b.len());
+        for ((name, ma), (name_b, mb)) in a.iter().zip(&b) {
+            assert_eq!(name, name_b);
+            if let (Some(x), Some(y)) = (ma, mb) {
+                assert!(
+                    (x - y).abs() < 2.0,
+                    "{}: predictor {name} clean MAPE {x:.2} vs salvaged {y:.2}",
+                    pair.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_replays_byte_identical_from_the_seed() {
+    let cfg = base_config(2).with_chaos(0.05);
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    for pair in Pair::ALL {
+        // Byte-identical salvaged documents, not just equal record lists.
+        assert_eq!(a.log(pair).to_ulm_string(), b.log(pair).to_ulm_string());
+        assert_eq!(a.salvage(pair), b.salvage(pair));
+    }
+    // A different campaign seed produces different damage.
+    let c = run_campaign(
+        &CampaignConfig {
+            seed: MasterSeed(2002),
+            ..base_config(2)
+        }
+        .with_chaos(0.05),
+    );
+    assert_ne!(
+        a.log(Pair::LblAnl).to_ulm_string(),
+        c.log(Pair::LblAnl).to_ulm_string()
+    );
+}
+
+#[test]
+fn dead_information_source_still_yields_a_selection() {
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use wanpred_core::infod::{Dn, GridFtpPerfProvider, ProviderConfig};
+    use wanpred_core::replica::{GiisPerfSource, PhysicalReplica};
+
+    // A GRIS whose provider reads a log file that never existed: every
+    // refresh fails, there is no cache to fall back on, and the broker
+    // must still return a selection rather than panic.
+    let mut gris = Gris::new(Dn::parse("o=grid").expect("constant dn"));
+    gris.register_provider(Box::new(GridFtpPerfProvider::from_file(
+        ProviderConfig::new("dpsslx04.lbl.gov", "131.243.2.11"),
+        std::path::Path::new("/nonexistent/never-written.ulm"),
+    )));
+    let giis = Arc::new(Mutex::new(Giis::new("top")));
+    giis.lock().register(
+        Registration {
+            id: "lbl".into(),
+            ttl_secs: 3_600,
+        },
+        Arc::new(Mutex::new(gris)),
+        1_000,
+    );
+
+    let reps = vec![
+        PhysicalReplica {
+            host: "dpsslx04.lbl.gov".into(),
+            path: "/home/ftp/vazhkuda/100MB".into(),
+            size: 102_400_000,
+        },
+        PhysicalReplica {
+            host: "jet.isi.edu".into(),
+            path: "/home/ftp/vazhkuda/100MB".into(),
+            size: 102_400_000,
+        },
+    ];
+    let mut broker = Broker::new(GiisPerfSource::new(giis));
+    let mut policy = SelectionPolicy::predicted_bandwidth();
+    let sel = broker
+        .select("140.221.65.69", &reps, &mut policy, 1_200)
+        .expect("a selection is made even with zero information");
+    assert!(sel.scores.iter().all(|s| s.predicted_kbs.is_none()));
+    // The empty candidate list is a clean error, not a panic.
+    assert!(broker.select("x", &[], &mut policy, 0).is_err());
+}

@@ -79,7 +79,7 @@ fn rotating_writer_handles_a_campaign_log() {
     std::fs::create_dir_all(&dir).unwrap();
     let mut w = RotatingLogWriter::open(
         dir.join("transfers.ulm"),
-        RotationConfig { max_entries: 40 },
+        RotationConfig::with_max_entries(40),
     )
     .unwrap();
     for rec in r.lbl_log.records() {
