@@ -5,6 +5,7 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use wanpred_obs::ObsSink;
 use wanpred_predict::prelude::*;
 use wanpred_simnet::time::SimDuration;
 use wanpred_testbed::{fig07, fig08_11, fig12_13, run_campaign, CampaignConfig, Pair};
@@ -69,10 +70,26 @@ fn bench_replay_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("replay_30_predictors_10k_transfers");
     group.sample_size(10);
     group.bench_function("incremental", |b| {
-        b.iter(|| std::hint::black_box(evaluate_incremental(&h, &suite, opts)))
+        b.iter(|| {
+            std::hint::black_box(Evaluation::replay(
+                &h,
+                &suite,
+                EvalEngine::Incremental,
+                opts,
+                &ObsSink::disabled(),
+            ))
+        })
     });
     group.bench_function("naive", |b| {
-        b.iter(|| std::hint::black_box(evaluate(&h, &suite, opts)))
+        b.iter(|| {
+            std::hint::black_box(Evaluation::replay(
+                &h,
+                &suite,
+                EvalEngine::Naive,
+                opts,
+                &ObsSink::disabled(),
+            ))
+        })
     });
     group.finish();
 
@@ -85,8 +102,18 @@ fn bench_replay_engines(c: &mut Criterion) {
             })
             .fold(f64::INFINITY, f64::min)
     };
-    let naive_ms = time_best(2, &|| evaluate(&h, &suite, opts));
-    let incremental_ms = time_best(5, &|| evaluate_incremental(&h, &suite, opts));
+    let naive_ms = time_best(2, &|| {
+        Evaluation::replay(&h, &suite, EvalEngine::Naive, opts, &ObsSink::disabled())
+    });
+    let incremental_ms = time_best(5, &|| {
+        Evaluation::replay(
+            &h,
+            &suite,
+            EvalEngine::Incremental,
+            opts,
+            &ObsSink::disabled(),
+        )
+    });
     let json = format!(
         "{{\n  \"observations\": {},\n  \"predictors\": {},\n  \"naive_ms\": {:.3},\n  \"incremental_ms\": {:.3},\n  \"speedup\": {:.2}\n}}\n",
         h.len(),

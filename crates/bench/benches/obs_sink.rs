@@ -1,0 +1,37 @@
+//! Emission cost of the observability sink, null vs live.
+//!
+//! The null sink must be a single branch — cheap enough that every layer
+//! can carry unconditional emission calls — and the live sink one mutex
+//! acquisition plus an integer bump. `ablation_obs` measures the
+//! end-to-end campaign overhead; this bench isolates the per-call cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wanpred_obs::{names, ObsSink};
+
+fn bench_sink(c: &mut Criterion) {
+    let null = ObsSink::disabled();
+    c.bench_function("null_sink_inc", |b| {
+        b.iter(|| std::hint::black_box(&null).inc(names::SIMNET_ENGINE_EVENTS))
+    });
+    c.bench_function("null_sink_observe", |b| {
+        b.iter(|| std::hint::black_box(&null).observe(names::SIMNET_FLOW_BYTES, 42))
+    });
+
+    let live = ObsSink::enabled();
+    c.bench_function("live_sink_inc", |b| {
+        b.iter(|| std::hint::black_box(&live).inc(names::SIMNET_ENGINE_EVENTS))
+    });
+    c.bench_function("live_sink_observe", |b| {
+        b.iter(|| std::hint::black_box(&live).observe(names::SIMNET_FLOW_BYTES, 42))
+    });
+    let batch: Vec<u64> = (0..1_000).collect();
+    c.bench_function("live_sink_observe_many_1000", |b| {
+        b.iter(|| std::hint::black_box(&live).observe_many(names::SIMNET_FLOW_BYTES, &batch))
+    });
+    c.bench_function("live_sink_snapshot", |b| {
+        b.iter(|| std::hint::black_box(live.snapshot()))
+    });
+}
+
+criterion_group!(benches, bench_sink);
+criterion_main!(benches);

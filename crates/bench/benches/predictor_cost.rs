@@ -3,6 +3,7 @@
 //! prediction over realistic history lengths for each estimator family.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wanpred_obs::ObsSink;
 use wanpred_predict::prelude::*;
 
 fn history(n: usize) -> Vec<Observation> {
@@ -51,10 +52,26 @@ fn bench_full_replay(c: &mut Criterion) {
     let suite = full_suite();
     let mut group = c.benchmark_group("replay_30_predictors_420_transfers");
     group.bench_function("naive", |b| {
-        b.iter(|| std::hint::black_box(evaluate(&h, &suite, EvalOptions::default())))
+        b.iter(|| {
+            std::hint::black_box(Evaluation::replay(
+                &h,
+                &suite,
+                EvalEngine::Naive,
+                EvalOptions::default(),
+                &ObsSink::disabled(),
+            ))
+        })
     });
     group.bench_function("incremental", |b| {
-        b.iter(|| std::hint::black_box(evaluate_incremental(&h, &suite, EvalOptions::default())))
+        b.iter(|| {
+            std::hint::black_box(Evaluation::replay(
+                &h,
+                &suite,
+                EvalEngine::Incremental,
+                EvalOptions::default(),
+                &ObsSink::disabled(),
+            ))
+        })
     });
     group.finish();
 }

@@ -7,6 +7,7 @@
 //! abundant but mixes regimes.
 
 use wanpred_bench::august_campaign;
+use wanpred_obs::ObsSink;
 use wanpred_predict::predictor::Predictor;
 use wanpred_predict::prelude::*;
 use wanpred_testbed::{fmt_mape, observation_series, Pair, Table};
@@ -63,7 +64,13 @@ fn main() {
         for (name, make) in &estimators {
             let plain = NamedPredictor::new(make(), false);
             let classed = NamedPredictor::new(make(), true);
-            let reports = evaluate(&obs, &[plain, classed], EvalOptions::default());
+            let reports = Evaluation::replay(
+                &obs,
+                &[plain, classed],
+                EvalEngine::Naive,
+                EvalOptions::default(),
+                &ObsSink::disabled(),
+            );
             let exact = exact_size_mape(&obs, make().as_ref(), 15);
             table.row([
                 name.to_string(),

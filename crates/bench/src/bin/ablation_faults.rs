@@ -18,7 +18,6 @@
 use std::env;
 
 use wanpred_bench::{arg_value, DEFAULT_SEED};
-use wanpred_core::evaluate_log;
 use wanpred_predict::prelude::*;
 use wanpred_simnet::time::SimDuration;
 use wanpred_testbed::{fmt_mape, run_campaign, CampaignConfig, CampaignResult, Pair, Table};
@@ -33,7 +32,7 @@ struct Digest {
 
 fn digest(result: &CampaignResult, pair: Pair) -> Digest {
     let log = result.log(pair);
-    let (reports, _suite) = evaluate_log(log, EvalOptions::default());
+    let reports = Evaluation::builder().build().run_log(log);
     let mut mapes: Vec<f64> = reports.iter().filter_map(PredictorReport::mape).collect();
     mapes.sort_by(|a, b| a.total_cmp(b));
     Digest {

@@ -16,7 +16,6 @@ use std::env;
 use std::time::Instant;
 
 use wanpred_bench::{arg_value, DEFAULT_SEED};
-use wanpred_core::evaluate_log;
 use wanpred_logfmt::{corrupt_doc, salvage_doc, ChaosConfig, SalvageOptions};
 use wanpred_predict::prelude::*;
 use wanpred_simnet::rng::MasterSeed;
@@ -75,7 +74,7 @@ fn main() {
             let start = Instant::now();
             let (log, report) = salvage_doc(&damaged, &SalvageOptions::strict());
             let salvage_micros = start.elapsed().as_micros();
-            let (reports, _suite) = evaluate_log(&log, EvalOptions::default());
+            let reports = Evaluation::builder().build().run_log(&log);
             let mut mapes: Vec<f64> = reports.iter().filter_map(PredictorReport::mape).collect();
             mapes.sort_by(|a, b| a.total_cmp(b));
             cells.push(Cell {

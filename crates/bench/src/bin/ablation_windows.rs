@@ -4,6 +4,7 @@
 //! controlled workload.
 
 use wanpred_bench::august_campaign;
+use wanpred_obs::ObsSink;
 use wanpred_predict::prelude::*;
 use wanpred_testbed::{fmt_mape, observation_series, Pair, Table};
 
@@ -38,7 +39,13 @@ fn main() {
 
     for pair in Pair::ALL {
         let obs = observation_series(&result, pair);
-        let reports = evaluate(&obs, &suite, EvalOptions::default());
+        let reports = Evaluation::replay(
+            &obs,
+            &suite,
+            EvalEngine::Naive,
+            EvalOptions::default(),
+            &ObsSink::disabled(),
+        );
         let mut table = Table::new(format!("window ablation, {}, classified", pair.label()))
             .headers(["predictor", "MAPE %", "answered", "declined"]);
         for r in &reports {

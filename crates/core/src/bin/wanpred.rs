@@ -5,7 +5,10 @@
 //!     simulate a measurement campaign; writes <pair>.ulm logs and
 //!     <pair>-probes.csv probe series into DIR
 //! wanpred evaluate --log FILE [--training 15] [--class 10mb|100mb|500mb|1gb]
-//!     replay the 30-predictor suite over a ULM log, print error tables
+//!                  [--predictor NAME ...]
+//!     replay a predictor suite over a ULM log, print error tables; the
+//!     default suite is the paper's 30 variants, or name predictors
+//!     explicitly (paper convention: AVG25, MED5, AR10d, LV, AVG15hr+C)
 //! wanpred predict --log FILE --size-mb N [--now UNIX]
 //!     one prediction for the next transfer of the given size
 //! wanpred provider --log FILE --host NAME --address IP [--now UNIX]
@@ -54,6 +57,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   wanpred campaign --month august|december [--seed N] [--days N] [--out DIR]
   wanpred evaluate --log FILE [--training N] [--class 10mb|100mb|500mb|1gb]
+                   [--predictor NAME ...]
   wanpred predict  --log FILE --size-mb N [--now UNIX]
   wanpred provider --log FILE --host NAME --address IP [--now UNIX]
   wanpred select   --replica FILE:HOST [--replica FILE:HOST ...]
@@ -166,7 +170,23 @@ fn cmd_evaluate(raw: &[String]) -> Result<(), String> {
             Some(SizeClass::parse_label(label).ok_or_else(|| format!("unknown class {label:?}"))?)
         }
     };
-    let (reports, suite) = evaluate_log(&log, EvalOptions { training });
+    let names = args.get_all("--predictor");
+    let suite = if names.is_empty() {
+        full_suite()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                predictor_by_name(n)
+                    .ok_or_else(|| format!("unknown predictor {n:?} (try AVG25, AR10d, LV+C)"))
+            })
+            .collect::<Result<Vec<_>, String>>()?
+    };
+    let eval = Evaluation::builder()
+        .suite(suite)
+        .training(training)
+        .build();
+    let reports = eval.run_log(&log);
     let title = match class {
         Some(c) => format!("{} transfers, {} class", log.len(), c.label()),
         None => format!("{} transfers, all classes", log.len()),
@@ -178,7 +198,7 @@ fn cmd_evaluate(raw: &[String]) -> Result<(), String> {
         "p90 err %",
         "answered",
     ]);
-    for (r, p) in reports.iter().zip(&suite) {
+    for (r, p) in reports.iter().zip(eval.predictors()) {
         let (mape, p50, p90, n) = match class {
             Some(c) => (
                 r.mape_for_class(c),

@@ -139,15 +139,17 @@ impl PredictiveFramework {
 /// the log once with rolling state, custom predictors transparently fall
 /// back to the naive slice-based replay, and the reports are numerically
 /// identical either way.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Evaluation::builder().options(opts).build()` then `run_log` / `into_predictors`"
+)]
 pub fn evaluate_log(
     log: &TransferLog,
     opts: EvalOptions,
 ) -> (Vec<PredictorReport>, Vec<NamedPredictor>) {
-    let mut obs = observations_from_log(log);
-    sort_by_time(&mut obs);
-    let suite = full_suite();
-    let reports = evaluate_incremental(&obs, &suite, opts);
-    (reports, suite)
+    let eval = Evaluation::builder().options(opts).build();
+    let reports = eval.run_log(log);
+    (reports, eval.into_predictors())
 }
 
 #[cfg(test)]
@@ -248,6 +250,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn evaluate_log_runs_the_thirty_suite() {
         let log = log_at("h", 5_000.0, 40);
         let (reports, suite) = evaluate_log(&log, EvalOptions::default());
@@ -257,6 +260,30 @@ mod tests {
         for r in &reports {
             if let Some(m) = r.mape() {
                 assert!(m < 1e-9, "{} {m}", r.name);
+            }
+        }
+    }
+
+    /// The deprecated shim must be behaviour-identical to the unified
+    /// API it delegates to (old-vs-new differential).
+    #[test]
+    #[allow(deprecated)]
+    fn evaluate_log_matches_unified_evaluation() {
+        let log = log_at("h", 4_200.0, 35);
+        let (old_reports, old_suite) = evaluate_log(&log, EvalOptions { training: 12 });
+        let eval = Evaluation::builder()
+            .options(EvalOptions { training: 12 })
+            .build();
+        let new_reports = eval.run_log(&log);
+        assert_eq!(old_suite.len(), eval.predictors().len());
+        assert_eq!(old_reports.len(), new_reports.len());
+        for (o, n) in old_reports.iter().zip(&new_reports) {
+            assert_eq!(o.name, n.name);
+            assert_eq!(o.declined, n.declined);
+            assert_eq!(o.outcomes.len(), n.outcomes.len());
+            for (a, b) in o.outcomes.iter().zip(&n.outcomes) {
+                assert_eq!(a.at_unix, b.at_unix);
+                assert_eq!(a.predicted, b.predicted, "{}", o.name);
             }
         }
     }

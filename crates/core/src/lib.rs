@@ -29,18 +29,23 @@
 //! ```
 //! use wanpred_core::prelude::*;
 //!
-//! // Simulate a short measurement campaign on the paper's testbed...
-//! let cfg = CampaignConfig {
-//!     seed: MasterSeed(7),
-//!     duration: SimDuration::from_days(2),
-//!     probes: false,
-//!     ..CampaignConfig::august(7)
-//! };
+//! // Simulate a short measurement campaign on the paper's testbed,
+//! // with the deterministic metrics pipeline switched on...
+//! let cfg = CampaignConfig::builder(7)
+//!     .duration_days(2)
+//!     .probes(false)
+//!     .obs(ObsSink::enabled())
+//!     .build();
 //! let result = run_campaign(&cfg);
 //!
-//! // ...and evaluate the paper's predictor suite over the LBL log.
-//! let (reports, _suite) = evaluate_log(result.log(Pair::LblAnl), EvalOptions::default());
+//! // ...evaluate the paper's predictor suite over the LBL log...
+//! let eval = Evaluation::builder().build();
+//! let reports = eval.run_log(result.log(Pair::LblAnl));
 //! assert_eq!(reports.len(), 30);
+//!
+//! // ...and dump the campaign's metrics snapshot.
+//! let metrics = result.metrics.as_ref().expect("obs was enabled");
+//! assert!(metrics.counter("campaign.transfers") > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -48,12 +53,15 @@
 
 pub mod framework;
 
-pub use framework::{evaluate_log, PredictiveFramework, DEFAULT_REGISTRATION_TTL};
+#[allow(deprecated)]
+pub use framework::evaluate_log;
+pub use framework::{PredictiveFramework, DEFAULT_REGISTRATION_TTL};
 
 pub use wanpred_gridftp as gridftp;
 pub use wanpred_infod as infod;
 pub use wanpred_logfmt as logfmt;
 pub use wanpred_nws as nws;
+pub use wanpred_obs as obs;
 pub use wanpred_predict as predict;
 pub use wanpred_replica as replica;
 pub use wanpred_simnet as simnet;
@@ -62,12 +70,15 @@ pub use wanpred_testbed as testbed;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::framework::{evaluate_log, PredictiveFramework};
+    #[allow(deprecated)]
+    pub use crate::framework::evaluate_log;
+    pub use crate::framework::PredictiveFramework;
     pub use wanpred_gridftp::{
         CompletedTransfer, ServerConfig, TransferKind, TransferManager, TransferRequest,
     };
     pub use wanpred_infod::{parse_filter, Dn, Entry, Giis, Gris, Registration, Schema};
     pub use wanpred_logfmt::{Operation, TransferLog, TransferRecord, TransferRecordBuilder};
+    pub use wanpred_obs::{ObsSink, Snapshot};
     pub use wanpred_predict::prelude::*;
     pub use wanpred_replica::{
         Broker, GiisPerfSource, PhysicalReplica, ReplicaCatalog, Selection, SelectionPolicy,
@@ -75,7 +86,7 @@ pub mod prelude {
     pub use wanpred_simnet::prelude::*;
     pub use wanpred_storage::{DiskSpec, FileCatalog, StorageServer};
     pub use wanpred_testbed::{
-        build_testbed, fig01_02, fig07, fig08_11, fig12_13, fig14_21, run_campaign, CampaignConfig,
-        CampaignResult, Pair, Table, WorkloadConfig,
+        build_testbed, fig01_02, fig07, fig08_11, fig12_13, fig14_21, run_campaign,
+        CampaignBuilder, CampaignConfig, CampaignResult, Pair, Table, WorkloadConfig,
     };
 }

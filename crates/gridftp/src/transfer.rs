@@ -30,6 +30,7 @@
 use std::collections::BTreeMap;
 
 use wanpred_logfmt::{Operation, TransferLog, TransferRecord, TransferRecordBuilder};
+use wanpred_obs::{names, ObsSink};
 use wanpred_simnet::engine::{Ctx, TimerTag};
 use wanpred_simnet::flow::{FlowDone, FlowFailed, FlowId, FlowSpec, TcpParams};
 use wanpred_simnet::time::{SimDuration, SimTime};
@@ -376,6 +377,8 @@ pub struct TransferManager {
     retry: Option<RetryPolicy>,
     /// Recovery notifications awaiting [`TransferManager::take_events`].
     events: Vec<TransferEvent>,
+    /// Observability sink (null by default).
+    obs: ObsSink,
 }
 
 impl TransferManager {
@@ -391,7 +394,15 @@ impl TransferManager {
             epoch_unix,
             retry: None,
             events: Vec::new(),
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink: transfer life-cycle counters,
+    /// duration/byte histograms, and a sim-time span per modeled log
+    /// append flow through it.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Install a retry/timeout policy (attempt deadlines, exponential
@@ -620,6 +631,7 @@ impl TransferManager {
             },
         );
         ctx.set_timer(setup, setup_tag(id, 1));
+        self.obs.inc(names::GRIDFTP_SUBMITTED);
         Ok(token)
     }
 
@@ -793,6 +805,7 @@ impl TransferManager {
             // Re-run control-channel setup after the backoff: retries pay
             // authentication and command round trips again.
             ctx.set_timer(backoff + t.setup, setup_tag(id, t.attempt));
+            self.obs.inc(names::GRIDFTP_RETRIES);
             self.events.push(TransferEvent::RetryScheduled {
                 token: t.token,
                 attempt: t.attempt,
@@ -802,6 +815,7 @@ impl TransferManager {
             });
         } else {
             let t = self.inflight.remove(&id).expect("still present");
+            self.obs.inc(names::GRIDFTP_FAILED);
             self.events.push(TransferEvent::Failed {
                 token: t.token,
                 attempts: t.attempt,
@@ -904,6 +918,13 @@ impl TransferManager {
                     t.client
                 };
                 let record = build_record(self, server_node, remote, leg.share(), op_here);
+                // Span the modeled ULM append on the sim clock: the
+                // paper's ~25 ms logging overhead becomes a per-append
+                // duration histogram under the span's name.
+                let at = finished.as_micros();
+                let cost = crate::instrument::modeled_logging_cost(&record).as_micros();
+                self.obs.span_enter(names::GRIDFTP_LOG_APPEND, at);
+                self.obs.span_exit(names::GRIDFTP_LOG_APPEND, at + cost);
                 self.servers
                     .get_mut(&server_node)
                     .expect("checked above")
@@ -914,6 +935,14 @@ impl TransferManager {
 
         // The logical-transfer record for the caller: total bytes from
         // the primary server's perspective.
+        self.obs.inc(names::GRIDFTP_COMPLETED);
+        self.obs.observe(
+            names::GRIDFTP_TRANSFER_DURATION_US,
+            finished.saturating_since(t.submitted).as_micros(),
+        );
+        self.obs
+            .observe(names::GRIDFTP_TRANSFER_BYTES, t.total_bytes);
+
         let record = build_record(self, t.primary, t.client, t.total_bytes, Operation::Read);
         let bandwidth_kbs = if total_s > 0.0 {
             t.total_bytes as f64 / total_s / 1_000.0

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use wanpred_obs::{names, ObsSink};
 
 use crate::filter::Filter;
 use crate::gris::Gris;
@@ -159,6 +160,8 @@ pub struct Giis {
     /// Per-registrant retry schedules, kept across registration expiry
     /// so a flapping registrant cannot reset its own backoff.
     backoffs: BTreeMap<String, RegistrationBackoff>,
+    /// Observability sink (null by default).
+    obs: ObsSink,
 }
 
 impl Giis {
@@ -169,7 +172,15 @@ impl Giis {
             registrants: BTreeMap::new(),
             available: true,
             backoffs: BTreeMap::new(),
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink: soft-state protocol counters
+    /// (registrations, renewals, expirations, refusals, searches) are
+    /// emitted through it.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// The index's name.
@@ -206,6 +217,7 @@ impl Giis {
         let id = msg.id.clone();
         if !self.available {
             let delay = self.backoffs.entry(id.clone()).or_default().on_failure(&id);
+            self.obs.inc(names::INFOD_GIIS_REFUSALS);
             return Err(delay);
         }
         if let Some(b) = self.backoffs.get_mut(&id) {
@@ -233,8 +245,10 @@ impl Giis {
         now_unix: u64,
     ) -> RegisterOutcome {
         let outcome = if self.registrants.contains_key(&msg.id) {
+            self.obs.inc(names::INFOD_GIIS_RENEWALS);
             RegisterOutcome::Renewed
         } else {
+            self.obs.inc(names::INFOD_GIIS_REGISTRATIONS);
             RegisterOutcome::New
         };
         self.registrants.insert(
@@ -266,7 +280,12 @@ impl Giis {
         let before = self.registrants.len();
         self.registrants
             .retain(|_, r| now_unix.saturating_sub(r.last_seen) < r.ttl_secs);
-        before - self.registrants.len()
+        let expired = before - self.registrants.len();
+        if expired > 0 {
+            self.obs
+                .inc_by(names::INFOD_GIIS_EXPIRATIONS, expired as u64);
+        }
+        expired
     }
 
     /// Ids of currently live registrants (after expiry at `now_unix`).
@@ -278,6 +297,7 @@ impl Giis {
     /// Answer an inquiry: merge matching entries from every live
     /// registrant (expiring stale ones first).
     pub fn search(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
+        self.obs.inc(names::INFOD_GIIS_SEARCHES);
         self.expire(now_unix);
         let mut out = Vec::new();
         for r in self.registrants.values() {

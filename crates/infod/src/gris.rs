@@ -16,36 +16,69 @@
 //! discount it instead of either trusting it blindly or losing the site
 //! entirely. On the next successful refresh the stamp disappears.
 
+use wanpred_obs::{names, ObsSink};
+
 use crate::filter::Filter;
 use crate::ldif::{Dn, Entry};
 
-/// Why a provider refresh failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ProviderError {
-    message: String,
+/// Why a provider refresh failed. Downstream code can match on the
+/// variant (transient resource outage vs. provider-internal failure)
+/// instead of parsing a rendered string.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProviderError {
+    /// The provider's backing resource (log file, filesystem) could not
+    /// be read. Carries the underlying error as `source`.
+    Unavailable {
+        /// What could not be read — a path or resource name.
+        resource: String,
+        /// The underlying failure.
+        source: Box<dyn std::error::Error + Send + Sync>,
+    },
+    /// A provider-internal failure with a rendered cause.
+    Failed(String),
 }
 
 impl ProviderError {
-    /// An error with a human-readable cause.
+    /// A provider-internal error with a human-readable cause.
     pub fn new(message: impl Into<String>) -> Self {
-        ProviderError {
-            message: message.into(),
+        ProviderError::Failed(message.into())
+    }
+
+    /// A backing-resource failure, preserving the cause chain.
+    pub fn unavailable(
+        resource: impl Into<String>,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
+        ProviderError::Unavailable {
+            resource: resource.into(),
+            source: Box::new(source),
         }
     }
 
-    /// The cause.
-    pub fn message(&self) -> &str {
-        &self.message
+    /// The rendered cause.
+    pub fn message(&self) -> String {
+        match self {
+            ProviderError::Unavailable { resource, source } => format!("{resource}: {source}"),
+            ProviderError::Failed(m) => m.clone(),
+        }
     }
 }
 
 impl std::fmt::Display for ProviderError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "provider refresh failed: {}", self.message)
+        write!(f, "provider refresh failed: {}", self.message())
     }
 }
 
-impl std::error::Error for ProviderError {}
+impl std::error::Error for ProviderError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProviderError::Unavailable { source, .. } => Some(source.as_ref()),
+            ProviderError::Failed(_) => None,
+        }
+    }
+}
 
 /// A pluggable information source.
 pub trait InfoProvider: Send {
@@ -89,6 +122,8 @@ pub struct Gris {
     invocations: u64,
     /// Cumulative failed refresh attempts.
     refresh_failures: u64,
+    /// Observability sink (null by default).
+    obs: ObsSink,
 }
 
 impl Gris {
@@ -99,7 +134,15 @@ impl Gris {
             slots: Vec::new(),
             invocations: 0,
             refresh_failures: 0,
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink: refresh outcomes, cache hits, and
+    /// search counts are emitted through it, with a span per provider
+    /// refresh keyed on the inquiry clock.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// The directory suffix this GRIS serves.
@@ -155,17 +198,28 @@ impl Gris {
             if due {
                 self.invocations += 1;
                 s.checked_at = Some(now_unix);
+                self.obs
+                    .span_enter(names::INFOD_GRIS_REFRESH, now_unix * 1_000_000);
                 match s.provider.provide(now_unix) {
                     Ok(entries) => {
                         s.cache = entries;
                         s.last_good_at = Some(now_unix);
                         s.consecutive_failures = 0;
+                        self.obs.inc(names::INFOD_GRIS_REFRESH_OK);
                     }
                     Err(_) => {
                         self.refresh_failures += 1;
                         s.consecutive_failures += 1;
+                        self.obs.inc(names::INFOD_GRIS_REFRESH_FAIL);
                     }
                 }
+                // Provider invocation is instantaneous on the directory
+                // clock (second granularity), so the span closes at its
+                // entry timestamp; count and nesting are what matter.
+                self.obs
+                    .span_exit(names::INFOD_GRIS_REFRESH, now_unix * 1_000_000);
+            } else {
+                self.obs.inc(names::INFOD_GRIS_CACHE_HITS);
             }
             if s.consecutive_failures > 0 {
                 // Degraded mode: serve the last-known-good cache with its
@@ -188,6 +242,7 @@ impl Gris {
 
     /// Search: refresh stale providers, apply the filter.
     pub fn search(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
+        self.obs.inc(names::INFOD_GRIS_SEARCHES);
         self.entries(now_unix)
             .into_iter()
             .filter(|e| filter.matches(e))

@@ -109,7 +109,7 @@ impl GridFtpPerfProvider {
             LogSource::Shared(l) => Ok(f(&l.read())),
             LogSource::File(p) => {
                 let (log, _) = TransferLog::load_ulm_salvaged(p)
-                    .map_err(|e| ProviderError::new(format!("{}: {e}", p.display())))?;
+                    .map_err(|e| ProviderError::unavailable(p.display().to_string(), e))?;
                 Ok(f(&log))
             }
         }
@@ -243,10 +243,12 @@ impl GridFtpPerfProvider {
         // NWS-style accuracy estimate next to the forecast: the running
         // mean absolute percentage error of the published (classified
         // AVG25) predictor replayed over this endpoint's history.
-        let reports = evaluate(
+        let reports = Evaluation::replay(
             &obs,
             std::slice::from_ref(&predictor),
+            EvalEngine::Naive,
             EvalOptions::default(),
+            &wanpred_obs::ObsSink::disabled(),
         );
         if let Some(m) = reports[0].mape() {
             e.add("predicterrorpct", format!("{}", m.round() as i64));

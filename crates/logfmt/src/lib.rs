@@ -30,7 +30,9 @@ pub mod writer;
 pub use crate::chaos::{corrupt_doc, ChaosConfig, ChaosOp, ChaosReport};
 pub use crate::integrity::{append_crc, check_line, crc32, CrcStatus};
 pub use crate::log::{LogError, TransferLog};
-pub use crate::record::{sample_record, Operation, TransferRecord, TransferRecordBuilder};
+pub use crate::record::{
+    sample_record, Operation, TransferRecord, TransferRecordBuilder, ValidateError,
+};
 pub use crate::salvage::{
     salvage_doc, QuarantinedLine, SalvageOptions, SalvageReason, SalvageReport,
 };

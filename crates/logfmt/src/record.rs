@@ -69,6 +69,54 @@ pub struct TransferRecord {
     pub operation: Operation,
 }
 
+/// A structural inconsistency in a [`TransferRecord`], found by
+/// [`TransferRecord::validate`]. Each variant carries the offending
+/// values so callers can report or quarantine without re-deriving them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidateError {
+    /// The end timestamp is earlier than the start timestamp.
+    EndPrecedesStart {
+        /// Transfer start, Unix seconds.
+        start: u64,
+        /// Transfer end, Unix seconds.
+        end: u64,
+    },
+    /// The total time is NaN, infinite, or negative.
+    BadTotalTime(f64),
+    /// The total time disagrees with the start/end stamps beyond rounding.
+    TimeInconsistent {
+        /// The recorded elapsed time in seconds.
+        total_time_s: f64,
+        /// The span implied by the timestamps, `end - start`, in seconds.
+        span_s: f64,
+    },
+    /// The record claims zero parallel streams.
+    ZeroStreams,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::EndPrecedesStart { start, end } => {
+                write!(f, "end {end} precedes start {start}")
+            }
+            ValidateError::BadTotalTime(t) => write!(f, "bad total time {t}"),
+            ValidateError::TimeInconsistent {
+                total_time_s,
+                span_s,
+            } => {
+                write!(
+                    f,
+                    "total time {total_time_s} inconsistent with stamps ({span_s})"
+                )
+            }
+            ValidateError::ZeroStreams => write!(f, "zero streams"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
 impl TransferRecord {
     /// End-to-end bandwidth in KB/s (1 KB = 1000 bytes, matching
     /// Figure 3: 10_240_000 bytes / 4 s = 2560 KB/s).
@@ -84,28 +132,28 @@ impl TransferRecord {
         self.bandwidth_kbs() / 1_000.0
     }
 
-    /// Basic internal consistency checks; returns a description of the
-    /// first violation, if any.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Basic internal consistency checks; returns the first violation,
+    /// if any, as a typed [`ValidateError`].
+    pub fn validate(&self) -> Result<(), ValidateError> {
         if self.end_unix < self.start_unix {
-            return Err(format!(
-                "end {} precedes start {}",
-                self.end_unix, self.start_unix
-            ));
+            return Err(ValidateError::EndPrecedesStart {
+                start: self.start_unix,
+                end: self.end_unix,
+            });
         }
         if !self.total_time_s.is_finite() || self.total_time_s < 0.0 {
-            return Err(format!("bad total time {}", self.total_time_s));
+            return Err(ValidateError::BadTotalTime(self.total_time_s));
         }
         // total_time must be consistent with the stamps within rounding.
         let span = (self.end_unix - self.start_unix) as f64;
         if (self.total_time_s - span).abs() > 1.5 {
-            return Err(format!(
-                "total time {} inconsistent with stamps ({span})",
-                self.total_time_s
-            ));
+            return Err(ValidateError::TimeInconsistent {
+                total_time_s: self.total_time_s,
+                span_s: span,
+            });
         }
         if self.streams == 0 {
-            return Err("zero streams".to_string());
+            return Err(ValidateError::ZeroStreams);
         }
         Ok(())
     }
@@ -241,21 +289,50 @@ mod tests {
     fn validate_rejects_time_travel() {
         let mut r = sample_record();
         r.end_unix = r.start_unix - 1;
-        assert!(r.validate().is_err());
+        assert_eq!(
+            r.validate(),
+            Err(ValidateError::EndPrecedesStart {
+                start: r.start_unix,
+                end: r.end_unix,
+            })
+        );
     }
 
     #[test]
     fn validate_rejects_inconsistent_total_time() {
         let mut r = sample_record();
         r.total_time_s = 100.0;
-        assert!(r.validate().is_err());
+        assert_eq!(
+            r.validate(),
+            Err(ValidateError::TimeInconsistent {
+                total_time_s: 100.0,
+                span_s: 4.0,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_total_time() {
+        let mut r = sample_record();
+        r.total_time_s = f64::NAN;
+        assert!(matches!(r.validate(), Err(ValidateError::BadTotalTime(_))));
     }
 
     #[test]
     fn validate_rejects_zero_streams() {
         let mut r = sample_record();
         r.streams = 0;
-        assert!(r.validate().is_err());
+        assert_eq!(r.validate(), Err(ValidateError::ZeroStreams));
+    }
+
+    #[test]
+    fn validate_error_messages_describe_the_violation() {
+        let mut r = sample_record();
+        r.streams = 0;
+        let err = r.validate().unwrap_err();
+        assert_eq!(err.to_string(), "zero streams");
+        let err: Box<dyn std::error::Error> = Box::new(err);
+        assert_eq!(err.to_string(), "zero streams");
     }
 
     #[test]

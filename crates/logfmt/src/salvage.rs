@@ -168,7 +168,7 @@ pub fn salvage_doc(doc: &str, opts: &SalvageOptions) -> (TransferLog, SalvageRep
             Ok(r) => {
                 if opts.validate_records {
                     if let Err(why) = r.validate() {
-                        quarantine(SalvageReason::InvalidRecord(why), &mut report);
+                        quarantine(SalvageReason::InvalidRecord(why.to_string()), &mut report);
                         continue;
                     }
                 }

@@ -1,0 +1,114 @@
+//! Lightweight spans keyed on simulation time.
+//!
+//! A span is an `enter`/`exit` pair of deterministic timestamps (sim
+//! micros, or unix seconds scaled to micros — whatever clock the host
+//! component runs on). Spans nest LIFO; a matched exit yields the span's
+//! duration, which the sink records into a histogram under the span's
+//! own name. There is no wall clock anywhere in this module: span
+//! durations are part of the deterministic snapshot contract.
+//!
+//! Unbalanced usage is tolerated, counted, and contained: an exit whose
+//! name does not match the innermost open span — or arrives with no span
+//! open at all — is dropped and tallied, so one buggy instrumentation
+//! site cannot corrupt the timing of its ancestors.
+
+/// The LIFO stack of open spans.
+#[derive(Debug, Default)]
+pub struct SpanStack {
+    open: Vec<(&'static str, u64)>,
+    unbalanced: u64,
+    max_depth: u64,
+}
+
+impl SpanStack {
+    /// Open a span `name` at timestamp `at_us`.
+    pub fn enter(&mut self, name: &'static str, at_us: u64) {
+        self.open.push((name, at_us));
+        self.max_depth = self.max_depth.max(self.open.len() as u64);
+    }
+
+    /// Close the innermost span if it is `name`, returning its duration.
+    /// A mismatched or surplus exit returns `None` and bumps the
+    /// unbalanced tally; the stack is left untouched so outer spans
+    /// still close correctly.
+    pub fn exit(&mut self, name: &'static str, at_us: u64) -> Option<u64> {
+        match self.open.last() {
+            Some(&(top, entered)) if top == name => {
+                self.open.pop();
+                Some(at_us.saturating_sub(entered))
+            }
+            _ => {
+                self.unbalanced += 1;
+                None
+            }
+        }
+    }
+
+    /// Spans currently open.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Deepest nesting seen so far.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth
+    }
+
+    /// Exits that matched nothing.
+    pub fn unbalanced(&self) -> u64 {
+        self.unbalanced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_pair_yields_duration() {
+        let mut s = SpanStack::default();
+        s.enter("a", 100);
+        assert_eq!(s.exit("a", 350), Some(250));
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.unbalanced(), 0);
+    }
+
+    #[test]
+    fn nesting_is_lifo_and_tracks_max_depth() {
+        let mut s = SpanStack::default();
+        s.enter("outer", 0);
+        s.enter("mid", 10);
+        s.enter("inner", 20);
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.exit("inner", 25), Some(5));
+        assert_eq!(s.exit("mid", 40), Some(30));
+        assert_eq!(s.exit("outer", 100), Some(100));
+        assert_eq!(s.max_depth(), 3);
+    }
+
+    #[test]
+    fn mismatched_exit_is_counted_and_ignored() {
+        let mut s = SpanStack::default();
+        s.enter("outer", 0);
+        assert_eq!(s.exit("wrong", 5), None);
+        assert_eq!(s.unbalanced(), 1);
+        // The outer span is still intact and closes with the full duration.
+        assert_eq!(s.exit("outer", 50), Some(50));
+    }
+
+    #[test]
+    fn exit_on_empty_stack_is_counted() {
+        let mut s = SpanStack::default();
+        assert_eq!(s.exit("ghost", 1), None);
+        assert_eq!(s.exit("ghost", 2), None);
+        assert_eq!(s.unbalanced(), 2);
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn clock_going_backwards_saturates_to_zero() {
+        let mut s = SpanStack::default();
+        s.enter("a", 100);
+        assert_eq!(s.exit("a", 40), Some(0));
+    }
+}

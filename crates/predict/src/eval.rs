@@ -137,7 +137,29 @@ impl PredictorReport {
 ///
 /// The series must be sorted by `at_unix`; use
 /// [`crate::observation::sort_by_time`] if unsure.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Evaluation::builder().engine(EvalEngine::Naive)` (crate::evaluation) instead"
+)]
 pub fn evaluate(
+    series: &[Observation],
+    predictors: &[NamedPredictor],
+    opts: EvalOptions,
+) -> Vec<PredictorReport> {
+    crate::evaluation::Evaluation::replay(
+        series,
+        predictors,
+        crate::evaluation::EvalEngine::Naive,
+        opts,
+        &wanpred_obs::ObsSink::disabled(),
+    )
+}
+
+/// The naive slice-based replay core: every prediction is derived from
+/// the full history prefix, exactly as §6.2 describes. Entry point for
+/// callers is [`crate::evaluation::Evaluation`] with
+/// [`EvalEngine::Naive`](crate::evaluation::EvalEngine::Naive).
+pub(crate) fn naive_replay(
     series: &[Observation],
     predictors: &[NamedPredictor],
     opts: EvalOptions,
@@ -264,6 +286,10 @@ pub fn relative_performance(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `evaluate` shim is exercised on purpose: these
+    // tests pin the behaviour the shim must keep delegating to.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::classify::PAPER_MB;
     use crate::last::LastValue;

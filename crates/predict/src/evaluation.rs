@@ -1,0 +1,338 @@
+//! The unified evaluation front door.
+//!
+//! Historically this crate grew three ways to replay a predictor suite
+//! against a log: [`crate::eval::evaluate`] (the naive slice-based
+//! walk), [`crate::incremental::evaluate_incremental`] (the rolling
+//! fast path), and `wanpred_core::evaluate_log` (log extraction plus
+//! the full suite). They differed only in engine choice and input
+//! preparation, so every caller re-assembled the same plumbing.
+//! [`Evaluation`] collapses them: pick a suite, an engine, options and
+//! an optional [`ObsSink`], then [`run`](Evaluation::run) a series or
+//! [`run_log`](Evaluation::run_log) a whole transfer log. The old
+//! entry points survive as thin deprecated shims over
+//! [`Evaluation::replay`], so their behaviour is identical by
+//! construction.
+//!
+//! ```
+//! use wanpred_predict::prelude::*;
+//!
+//! let series: Vec<Observation> = (0..40)
+//!     .map(|i| Observation {
+//!         at_unix: 1_000 + i * 600,
+//!         bandwidth_kbs: 4_000.0,
+//!         file_size: 100 * PAPER_MB,
+//!     })
+//!     .collect();
+//! let eval = Evaluation::builder().suite(paper_suite(false)).build();
+//! let reports = eval.run(&series);
+//! assert_eq!(reports.len(), 15);
+//! assert!(reports[0].mape().unwrap() < 1e-9);
+//! ```
+
+use wanpred_logfmt::TransferLog;
+use wanpred_obs::{names, ObsSink};
+
+use crate::eval::{naive_replay, EvalOptions, PredictorReport};
+use crate::incremental::incremental_replay;
+use crate::observation::{observations_from_log, sort_by_time, Observation};
+use crate::registry::{full_suite, NamedPredictor};
+
+/// Which replay engine scores the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalEngine {
+    /// The slice-based reference evaluator: every prediction is derived
+    /// from the full history prefix. Quadratic in the log length but
+    /// trivially auditable against the paper's §6.2 description.
+    Naive,
+    /// The rolling-state engine: per-predictor state carried forward
+    /// through the replay, fanned across threads. Near-linear, and
+    /// equivalent to [`EvalEngine::Naive`] within floating-point
+    /// reassociation (exact for medians and count-window means).
+    #[default]
+    Incremental,
+}
+
+/// A configured predictor evaluation: suite + engine + options + sink.
+///
+/// Build one with [`Evaluation::builder`], then replay it over as many
+/// series or logs as needed — the value is immutable and reusable.
+#[derive(Debug)]
+pub struct Evaluation {
+    predictors: Vec<NamedPredictor>,
+    engine: EvalEngine,
+    opts: EvalOptions,
+    obs: ObsSink,
+}
+
+impl Evaluation {
+    /// Start building an evaluation. Defaults: the full 30-variant
+    /// paper suite, the incremental engine, [`EvalOptions::default`]
+    /// (15-value training set), observability disabled.
+    pub fn builder() -> EvaluationBuilder {
+        EvaluationBuilder {
+            predictors: None,
+            engine: EvalEngine::default(),
+            opts: EvalOptions::default(),
+            obs: ObsSink::disabled(),
+        }
+    }
+
+    /// The suite this evaluation replays, in report order.
+    pub fn predictors(&self) -> &[NamedPredictor] {
+        &self.predictors
+    }
+
+    /// Consume the evaluation, yielding the suite (callers that pair
+    /// reports with predictors, e.g. for live prediction after a
+    /// replay, take ownership this way).
+    pub fn into_predictors(self) -> Vec<NamedPredictor> {
+        self.predictors
+    }
+
+    /// Replay options.
+    pub fn options(&self) -> EvalOptions {
+        self.opts
+    }
+
+    /// The configured engine.
+    pub fn engine(&self) -> EvalEngine {
+        self.engine
+    }
+
+    /// Replay a time-ordered series through the configured suite.
+    ///
+    /// The series must be sorted by `at_unix`; use
+    /// [`crate::observation::sort_by_time`] if unsure (or
+    /// [`run_log`](Evaluation::run_log), which sorts for you).
+    pub fn run(&self, series: &[Observation]) -> Vec<PredictorReport> {
+        Self::replay(series, &self.predictors, self.engine, self.opts, &self.obs)
+    }
+
+    /// Extract the observation series from a transfer log, sort it by
+    /// start time, and [`run`](Evaluation::run) it.
+    pub fn run_log(&self, log: &TransferLog) -> Vec<PredictorReport> {
+        let mut series = observations_from_log(log);
+        sort_by_time(&mut series);
+        self.run(&series)
+    }
+
+    /// The borrowed-suite core every entry point funnels through:
+    /// replay `series` with `engine`, then emit `predict.eval.*`
+    /// metrics to `obs`.
+    ///
+    /// Metrics are emitted sequentially *after* the (possibly
+    /// parallel) replay, so same-seed runs produce byte-identical
+    /// snapshots regardless of thread scheduling.
+    pub fn replay(
+        series: &[Observation],
+        predictors: &[NamedPredictor],
+        engine: EvalEngine,
+        opts: EvalOptions,
+        obs: &ObsSink,
+    ) -> Vec<PredictorReport> {
+        let reports = match engine {
+            EvalEngine::Naive => naive_replay(series, predictors, opts),
+            EvalEngine::Incremental => incremental_replay(series, predictors, opts),
+        };
+        if obs.is_enabled() {
+            obs.gauge(names::PREDICT_EVAL_PREDICTORS, predictors.len() as f64);
+            obs.inc_by(
+                names::PREDICT_EVAL_TARGETS,
+                series.len().saturating_sub(opts.training) as u64,
+            );
+            let predictions: u64 = reports.iter().map(|r| r.outcomes.len() as u64).sum();
+            let declined: u64 = reports.iter().map(|r| r.declined as u64).sum();
+            obs.inc_by(names::PREDICT_EVAL_PREDICTIONS, predictions);
+            obs.inc_by(names::PREDICT_EVAL_DECLINED, declined);
+            if let (Some(first), Some(last)) = (series.first(), series.last()) {
+                // The replay span covers the series' own time range:
+                // evaluation is an offline walk over history, so its
+                // "duration" is the span of log time it replayed.
+                obs.span_enter(names::PREDICT_EVAL_REPLAY, first.at_unix * 1_000_000);
+                obs.span_exit(names::PREDICT_EVAL_REPLAY, last.at_unix * 1_000_000);
+            }
+        }
+        reports
+    }
+}
+
+/// Builder for [`Evaluation`]; see [`Evaluation::builder`].
+#[derive(Debug)]
+pub struct EvaluationBuilder {
+    predictors: Option<Vec<NamedPredictor>>,
+    engine: EvalEngine,
+    opts: EvalOptions,
+    obs: ObsSink,
+}
+
+impl EvaluationBuilder {
+    /// Use this predictor suite (replaces any previous selection).
+    pub fn suite(mut self, predictors: Vec<NamedPredictor>) -> Self {
+        self.predictors = Some(predictors);
+        self
+    }
+
+    /// Append a single predictor to the suite (starting from empty if
+    /// no suite was set yet).
+    pub fn predictor(mut self, p: NamedPredictor) -> Self {
+        self.predictors.get_or_insert_with(Vec::new).push(p);
+        self
+    }
+
+    /// Select the replay engine.
+    pub fn engine(mut self, engine: EvalEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Set all evaluation options at once.
+    pub fn options(mut self, opts: EvalOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Set the training-set size (the paper's 15-value default).
+    pub fn training(mut self, training: usize) -> Self {
+        self.opts.training = training;
+        self
+    }
+
+    /// Emit `predict.eval.*` metrics to this sink during replays.
+    pub fn obs(mut self, sink: ObsSink) -> Self {
+        self.obs = sink;
+        self
+    }
+
+    /// Finish the builder. An unset suite defaults to the paper's full
+    /// 30-variant suite ([`full_suite`]).
+    pub fn build(self) -> Evaluation {
+        Evaluation {
+            predictors: self.predictors.unwrap_or_else(full_suite),
+            engine: self.engine,
+            opts: self.opts,
+            obs: self.obs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::PAPER_MB;
+    use crate::mean::EwmaPredictor;
+    use crate::registry::paper_suite;
+    use wanpred_logfmt::sample_record;
+
+    fn series(n: usize) -> Vec<Observation> {
+        (0..n)
+            .map(|i| Observation {
+                at_unix: 1_000 + i as u64 * 300,
+                bandwidth_kbs: 2_000.0 + (i as f64 * 17.3) % 400.0,
+                file_size: 100 * PAPER_MB,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn defaults_are_full_suite_incremental() {
+        let eval = Evaluation::builder().build();
+        assert_eq!(eval.predictors().len(), 30);
+        assert_eq!(eval.engine(), EvalEngine::Incremental);
+        assert_eq!(eval.options().training, 15);
+    }
+
+    #[test]
+    fn engines_agree_on_reports() {
+        let s = series(60);
+        let naive = Evaluation::builder()
+            .suite(paper_suite(false))
+            .engine(EvalEngine::Naive)
+            .build()
+            .run(&s);
+        let inc = Evaluation::builder()
+            .suite(paper_suite(false))
+            .engine(EvalEngine::Incremental)
+            .build()
+            .run(&s);
+        assert_eq!(naive.len(), inc.len());
+        for (n, i) in naive.iter().zip(&inc) {
+            assert_eq!(n.name, i.name);
+            assert_eq!(n.outcomes.len(), i.outcomes.len());
+            assert_eq!(n.declined, i.declined);
+        }
+    }
+
+    #[test]
+    fn single_predictor_and_training_override() {
+        let s = series(25);
+        let reports = Evaluation::builder()
+            .predictor(NamedPredictor::new(
+                Box::new(EwmaPredictor::new(0.5)),
+                false,
+            ))
+            .training(20)
+            .build()
+            .run(&s);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].outcomes.len() + reports[0].declined, 5);
+    }
+
+    #[test]
+    fn run_log_sorts_before_replaying() {
+        let mut log = TransferLog::new();
+        // Deliberately out of order; 20 records, 600 s apart.
+        for i in (0..20u64).rev() {
+            let mut r = sample_record();
+            r.start_unix = 1_000 + i * 600;
+            r.end_unix = r.start_unix + 4;
+            log.append(r);
+        }
+        let reports = Evaluation::builder()
+            .suite(paper_suite(false))
+            .training(15)
+            .build()
+            .run_log(&log);
+        // 5 targets after training; a constant-bandwidth log is exact.
+        assert_eq!(reports[0].outcomes.len(), 5);
+        assert!(reports[0].mape().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn replay_emits_metrics_to_sink() {
+        let sink = ObsSink::enabled();
+        let s = series(40);
+        let eval = Evaluation::builder()
+            .suite(paper_suite(false))
+            .obs(sink.clone())
+            .build();
+        let reports = eval.run(&s);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(names::PREDICT_EVAL_TARGETS), 25);
+        let predictions: u64 = reports.iter().map(|r| r.outcomes.len() as u64).sum();
+        let declined: u64 = reports.iter().map(|r| r.declined as u64).sum();
+        assert_eq!(snap.counter(names::PREDICT_EVAL_PREDICTIONS), predictions);
+        assert_eq!(snap.counter(names::PREDICT_EVAL_DECLINED), declined);
+        assert_eq!(snap.gauge(names::PREDICT_EVAL_PREDICTORS), Some(15.0));
+        let h = snap.histogram(names::PREDICT_EVAL_REPLAY).unwrap();
+        assert_eq!(h.count, 1);
+        // 39 gaps of 300 s, in microseconds.
+        assert_eq!(h.sum, 39 * 300 * 1_000_000);
+    }
+
+    #[test]
+    fn disabled_sink_emits_nothing() {
+        let eval = Evaluation::builder().suite(paper_suite(false)).build();
+        let _ = eval.run(&series(40));
+        // Nothing to assert on the sink itself (it is null); the point
+        // is that the replay ran without a registry allocation.
+        assert!(!ObsSink::disabled().is_enabled());
+    }
+
+    #[test]
+    fn into_predictors_round_trips_the_suite() {
+        let eval = Evaluation::builder().suite(paper_suite(true)).build();
+        let suite = eval.into_predictors();
+        assert_eq!(suite.len(), 15);
+        assert!(suite.iter().all(|p| p.is_classified()));
+    }
+}

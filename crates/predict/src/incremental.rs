@@ -505,7 +505,28 @@ fn replay_naive(
 /// reassociation) at a fraction of the cost: the naive path is
 /// quadratic in the log length per classified predictor, this one is
 /// near-linear.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Evaluation::builder()` (crate::evaluation; incremental is the default engine)"
+)]
 pub fn evaluate_incremental(
+    series: &[Observation],
+    predictors: &[NamedPredictor],
+    opts: EvalOptions,
+) -> Vec<PredictorReport> {
+    crate::evaluation::Evaluation::replay(
+        series,
+        predictors,
+        crate::evaluation::EvalEngine::Incremental,
+        opts,
+        &wanpred_obs::ObsSink::disabled(),
+    )
+}
+
+/// The rolling-state replay core behind
+/// [`EvalEngine::Incremental`](crate::evaluation::EvalEngine::Incremental):
+/// classify once, then fan the predictors out across threads.
+pub(crate) fn incremental_replay(
     series: &[Observation],
     predictors: &[NamedPredictor],
     opts: EvalOptions,
@@ -526,6 +547,10 @@ pub fn evaluate_incremental(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated entry points are exercised on purpose: the
+    // old-vs-new differential contract is exactly what these pin.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::classify::PAPER_MB;
     use crate::eval::evaluate;

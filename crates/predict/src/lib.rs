@@ -17,6 +17,10 @@
 //! * [`incremental`] — the incremental replay engine: per-predictor
 //!   rolling state (running sums, order statistics, OLS accumulators)
 //!   replacing the naive evaluator's per-target recomputation.
+//! * [`evaluation`] — the unified front door: [`Evaluation::builder`]
+//!   selects suite, engine (naive or incremental), options and an
+//!   observability sink; the older per-engine entry points are
+//!   deprecated shims over it.
 //! * [`selection`] — NWS-style dynamic predictor selection (the paper's
 //!   §7 future work, implemented as an extension).
 //! * [`hybrid`] — probe-assisted prediction and cold-start cross-path
@@ -50,6 +54,7 @@
 pub mod arima;
 pub mod classify;
 pub mod eval;
+pub mod evaluation;
 pub mod hybrid;
 pub mod incremental;
 pub mod last;
@@ -67,20 +72,26 @@ pub mod window;
 pub mod prelude {
     pub use crate::arima::ArPredictor;
     pub use crate::classify::{filter_class, SizeClass, PAPER_MB};
+    #[allow(deprecated)]
+    pub use crate::eval::evaluate;
     pub use crate::eval::{
-        evaluate, relative_performance, EvalOptions, PredictionOutcome, PredictorReport,
-        RelativeReport,
+        relative_performance, EvalOptions, PredictionOutcome, PredictorReport, RelativeReport,
     };
+    pub use crate::evaluation::{EvalEngine, Evaluation, EvaluationBuilder};
     pub use crate::hybrid::{
         probe_at, recent_probe_mean, ConditionScaled, FittedRegression, ProbePoint, ProbeRegression,
     };
+    #[allow(deprecated)]
     pub use crate::incremental::evaluate_incremental;
     pub use crate::last::LastValue;
     pub use crate::mean::{EwmaPredictor, MeanPredictor};
     pub use crate::median::MedianPredictor;
     pub use crate::observation::{observations_from_log, sort_by_time, Observation};
     pub use crate::predictor::{Predictor, PredictorSpec};
-    pub use crate::registry::{full_suite, paper_predictors, paper_suite, NamedPredictor};
+    pub use crate::registry::{
+        full_suite, paper_predictors, paper_suite, predictor_by_name, predictor_for_spec,
+        NamedPredictor,
+    };
     pub use crate::seasonal::SeasonalPredictor;
     pub use crate::selection::DynamicSelector;
     pub use crate::window::{paper as paper_windows, Window};

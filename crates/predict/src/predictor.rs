@@ -26,6 +26,97 @@ pub enum PredictorSpec {
     Last,
 }
 
+impl std::fmt::Display for PredictorSpec {
+    /// The paper's display name for the spec: estimator-family prefix
+    /// (`AVG`/`MED`/`AR`, or the fixed `LV`) plus the window suffix
+    /// from [`Window::name_suffix`] (`AVG25`, `MED5`, `AR10d`,
+    /// `AVG15hr`). Inverse of [`FromStr`](std::str::FromStr).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PredictorSpec::Mean(w) => write!(f, "AVG{}", w.name_suffix()),
+            PredictorSpec::Median(w) => write!(f, "MED{}", w.name_suffix()),
+            PredictorSpec::Ar(w) => write!(f, "AR{}", w.name_suffix()),
+            PredictorSpec::Last => write!(f, "LV"),
+        }
+    }
+}
+
+/// Error parsing a [`PredictorSpec`] from its display name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// The string that failed to parse.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognized predictor spec {:?} (expected LV or AVG/MED/AR \
+             with an optional window suffix like 25, 15hr, 10d)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+/// Parse a window name-suffix: empty = all data, digits = last-N,
+/// `{n}d`/`{n}hr`/`{n}s` = temporal. Inverse of [`Window::name_suffix`].
+fn parse_window_suffix(s: &str) -> Option<Window> {
+    if s.is_empty() {
+        return Some(Window::All);
+    }
+    if let Some(days) = s.strip_suffix('d') {
+        let d: u64 = days.parse().ok()?;
+        return Some(Window::LastSeconds(d.checked_mul(86_400)?));
+    }
+    if let Some(hours) = s.strip_suffix("hr") {
+        let h: u64 = hours.parse().ok()?;
+        return Some(Window::LastSeconds(h.checked_mul(3_600)?));
+    }
+    if let Some(secs) = s.strip_suffix('s') {
+        return Some(Window::LastSeconds(secs.parse().ok()?));
+    }
+    Some(Window::LastN(s.parse().ok()?))
+}
+
+impl std::str::FromStr for PredictorSpec {
+    type Err = ParseSpecError;
+
+    /// Parse a paper-convention predictor name (`AVG`, `MED5`, `AR10d`,
+    /// `AVG15hr`, `LV`) back into its spec. Inverse of
+    /// [`Display`](std::fmt::Display); the classification suffix `+C`
+    /// is *not* accepted here — it is a property of the
+    /// [`NamedPredictor`](crate::registry::NamedPredictor) wrapper, not
+    /// of the base spec (see
+    /// [`predictor_by_name`](crate::registry::predictor_by_name)).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseSpecError {
+            input: s.to_string(),
+        };
+        if s == "LV" {
+            return Ok(PredictorSpec::Last);
+        }
+        if let Some(rest) = s.strip_prefix("AVG") {
+            return parse_window_suffix(rest)
+                .map(PredictorSpec::Mean)
+                .ok_or_else(err);
+        }
+        if let Some(rest) = s.strip_prefix("MED") {
+            return parse_window_suffix(rest)
+                .map(PredictorSpec::Median)
+                .ok_or_else(err);
+        }
+        if let Some(rest) = s.strip_prefix("AR") {
+            return parse_window_suffix(rest)
+                .map(PredictorSpec::Ar)
+                .ok_or_else(err);
+        }
+        Err(err())
+    }
+}
+
 /// Estimate the next transfer's bandwidth from history.
 pub trait Predictor: Send + Sync {
     /// The predictor's display name (paper convention: `AVG25`, `MED5`,
@@ -50,6 +141,89 @@ pub trait Predictor: Send + Sync {
 /// Extract bandwidth values from an observation slice.
 pub(crate) fn values(obs: &[Observation]) -> Vec<f64> {
     obs.iter().map(|o| o.bandwidth_kbs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(PredictorSpec::Mean(Window::All).to_string(), "AVG");
+        assert_eq!(PredictorSpec::Median(Window::LastN(5)).to_string(), "MED5");
+        assert_eq!(
+            PredictorSpec::Mean(Window::LastSeconds(15 * 3_600)).to_string(),
+            "AVG15hr"
+        );
+        assert_eq!(
+            PredictorSpec::Ar(Window::LastSeconds(10 * 86_400)).to_string(),
+            "AR10d"
+        );
+        assert_eq!(PredictorSpec::Last.to_string(), "LV");
+        assert_eq!(
+            PredictorSpec::Median(Window::LastSeconds(90)).to_string(),
+            "MED90s"
+        );
+    }
+
+    #[test]
+    fn from_str_inverts_display_on_figure4() {
+        for name in [
+            "AVG", "MED", "AR", "LV", "AVG5", "MED5", "AVG15", "MED15", "AVG25", "MED25", "AVG5hr",
+            "AVG15hr", "AVG25hr", "AR5d", "AR10d",
+        ] {
+            let spec = PredictorSpec::from_str(name).unwrap();
+            assert_eq!(spec.to_string(), name, "round trip of {name}");
+        }
+    }
+
+    #[test]
+    fn junk_is_rejected_with_context() {
+        for bad in [
+            "", "avg5", "LV5", "AVGx", "AR5w", "MED-3", "XYZ", "+C", "AVG5hr+C",
+        ] {
+            let e = PredictorSpec::from_str(bad).unwrap_err();
+            assert_eq!(e.input, bad);
+            assert!(e.to_string().contains(&format!("{bad:?}")), "{e}");
+        }
+    }
+
+    #[test]
+    fn overflowing_suffixes_fail_cleanly() {
+        assert!(PredictorSpec::from_str("AR999999999999999999999d").is_err());
+        let e = PredictorSpec::from_str(&format!("AVG{}d", u64::MAX)).unwrap_err();
+        assert!(e.to_string().contains("unrecognized"));
+    }
+
+    fn arb_window() -> impl Strategy<Value = Window> {
+        prop_oneof![
+            Just(Window::All),
+            (0usize..10_000).prop_map(Window::LastN),
+            (0u64..100_000_000).prop_map(Window::LastSeconds),
+        ]
+    }
+
+    fn arb_spec() -> impl Strategy<Value = PredictorSpec> {
+        prop_oneof![
+            arb_window().prop_map(PredictorSpec::Mean),
+            arb_window().prop_map(PredictorSpec::Median),
+            arb_window().prop_map(PredictorSpec::Ar),
+            Just(PredictorSpec::Last),
+        ]
+    }
+
+    proptest! {
+        // Regression for the spec round-trip: every displayable spec
+        // must parse back to itself, whatever unit name_suffix picked.
+        #[test]
+        fn display_from_str_round_trips(spec in arb_spec()) {
+            let name = spec.to_string();
+            let parsed = PredictorSpec::from_str(&name).unwrap();
+            prop_assert_eq!(parsed, spec, "{}", name);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -118,6 +118,31 @@ impl std::fmt::Debug for NamedPredictor {
     }
 }
 
+/// Construct the standard predictor a spec describes.
+pub fn predictor_for_spec(spec: PredictorSpec) -> Box<dyn Predictor> {
+    match spec {
+        PredictorSpec::Mean(w) => Box::new(MeanPredictor::new(w)),
+        PredictorSpec::Median(w) => Box::new(MedianPredictor::new(w)),
+        PredictorSpec::Ar(w) => Box::new(ArPredictor::new(w)),
+        PredictorSpec::Last => Box::new(LastValue::new()),
+    }
+}
+
+/// Build a suite variant from its display name (`AVG25`, `AR10d+C`,
+/// ...): the base name selects the spec via
+/// [`PredictorSpec::from_str`](std::str::FromStr), and a trailing `+C`
+/// selects the context-sensitive (size-classified) wrapper. This is how
+/// benches and CLI flags turn `--predictor AVG15hr+C` into a runnable
+/// predictor; `None` when the name does not parse.
+pub fn predictor_by_name(name: &str) -> Option<NamedPredictor> {
+    let (base, classified) = match name.strip_suffix("+C") {
+        Some(base) => (base, true),
+        None => (name, false),
+    };
+    let spec: PredictorSpec = base.parse().ok()?;
+    Some(NamedPredictor::new(predictor_for_spec(spec), classified))
+}
+
 /// The 15 paper predictors in one (un)classified flavour.
 pub fn paper_suite(classified: bool) -> Vec<NamedPredictor> {
     paper_predictors()
@@ -196,6 +221,21 @@ mod tests {
             from_table,
             names.iter().map(String::as_str).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn by_name_reconstructs_every_suite_variant() {
+        for p in full_suite() {
+            let rebuilt = predictor_by_name(p.name()).unwrap_or_else(|| {
+                panic!("{} did not parse", p.name());
+            });
+            assert_eq!(rebuilt.name(), p.name());
+            assert_eq!(rebuilt.is_classified(), p.is_classified());
+            assert_eq!(rebuilt.spec(), p.spec());
+        }
+        assert!(predictor_by_name("AVG5hr+C").is_some());
+        assert!(predictor_by_name("bogus").is_none());
+        assert!(predictor_by_name("+C").is_none());
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! floating-point additions; medians and count-window means are in
 //! fact bit-identical).
 
+// The deprecated entry points are the subjects under test: they must
+// keep delegating to `Evaluation::replay` with unchanged behaviour.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use wanpred_predict::incremental::evaluate_incremental;
 use wanpred_predict::prelude::*;

@@ -31,6 +31,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use wanpred_infod::filter;
 use wanpred_infod::{Giis, STALENESS_ATTR};
+use wanpred_obs::{names, ObsSink};
 use wanpred_predict::SizeClass;
 
 use crate::catalog::{PhysicalReplica, ReplicaError};
@@ -248,6 +249,7 @@ pub struct Broker<S: PerfInfoSource> {
     probe_source: Option<Box<dyn ProbeForecastSource + Send>>,
     static_kbs: BTreeMap<String, f64>,
     staleness_half_life_secs: u64,
+    obs: ObsSink,
 }
 
 impl<S: PerfInfoSource> Broker<S> {
@@ -258,7 +260,15 @@ impl<S: PerfInfoSource> Broker<S> {
             probe_source: None,
             static_kbs: BTreeMap::new(),
             staleness_half_life_secs: DEFAULT_STALENESS_HALF_LIFE_SECS,
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink: selection counts, per-rung tallies,
+    /// candidate-set and staleness histograms, and a span per selection
+    /// keyed on the inquiry clock.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Wire in an NWS probe-forecast fallback (third ladder rung).
@@ -322,11 +332,26 @@ impl<S: PerfInfoSource> Broker<S> {
         if replicas.is_empty() {
             return Err(ReplicaError::NoCandidates);
         }
+        self.obs.inc(names::REPLICA_BROKER_SELECTIONS);
+        self.obs
+            .observe(names::REPLICA_BROKER_CANDIDATES, replicas.len() as u64);
+        self.obs
+            .span_enter(names::REPLICA_BROKER_SELECT, now_unix * 1_000_000);
         let half_life = self.staleness_half_life_secs as f64;
         let scores: Vec<ReplicaScore> = replicas
             .iter()
             .map(|r| {
                 let est = self.estimate(client_addr, &r.host, r.size, now_unix);
+                if let Some(e) = est {
+                    self.obs.inc(match e.rung {
+                        FallbackRung::SizeClass => names::REPLICA_BROKER_RUNG_SIZE_CLASS,
+                        FallbackRung::Overall => names::REPLICA_BROKER_RUNG_OVERALL,
+                        FallbackRung::ProbeForecast => names::REPLICA_BROKER_RUNG_PROBE,
+                        FallbackRung::StaticPolicy => names::REPLICA_BROKER_RUNG_STATIC,
+                    });
+                    self.obs
+                        .observe(names::REPLICA_BROKER_STALENESS_SECS, e.staleness_secs);
+                }
                 let effective =
                     est.map(|e| e.kbs * 0.5f64.powf(e.staleness_secs as f64 / half_life));
                 ReplicaScore {
@@ -339,11 +364,17 @@ impl<S: PerfInfoSource> Broker<S> {
             })
             .collect();
         let chosen = policy.choose(&scores);
-        Ok(Selection {
+        let selection = Selection {
             chosen,
             scores,
             policy_name: policy.name(),
-        })
+        };
+        if selection.degraded() {
+            self.obs.inc(names::REPLICA_BROKER_DEGRADED);
+        }
+        self.obs
+            .span_exit(names::REPLICA_BROKER_SELECT, now_unix * 1_000_000);
+        Ok(selection)
     }
 }
 

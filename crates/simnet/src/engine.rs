@@ -17,6 +17,8 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use wanpred_obs::{names, ObsSink};
+
 use crate::fault::{FaultAction, FaultSchedule};
 use crate::flow::{FlowDone, FlowFailed, FlowId, FlowSpec};
 use crate::network::Network;
@@ -168,6 +170,31 @@ fn bump(seq: &mut u64) -> u64 {
     s
 }
 
+/// Per-`run_until` metric buffer: the event loop tallies into plain
+/// integers and vecs, and one batched flush pays the sink's mutex once.
+#[derive(Default)]
+struct RunTally {
+    events: u64,
+    flows_completed: u64,
+    load_ticks: u64,
+    timers: u64,
+    faults: u64,
+    flow_durations: Vec<u64>,
+    flow_bytes: Vec<u64>,
+}
+
+impl RunTally {
+    fn flush(&mut self, obs: &ObsSink) {
+        obs.inc_by(names::SIMNET_ENGINE_EVENTS, self.events);
+        obs.inc_by(names::SIMNET_FLOWS_COMPLETED, self.flows_completed);
+        obs.inc_by(names::SIMNET_ENGINE_LOAD_TICKS, self.load_ticks);
+        obs.inc_by(names::SIMNET_ENGINE_TIMERS, self.timers);
+        obs.inc_by(names::SIMNET_ENGINE_FAULTS, self.faults);
+        obs.observe_many(names::SIMNET_FLOW_DURATION_US, &self.flow_durations);
+        obs.observe_many(names::SIMNET_FLOW_BYTES, &self.flow_bytes);
+    }
+}
+
 /// The simulation engine.
 pub struct Engine {
     time: SimTime,
@@ -179,6 +206,7 @@ pub struct Engine {
     started: bool,
     tracer: Option<LinkTracer>,
     events_processed: u64,
+    obs: ObsSink,
 }
 
 impl Engine {
@@ -202,7 +230,15 @@ impl Engine {
             started: false,
             tracer: None,
             events_processed: 0,
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink. Scheduler-loop counters and flow
+    /// outcome histograms are emitted through it; the default null sink
+    /// makes each emission a single branch.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Register an agent. Must be called before the first `run_until`.
@@ -281,6 +317,11 @@ impl Engine {
                 self.dispatch(AgentId(i), Dispatch::Start);
             }
         }
+        // Hot-loop metrics are buffered locally and flushed in one batch
+        // after the loop: a mutex acquisition per event would dominate the
+        // sink's cost budget. Counters and histograms merge commutatively,
+        // so deferred emission cannot change the exported snapshot.
+        let mut tally = RunTally::default();
         loop {
             self.network.resolve();
             let next_event = self.queue.peek().map(|Reverse(e)| e.at);
@@ -303,6 +344,14 @@ impl Engine {
                 self.time = eta;
                 let done = self.network.finish_flow(id, eta);
                 self.events_processed += 1;
+                tally.events += 1;
+                tally.flows_completed += 1;
+                if self.obs.is_enabled() {
+                    tally
+                        .flow_durations
+                        .push(done.finished.saturating_since(done.started).as_micros());
+                    tally.flow_bytes.push(done.bytes);
+                }
                 let owner = self
                     .flow_owner
                     .iter()
@@ -319,8 +368,10 @@ impl Engine {
                 let Reverse(ev) = self.queue.pop().expect("peeked");
                 self.time = ev.at;
                 self.events_processed += 1;
+                tally.events += 1;
                 match ev.kind {
                     EventKind::LoadTick => {
+                        tally.load_ticks += 1;
                         self.network.load_tick_to(ev.at);
                         if let Some(tr) = &mut self.tracer {
                             tr.sample(ev.at, &self.network);
@@ -336,11 +387,18 @@ impl Engine {
                         self.network.ramp_flow_window(flow, ev.at);
                     }
                     EventKind::Timer { agent, tag } => {
+                        tally.timers += 1;
                         self.dispatch(agent, Dispatch::Timer(tag));
                     }
-                    EventKind::Fault(action) => self.apply_fault(action, ev.at),
+                    EventKind::Fault(action) => {
+                        tally.faults += 1;
+                        self.apply_fault(action, ev.at);
+                    }
                 }
             }
+        }
+        if self.obs.is_enabled() {
+            tally.flush(&self.obs);
         }
         // Settle the clock at the horizon so subsequent stages resume from
         // `until` even if the queue ran dry earlier.
@@ -362,6 +420,7 @@ impl Engine {
                     let Some(failed) = self.network.fail_flow(id, at) else {
                         continue;
                     };
+                    self.obs.inc(names::SIMNET_FLOWS_FAILED);
                     let owner = self
                         .flow_owner
                         .iter()

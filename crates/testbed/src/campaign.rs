@@ -17,6 +17,7 @@ use wanpred_logfmt::{
     corrupt_doc, salvage_doc, ChaosConfig, SalvageOptions, SalvageReport, TransferLog,
 };
 use wanpred_nws::{ProbeAgent, ProbeConfig, ProbeMeasurement};
+use wanpred_obs::{names, ObsSink, Snapshot};
 use wanpred_simnet::engine::{Agent, Ctx, Engine, TimerTag};
 use wanpred_simnet::fault::{FaultConfig, FaultSchedule};
 use wanpred_simnet::flow::{FlowDone, FlowFailed};
@@ -75,37 +76,47 @@ pub struct CampaignConfig {
     /// exercise exactly what a predictor reading a crash-damaged log would
     /// see. Chaos seeds derive from [`CampaignConfig::seed`].
     pub chaos: Option<f64>,
+    /// The site pairs whose workload loops run (both, by default; the
+    /// probe sensors follow the same selection).
+    pub pairs: Vec<Pair>,
+    /// Observability sink threaded through the engine, transfer manager
+    /// and campaign driver. Disabled by default; note that cloning a
+    /// config shares the sink's registry with the clone.
+    pub obs: ObsSink,
 }
 
 impl CampaignConfig {
+    /// Start from the August defaults and customize step by step; see
+    /// [`CampaignBuilder`]. The month presets [`CampaignConfig::august`]
+    /// and [`CampaignConfig::december`] are themselves thin builder
+    /// invocations.
+    pub fn builder(seed: u64) -> CampaignBuilder {
+        CampaignBuilder {
+            cfg: CampaignConfig {
+                seed: MasterSeed(seed),
+                epoch_unix: 996_642_000,
+                duration: SimDuration::from_days(14),
+                workload: WorkloadConfig::default(),
+                probes: true,
+                faults: FaultConfig::none(),
+                retry: None,
+                chaos: None,
+                pairs: Pair::ALL.to_vec(),
+                obs: ObsSink::disabled(),
+            },
+        }
+    }
+
     /// The August 2001 campaign: two weeks from Wed 2001-08-01 00:00 CDT
     /// (Unix 996_642_000).
     pub fn august(seed: u64) -> Self {
-        CampaignConfig {
-            seed: MasterSeed(seed),
-            epoch_unix: 996_642_000,
-            duration: SimDuration::from_days(14),
-            workload: WorkloadConfig::default(),
-            probes: true,
-            faults: FaultConfig::none(),
-            retry: None,
-            chaos: None,
-        }
+        Self::builder(seed).build()
     }
 
     /// The December 2001 campaign: two weeks from Sat 2001-12-01 00:00
     /// CST (Unix 1_007_186_400).
     pub fn december(seed: u64) -> Self {
-        CampaignConfig {
-            seed: MasterSeed(seed).child("december"),
-            epoch_unix: 1_007_186_400,
-            duration: SimDuration::from_days(14),
-            workload: WorkloadConfig::default(),
-            probes: true,
-            faults: FaultConfig::none(),
-            retry: None,
-            chaos: None,
-        }
+        Self::builder(seed).december().build()
     }
 
     /// Turn on the calibrated unreliable-WAN fault profile together with
@@ -125,6 +136,96 @@ impl CampaignConfig {
         );
         self.chaos = Some(rate);
         self
+    }
+}
+
+/// Fluent construction of a [`CampaignConfig`], starting from the
+/// August preset: `CampaignConfig::builder(seed).december()
+/// .duration_days(3).faults(FaultConfig::wan_default()).chaos(0.05)
+/// .obs(sink).build()`.
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    cfg: CampaignConfig,
+}
+
+impl CampaignBuilder {
+    /// Switch to the December 2001 preset: epoch Sat 2001-12-01 00:00
+    /// CST, and the campaign seed decorrelated from August's via a
+    /// `"december"` child derivation.
+    pub fn december(mut self) -> Self {
+        self.cfg.seed = self.cfg.seed.child("december");
+        self.cfg.epoch_unix = 1_007_186_400;
+        self
+    }
+
+    /// Campaign length in days (the presets run 14).
+    pub fn duration_days(mut self, days: u64) -> Self {
+        self.cfg.duration = SimDuration::from_days(days);
+        self
+    }
+
+    /// Campaign length as an explicit duration.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.cfg.duration = duration;
+        self
+    }
+
+    /// Replace the per-pair workload.
+    pub fn workload(mut self, workload: WorkloadConfig) -> Self {
+        self.cfg.workload = workload;
+        self
+    }
+
+    /// Enable or disable the NWS probe sensors.
+    pub fn probes(mut self, probes: bool) -> Self {
+        self.cfg.probes = probes;
+        self
+    }
+
+    /// Restrict the campaign to a subset of site pairs (workload loops
+    /// and probe sensors both follow the selection; unselected pairs
+    /// produce empty logs).
+    pub fn pair_set(mut self, pairs: &[Pair]) -> Self {
+        self.cfg.pairs = pairs.to_vec();
+        self
+    }
+
+    /// Inject this fault profile into the network. Pairs naturally with
+    /// [`retry`](CampaignBuilder::retry); [`FaultConfig::wan_default`]
+    /// is the calibrated unreliable-WAN profile.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Install a retry policy on the transfer manager.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = Some(retry);
+        self
+    }
+
+    /// Corrupt-and-salvage the extracted logs at this per-line rate
+    /// (see [`CampaignConfig::with_chaos`]).
+    pub fn chaos(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "chaos rate {rate} not in [0,1]"
+        );
+        self.cfg.chaos = Some(rate);
+        self
+    }
+
+    /// Thread this observability sink through the campaign: the engine,
+    /// the transfer manager and the driver all emit into it, and the
+    /// final [`CampaignResult::metrics`] snapshot is taken from it.
+    pub fn obs(mut self, sink: ObsSink) -> Self {
+        self.cfg.obs = sink;
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> CampaignConfig {
+        self.cfg
     }
 }
 
@@ -154,6 +255,11 @@ pub struct CampaignResult {
     pub lbl_salvage: Option<SalvageReport>,
     /// What the salvage pass kept and quarantined on the ISI log.
     pub isi_salvage: Option<SalvageReport>,
+    /// Metric snapshot taken from the campaign's [`ObsSink`] after the
+    /// run (`None` when the sink was disabled). Seeded-run
+    /// deterministic: same seed, same config → byte-identical snapshot
+    /// JSON.
+    pub metrics: Option<Snapshot>,
 }
 
 impl CampaignResult {
@@ -333,6 +439,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
 /// Run a campaign on a pre-built testbed (lets tests pass a quiet one).
 pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult {
     let mut mgr = testbed.build_manager(cfg.epoch_unix);
+    mgr.set_obs(cfg.obs.clone());
     if let Some(policy) = &cfg.retry {
         mgr.set_retry_policy(policy.clone());
     }
@@ -343,6 +450,14 @@ pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult
         isi,
         ..
     } = testbed;
+    let server_of = |pair: Pair| match pair {
+        Pair::LblAnl => lbl,
+        Pair::IsiAnl => isi,
+    };
+    let seed_name_of = |pair: Pair| match pair {
+        Pair::LblAnl => "workload.lbl-anl",
+        Pair::IsiAnl => "workload.isi-anl",
+    };
 
     // The schedule is a pure function of (faults, topology, seed,
     // duration): materialize it before the network moves into the engine.
@@ -350,66 +465,76 @@ pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult
     let fault_events = schedule.len();
 
     let mut engine = Engine::new(network);
+    engine.set_obs(cfg.obs.clone());
     engine.inject_faults(&schedule);
     let agent_id = engine.add_agent(Box::new(CampaignAgent {
         mgr,
         client: anl,
         workload: cfg.workload.clone(),
-        pairs: vec![
-            PairRuntime {
-                pair: Pair::LblAnl,
-                server: lbl,
-                rng: cfg.seed.derive("workload.lbl-anl"),
+        pairs: cfg
+            .pairs
+            .iter()
+            .map(|&pair| PairRuntime {
+                pair,
+                server: server_of(pair),
+                rng: cfg.seed.derive(seed_name_of(pair)),
                 outstanding: None,
-            },
-            PairRuntime {
-                pair: Pair::IsiAnl,
-                server: isi,
-                rng: cfg.seed.derive("workload.isi-anl"),
-                outstanding: None,
-            },
-        ],
+            })
+            .collect(),
         submit_errors: 0,
         retries: 0,
         failed_transfers: 0,
     }));
 
-    let probe_ids = if cfg.probes {
-        let lbl_probe = engine.add_agent(Box::new(ProbeAgent::new(ProbeConfig::paper_default(
-            lbl, anl,
-        ))));
-        let isi_probe = engine.add_agent(Box::new(ProbeAgent::new(ProbeConfig::paper_default(
-            isi, anl,
-        ))));
-        Some((lbl_probe, isi_probe))
+    let probe_ids: Vec<(Pair, _)> = if cfg.probes {
+        cfg.pairs
+            .iter()
+            .map(|&pair| {
+                (
+                    pair,
+                    engine.add_agent(Box::new(ProbeAgent::new(ProbeConfig::paper_default(
+                        server_of(pair),
+                        anl,
+                    )))),
+                )
+            })
+            .collect()
     } else {
-        None
+        Vec::new()
     };
 
+    // The campaign span brackets the whole simulated horizon; transfer
+    // and engine spans emitted during the run nest inside it.
+    cfg.obs.span_enter(names::CAMPAIGN_RUN, 0);
     engine.run_until(SimTime::ZERO + cfg.duration);
+    cfg.obs
+        .span_exit(names::CAMPAIGN_RUN, cfg.duration.as_micros());
 
-    let (lbl_probes, isi_probes) = match probe_ids {
-        Some((l, i)) => (
-            engine
-                .agent::<ProbeAgent>(l)
-                .expect("probe agent")
-                .measurements()
-                .to_vec(),
-            engine
-                .agent::<ProbeAgent>(i)
-                .expect("probe agent")
-                .measurements()
-                .to_vec(),
-        ),
-        None => (Vec::new(), Vec::new()),
+    let probes_of = |want: Pair| -> Vec<ProbeMeasurement> {
+        probe_ids
+            .iter()
+            .find(|&&(pair, _)| pair == want)
+            .map(|&(_, id)| {
+                engine
+                    .agent::<ProbeAgent>(id)
+                    .expect("probe agent")
+                    .measurements()
+                    .to_vec()
+            })
+            .unwrap_or_default()
     };
+    let (lbl_probes, isi_probes) = (probes_of(Pair::LblAnl), probes_of(Pair::IsiAnl));
 
     let agent = engine
         .agent::<CampaignAgent>(agent_id)
         .expect("campaign agent");
-    debug_assert!(agent.pairs[0].pair == Pair::LblAnl);
-    let mut lbl_log = agent.mgr.server_log(lbl).expect("lbl server").clone();
-    let mut isi_log = agent.mgr.server_log(isi).expect("isi server").clone();
+    debug_assert!(agent
+        .pairs
+        .iter()
+        .map(|p| p.pair)
+        .eq(cfg.pairs.iter().copied()));
+    let mut lbl_log = agent.mgr.server_log(lbl).cloned().unwrap_or_default();
+    let mut isi_log = agent.mgr.server_log(isi).cloned().unwrap_or_default();
     let (mut lbl_salvage, mut isi_salvage) = (None, None);
     if let Some(rate) = cfg.chaos {
         // Damage is decorrelated per pair but still a pure function of the
@@ -421,6 +546,23 @@ pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult
         isi_log = log;
         isi_salvage = Some(report);
     }
+    if cfg.obs.is_enabled() {
+        cfg.obs.inc_by(
+            names::CAMPAIGN_TRANSFERS,
+            (lbl_log.len() + isi_log.len()) as u64,
+        );
+        cfg.obs
+            .gauge(names::CAMPAIGN_FAULT_EVENTS, fault_events as f64);
+        for report in [&lbl_salvage, &isi_salvage].into_iter().flatten() {
+            cfg.obs
+                .inc_by(names::CAMPAIGN_SALVAGE_KEPT, report.kept as u64);
+            cfg.obs.inc_by(
+                names::CAMPAIGN_SALVAGE_QUARANTINED,
+                report.quarantined.len() as u64,
+            );
+        }
+    }
+    let metrics = cfg.obs.is_enabled().then(|| cfg.obs.snapshot());
     CampaignResult {
         epoch_unix: cfg.epoch_unix,
         lbl_log,
@@ -433,6 +575,7 @@ pub fn run_campaign_on(cfg: &CampaignConfig, testbed: Testbed) -> CampaignResult
         failed_transfers: agent.failed_transfers,
         lbl_salvage,
         isi_salvage,
+        metrics,
     }
 }
 
@@ -451,6 +594,8 @@ mod tests {
             faults: FaultConfig::none(),
             retry: None,
             chaos: None,
+            pairs: Pair::ALL.to_vec(),
+            obs: ObsSink::disabled(),
         }
     }
 
@@ -651,5 +796,85 @@ mod tests {
         assert_eq!(aug.epoch_unix, 996_642_000);
         assert_eq!(dec.epoch_unix, 1_007_186_400);
         assert_ne!(aug.seed.0, dec.seed.0, "campaign seeds must decorrelate");
+    }
+
+    #[test]
+    fn builder_matches_presets() {
+        // The presets are now thin builder wrappers; the builder's defaults
+        // must reproduce them field for field.
+        let aug = CampaignConfig::builder(7).build();
+        assert_eq!(aug.seed, CampaignConfig::august(7).seed);
+        assert_eq!(aug.epoch_unix, CampaignConfig::august(7).epoch_unix);
+        assert_eq!(aug.duration, CampaignConfig::august(7).duration);
+        let dec = CampaignConfig::builder(7).december().build();
+        assert_eq!(dec.seed, CampaignConfig::december(7).seed);
+        assert_eq!(dec.epoch_unix, CampaignConfig::december(7).epoch_unix);
+    }
+
+    #[test]
+    fn builder_campaign_equals_struct_campaign() {
+        let built = run_campaign(
+            &CampaignConfig::builder(42)
+                .duration_days(1)
+                .probes(false)
+                .build(),
+        );
+        let structed = run_campaign(&short_config(1, false));
+        assert_eq!(built.lbl_log, structed.lbl_log);
+        assert_eq!(built.isi_log, structed.isi_log);
+    }
+
+    #[test]
+    fn pair_set_restricts_workload_and_probes() {
+        let cfg = CampaignConfig::builder(42)
+            .duration_days(1)
+            .probes(true)
+            .pair_set(&[Pair::LblAnl])
+            .build();
+        let r = run_campaign(&cfg);
+        assert!(r.lbl_log.len() > 5);
+        assert_eq!(r.isi_log.len(), 0, "unselected pair must stay silent");
+        assert!(!r.lbl_probes.is_empty());
+        assert!(r.isi_probes.is_empty());
+    }
+
+    #[test]
+    fn disabled_obs_yields_no_metrics() {
+        let r = short_campaign(1, false);
+        assert!(r.metrics.is_none());
+    }
+
+    #[test]
+    fn enabled_obs_snapshot_counts_transfers() {
+        let cfg = CampaignConfig {
+            obs: ObsSink::enabled(),
+            ..short_config(1, false)
+        };
+        let r = run_campaign(&cfg);
+        let snap = r.metrics.as_ref().expect("obs enabled");
+        assert_eq!(
+            snap.counter(names::CAMPAIGN_TRANSFERS),
+            (r.lbl_log.len() + r.isi_log.len()) as u64
+        );
+        // The campaign span brackets the run exactly once, for the whole
+        // simulated horizon.
+        let span = snap.histogram(names::CAMPAIGN_RUN).expect("campaign span");
+        assert_eq!(span.count, 1);
+        assert_eq!(span.sum, cfg.duration.as_micros());
+        // Engine and transfer spans fired inside it.
+        assert!(snap.counter(names::SIMNET_ENGINE_EVENTS) > 0);
+    }
+
+    #[test]
+    fn obs_campaign_log_identical_to_disabled() {
+        // Observability must be read-only: enabling the sink cannot perturb
+        // the simulation.
+        let with_obs = run_campaign(&CampaignConfig {
+            obs: ObsSink::enabled(),
+            ..short_config(1, false)
+        });
+        let without = run_campaign(&short_config(1, false));
+        assert_eq!(with_obs.lbl_log, without.lbl_log);
+        assert_eq!(with_obs.isi_log, without.isi_log);
     }
 }

@@ -102,11 +102,11 @@ pub struct ErrorCell {
 /// per-class figures).
 pub fn fig08_11(result: &CampaignResult, pair: Pair, class: SizeClass) -> Vec<ErrorCell> {
     let obs = observation_series(result, pair);
-    let suite = paper_suite(true);
-    let reports = evaluate_incremental(&obs, &suite, EvalOptions::default());
+    let eval = Evaluation::builder().suite(paper_suite(true)).build();
+    let reports = eval.run(&obs);
     reports
         .iter()
-        .zip(&suite)
+        .zip(eval.predictors())
         .map(|(r, p)| ErrorCell {
             predictor: p.base_name().to_string(),
             mape: r.mape_for_class(class),
@@ -130,13 +130,16 @@ pub struct ClassificationCell {
 /// Compute Figures 12–13 for one pair.
 pub fn fig12_13(result: &CampaignResult, pair: Pair) -> Vec<ClassificationCell> {
     let obs = observation_series(result, pair);
-    let unclassified = evaluate_incremental(&obs, &paper_suite(false), EvalOptions::default());
-    let classified_suite = paper_suite(true);
-    let classified = evaluate_incremental(&obs, &classified_suite, EvalOptions::default());
+    let unclassified = Evaluation::builder()
+        .suite(paper_suite(false))
+        .build()
+        .run(&obs);
+    let classified_eval = Evaluation::builder().suite(paper_suite(true)).build();
+    let classified = classified_eval.run(&obs);
     unclassified
         .iter()
         .zip(classified.iter())
-        .zip(&classified_suite)
+        .zip(classified_eval.predictors())
         .map(|((u, c), p)| ClassificationCell {
             predictor: p.base_name().to_string(),
             unclassified: u.mape(),

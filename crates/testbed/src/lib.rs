@@ -19,7 +19,9 @@ pub mod report;
 pub mod sites;
 pub mod workload;
 
-pub use campaign::{run_campaign, run_campaign_on, CampaignConfig, CampaignResult, Pair};
+pub use campaign::{
+    run_campaign, run_campaign_on, CampaignBuilder, CampaignConfig, CampaignResult, Pair,
+};
 pub use figures::{
     fig01_02, fig07, fig08_11, fig12_13, fig14_21, observation_series, summary, ErrorCell,
     Fig0102Series, Fig07Counts, SummaryStats,

@@ -1,0 +1,13 @@
+//! Fixture registry with seeded drift for the `obs-names` self-test.
+
+/// Healthy: declared, listed in all(), emitted by bad_obs.rs.
+pub const ENGINE_EVENTS: &str = "simnet.engine.events";
+/// Declared but missing from all(): emissions would fail is_registered.
+pub const ORPHAN_METRIC: &str = "simnet.orphan";
+/// Listed in all() but never emitted anywhere: dead vocabulary.
+pub const DEAD_METRIC: &str = "simnet.dead";
+
+/// The static registry.
+pub fn all() -> &'static [&'static str] {
+    &[ENGINE_EVENTS, DEAD_METRIC]
+}

@@ -1,0 +1,14 @@
+//! Fixture emissions with seeded drift for the `obs-names` self-test.
+
+use wanpred_obs::{names, ObsSink};
+
+pub fn emit(obs: &ObsSink) {
+    // Healthy: a declared constant.
+    obs.inc(names::ENGINE_EVENTS);
+    // Undeclared constant reference.
+    obs.inc(names::TYPO_METRIC);
+    // Raw string that is not registered at all.
+    obs.observe("made.up.metric", 1);
+    // Raw string that shadows a registered name instead of its constant.
+    obs.gauge("simnet.engine.events", 2.0);
+}

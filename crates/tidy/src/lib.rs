@@ -16,6 +16,7 @@
 
 pub mod fix;
 pub mod lexer;
+pub mod obs_check;
 pub mod rules;
 pub mod scan;
 pub mod schema_check;
@@ -52,9 +53,15 @@ impl Finding {
         }
     }
 
-    pub fn cross_file(path: &str, line: usize, message: String, suggestion: &str) -> Self {
+    pub fn cross_file(
+        rule: &str,
+        path: &str,
+        line: usize,
+        message: String,
+        suggestion: &str,
+    ) -> Self {
         Finding {
-            rule: schema_check::rule_id().to_string(),
+            rule: rule.to_string(),
             path: path.to_string(),
             line,
             message,
@@ -216,7 +223,7 @@ pub fn walk_rs_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-fn rel_path(root: &Path, path: &Path) -> String {
+pub(crate) fn rel_path(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
         .components()
@@ -256,6 +263,7 @@ pub fn run_tidy(root: &Path, apply_fix: bool) -> io::Result<Vec<Finding>> {
         findings.extend(file_findings);
     }
     findings.extend(schema_check::check_schema(root));
+    findings.extend(obs_check::check_obs_names(root));
     findings.sort_by(|a, b| {
         (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
     });

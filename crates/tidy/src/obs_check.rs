@@ -1,0 +1,283 @@
+//! Cross-file observability metric-name coherence (rule id `obs-names`).
+//!
+//! The obs layer only works as a *static* registry: every metric a crate
+//! emits must be a constant declared in `crates/obs/src/names.rs`, and
+//! every declared constant must be listed in `names::all()` (otherwise
+//! `ObsSink`'s `is_registered` debug assertion rejects it at run time) and
+//! actually emitted somewhere (otherwise it is dead vocabulary that pads
+//! dashboards and diffs). This check enforces all three directions
+//! lexically, on comment- and test-stripped source:
+//!
+//! 1. an emission call (`.inc(` / `.inc_by(` / `.observe(` /
+//!    `.observe_many(` / `.gauge(` / `.span_enter(` / `.span_exit(`) on a
+//!    receiver ending in `obs` whose first argument is a `names::IDENT`
+//!    must reference a declared constant;
+//! 2. an emission whose first argument is a string literal is flagged
+//!    unless the literal is itself a registered name — and even then the
+//!    constant is the canonical spelling;
+//! 3. every declared constant must appear in `all()` and be referenced by
+//!    at least one non-test source file outside `names.rs`.
+//!
+//! Identifier arguments that are not `names::`-qualified (locals, fn
+//! parameters) are skipped as dynamic; the run-time debug assertion still
+//! covers them.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use crate::scan::{scan_source, ScannedFile};
+use crate::schema_check::span_text;
+use crate::{walk_rs_files, Finding};
+
+const RULE: &str = "obs-names";
+const NAMES_REL: &str = "crates/obs/src/names.rs";
+const EMIT_MARKERS: &[&str] = &[
+    ".inc(",
+    ".inc_by(",
+    ".observe(",
+    ".observe_many(",
+    ".gauge(",
+    ".span_enter(",
+    ".span_exit(",
+];
+
+/// Run the coherence check against the workspace at `root`. Trees without
+/// the names registry (fixture subsets) are skipped entirely.
+pub fn check_obs_names(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Ok(names_src) = fs::read_to_string(root.join(NAMES_REL)) else {
+        return findings;
+    };
+    let names = scan_source(&names_src);
+    let consts = name_consts(&names);
+    let declared_idents: BTreeSet<&str> = consts.iter().map(|c| c.ident.as_str()).collect();
+    let declared_values: BTreeSet<&str> = consts.iter().map(|c| c.value.as_str()).collect();
+
+    // Direction 3a: every constant is in the `all()` registry.
+    if let Some(all_text) = span_text(&names, "pub fn all(") {
+        for c in &consts {
+            if !all_text.contains(&c.ident) {
+                findings.push(Finding::cross_file(
+                    RULE,
+                    NAMES_REL,
+                    c.line,
+                    format!(
+                        "metric `{}` is declared but missing from names::all(), so \
+                         is_registered() rejects its emissions",
+                        c.ident
+                    ),
+                    "add the constant to the all() slice",
+                ));
+            }
+        }
+    }
+
+    // Directions 1, 2, 3b: walk every non-test source file once.
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    let Ok(files) = walk_rs_files(&root.join("crates")) else {
+        return findings;
+    };
+    for path in files {
+        let rel = crate::rel_path(root, &path);
+        if rel == NAMES_REL || rel.split('/').any(|p| p == "tests") {
+            continue;
+        }
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let scanned = scan_source(&src);
+        for c in &consts {
+            if ident_referenced(&scanned, &c.ident) {
+                referenced.insert(c.ident.clone());
+            }
+        }
+        check_emissions(
+            &rel,
+            &scanned,
+            &declared_idents,
+            &declared_values,
+            &mut findings,
+        );
+    }
+    for c in &consts {
+        if !referenced.contains(&c.ident) {
+            findings.push(Finding::cross_file(
+                RULE,
+                NAMES_REL,
+                c.line,
+                format!("metric `{}` is registered but never emitted", c.ident),
+                "emit it from the instrumented crate or delete the constant",
+            ));
+        }
+    }
+    findings
+}
+
+/// One `pub const IDENT: &str = "value";` declaration in `names.rs`.
+struct NameConst {
+    ident: String,
+    value: String,
+    line: usize,
+}
+
+fn name_consts(scanned: &ScannedFile) -> Vec<NameConst> {
+    let mut out = Vec::new();
+    for (i, l) in scanned.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let code = l.code_with_strings.trim_start();
+        let Some(rest) = code.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some((ident, after)) = rest.split_once(':') else {
+            continue;
+        };
+        if !after.contains("str") {
+            continue;
+        }
+        let Some(open) = after.find('"') else {
+            continue;
+        };
+        let lit = &after[open + 1..];
+        let Some(close) = lit.find('"') else { continue };
+        out.push(NameConst {
+            ident: ident.trim().to_string(),
+            value: lit[..close].to_string(),
+            line: i + 1,
+        });
+    }
+    out
+}
+
+/// Whether `ident` occurs as a standalone token in non-test code.
+fn ident_referenced(scanned: &ScannedFile, ident: &str) -> bool {
+    scanned.lines.iter().any(|l| {
+        !l.in_test
+            && l.code
+                .match_indices(ident)
+                .any(|(pos, _)| token_boundaries(&l.code, pos, ident.len()))
+    })
+}
+
+fn token_boundaries(code: &str, pos: usize, len: usize) -> bool {
+    let before = code[..pos].chars().next_back();
+    let after = code[pos + len..].chars().next();
+    let is_word = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    !before.is_some_and(is_word) && !after.is_some_and(is_word)
+}
+
+/// Flag emission calls with unknown `names::` idents or raw string names.
+fn check_emissions(
+    rel: &str,
+    scanned: &ScannedFile,
+    declared_idents: &BTreeSet<&str>,
+    declared_values: &BTreeSet<&str>,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, l) in scanned.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let code = &l.code_with_strings;
+        for marker in EMIT_MARKERS {
+            for (pos, _) in code.match_indices(marker) {
+                if !receiver_is_obs(code, pos) {
+                    continue;
+                }
+                let arg = code[pos + marker.len()..].trim_start();
+                if let Some(ident) = arg.strip_prefix("names::") {
+                    let ident: String = ident
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if !declared_idents.contains(ident.as_str()) {
+                        findings.push(Finding::cross_file(
+                            RULE,
+                            rel,
+                            i + 1,
+                            format!("emission references undeclared metric `names::{ident}`"),
+                            "declare the constant in crates/obs/src/names.rs and list it in all()",
+                        ));
+                    }
+                } else if let Some(lit) = arg.strip_prefix('"') {
+                    if let Some(end) = lit.find('"') {
+                        let value = &lit[..end];
+                        let msg = if declared_values.contains(value) {
+                            format!(
+                                "emission spells metric `{value}` as a string literal instead \
+                                 of its names:: constant"
+                            )
+                        } else {
+                            format!("emission uses unregistered metric name `{value}`")
+                        };
+                        findings.push(Finding::cross_file(
+                            RULE,
+                            rel,
+                            i + 1,
+                            msg,
+                            "emit through the names:: constant so the registry stays coherent",
+                        ));
+                    }
+                }
+                // Anything else (a local, a parameter) is dynamic; the
+                // sink's debug assertion covers it at run time.
+            }
+        }
+    }
+}
+
+/// Whether the dotted receiver chain ending at `pos` ends in an `obs`
+/// path segment (`obs.`, `self.obs.`, `cfg.obs.`, ...). This is what
+/// keeps `snap.gauge(..)` (snapshot accessor) out of scope.
+fn receiver_is_obs(code: &str, pos: usize) -> bool {
+    let recv: String = code[..pos]
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    recv.rsplit('.').next().is_some_and(|seg| seg == "obs")
+}
+
+pub fn rule_id() -> &'static str {
+    RULE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiver_detection() {
+        assert!(receiver_is_obs("self.obs.inc(", "self.obs".len()));
+        assert!(receiver_is_obs("cfg.obs.span_enter(", "cfg.obs".len()));
+        assert!(receiver_is_obs("    obs.gauge(", "    obs".len()));
+        assert!(!receiver_is_obs("snap.gauge(", "snap".len()));
+        assert!(!receiver_is_obs(
+            "self.observer.inc(",
+            "self.observer".len()
+        ));
+    }
+
+    #[test]
+    fn const_extraction_reads_ident_value_and_line() {
+        let src = "/// doc\npub const A_B: &str = \"a.b\";\npub const C: &str = \"c.d\";\n";
+        let consts = name_consts(&scan_source(src));
+        assert_eq!(consts.len(), 2);
+        assert_eq!(consts[0].ident, "A_B");
+        assert_eq!(consts[0].value, "a.b");
+        assert_eq!(consts[0].line, 2);
+    }
+
+    #[test]
+    fn token_boundary_rejects_substrings() {
+        let s = scan_source("use names::CAMPAIGN_RUN_EXTENDED;\n");
+        assert!(!ident_referenced(&s, "CAMPAIGN_RUN"));
+        let s = scan_source("obs.inc(names::CAMPAIGN_RUN);\n");
+        assert!(ident_referenced(&s, "CAMPAIGN_RUN"));
+    }
+}

@@ -50,7 +50,7 @@ pub const SIM_CRATES: &[&str] = &["simnet", "gridftp", "testbed", "replica", "pr
 /// itself out of scope to avoid self-reference.
 pub const LIB_CRATES: &[&str] = &[
     "simnet", "gridftp", "testbed", "replica", "predict", "nws", "core", "infod", "logfmt",
-    "storage",
+    "storage", "obs",
 ];
 
 pub fn rules() -> Vec<LintRule> {
@@ -122,6 +122,7 @@ pub fn rules() -> Vec<LintRule> {
 pub fn known_rule_ids() -> Vec<&'static str> {
     let mut ids: Vec<&'static str> = rules().iter().map(|r| r.id).collect();
     ids.push("ulm-schema");
+    ids.push("obs-names");
     ids
 }
 

@@ -70,6 +70,7 @@ fn check_ulm_keys(root: &Path, findings: &mut Vec<Finding>) {
         if let Some(e) = &encode {
             if !e.contains(&reference) {
                 findings.push(Finding::cross_file(
+                    RULE,
                     &rel,
                     line,
                     format!(
@@ -82,6 +83,7 @@ fn check_ulm_keys(root: &Path, findings: &mut Vec<Finding>) {
         if let Some(d) = &decode {
             if !d.contains(&reference) {
                 findings.push(Finding::cross_file(
+                    RULE,
                     &rel,
                     line,
                     format!("ULM keyword `{name}` is emitted but never parsed back by `decode`"),
@@ -124,6 +126,7 @@ fn check_ldap_attrs(root: &Path, findings: &mut Vec<Finding>) {
                 emitted.insert(attr.clone());
                 if !declared.contains(&attr) {
                     findings.push(Finding::cross_file(
+                        RULE,
                         &rel,
                         find_line(&scanned, &attr),
                         format!(
@@ -140,6 +143,7 @@ fn check_ldap_attrs(root: &Path, findings: &mut Vec<Finding>) {
         for attr in &perf_declared {
             if !emitted.contains(attr) {
                 findings.push(Finding::cross_file(
+                    RULE,
                     &schema_rel,
                     find_line(&schema, attr),
                     format!("schema declares attribute `{attr}` that the provider never emits"),
@@ -155,6 +159,7 @@ fn check_ldap_attrs(root: &Path, findings: &mut Vec<Finding>) {
         for attr in string_literals(&text) {
             if is_candidate_attr(&attr) && !declared.contains(&attr) {
                 findings.push(Finding::cross_file(
+                    RULE,
                     &rel,
                     find_line(&broker, &attr),
                     format!(
@@ -188,7 +193,7 @@ fn span_lines(scanned: &ScannedFile, marker: &str) -> Option<(usize, usize)> {
     Some((start, scanned.lines.len()))
 }
 
-fn span_text(scanned: &ScannedFile, marker: &str) -> Option<String> {
+pub(crate) fn span_text(scanned: &ScannedFile, marker: &str) -> Option<String> {
     let (a, b) = span_lines(scanned, marker)?;
     let mut out = String::new();
     for l in &scanned.lines[a..b] {

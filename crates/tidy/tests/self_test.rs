@@ -25,6 +25,7 @@ const ALL_RULES: &[&str] = &[
     "fs-direct",
     "pragma",
     "ulm-schema",
+    "obs-names",
 ];
 
 #[test]
@@ -59,6 +60,36 @@ fn schema_drift_findings_name_the_drifted_attributes() {
     assert!(messages
         .iter()
         .any(|m| m.contains("`predictrdbandwidth`") && m.contains("broker")));
+}
+
+#[test]
+fn obs_name_drift_findings_name_the_drifted_metrics() {
+    let findings = tidy::obs_check::check_obs_names(&fixture("bad_tree"));
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    // Declared constant absent from the all() registry.
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`ORPHAN_METRIC`") && m.contains("missing from names::all()")));
+    // Registered constant no emission site references.
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`DEAD_METRIC`") && m.contains("never emitted")));
+    // Emission of an undeclared constant.
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`names::TYPO_METRIC`") && m.contains("undeclared")));
+    // Emission through a raw unregistered string.
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`made.up.metric`") && m.contains("unregistered")));
+    // Emission through a string that shadows a registered constant.
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`simnet.engine.events`") && m.contains("string literal")));
+    // The healthy emission produced no finding.
+    assert!(!messages
+        .iter()
+        .any(|m| m.contains("`ENGINE_EVENTS`") && m.contains("undeclared")));
 }
 
 #[test]

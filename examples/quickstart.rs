@@ -27,7 +27,9 @@ fn main() {
         );
 
         // Evaluate the full suite (15 predictors x {plain, classified}).
-        let (reports, suite) = evaluate_log(log, EvalOptions::default());
+        let eval = Evaluation::builder().build();
+        let reports = eval.run_log(log);
+        let suite = eval.predictors();
 
         let mut table = Table::new(format!("{} mean absolute % error", pair.label())).headers([
             "predictor",

@@ -18,7 +18,7 @@ fn base_config(days: u64) -> CampaignConfig {
 
 /// Suite MAPEs keyed by predictor name.
 fn mapes(log: &TransferLog) -> Vec<(String, Option<f64>)> {
-    let (reports, _) = evaluate_log(log, EvalOptions::default());
+    let reports = Evaluation::builder().build().run_log(log);
     reports
         .into_iter()
         .map(|r| {

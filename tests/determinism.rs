@@ -36,8 +36,8 @@ fn identical_seeds_identical_everything() {
         assert_eq!(x, y);
     }
     // And therefore identical evaluation results.
-    let (ra, _) = evaluate_log(&a.lbl_log, EvalOptions::default());
-    let (rb, _) = evaluate_log(&b.lbl_log, EvalOptions::default());
+    let ra = Evaluation::builder().build().run_log(&a.lbl_log);
+    let rb = Evaluation::builder().build().run_log(&b.lbl_log);
     for (x, y) in ra.iter().zip(&rb) {
         assert_eq!(x.mape(), y.mape(), "{}", x.name);
     }
@@ -146,8 +146,10 @@ fn paper_suite_evaluation_is_pure() {
     let r = run(11, 2);
     let obs = wanpred_core::testbed::observation_series(&r, Pair::IsiAnl);
     let suite = full_suite();
-    let e1 = evaluate(&obs, &suite, EvalOptions::default());
-    let e2 = evaluate(&obs, &suite, EvalOptions::default());
+    let opts = EvalOptions::default();
+    let sink = ObsSink::disabled();
+    let e1 = Evaluation::replay(&obs, &suite, EvalEngine::Naive, opts, &sink);
+    let e2 = Evaluation::replay(&obs, &suite, EvalEngine::Naive, opts, &sink);
     for (a, b) in e1.iter().zip(&e2) {
         assert_eq!(a.outcomes.len(), b.outcomes.len());
         assert_eq!(a.mape(), b.mape());

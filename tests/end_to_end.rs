@@ -30,7 +30,7 @@ fn logs_survive_ulm_disk_roundtrip_and_still_predict() {
     let loaded = TransferLog::load_ulm(&path).unwrap();
     assert_eq!(loaded.len(), result.log(Pair::LblAnl).len());
 
-    let (reports, _) = evaluate_log(&loaded, EvalOptions::default());
+    let reports = Evaluation::builder().build().run_log(&loaded);
     let answered: usize = reports.iter().map(|r| r.outcomes.len()).sum();
     assert!(answered > 0, "predictors ran on reloaded log");
     std::fs::remove_file(&path).ok();

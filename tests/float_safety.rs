@@ -32,8 +32,9 @@ fn log_with_nan(n: usize) -> TransferLog {
 #[test]
 fn evaluate_log_survives_a_nan_observation() {
     let log = log_with_nan(40);
-    let (reports, suite) = evaluate_log(&log, EvalOptions::default());
-    assert_eq!(reports.len(), suite.len());
+    let eval = Evaluation::builder().build();
+    let reports = eval.run_log(&log);
+    assert_eq!(reports.len(), eval.predictors().len());
     assert!(!reports.is_empty());
     // The evaluation saw targets on both sides of the NaN record.
     assert!(reports.iter().any(|r| !r.outcomes.is_empty()));

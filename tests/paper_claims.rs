@@ -134,8 +134,10 @@ fn ar_models_do_not_beat_simple_means() {
     let (_, r) = august();
     for pair in Pair::ALL {
         let obs = observation_series(&r, pair);
-        let suite = paper_suite(true);
-        let reports = evaluate(&obs, &suite, EvalOptions::default());
+        let reports = Evaluation::builder()
+            .suite(paper_suite(true))
+            .build()
+            .run(&obs);
         let mape_of = |name: &str| {
             reports
                 .iter()
@@ -159,8 +161,10 @@ fn windowing_shows_no_decisive_advantage() {
     // frames" (controlled workload).
     let (_, r) = august();
     let obs = observation_series(&r, Pair::LblAnl);
-    let suite = paper_suite(true);
-    let reports = evaluate(&obs, &suite, EvalOptions::default());
+    let reports = Evaluation::builder()
+        .suite(paper_suite(true))
+        .build()
+        .run(&obs);
     let mape_of = |name: &str| {
         reports
             .iter()
