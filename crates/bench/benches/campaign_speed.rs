@@ -54,6 +54,8 @@ fn replay_log(n: usize) -> Vec<Observation> {
                 at_unix: t,
                 bandwidth_kbs: 3_500.0 + 2_000.0 * ((i as f64 * 0.31).sin()),
                 file_size: [5, 100, 500, 900][i % 4] * PAPER_MB,
+                streams: 1,
+                tcp_buffer: 0,
             }
         })
         .collect()

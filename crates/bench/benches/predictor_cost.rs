@@ -12,6 +12,8 @@ fn history(n: usize) -> Vec<Observation> {
             at_unix: 1_000_000 + i as u64 * 1_800,
             bandwidth_kbs: 4_000.0 + 2_500.0 * ((i as f64 * 0.7).sin()),
             file_size: [1, 10, 100, 500, 1000][i % 5] * PAPER_MB,
+            streams: 1,
+            tcp_buffer: 0,
         })
         .collect()
 }

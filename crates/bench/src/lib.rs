@@ -22,6 +22,7 @@
 //! | `ablation_replica_gain` | broker vs baseline policies |
 //! | `ablation_faults` | predictor accuracy on clean vs faulty logs |
 //! | `ablation_salvage` | salvaged-log accuracy across corruption rates |
+//! | `ablation_tournament` | online tournament vs best fixed predictor |
 //!
 //! Run any of them with
 //! `cargo run --release -p wanpred-bench --bin <name> [-- args]`.

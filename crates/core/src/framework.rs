@@ -17,7 +17,6 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use wanpred_infod::{Dn, Giis, GridFtpPerfProvider, Gris, ProviderConfig, Registration};
 use wanpred_logfmt::TransferLog;
-use wanpred_predict::prelude::*;
 use wanpred_replica::{
     Broker, GiisPerfSource, PhysicalReplica, ReplicaCatalog, ReplicaError, Selection,
     SelectionPolicy,
@@ -132,30 +131,11 @@ impl PredictiveFramework {
     }
 }
 
-/// One-call helper: evaluate the paper's full 30-predictor suite over a
-/// transfer log and return `(reports, suite)` for inspection.
-///
-/// Uses the incremental replay engine: standard predictor families walk
-/// the log once with rolling state, custom predictors transparently fall
-/// back to the naive slice-based replay, and the reports are numerically
-/// identical either way.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Evaluation::builder().options(opts).build()` then `run_log` / `into_predictors`"
-)]
-pub fn evaluate_log(
-    log: &TransferLog,
-    opts: EvalOptions,
-) -> (Vec<PredictorReport>, Vec<NamedPredictor>) {
-    let eval = Evaluation::builder().options(opts).build();
-    let reports = eval.run_log(log);
-    (reports, eval.into_predictors())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use wanpred_logfmt::{Operation, TransferRecordBuilder};
+    use wanpred_predict::prelude::*;
 
     fn log_at(host: &str, kbs: f64, n: usize) -> TransferLog {
         let mut log = TransferLog::new();
@@ -250,40 +230,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn evaluate_log_runs_the_thirty_suite() {
+    fn default_evaluation_runs_the_thirty_suite() {
         let log = log_at("h", 5_000.0, 40);
-        let (reports, suite) = evaluate_log(&log, EvalOptions::default());
+        let eval = Evaluation::builder().build();
+        let reports = eval.run_log(&log);
+        assert_eq!(eval.predictors().len(), 30);
         assert_eq!(reports.len(), 30);
-        assert_eq!(suite.len(), 30);
         // Constant series: every answering predictor is exact.
         for r in &reports {
             if let Some(m) = r.mape() {
                 assert!(m < 1e-9, "{} {m}", r.name);
-            }
-        }
-    }
-
-    /// The deprecated shim must be behaviour-identical to the unified
-    /// API it delegates to (old-vs-new differential).
-    #[test]
-    #[allow(deprecated)]
-    fn evaluate_log_matches_unified_evaluation() {
-        let log = log_at("h", 4_200.0, 35);
-        let (old_reports, old_suite) = evaluate_log(&log, EvalOptions { training: 12 });
-        let eval = Evaluation::builder()
-            .options(EvalOptions { training: 12 })
-            .build();
-        let new_reports = eval.run_log(&log);
-        assert_eq!(old_suite.len(), eval.predictors().len());
-        assert_eq!(old_reports.len(), new_reports.len());
-        for (o, n) in old_reports.iter().zip(&new_reports) {
-            assert_eq!(o.name, n.name);
-            assert_eq!(o.declined, n.declined);
-            assert_eq!(o.outcomes.len(), n.outcomes.len());
-            for (a, b) in o.outcomes.iter().zip(&n.outcomes) {
-                assert_eq!(a.at_unix, b.at_unix);
-                assert_eq!(a.predicted, b.predicted, "{}", o.name);
             }
         }
     }

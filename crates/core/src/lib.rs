@@ -53,8 +53,6 @@
 
 pub mod framework;
 
-#[allow(deprecated)]
-pub use framework::evaluate_log;
 pub use framework::{PredictiveFramework, DEFAULT_REGISTRATION_TTL};
 
 pub use wanpred_gridftp as gridftp;
@@ -70,8 +68,6 @@ pub use wanpred_testbed as testbed;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use crate::framework::evaluate_log;
     pub use crate::framework::PredictiveFramework;
     pub use wanpred_gridftp::{
         CompletedTransfer, ServerConfig, TransferKind, TransferManager, TransferRequest,

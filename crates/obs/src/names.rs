@@ -57,6 +57,12 @@ pub const PREDICT_EVAL_PREDICTORS: &str = "predict.eval.predictors";
 /// Span: one evaluation replay, keyed by the observation series' own
 /// time range (first to last observation timestamp).
 pub const PREDICT_EVAL_REPLAY: &str = "predict.eval.replay";
+/// Predictions served by a tournament meta-predictor replay.
+pub const PREDICT_TOURNAMENT_PREDICTIONS: &str = "predict.tournament.predictions";
+/// Tournament leadership changes (the initial takeover is not counted).
+pub const PREDICT_TOURNAMENT_SWITCHES: &str = "predict.tournament.switches";
+/// Gauge: candidates racing in a tournament.
+pub const PREDICT_TOURNAMENT_CANDIDATES: &str = "predict.tournament.candidates";
 
 /// GRIS provider refreshes that succeeded.
 pub const INFOD_GRIS_REFRESH_OK: &str = "infod.gris.refresh_ok";
@@ -83,6 +89,8 @@ pub const INFOD_GIIS_SEARCHES: &str = "infod.giis.searches";
 pub const REPLICA_BROKER_SELECTIONS: &str = "replica.broker.selections";
 /// Selections that fell below the Predicted rung (degraded answers).
 pub const REPLICA_BROKER_DEGRADED: &str = "replica.broker.degraded";
+/// Estimates served from the per-pair tournament meta-predictor rung.
+pub const REPLICA_BROKER_RUNG_TOURNAMENT: &str = "replica.broker.rung_tournament";
 /// Estimates served from the per-size-class prediction rung.
 pub const REPLICA_BROKER_RUNG_SIZE_CLASS: &str = "replica.broker.rung_size_class";
 /// Estimates served from the overall prediction rung.
@@ -138,6 +146,9 @@ pub fn all() -> &'static [&'static str] {
         PREDICT_EVAL_DECLINED,
         PREDICT_EVAL_PREDICTORS,
         PREDICT_EVAL_REPLAY,
+        PREDICT_TOURNAMENT_PREDICTIONS,
+        PREDICT_TOURNAMENT_SWITCHES,
+        PREDICT_TOURNAMENT_CANDIDATES,
         INFOD_GRIS_REFRESH_OK,
         INFOD_GRIS_REFRESH_FAIL,
         INFOD_GRIS_CACHE_HITS,
@@ -150,6 +161,7 @@ pub fn all() -> &'static [&'static str] {
         INFOD_GIIS_SEARCHES,
         REPLICA_BROKER_SELECTIONS,
         REPLICA_BROKER_DEGRADED,
+        REPLICA_BROKER_RUNG_TOURNAMENT,
         REPLICA_BROKER_RUNG_SIZE_CLASS,
         REPLICA_BROKER_RUNG_OVERALL,
         REPLICA_BROKER_RUNG_PROBE,

@@ -64,19 +64,17 @@ impl Predictor for ArPredictor {
 
     fn predict(&self, history: &[Observation], now: u64) -> Option<f64> {
         let sel = self.window.select(history, now);
-        if sel.is_empty() {
-            return None;
-        }
-        match self.fit(history, now) {
-            Some((a, b)) => {
-                let last = sel.last().expect("non-empty").bandwidth_kbs;
+        match (self.fit(history, now), sel.last()) {
+            (Some((a, b)), Some(newest)) => {
                 // Negative bandwidth is physically meaningless; clamp to a
                 // tiny positive floor so percentage errors stay defined.
-                Some((a + b * last).max(1e-6))
+                Some((a + b * newest.bandwidth_kbs).max(1e-6))
             }
             // Small or degenerate sample: fall back to the windowed mean,
-            // as NWS-style systems do rather than refusing to forecast.
-            None => stats::mean(&values(sel)),
+            // as NWS-style systems do rather than refusing to forecast
+            // (`mean` is `None` on an empty window, so the empty case
+            // still declines).
+            _ => stats::mean(&values(sel)),
         }
     }
 

@@ -187,6 +187,8 @@ mod tests {
                 at_unix: i as u64,
                 bandwidth_kbs: 1.0,
                 file_size: size,
+                streams: 1,
+                tcp_buffer: 0,
             })
             .collect();
         assert_eq!(filter_class(&h, SizeClass::C10MB).len(), 2);

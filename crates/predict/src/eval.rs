@@ -133,28 +133,6 @@ impl PredictorReport {
     }
 }
 
-/// Replay `series` through every predictor.
-///
-/// The series must be sorted by `at_unix`; use
-/// [`crate::observation::sort_by_time`] if unsure.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Evaluation::builder().engine(EvalEngine::Naive)` (crate::evaluation) instead"
-)]
-pub fn evaluate(
-    series: &[Observation],
-    predictors: &[NamedPredictor],
-    opts: EvalOptions,
-) -> Vec<PredictorReport> {
-    crate::evaluation::Evaluation::replay(
-        series,
-        predictors,
-        crate::evaluation::EvalEngine::Naive,
-        opts,
-        &wanpred_obs::ObsSink::disabled(),
-    )
-}
-
 /// The naive slice-based replay core: every prediction is derived from
 /// the full history prefix, exactly as §6.2 describes. Entry point for
 /// callers is [`crate::evaluation::Evaluation`] with
@@ -286,10 +264,6 @@ pub fn relative_performance(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated `evaluate` shim is exercised on purpose: these
-    // tests pin the behaviour the shim must keep delegating to.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::classify::PAPER_MB;
     use crate::last::LastValue;
@@ -297,12 +271,28 @@ mod tests {
     use crate::registry::{full_suite, paper_suite, NamedPredictor};
     use crate::window::Window;
 
+    fn evaluate(
+        series: &[Observation],
+        predictors: &[NamedPredictor],
+        opts: EvalOptions,
+    ) -> Vec<PredictorReport> {
+        crate::evaluation::Evaluation::replay(
+            series,
+            predictors,
+            crate::evaluation::EvalEngine::Naive,
+            opts,
+            &wanpred_obs::ObsSink::disabled(),
+        )
+    }
+
     fn flat_series(n: usize, bw: f64) -> Vec<Observation> {
         (0..n)
             .map(|i| Observation {
                 at_unix: 1_000_000 + i as u64 * 600,
                 bandwidth_kbs: bw,
                 file_size: 100 * PAPER_MB,
+                streams: 1,
+                tcp_buffer: 0,
             })
             .collect()
     }
@@ -367,6 +357,8 @@ mod tests {
                     5_000.0 // perfectly stable large transfers
                 },
                 file_size: if small { PAPER_MB } else { 1000 * PAPER_MB },
+                streams: 1,
+                tcp_buffer: 0,
             });
         }
         let preds = paper_suite(true);
@@ -453,6 +445,8 @@ mod tests {
                 at_unix: 1_000 + i as u64,
                 bandwidth_kbs: if i < 25 { 100.0 } else { 900.0 },
                 file_size: 100 * PAPER_MB,
+                streams: 1,
+                tcp_buffer: 0,
             });
         }
         let preds = vec![

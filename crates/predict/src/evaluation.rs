@@ -1,17 +1,14 @@
 //! The unified evaluation front door.
 //!
 //! Historically this crate grew three ways to replay a predictor suite
-//! against a log: [`crate::eval::evaluate`] (the naive slice-based
-//! walk), [`crate::incremental::evaluate_incremental`] (the rolling
-//! fast path), and `wanpred_core::evaluate_log` (log extraction plus
-//! the full suite). They differed only in engine choice and input
-//! preparation, so every caller re-assembled the same plumbing.
-//! [`Evaluation`] collapses them: pick a suite, an engine, options and
-//! an optional [`ObsSink`], then [`run`](Evaluation::run) a series or
-//! [`run_log`](Evaluation::run_log) a whole transfer log. The old
-//! entry points survive as thin deprecated shims over
-//! [`Evaluation::replay`], so their behaviour is identical by
-//! construction.
+//! against a log: a naive slice-based walk (`crate::eval`), a rolling
+//! fast path (`crate::incremental`), and `wanpred_core::evaluate_log`
+//! (log extraction plus the full suite). They differed only in engine
+//! choice and input preparation, so every caller re-assembled the same
+//! plumbing. [`Evaluation`] collapses them: pick a suite, an engine,
+//! options and an optional [`ObsSink`], then [`run`](Evaluation::run)
+//! a series or [`run_log`](Evaluation::run_log) a whole transfer log.
+//! The old free-function entry points have been removed.
 //!
 //! ```
 //! use wanpred_predict::prelude::*;
@@ -21,6 +18,8 @@
 //!         at_unix: 1_000 + i * 600,
 //!         bandwidth_kbs: 4_000.0,
 //!         file_size: 100 * PAPER_MB,
+//! streams: 1,
+//! tcp_buffer: 0,
 //!     })
 //!     .collect();
 //! let eval = Evaluation::builder().suite(paper_suite(false)).build();
@@ -229,6 +228,8 @@ mod tests {
                 at_unix: 1_000 + i as u64 * 300,
                 bandwidth_kbs: 2_000.0 + (i as f64 * 17.3) % 400.0,
                 file_size: 100 * PAPER_MB,
+                streams: 1,
+                tcp_buffer: 0,
             })
             .collect()
     }

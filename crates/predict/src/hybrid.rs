@@ -204,11 +204,7 @@ mod tests {
     }
 
     fn obs(at: u64, bw: f64) -> Observation {
-        Observation {
-            at_unix: at,
-            bandwidth_kbs: bw,
-            file_size: 100 * PAPER_MB,
-        }
+        Observation::new(at, bw, 100 * PAPER_MB)
     }
 
     #[test]
@@ -345,11 +341,15 @@ mod tests {
                 at_unix: i * 100 + 1,
                 bandwidth_kbs: 500.0 + 5_000.0 * p,
                 file_size: 100 * PAPER_MB,
+                streams: 1,
+                tcp_buffer: 0,
             });
             history.push(Observation {
                 at_unix: i * 100 + 2,
                 bandwidth_kbs: 77_777.0,
                 file_size: PAPER_MB,
+                streams: 1,
+                tcp_buffer: 0,
             });
         }
         let reg = ProbeRegression::default();

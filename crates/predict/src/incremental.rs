@@ -25,12 +25,14 @@
 //!   is computed once; classified predictors keep four independent
 //!   per-class states instead of re-filtering the history per call.
 //!
-//! [`evaluate_incremental`] produces reports equivalent to the naive
-//! path (the differential property test in `tests/` holds them to a
-//! 1e-9 relative tolerance; medians and count-window means are exact)
-//! and parallelizes the replay across predictors with rayon. Custom
+//! The engine produces reports equivalent to the naive path (the
+//! differential property test in `tests/` holds them to a 1e-9
+//! relative tolerance; medians and count-window means are exact) and
+//! parallelizes the replay across predictors with rayon. Custom
 //! predictors without a [`PredictorSpec`] transparently fall back to
-//! the slice-based path, so the engine accepts any suite.
+//! the slice-based path, so the engine accepts any suite. Select it
+//! with [`EvalEngine::Incremental`](crate::evaluation::EvalEngine) on
+//! [`Evaluation`](crate::evaluation::Evaluation) (it is the default).
 
 use std::collections::VecDeque;
 
@@ -42,6 +44,7 @@ use crate::eval::{EvalOptions, PredictionOutcome, PredictorReport};
 use crate::observation::Observation;
 use crate::predictor::PredictorSpec;
 use crate::registry::NamedPredictor;
+use crate::regression::{eval_fit, GramAcc, RegKind};
 use crate::window::Window;
 
 /// A sliding-window sum over nonnegative values with O(1) amortized
@@ -117,7 +120,7 @@ impl OlsAcc {
         }
     }
 
-    fn add(self, o: OlsAcc) -> OlsAcc {
+    fn merge(self, o: OlsAcc) -> OlsAcc {
         OlsAcc {
             n: self.n + o.n,
             sx: self.sx + o.sx,
@@ -146,6 +149,43 @@ impl OlsAcc {
     }
 }
 
+/// Two-stack sliding aggregate of [`GramAcc`] entries — the regression
+/// family's windowed Gram matrix, one accumulator per observation, in
+/// the same shape as [`RollingOls`]. Both engines end at the shared
+/// [`GramAcc::fit`], so they agree within floating-point reassociation.
+#[derive(Debug, Clone, Default)]
+struct RollingGram {
+    front: Vec<(GramAcc, GramAcc)>,
+    back: Vec<GramAcc>,
+    back_agg: GramAcc,
+}
+
+impl RollingGram {
+    fn push(&mut self, acc: GramAcc) {
+        self.back.push(acc);
+        self.back_agg = self.back_agg.merge(acc);
+    }
+
+    fn pop_oldest(&mut self) {
+        if self.front.is_empty() {
+            let mut cum = GramAcc::default();
+            for acc in self.back.drain(..).rev() {
+                cum = acc.merge(cum);
+                self.front.push((acc, cum));
+            }
+            self.back_agg = GramAcc::default();
+        }
+        self.front.pop();
+    }
+
+    fn agg(&self) -> GramAcc {
+        match self.front.last() {
+            Some(&(_, cum)) => cum.merge(self.back_agg),
+            None => self.back_agg,
+        }
+    }
+}
+
 /// Two-stack sliding aggregate of [`OlsAcc`] entries.
 #[derive(Debug, Clone, Default)]
 struct RollingOls {
@@ -157,14 +197,14 @@ struct RollingOls {
 impl RollingOls {
     fn push(&mut self, acc: OlsAcc) {
         self.back.push(acc);
-        self.back_agg = self.back_agg.add(acc);
+        self.back_agg = self.back_agg.merge(acc);
     }
 
     fn pop_oldest(&mut self) {
         if self.front.is_empty() {
             let mut cum = OlsAcc::default();
             for acc in self.back.drain(..).rev() {
-                cum = acc.add(cum);
+                cum = acc.merge(cum);
                 self.front.push((acc, cum));
             }
             self.back_agg = OlsAcc::default();
@@ -174,7 +214,7 @@ impl RollingOls {
 
     fn agg(&self) -> OlsAcc {
         match self.front.last() {
-            Some(&(_, cum)) => cum.add(self.back_agg),
+            Some(&(_, cum)) => cum.merge(self.back_agg),
             None => self.back_agg,
         }
     }
@@ -222,6 +262,18 @@ enum StreamState {
     Last {
         last: Option<f64>,
     },
+    Regression {
+        kind: RegKind,
+        window: Window,
+        /// Element-level rolling mean (the degenerate-fit fallback).
+        sum: RollingSum,
+        /// Windowed Gram matrix, one accumulator per observation.
+        gram: RollingGram,
+        /// The in-window observations themselves: eviction times, and
+        /// the newest one supplies the target's tuning covariates
+        /// (streams, buffer) — same rule as the naive path.
+        obs_q: VecDeque<Observation>,
+    },
 }
 
 impl StreamState {
@@ -246,6 +298,13 @@ impl StreamState {
                 last: None,
             },
             PredictorSpec::Last => StreamState::Last { last: None },
+            PredictorSpec::Regression(kind, window) => StreamState::Regression {
+                kind,
+                window,
+                sum: RollingSum::default(),
+                gram: RollingGram::default(),
+                obs_q: VecDeque::new(),
+            },
         }
     }
 
@@ -278,8 +337,9 @@ impl StreamState {
                 sorted.insert(at, v);
                 if let Window::LastN(n) = *window {
                     while vals.len() > n {
-                        let (_, old) = vals.pop_front().expect("non-empty");
-                        remove_sorted(sorted, old);
+                        if let Some((_, old)) = vals.pop_front() {
+                            remove_sorted(sorted, old);
+                        }
                     }
                 }
             }
@@ -312,13 +372,33 @@ impl StreamState {
                 }
             }
             StreamState::Last { last } => *last = Some(v),
+            StreamState::Regression {
+                kind,
+                window,
+                sum,
+                gram,
+                obs_q,
+            } => {
+                sum.push(v);
+                gram.push(GramAcc::of_obs(kind.basis_of_obs(o), v));
+                obs_q.push_back(*o);
+                if let Window::LastN(n) = *window {
+                    while obs_q.len() > n {
+                        sum.pop_oldest();
+                        gram.pop_oldest();
+                        obs_q.pop_front();
+                    }
+                }
+            }
         }
     }
 
-    /// Predict at instant `now`, evicting anything that has aged out of
-    /// a temporal window. `now` must be nondecreasing across calls
-    /// (replay order), which makes front-only eviction sound.
-    fn predict(&mut self, now: u64) -> Option<f64> {
+    /// Predict at instant `now` for a transfer of `target_size` bytes,
+    /// evicting anything that has aged out of a temporal window. `now`
+    /// must be nondecreasing across calls (replay order), which makes
+    /// front-only eviction sound. Only the regression family reads
+    /// `target_size`; the paper's history techniques ignore it.
+    fn predict(&mut self, now: u64, target_size: u64) -> Option<f64> {
         match self {
             StreamState::Mean { window, sum, times } => {
                 if let Window::LastSeconds(secs) = *window {
@@ -341,8 +421,9 @@ impl StreamState {
                 if let Window::LastSeconds(secs) = *window {
                     let cutoff = now.saturating_sub(secs);
                     while vals.front().is_some_and(|&(t, _)| t < cutoff) {
-                        let (_, old) = vals.pop_front().expect("non-empty");
-                        remove_sorted(sorted, old);
+                        if let Some((_, old)) = vals.pop_front() {
+                            remove_sorted(sorted, old);
+                        }
                     }
                 }
                 // The paper's §4.1 convention, same as `stats::median`.
@@ -381,28 +462,58 @@ impl StreamState {
                 } else {
                     None
                 };
-                match fit {
-                    Some((a, b)) => {
-                        let (_, l) = last.expect("count > 0");
-                        Some((a + b * l).max(1e-6))
-                    }
-                    None => Some(sum.sum() / count as f64),
+                // `last` is always `Some` when `count > 0`, but the
+                // mean fallback is a graceful answer either way — no
+                // reason to make that invariant a panic in the hot
+                // path.
+                match (fit, *last) {
+                    (Some((a, b)), Some((_, l))) => Some((a + b * l).max(1e-6)),
+                    _ => Some(sum.sum() / count as f64),
                 }
             }
             StreamState::Last { last } => *last,
+            StreamState::Regression {
+                kind,
+                window,
+                sum,
+                gram,
+                obs_q,
+            } => {
+                if let Window::LastSeconds(secs) = *window {
+                    let cutoff = now.saturating_sub(secs);
+                    while obs_q.front().is_some_and(|o| o.at_unix < cutoff) {
+                        sum.pop_oldest();
+                        gram.pop_oldest();
+                        obs_q.pop_front();
+                    }
+                }
+                let newest = *obs_q.back()?;
+                match gram.agg().fit(kind.dim()) {
+                    Some(coef) => Some(eval_fit(
+                        coef,
+                        kind.basis_of_target(now, target_size, &newest),
+                        kind.dim(),
+                    )),
+                    // Small or degenerate sample: windowed mean, same
+                    // fallback as the naive path and the AR family.
+                    None => Some(sum.sum() / obs_q.len() as f64),
+                }
+            }
         }
     }
 }
 
 /// Remove one occurrence of `v` from a sorted vector. The value is
-/// always present: it was inserted by `observe` and not yet removed.
+/// always present (it was inserted by `observe` and not yet removed);
+/// if that invariant ever broke, removing nothing degrades the order
+/// statistic gracefully instead of panicking the replay.
 fn remove_sorted(sorted: &mut Vec<f64>, v: f64) {
     let at = sorted.partition_point(|x| x.total_cmp(&v).is_lt());
-    debug_assert!(
-        sorted[at].total_cmp(&v).is_eq(),
-        "evicted value missing from order stat"
-    );
-    sorted.remove(at);
+    let present = sorted.get(at).is_some_and(|x| x.total_cmp(&v).is_eq());
+    debug_assert!(present, "evicted value missing from order stat");
+    if present {
+        sorted.remove(at);
+    }
 }
 
 /// Rolling state for one (possibly classified) predictor variant.
@@ -427,13 +538,13 @@ impl VariantState {
         self.streams[idx].observe(o);
     }
 
-    fn predict(&mut self, now: u64, target_class: SizeClass) -> Option<f64> {
+    fn predict(&mut self, now: u64, target_class: SizeClass, target_size: u64) -> Option<f64> {
         let idx = if self.classified {
             target_class.index()
         } else {
             0
         };
-        self.streams[idx].predict(now)
+        self.streams[idx].predict(now, target_size)
     }
 }
 
@@ -453,7 +564,7 @@ fn replay_incremental(
     };
     for (i, (o, &class)) in series.iter().zip(classes).enumerate() {
         if i >= opts.training {
-            match state.predict(o.at_unix, class) {
+            match state.predict(o.at_unix, class, o.file_size) {
                 Some(pred) => report.outcomes.push(PredictionOutcome {
                     at_unix: o.at_unix,
                     measured: o.bandwidth_kbs,
@@ -500,29 +611,6 @@ fn replay_naive(
 /// Replay `series` through every predictor, carrying rolling state
 /// forward and fanning the predictors out across threads.
 ///
-/// Drop-in equivalent of [`crate::eval::evaluate`] (same inputs, same
-/// report shape, numerically identical results within floating-point
-/// reassociation) at a fraction of the cost: the naive path is
-/// quadratic in the log length per classified predictor, this one is
-/// near-linear.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Evaluation::builder()` (crate::evaluation; incremental is the default engine)"
-)]
-pub fn evaluate_incremental(
-    series: &[Observation],
-    predictors: &[NamedPredictor],
-    opts: EvalOptions,
-) -> Vec<PredictorReport> {
-    crate::evaluation::Evaluation::replay(
-        series,
-        predictors,
-        crate::evaluation::EvalEngine::Incremental,
-        opts,
-        &wanpred_obs::ObsSink::disabled(),
-    )
-}
-
 /// The rolling-state replay core behind
 /// [`EvalEngine::Incremental`](crate::evaluation::EvalEngine::Incremental):
 /// classify once, then fan the predictors out across threads.
@@ -547,14 +635,38 @@ pub(crate) fn incremental_replay(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated entry points are exercised on purpose: the
-    // old-vs-new differential contract is exactly what these pin.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::classify::PAPER_MB;
-    use crate::eval::evaluate;
+    use crate::evaluation::{EvalEngine, Evaluation};
     use crate::registry::full_suite;
+
+    fn evaluate(
+        series: &[Observation],
+        predictors: &[NamedPredictor],
+        opts: EvalOptions,
+    ) -> Vec<PredictorReport> {
+        Evaluation::replay(
+            series,
+            predictors,
+            EvalEngine::Naive,
+            opts,
+            &wanpred_obs::ObsSink::disabled(),
+        )
+    }
+
+    fn evaluate_incremental(
+        series: &[Observation],
+        predictors: &[NamedPredictor],
+        opts: EvalOptions,
+    ) -> Vec<PredictorReport> {
+        Evaluation::replay(
+            series,
+            predictors,
+            EvalEngine::Incremental,
+            opts,
+            &wanpred_obs::ObsSink::disabled(),
+        )
+    }
 
     fn assert_reports_match(naive: &[PredictorReport], inc: &[PredictorReport]) {
         assert_eq!(naive.len(), inc.len());
@@ -601,6 +713,8 @@ mod tests {
                         4_000.0 + (i as f64 * 7.3) % 900.0
                     },
                     file_size: sizes[i % sizes.len()] * PAPER_MB,
+                    streams: 1,
+                    tcp_buffer: 0,
                 }
             })
             .collect()
@@ -622,6 +736,8 @@ mod tests {
                 at_unix: 1_000 + i * 400,
                 bandwidth_kbs: 100.0 + (i as f64 * 31.7) % 50.0,
                 file_size: 500 * PAPER_MB,
+                streams: 1,
+                tcp_buffer: 0,
             })
             .collect();
         let suite = full_suite();

@@ -19,10 +19,13 @@
 //!   replacing the naive evaluator's per-target recomputation.
 //! * [`evaluation`] — the unified front door: [`Evaluation::builder`]
 //!   selects suite, engine (naive or incremental), options and an
-//!   observability sink; the older per-engine entry points are
-//!   deprecated shims over it.
+//!   observability sink.
+//! * [`regression`] — covariate regression (file size, stream count,
+//!   buffer size, time of day), the follow-up paper's technique.
 //! * [`selection`] — NWS-style dynamic predictor selection (the paper's
 //!   §7 future work, implemented as an extension).
+//! * [`tournament`] — per-pair online tournament: rolling-MAPE ranking
+//!   over a candidate suite, serving the current winner.
 //! * [`hybrid`] — probe-assisted prediction and cold-start cross-path
 //!   extrapolation (the rest of §7, implemented as extensions).
 //! * [`seasonal`] — hour-of-day context filtering, a companion to the
@@ -36,11 +39,7 @@
 //!
 //! // A toy history: bandwidth ramping from 1000 to 1450 KB/s.
 //! let history: Vec<Observation> = (0..10)
-//!     .map(|i| Observation {
-//!         at_unix: 1_000_000 + i * 3_600,
-//!         bandwidth_kbs: 1_000.0 + 50.0 * i as f64,
-//!         file_size: 100 * PAPER_MB,
-//!     })
+//!     .map(|i| Observation::new(1_000_000 + i * 3_600, 1_000.0 + 50.0 * i as f64, 100 * PAPER_MB))
 //!     .collect();
 //!
 //! let avg5 = MeanPredictor::new(Window::LastN(5));
@@ -63,17 +62,17 @@ pub mod median;
 pub mod observation;
 pub mod predictor;
 pub mod registry;
+pub mod regression;
 pub mod seasonal;
 pub mod selection;
 pub mod stats;
+pub mod tournament;
 pub mod window;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::arima::ArPredictor;
     pub use crate::classify::{filter_class, SizeClass, PAPER_MB};
-    #[allow(deprecated)]
-    pub use crate::eval::evaluate;
     pub use crate::eval::{
         relative_performance, EvalOptions, PredictionOutcome, PredictorReport, RelativeReport,
     };
@@ -81,19 +80,21 @@ pub mod prelude {
     pub use crate::hybrid::{
         probe_at, recent_probe_mean, ConditionScaled, FittedRegression, ProbePoint, ProbeRegression,
     };
-    #[allow(deprecated)]
-    pub use crate::incremental::evaluate_incremental;
     pub use crate::last::LastValue;
     pub use crate::mean::{EwmaPredictor, MeanPredictor};
     pub use crate::median::MedianPredictor;
     pub use crate::observation::{observations_from_log, sort_by_time, Observation};
     pub use crate::predictor::{Predictor, PredictorSpec};
     pub use crate::registry::{
-        full_suite, paper_predictors, paper_suite, predictor_by_name, predictor_for_spec,
-        NamedPredictor,
+        extended_suite, full_suite, paper_predictors, paper_suite, predictor_by_name,
+        predictor_for_spec, regression_predictors, regression_suite, NamedPredictor,
     };
+    pub use crate::regression::{RegKind, RegressionPredictor};
     pub use crate::seasonal::SeasonalPredictor;
     pub use crate::selection::DynamicSelector;
+    pub use crate::tournament::{
+        replay_tournament, PairTournament, Tournament, TournamentOptions, TournamentReport,
+    };
     pub use crate::window::{paper as paper_windows, Window};
 }
 

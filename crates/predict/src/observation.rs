@@ -1,10 +1,12 @@
 //! The observation type every predictor consumes.
 //!
 //! Predictors never see raw log lines; they see a time-ordered series of
-//! `(timestamp, bandwidth, file size)` triples. The file size rides along
-//! only so the *context-sensitive* wrapper (§4.3) can filter by size
-//! class — the mathematical techniques themselves (§4.1) look only at the
-//! bandwidth values.
+//! `(timestamp, bandwidth, file size)` triples plus the transfer's
+//! tuning covariates (stream count, TCP buffer). The file size rides
+//! along so the *context-sensitive* wrapper (§4.3) can filter by size
+//! class and so the regression family ([`crate::regression`]) can fit
+//! bandwidth against it — the paper's mathematical techniques themselves
+//! (§4.1) look only at the bandwidth values.
 
 use serde::{Deserialize, Serialize};
 use wanpred_logfmt::{TransferLog, TransferRecord};
@@ -17,17 +19,41 @@ pub struct Observation {
     /// Achieved end-to-end bandwidth, KB/s (`size / total time`, the
     /// paper's definition).
     pub bandwidth_kbs: f64,
-    /// Size of the transferred file in bytes (context for classification).
+    /// Size of the transferred file in bytes (context for classification
+    /// and the regression family's primary covariate).
     pub file_size: u64,
+    /// Parallel data streams used (regression covariate; 1 when the log
+    /// source does not record it).
+    pub streams: u32,
+    /// Per-stream TCP buffer size in bytes (regression covariate; 0 when
+    /// the log source does not record it).
+    pub tcp_buffer: u64,
 }
 
 impl Observation {
-    /// Build from a log record.
+    /// Build a covariate-less observation: one parallel stream, unknown
+    /// (zero) TCP buffer. The usual constructor for synthetic series and
+    /// callers that only have the paper's `(time, bandwidth, size)`
+    /// triple.
+    pub const fn new(at_unix: u64, bandwidth_kbs: f64, file_size: u64) -> Self {
+        Observation {
+            at_unix,
+            bandwidth_kbs,
+            file_size,
+            streams: 1,
+            tcp_buffer: 0,
+        }
+    }
+
+    /// Build from a log record, carrying the record's stream count and
+    /// TCP buffer as regression covariates.
     pub fn from_record(r: &TransferRecord) -> Self {
         Observation {
             at_unix: r.start_unix,
             bandwidth_kbs: r.bandwidth_kbs(),
             file_size: r.file_size,
+            streams: r.streams,
+            tcp_buffer: r.tcp_buffer,
         }
     }
 }

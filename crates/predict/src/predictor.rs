@@ -7,6 +7,7 @@
 //! defines the common trait they implement.
 
 use crate::observation::Observation;
+use crate::regression::RegKind;
 use crate::window::Window;
 
 /// Structural description of a predictor: which estimator family it
@@ -24,19 +25,24 @@ pub enum PredictorSpec {
     Ar(Window),
     /// Last observed value (`LV`).
     Last,
+    /// Covariate regression over a window with mean fallback (`REG*`,
+    /// see [`crate::regression`]).
+    Regression(RegKind, Window),
 }
 
 impl std::fmt::Display for PredictorSpec {
     /// The paper's display name for the spec: estimator-family prefix
-    /// (`AVG`/`MED`/`AR`, or the fixed `LV`) plus the window suffix
-    /// from [`Window::name_suffix`] (`AVG25`, `MED5`, `AR10d`,
-    /// `AVG15hr`). Inverse of [`FromStr`](std::str::FromStr).
+    /// (`AVG`/`MED`/`AR`, the fixed `LV`, or `REG` plus a covariate
+    /// token) plus the window suffix from [`Window::name_suffix`]
+    /// (`AVG25`, `MED5`, `AR10d`, `AVG15hr`, `REGsz25`). Inverse of
+    /// [`FromStr`](std::str::FromStr).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
             PredictorSpec::Mean(w) => write!(f, "AVG{}", w.name_suffix()),
             PredictorSpec::Median(w) => write!(f, "MED{}", w.name_suffix()),
             PredictorSpec::Ar(w) => write!(f, "AR{}", w.name_suffix()),
             PredictorSpec::Last => write!(f, "LV"),
+            PredictorSpec::Regression(k, w) => write!(f, "REG{}{}", k.token(), w.name_suffix()),
         }
     }
 }
@@ -52,8 +58,9 @@ impl std::fmt::Display for ParseSpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unrecognized predictor spec {:?} (expected LV or AVG/MED/AR \
-             with an optional window suffix like 25, 15hr, 10d)",
+            "unrecognized predictor spec {:?} (expected LV, AVG/MED/AR, or \
+             REG with a covariate token like sz/sq/str/buf/tod, each with an \
+             optional window suffix like 25, 15hr, 10d)",
             self.input
         )
     }
@@ -98,6 +105,14 @@ impl std::str::FromStr for PredictorSpec {
         if s == "LV" {
             return Ok(PredictorSpec::Last);
         }
+        if let Some(rest) = s.strip_prefix("REG") {
+            // The covariate token is purely alphabetic and the window
+            // suffix starts with a digit, so the split is unambiguous.
+            let (kind, suffix) = RegKind::strip_token(rest).ok_or_else(err)?;
+            return parse_window_suffix(suffix)
+                .map(|w| PredictorSpec::Regression(kind, w))
+                .ok_or_else(err);
+        }
         if let Some(rest) = s.strip_prefix("AVG") {
             return parse_window_suffix(rest)
                 .map(PredictorSpec::Mean)
@@ -128,6 +143,15 @@ pub trait Predictor: Send + Sync {
     /// `None` when the (windowed) history is insufficient for this
     /// technique.
     fn predict(&self, history: &[Observation], now: u64) -> Option<f64>;
+
+    /// Predict with the target transfer's size announced. The paper's
+    /// history techniques ignore it (the default delegates to
+    /// [`predict`](Predictor::predict)); the regression family uses it
+    /// as the size covariate of the target.
+    fn predict_sized(&self, history: &[Observation], now: u64, target_size: u64) -> Option<f64> {
+        let _ = target_size;
+        self.predict(history, now)
+    }
 
     /// Structural description of this predictor, if it belongs to one of
     /// the standard families. Predictors returning `Some` are eligible
@@ -166,13 +190,46 @@ mod tests {
             PredictorSpec::Median(Window::LastSeconds(90)).to_string(),
             "MED90s"
         );
+        assert_eq!(
+            PredictorSpec::Regression(RegKind::SizeLinear, Window::All).to_string(),
+            "REGsz"
+        );
+        assert_eq!(
+            PredictorSpec::Regression(RegKind::TimeOfDay, Window::LastSeconds(25 * 3_600))
+                .to_string(),
+            "REGtod25hr"
+        );
+        assert_eq!(
+            PredictorSpec::Regression(RegKind::Streams, Window::LastN(25)).to_string(),
+            "REGstr25"
+        );
     }
 
     #[test]
     fn from_str_inverts_display_on_figure4() {
         for name in [
-            "AVG", "MED", "AR", "LV", "AVG5", "MED5", "AVG15", "MED15", "AVG25", "MED25", "AVG5hr",
-            "AVG15hr", "AVG25hr", "AR5d", "AR10d",
+            "AVG",
+            "MED",
+            "AR",
+            "LV",
+            "AVG5",
+            "MED5",
+            "AVG15",
+            "MED15",
+            "AVG25",
+            "MED25",
+            "AVG5hr",
+            "AVG15hr",
+            "AVG25hr",
+            "AR5d",
+            "AR10d",
+            "REGsz",
+            "REGsz25",
+            "REGsq",
+            "REGstr",
+            "REGbuf",
+            "REGtod",
+            "REGtod25hr",
         ] {
             let spec = PredictorSpec::from_str(name).unwrap();
             assert_eq!(spec.to_string(), name, "round trip of {name}");
@@ -182,7 +239,8 @@ mod tests {
     #[test]
     fn junk_is_rejected_with_context() {
         for bad in [
-            "", "avg5", "LV5", "AVGx", "AR5w", "MED-3", "XYZ", "+C", "AVG5hr+C",
+            "", "avg5", "LV5", "AVGx", "AR5w", "MED-3", "XYZ", "+C", "AVG5hr+C", "REG", "REG5",
+            "REGxyz", "REGsz5w", "REGsz+C",
         ] {
             let e = PredictorSpec::from_str(bad).unwrap_err();
             assert_eq!(e.input, bad);
@@ -206,11 +264,13 @@ mod tests {
     }
 
     fn arb_spec() -> impl Strategy<Value = PredictorSpec> {
+        let arb_kind = (0..RegKind::ALL.len()).prop_map(|i| RegKind::ALL[i]);
         prop_oneof![
             arb_window().prop_map(PredictorSpec::Mean),
             arb_window().prop_map(PredictorSpec::Median),
             arb_window().prop_map(PredictorSpec::Ar),
             Just(PredictorSpec::Last),
+            (arb_kind, arb_window()).prop_map(|(k, w)| PredictorSpec::Regression(k, w)),
         ]
     }
 
@@ -239,6 +299,8 @@ pub(crate) mod testutil {
                 at_unix: 1_000 + i as u64,
                 bandwidth_kbs: v,
                 file_size: 1_000_000,
+                streams: 1,
+                tcp_buffer: 0,
             })
             .collect()
     }
@@ -251,6 +313,8 @@ pub(crate) mod testutil {
                 at_unix: t,
                 bandwidth_kbs: v,
                 file_size: 1_000_000,
+                streams: 1,
+                tcp_buffer: 0,
             })
             .collect()
     }

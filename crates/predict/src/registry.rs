@@ -11,6 +11,7 @@ use crate::mean::MeanPredictor;
 use crate::median::MedianPredictor;
 use crate::observation::Observation;
 use crate::predictor::{Predictor, PredictorSpec};
+use crate::regression::{RegKind, RegressionPredictor};
 use crate::window::{paper, Window};
 
 thread_local! {
@@ -95,10 +96,10 @@ impl NamedPredictor {
             CLASS_SCRATCH.with(|scratch| {
                 let mut buf = scratch.borrow_mut();
                 filter_class_into(history, class, &mut buf);
-                self.inner.predict(&buf[..], now)
+                self.inner.predict_sized(&buf[..], now, target_size)
             })
         } else {
-            self.inner.predict(history, now)
+            self.inner.predict_sized(history, now, target_size)
         }
     }
 
@@ -125,6 +126,7 @@ pub fn predictor_for_spec(spec: PredictorSpec) -> Box<dyn Predictor> {
         PredictorSpec::Median(w) => Box::new(MedianPredictor::new(w)),
         PredictorSpec::Ar(w) => Box::new(ArPredictor::new(w)),
         PredictorSpec::Last => Box::new(LastValue::new()),
+        PredictorSpec::Regression(k, w) => Box::new(RegressionPredictor::new(k, w)),
     }
 }
 
@@ -155,6 +157,56 @@ pub fn paper_suite(classified: bool) -> Vec<NamedPredictor> {
 pub fn full_suite() -> Vec<NamedPredictor> {
     let mut v = paper_suite(false);
     v.extend(paper_suite(true));
+    v
+}
+
+/// The regression family (see [`crate::regression`]): each covariate
+/// kind over the full history, plus windowed size variants — the
+/// follow-up paper's techniques alongside the original 30.
+pub fn regression_predictors() -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(RegressionPredictor::new(RegKind::SizeLinear, Window::All)),
+        Box::new(RegressionPredictor::new(
+            RegKind::SizeLinear,
+            paper::LAST_25,
+        )),
+        Box::new(RegressionPredictor::new(RegKind::SizeQuad, Window::All)),
+        Box::new(RegressionPredictor::new(RegKind::Streams, Window::All)),
+        Box::new(RegressionPredictor::new(RegKind::Buffer, Window::All)),
+        Box::new(RegressionPredictor::new(RegKind::TimeOfDay, Window::All)),
+        Box::new(RegressionPredictor::new(
+            RegKind::TimeOfDay,
+            paper::HOURS_25,
+        )),
+    ]
+}
+
+/// The regression family as suite variants, in both flavours: 7
+/// unclassified (`REGsz`, ...) followed by 7 classified (`REGsz+C`,
+/// ...), mirroring the paper's plain/`+C` structure. Classification is
+/// *not* redundant for the size regressions even though the covariate
+/// is the size: one global fit straddles four decades of file size and
+/// is dominated by the large transfers, while a per-class fit captures
+/// the local bandwidth/size relation (on the December campaign the
+/// classified quadratic halves the best fixed predictor's error).
+pub fn regression_suite() -> Vec<NamedPredictor> {
+    let mut v: Vec<NamedPredictor> = regression_predictors()
+        .into_iter()
+        .map(|p| NamedPredictor::new(p, false))
+        .collect();
+    v.extend(
+        regression_predictors()
+            .into_iter()
+            .map(|p| NamedPredictor::new(p, true)),
+    );
+    v
+}
+
+/// The paper's 30 variants plus the regression family in both flavours
+/// — the candidate pool the tournament meta-predictor ranks.
+pub fn extended_suite() -> Vec<NamedPredictor> {
+    let mut v = full_suite();
+    v.extend(regression_suite());
     v
 }
 
@@ -224,8 +276,36 @@ mod tests {
     }
 
     #[test]
+    fn extended_suite_appends_regression_family() {
+        let suite = extended_suite();
+        assert_eq!(suite.len(), 44);
+        let names: Vec<&str> = suite[30..].iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "REGsz",
+                "REGsz25",
+                "REGsq",
+                "REGstr",
+                "REGbuf",
+                "REGtod",
+                "REGtod25hr",
+                "REGsz+C",
+                "REGsz25+C",
+                "REGsq+C",
+                "REGstr+C",
+                "REGbuf+C",
+                "REGtod+C",
+                "REGtod25hr+C",
+            ]
+        );
+        assert!(suite[30..37].iter().all(|p| !p.is_classified()));
+        assert!(suite[37..].iter().all(|p| p.is_classified()));
+    }
+
+    #[test]
     fn by_name_reconstructs_every_suite_variant() {
-        for p in full_suite() {
+        for p in extended_suite() {
             let rebuilt = predictor_by_name(p.name()).unwrap_or_else(|| {
                 panic!("{} did not parse", p.name());
             });
@@ -247,11 +327,15 @@ mod tests {
                 at_unix: i,
                 bandwidth_kbs: 100.0,
                 file_size: PAPER_MB, // 1 MB -> 10MB class
+                streams: 1,
+                tcp_buffer: 0,
             });
             h.push(Observation {
                 at_unix: i,
                 bandwidth_kbs: 9000.0,
                 file_size: 1000 * PAPER_MB, // 1 GB class
+                streams: 1,
+                tcp_buffer: 0,
             });
         }
         let unclassified = NamedPredictor::new(Box::new(MeanPredictor::new(Window::All)), false);
@@ -268,6 +352,8 @@ mod tests {
             at_unix: 0,
             bandwidth_kbs: 100.0,
             file_size: PAPER_MB,
+            streams: 1,
+            tcp_buffer: 0,
         }];
         let classified = NamedPredictor::new(Box::new(MeanPredictor::new(Window::All)), true);
         assert_eq!(classified.predict(&h, 1, 1000 * PAPER_MB), None);

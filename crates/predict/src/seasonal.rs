@@ -86,11 +86,7 @@ mod tests {
     use crate::window::Window;
 
     fn obs(at: u64, bw: f64) -> Observation {
-        Observation {
-            at_unix: at,
-            bandwidth_kbs: bw,
-            file_size: 1,
-        }
+        Observation::new(at, bw, 1)
     }
 
     /// History with a clean day/night split: 1000 KB/s at 03:00, 100 KB/s

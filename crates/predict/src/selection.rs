@@ -6,9 +6,77 @@
 //! mean absolute percentage error on the observations seen so far; a
 //! prediction request is answered by the candidate with the lowest
 //! running error (falling back through candidates that decline).
+//!
+//! Ranking rules, shared with the windowed [`crate::tournament`]:
+//!
+//! * candidates that have never scored rank below every scored one;
+//! * equal errors break ties by **candidate name** (lexicographic), not
+//!   by registration index, so the winner does not depend on suite
+//!   construction order;
+//! * only *finite* errors accumulate — a NaN slipping into the error sum
+//!   would poison the running mean forever and make every comparison
+//!   against it false.
+
+use std::collections::VecDeque;
 
 use crate::observation::Observation;
 use crate::registry::NamedPredictor;
+
+/// Rolling mean absolute percentage error over the last `window` scored
+/// predictions — the tournament's freshness-bounded variant of the
+/// selector's all-time running MAPE.
+///
+/// Only finite errors are retained ([`record`](RollingMape::record)
+/// drops NaN/infinite inputs), so [`mape`](RollingMape::mape) is always
+/// finite or `None` — an all-zero-measurement stretch, which produces no
+/// scorable errors at all under the shared zero-measurement convention,
+/// simply leaves the window unchanged rather than surfacing NaN.
+#[derive(Debug, Clone)]
+pub struct RollingMape {
+    window: usize,
+    errs: VecDeque<f64>,
+}
+
+impl RollingMape {
+    /// Rolling window over the last `window` errors (`window >= 1`).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one error");
+        RollingMape {
+            window,
+            // Effectively-unbounded windows (all-time scoring) must not
+            // preallocate their nominal capacity.
+            errs: VecDeque::with_capacity(window.min(1024)),
+        }
+    }
+
+    /// Record one absolute percentage error, evicting the oldest entry
+    /// once the window is full. Non-finite errors are dropped (the NaN
+    /// guard) — they carry no ranking information.
+    pub fn record(&mut self, err: f64) {
+        if !err.is_finite() {
+            return;
+        }
+        if self.errs.len() == self.window {
+            self.errs.pop_front();
+        }
+        self.errs.push_back(err);
+    }
+
+    /// Mean of the in-window errors; `None` until something scores. The
+    /// window is short (tens of entries), so the direct summation is
+    /// both cheap and exact enough.
+    pub fn mape(&self) -> Option<f64> {
+        if self.errs.is_empty() {
+            return None;
+        }
+        Some(self.errs.iter().sum::<f64>() / self.errs.len() as f64)
+    }
+
+    /// Number of in-window errors.
+    pub fn count(&self) -> usize {
+        self.errs.len()
+    }
+}
 
 /// A streaming dynamic selector over a set of candidate predictors.
 pub struct DynamicSelector {
@@ -44,8 +112,13 @@ impl DynamicSelector {
             for (i, p) in self.candidates.iter().enumerate() {
                 if let Some(pred) = p.predict(&self.history, o.at_unix, o.file_size) {
                     let err = (o.bandwidth_kbs - pred).abs() / o.bandwidth_kbs.abs() * 100.0;
-                    self.err_sum[i] += err;
-                    self.err_count[i] += 1;
+                    // NaN guard: a non-finite measurement or prediction
+                    // must not poison the running sum — every later
+                    // comparison against a NaN mean would be false.
+                    if err.is_finite() {
+                        self.err_sum[i] += err;
+                        self.err_count[i] += 1;
+                    }
                 }
             }
         }
@@ -62,33 +135,34 @@ impl DynamicSelector {
     }
 
     /// The index and name of the currently best-scoring candidate.
-    /// Candidates that have never scored rank below all scored ones.
+    /// Candidates that have never scored rank below all scored ones;
+    /// equal running errors break ties by candidate name (stable,
+    /// documented rule — not by registration index, which would make
+    /// the winner depend on suite construction order).
     pub fn best_candidate(&self) -> (usize, &str) {
-        let mut best = 0usize;
-        let mut best_mape = f64::INFINITY;
-        let mut found = false;
-        for i in 0..self.candidates.len() {
-            if let Some(m) = self.running_mape(i) {
-                if !found || m < best_mape {
-                    best = i;
-                    best_mape = m;
-                    found = true;
-                }
-            }
-        }
+        let best = (0..self.candidates.len())
+            .min_by(|&a, &b| self.rank_cmp(a, b))
+            .expect("candidates is non-empty by construction");
         (best, self.candidates[best].name())
+    }
+
+    /// Total ranking order: `(running MAPE or +inf, name)`. `total_cmp`
+    /// keeps the order total even for non-finite values, and the name
+    /// component makes every tie deterministic.
+    fn rank_cmp(&self, a: usize, b: usize) -> std::cmp::Ordering {
+        let ma = self.running_mape(a).unwrap_or(f64::INFINITY);
+        let mb = self.running_mape(b).unwrap_or(f64::INFINITY);
+        ma.total_cmp(&mb)
+            .then_with(|| self.candidates[a].name().cmp(self.candidates[b].name()))
     }
 
     /// Predict for a transfer of `target_size` at `now` using the
     /// best-scoring candidate; falls back through candidates in score
-    /// order if the best declines. Returns `(candidate name, prediction)`.
+    /// order (ties again broken by name) if the best declines. Returns
+    /// `(candidate name, prediction)`.
     pub fn predict(&self, now: u64, target_size: u64) -> Option<(&str, f64)> {
         let mut order: Vec<usize> = (0..self.candidates.len()).collect();
-        order.sort_by(|&a, &b| {
-            let ma = self.running_mape(a).unwrap_or(f64::INFINITY);
-            let mb = self.running_mape(b).unwrap_or(f64::INFINITY);
-            ma.total_cmp(&mb)
-        });
+        order.sort_by(|&a, &b| self.rank_cmp(a, b));
         for i in order {
             if let Some(pred) = self.candidates[i].predict(&self.history, now, target_size) {
                 return Some((self.candidates[i].name(), pred));
@@ -113,11 +187,7 @@ mod tests {
     use crate::window::Window;
 
     fn obs(i: u64, bw: f64) -> Observation {
-        Observation {
-            at_unix: 1_000 + i,
-            bandwidth_kbs: bw,
-            file_size: 100 * PAPER_MB,
-        }
+        Observation::new(1_000 + i, bw, 100 * PAPER_MB)
     }
 
     fn selector() -> DynamicSelector {
@@ -186,5 +256,47 @@ mod tests {
         s.observe(obs(6, 0.0));
         assert_eq!(s.err_count[0], before);
         assert_eq!(s.observed(), 7);
+    }
+
+    #[test]
+    fn equal_errors_break_ties_by_name() {
+        // Two copies of the same technique under different names score
+        // identically; the lexicographically smaller name must win
+        // regardless of registration order.
+        let mk = |name_first: bool| {
+            let mut cands = vec![
+                NamedPredictor::new(Box::new(MeanPredictor::new(Window::All)), false),
+                NamedPredictor::new(Box::new(MeanPredictor::new(Window::LastN(1_000))), false),
+            ];
+            if !name_first {
+                cands.reverse();
+            }
+            let mut s = DynamicSelector::new(cands, 2);
+            for i in 0..10 {
+                s.observe(obs(i, 100.0 + (i % 3) as f64));
+            }
+            s.best_candidate().1.to_string()
+        };
+        // AVG < AVG1000 lexicographically; same answer in both orders.
+        assert_eq!(mk(true), "AVG");
+        assert_eq!(mk(false), "AVG");
+    }
+
+    #[test]
+    fn nan_measurements_do_not_poison_running_mape() {
+        let mut s = selector();
+        for i in 0..8 {
+            s.observe(obs(i, 100.0));
+        }
+        let before = s.running_mape(0).unwrap();
+        assert!(before.is_finite());
+        // A NaN bandwidth produces a NaN error; the guard must drop it.
+        s.observe(obs(8, f64::NAN));
+        s.observe(obs(9, 100.0));
+        let after = s.running_mape(0).unwrap();
+        assert!(after.is_finite(), "running MAPE poisoned: {after}");
+        // Ranking still total and usable.
+        let (_, name) = s.best_candidate();
+        assert!(!name.is_empty());
     }
 }

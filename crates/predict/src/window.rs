@@ -95,6 +95,8 @@ mod tests {
                 at_unix: t,
                 bandwidth_kbs: t as f64,
                 file_size: 1,
+                streams: 1,
+                tcp_buffer: 0,
             })
             .collect()
     }

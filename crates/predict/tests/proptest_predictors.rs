@@ -12,6 +12,8 @@ fn arb_history() -> impl Strategy<Value = Vec<Observation>> {
                     at_unix: t,
                     bandwidth_kbs: bw,
                     file_size: size,
+                    streams: 1,
+                    tcp_buffer: 0,
                 })
                 .collect()
         },

@@ -10,14 +10,20 @@
 //! In degraded mode the broker descends a **fallback ladder** per
 //! candidate (DESIGN.md § "Durability and degraded mode"):
 //!
-//! 1. [`FallbackRung::SizeClass`] — the per-size-class prediction
+//! 1. [`FallbackRung::Tournament`] — the per-pair online tournament
+//!    meta-predictor ([`wanpred_predict::PairTournament`]), when the
+//!    broker is fed completed transfers directly
+//!    ([`Broker::observe_transfer`]). It serves whichever fixed
+//!    predictor currently wins the pair's rolling-error race, so it
+//!    outranks any single published prediction.
+//! 2. [`FallbackRung::SizeClass`] — the per-size-class prediction
 //!    attribute (the paper's primary signal).
-//! 2. [`FallbackRung::Overall`] — the unclassified prediction or the
+//! 3. [`FallbackRung::Overall`] — the unclassified prediction or the
 //!    overall read average.
-//! 3. [`FallbackRung::ProbeForecast`] — an NWS probe forecast for the
+//! 4. [`FallbackRung::ProbeForecast`] — an NWS probe forecast for the
 //!    path, when a probe source is wired in (the paper's §4 comparison
 //!    stream pressed into service as a fallback).
-//! 4. [`FallbackRung::StaticPolicy`] — an operator-configured static
+//! 5. [`FallbackRung::StaticPolicy`] — an operator-configured static
 //!    bandwidth map.
 //!
 //! Entries served stale by a degraded GRIS carry `stalenesssecs`; the
@@ -32,14 +38,18 @@ use parking_lot::Mutex;
 use wanpred_infod::filter;
 use wanpred_infod::{Giis, STALENESS_ATTR};
 use wanpred_obs::{names, ObsSink};
-use wanpred_predict::SizeClass;
+use wanpred_predict::{Observation, PairTournament, SizeClass, TournamentOptions};
 
 use crate::catalog::{PhysicalReplica, ReplicaError};
 use crate::policy::SelectionPolicy;
 
-/// Which rung of the fallback ladder produced an estimate.
+/// Which rung of the fallback ladder produced an estimate. The derived
+/// order is ladder order: `Tournament` ranks before (better than)
+/// `SizeClass`, and so on down to `StaticPolicy`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FallbackRung {
+    /// Per-pair online tournament fed by the broker's own observations.
+    Tournament,
     /// Per-size-class prediction from the information service.
     SizeClass,
     /// Overall (unclassified) prediction or read average.
@@ -54,6 +64,7 @@ impl FallbackRung {
     /// Display name (bench/report labels).
     pub fn name(self) -> &'static str {
         match self {
+            FallbackRung::Tournament => "tournament",
             FallbackRung::SizeClass => "size-class",
             FallbackRung::Overall => "overall",
             FallbackRung::ProbeForecast => "probe-forecast",
@@ -228,9 +239,15 @@ impl Selection {
 
     /// Whether any candidate was scored from stale or fallback (probe /
     /// static) information — the selection ran in degraded mode.
+    ///
+    /// Tournament estimates are exempt from the staleness clause: their
+    /// `staleness_secs` is simply the age of the path's newest transfer
+    /// (normal operation for a source the broker feeds itself), whereas
+    /// for information-service rungs it marks a GRIS serving cached data
+    /// past a failed refresh.
     pub fn degraded(&self) -> bool {
         self.scores.iter().any(|s| {
-            s.staleness_secs > 0
+            (s.staleness_secs > 0 && s.rung != Some(FallbackRung::Tournament))
                 || matches!(
                     s.rung,
                     Some(FallbackRung::ProbeForecast | FallbackRung::StaticPolicy)
@@ -246,6 +263,7 @@ pub const DEFAULT_STALENESS_HALF_LIFE_SECS: u64 = 600;
 /// The broker.
 pub struct Broker<S: PerfInfoSource> {
     source: S,
+    tournament: Option<PairTournament>,
     probe_source: Option<Box<dyn ProbeForecastSource + Send>>,
     static_kbs: BTreeMap<String, f64>,
     staleness_half_life_secs: u64,
@@ -257,6 +275,7 @@ impl<S: PerfInfoSource> Broker<S> {
     pub fn new(source: S) -> Self {
         Broker {
             source,
+            tournament: None,
             probe_source: None,
             static_kbs: BTreeMap::new(),
             staleness_half_life_secs: DEFAULT_STALENESS_HALF_LIFE_SECS,
@@ -269,6 +288,28 @@ impl<S: PerfInfoSource> Broker<S> {
     /// keyed on the inquiry clock.
     pub fn set_obs(&mut self, obs: ObsSink) {
         self.obs = obs;
+    }
+
+    /// Attach a per-pair tournament meta-predictor as the ladder's top
+    /// rung. The broker must then be fed completed transfers through
+    /// [`observe_transfer`](Broker::observe_transfer); pairs with no
+    /// observations fall through to the information-service rungs.
+    pub fn with_tournament(mut self, opts: TournamentOptions) -> Self {
+        self.tournament = Some(PairTournament::new(opts));
+        self
+    }
+
+    /// Feed one completed transfer on a `(client, server)` path to the
+    /// tournament rung. A no-op when no tournament is attached.
+    pub fn observe_transfer(&mut self, client_addr: &str, server_host: &str, o: Observation) {
+        if let Some(t) = self.tournament.as_mut() {
+            t.observe(client_addr, server_host, o);
+        }
+    }
+
+    /// The attached tournament, if any (bench/report introspection).
+    pub fn tournament(&self) -> Option<&PairTournament> {
+        self.tournament.as_ref()
     }
 
     /// Wire in an NWS probe-forecast fallback (third ladder rung).
@@ -297,6 +338,23 @@ impl<S: PerfInfoSource> Broker<S> {
         size: u64,
         now_unix: u64,
     ) -> Option<PerfEstimate> {
+        if let Some(pt) = self.tournament.as_ref() {
+            if let Some(t) = pt.tournament(client_addr, server_host) {
+                if let Some((_, kbs)) = t.predict(now_unix, size) {
+                    // The estimate's age is the time since the path's
+                    // newest transfer; the ranking decay treats it like
+                    // any other aging information.
+                    let staleness_secs = t
+                        .last_observed_at()
+                        .map_or(0, |at| now_unix.saturating_sub(at));
+                    return Some(PerfEstimate {
+                        kbs,
+                        rung: FallbackRung::Tournament,
+                        staleness_secs,
+                    });
+                }
+            }
+        }
         if let Some(e) = self
             .source
             .estimate(client_addr, server_host, size, now_unix)
@@ -344,6 +402,7 @@ impl<S: PerfInfoSource> Broker<S> {
                 let est = self.estimate(client_addr, &r.host, r.size, now_unix);
                 if let Some(e) = est {
                     self.obs.inc(match e.rung {
+                        FallbackRung::Tournament => names::REPLICA_BROKER_RUNG_TOURNAMENT,
                         FallbackRung::SizeClass => names::REPLICA_BROKER_RUNG_SIZE_CLASS,
                         FallbackRung::Overall => names::REPLICA_BROKER_RUNG_OVERALL,
                         FallbackRung::ProbeForecast => names::REPLICA_BROKER_RUNG_PROBE,
@@ -518,6 +577,80 @@ mod tests {
                 Some(FallbackRung::SizeClass),
             ]
         );
+    }
+
+    #[test]
+    fn tournament_rung_outranks_the_information_service() {
+        // The GIIS publishes a slow estimate for lbl, but the broker's
+        // own observed transfers on that path say otherwise: the
+        // tournament rung answers first and wins the selection.
+        let mut src = BTreeMap::new();
+        src.insert("lbl.gov".to_string(), 500.0);
+        src.insert("isi.edu".to_string(), 2_000.0);
+        let mut b = Broker::new(MapSource(src)).with_tournament(TournamentOptions {
+            training: 2,
+            window: 10,
+            ..TournamentOptions::default()
+        });
+        for i in 0..10u64 {
+            b.observe_transfer(
+                "c",
+                "lbl.gov",
+                Observation::new(1_000 + i * 60, 8_000.0, 1_000_000),
+            );
+        }
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let sel = b.select("c", &reps()[..2], &mut policy, 1_600).unwrap();
+        assert_eq!(sel.replica().host, "lbl.gov");
+        let lbl = &sel.scores[0];
+        assert_eq!(lbl.rung, Some(FallbackRung::Tournament));
+        assert!((lbl.predicted_kbs.unwrap() - 8_000.0).abs() < 1e-6);
+        // 60 s since the path's newest transfer: a mild ranking decay,
+        // not a degraded selection.
+        assert_eq!(lbl.staleness_secs, 60);
+        assert!(lbl.effective_kbs.unwrap() < lbl.predicted_kbs.unwrap());
+        assert!(!sel.degraded());
+        // The unobserved pair fell through to the information service.
+        assert_eq!(sel.scores[1].rung, Some(FallbackRung::SizeClass));
+    }
+
+    #[test]
+    fn old_tournament_data_decays_below_fresh_information() {
+        // lbl's observed transfers are an hour old; isi's fresh GIIS
+        // estimate outranks the decayed tournament serve.
+        let mut src = BTreeMap::new();
+        src.insert("isi.edu".to_string(), 4_000.0);
+        let mut b = Broker::new(MapSource(src)).with_tournament(TournamentOptions {
+            training: 2,
+            window: 10,
+            ..TournamentOptions::default()
+        });
+        for i in 0..10u64 {
+            b.observe_transfer(
+                "c",
+                "lbl.gov",
+                Observation::new(1_000 + i * 60, 8_000.0, 1_000_000),
+            );
+        }
+        let now = 1_540 + 3_600;
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let sel = b.select("c", &reps()[..2], &mut policy, now).unwrap();
+        assert_eq!(sel.replica().host, "isi.edu");
+        let lbl = &sel.scores[0];
+        assert_eq!(lbl.rung, Some(FallbackRung::Tournament));
+        assert_eq!(lbl.staleness_secs, 3_600);
+        // 3600 s at the 600 s half-life: 2^-6 of the raw estimate.
+        assert!((lbl.effective_kbs.unwrap() - 8_000.0 / 64.0).abs() < 1e-6);
+        assert!(!sel.degraded());
+    }
+
+    #[test]
+    fn tournament_rung_is_first_in_ladder_order() {
+        assert!(FallbackRung::Tournament < FallbackRung::SizeClass);
+        assert!(FallbackRung::SizeClass < FallbackRung::Overall);
+        assert!(FallbackRung::Overall < FallbackRung::ProbeForecast);
+        assert!(FallbackRung::ProbeForecast < FallbackRung::StaticPolicy);
+        assert_eq!(FallbackRung::Tournament.name(), "tournament");
     }
 
     #[test]

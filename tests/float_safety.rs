@@ -5,7 +5,7 @@
 //! to order on `partial_cmp().expect(..)`, so one such observation
 //! aborted the whole 30-predictor replay. The sorts are now
 //! `f64::total_cmp` — these regressions feed NaN all the way through
-//! `evaluate_log` and must complete without panicking.
+//! the full log replay and must complete without panicking.
 
 use wanpred_core::prelude::*;
 use wanpred_logfmt::sample_record;
@@ -52,6 +52,8 @@ fn dynamic_selector_survives_a_nan_observation() {
             at_unix: 996_642_000 + i * 600,
             file_size: 1_000_000_000,
             bandwidth_kbs: bw,
+            streams: 1,
+            tcp_buffer: 0,
         });
     }
     // Ranking by running MAPE must stay total even though one candidate
