@@ -5,6 +5,7 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use wanpred_logfmt::TransferLog;
 use wanpred_obs::ObsSink;
 use wanpred_predict::prelude::*;
 use wanpred_simnet::time::SimDuration;
@@ -116,13 +117,45 @@ fn bench_replay_engines(c: &mut Criterion) {
             &ObsSink::disabled(),
         )
     });
+    // End-to-end document replay: a real campaign log, from ULM text to
+    // predictor reports. The old path materialises a TransferLog with
+    // the allocating oracle decoder first; the new path ingests straight
+    // to observations with the zero-copy decoder (`run_ulm`).
+    let result = run_campaign(&CampaignConfig::august(42));
+    let doc = result.log(Pair::LblAnl).to_ulm_string();
+    let eval = Evaluation::builder().build();
+    let old_doc_replay = || -> Vec<PredictorReport> {
+        let mut log = TransferLog::new();
+        for line in doc.lines() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            log.append(wanpred_logfmt::decode(t).expect("campaign log is well-formed"));
+        }
+        eval.run_log(&log)
+    };
+    let new_doc_replay =
+        || -> Vec<PredictorReport> { eval.run_ulm(&doc).expect("campaign log is well-formed") };
+    assert_eq!(
+        old_doc_replay().len(),
+        new_doc_replay().len(),
+        "both document replay paths score the same suite"
+    );
+    let doc_old_ms = time_best(5, &old_doc_replay);
+    let doc_new_ms = time_best(5, &new_doc_replay);
+
     let json = format!(
-        "{{\n  \"observations\": {},\n  \"predictors\": {},\n  \"naive_ms\": {:.3},\n  \"incremental_ms\": {:.3},\n  \"speedup\": {:.2}\n}}\n",
+        "{{\n  \"observations\": {},\n  \"predictors\": {},\n  \"naive_ms\": {:.3},\n  \"incremental_ms\": {:.3},\n  \"speedup\": {:.2},\n  \"doc_replay_lines\": {},\n  \"doc_replay_oracle_ms\": {:.3},\n  \"doc_replay_zero_copy_ms\": {:.3},\n  \"doc_replay_speedup\": {:.2}\n}}\n",
         h.len(),
         suite.len(),
         naive_ms,
         incremental_ms,
-        naive_ms / incremental_ms
+        naive_ms / incremental_ms,
+        result.log(Pair::LblAnl).len(),
+        doc_old_ms,
+        doc_new_ms,
+        doc_old_ms / doc_new_ms
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json");
     std::fs::write(path, &json).expect("write BENCH_replay.json");

@@ -33,6 +33,7 @@ use wanpred_logfmt::{Operation, TransferLog, TransferRecord, TransferRecordBuild
 use wanpred_obs::{names, ObsSink};
 use wanpred_simnet::engine::{Ctx, TimerTag};
 use wanpred_simnet::flow::{FlowDone, FlowFailed, FlowId, FlowSpec, TcpParams};
+use wanpred_simnet::index::VecMap;
 use wanpred_simnet::time::{SimDuration, SimTime};
 use wanpred_simnet::topology::NodeId;
 use wanpred_storage::{AccessId, StorageServer};
@@ -368,8 +369,13 @@ struct Inflight {
 pub struct TransferManager {
     servers: BTreeMap<NodeId, ServerRuntime>,
     hosts: BTreeMap<NodeId, (String, String)>,
-    inflight: BTreeMap<u64, Inflight>,
-    by_flow: BTreeMap<FlowId, u64>,
+    /// Hot per-transfer state, keyed by the monotonic transfer counter:
+    /// a sorted-vec map so the per-event lookups in the replay loop stay
+    /// in one contiguous allocation (see `wanpred_simnet::index`).
+    inflight: VecMap<u64, Inflight>,
+    /// Flow → transfer back-map; flow ids are allocated monotonically by
+    /// the network, so inserts append.
+    by_flow: VecMap<FlowId, u64>,
     next: u64,
     /// Unix seconds corresponding to `SimTime::ZERO`.
     epoch_unix: u64,
@@ -388,8 +394,8 @@ impl TransferManager {
         TransferManager {
             servers: BTreeMap::new(),
             hosts: BTreeMap::new(),
-            inflight: BTreeMap::new(),
-            by_flow: BTreeMap::new(),
+            inflight: VecMap::new(),
+            by_flow: VecMap::new(),
             next: 0,
             epoch_unix,
             retry: None,

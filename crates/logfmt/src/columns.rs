@@ -1,0 +1,248 @@
+//! Structure-of-arrays transfer storage: the whole-log twin of the
+//! zero-copy decoder.
+//!
+//! [`TransferColumns`] keeps every record field in its own dense column
+//! and every string field as a `(start, end)` span into one shared
+//! arena. Campaign logs repeat their string fields heavily (one server
+//! host, a handful of sources and volumes, generated file names), so a
+//! run-length dedup against the previous row keeps the arena tiny and
+//! the parse loop allocation-free in the steady state. Parsing a
+//! document this way does two large-ish allocations total (arena +
+//! columns, both amortised by `with_capacity`-style growth) instead of
+//! roughly thirty small ones per line.
+//!
+//! The row view is [`TransferRecordRef`]; [`TransferColumns::to_log`]
+//! materialises an owned [`TransferLog`] for callers that need one.
+
+use crate::log::{LogError, TransferLog};
+use crate::record::{Operation, TransferRecord};
+use crate::ulm::{decode_borrowed, DecodeScratch, TransferRecordRef};
+
+/// A transfer log stored column-wise over a string arena.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransferColumns {
+    arena: String,
+    source: Vec<(usize, usize)>,
+    host: Vec<(usize, usize)>,
+    file_name: Vec<(usize, usize)>,
+    volume: Vec<(usize, usize)>,
+    file_size: Vec<u64>,
+    start_unix: Vec<u64>,
+    end_unix: Vec<u64>,
+    total_time_s: Vec<f64>,
+    streams: Vec<u32>,
+    tcp_buffer: Vec<u64>,
+    operation: Vec<Operation>,
+}
+
+/// Append `s` to a span column, reusing the previous row's arena span
+/// when the value repeats (the dominant case in real logs).
+fn push_span(arena: &mut String, col: &mut Vec<(usize, usize)>, s: &str) {
+    if let Some(&(a, b)) = col.last() {
+        if &arena[a..b] == s {
+            col.push((a, b));
+            return;
+        }
+    }
+    let a = arena.len();
+    arena.push_str(s);
+    col.push((a, arena.len()));
+}
+
+impl TransferColumns {
+    /// Empty columns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.start_unix.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start_unix.is_empty()
+    }
+
+    /// Bytes held by the string arena (diagnostics; with dedup this is
+    /// far below the sum of field lengths).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Append one borrowed record.
+    pub fn push_ref(&mut self, r: &TransferRecordRef<'_>) {
+        push_span(&mut self.arena, &mut self.source, r.source);
+        push_span(&mut self.arena, &mut self.host, r.host);
+        push_span(&mut self.arena, &mut self.file_name, r.file_name);
+        push_span(&mut self.arena, &mut self.volume, r.volume);
+        self.file_size.push(r.file_size);
+        self.start_unix.push(r.start_unix);
+        self.end_unix.push(r.end_unix);
+        self.total_time_s.push(r.total_time_s);
+        self.streams.push(r.streams);
+        self.tcp_buffer.push(r.tcp_buffer);
+        self.operation.push(r.operation);
+    }
+
+    /// Append one owned record.
+    pub fn push(&mut self, r: &TransferRecord) {
+        push_span(&mut self.arena, &mut self.source, &r.source);
+        push_span(&mut self.arena, &mut self.host, &r.host);
+        push_span(&mut self.arena, &mut self.file_name, &r.file_name);
+        push_span(&mut self.arena, &mut self.volume, &r.volume);
+        self.file_size.push(r.file_size);
+        self.start_unix.push(r.start_unix);
+        self.end_unix.push(r.end_unix);
+        self.total_time_s.push(r.total_time_s);
+        self.streams.push(r.streams);
+        self.tcp_buffer.push(r.tcp_buffer);
+        self.operation.push(r.operation);
+    }
+
+    /// Row `i` as a borrowed record, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<TransferRecordRef<'_>> {
+        if i >= self.len() {
+            return None;
+        }
+        let sp = |(a, b): (usize, usize)| -> &str { &self.arena[a..b] };
+        Some(TransferRecordRef {
+            source: sp(self.source[i]),
+            host: sp(self.host[i]),
+            file_name: sp(self.file_name[i]),
+            file_size: self.file_size[i],
+            volume: sp(self.volume[i]),
+            start_unix: self.start_unix[i],
+            end_unix: self.end_unix[i],
+            total_time_s: self.total_time_s[i],
+            streams: self.streams[i],
+            tcp_buffer: self.tcp_buffer[i],
+            operation: self.operation[i],
+        })
+    }
+
+    /// Iterate rows as borrowed records.
+    pub fn iter(&self) -> impl Iterator<Item = TransferRecordRef<'_>> + '_ {
+        (0..self.len()).map(move |i| self.get(i).expect("index in range by construction"))
+    }
+
+    /// Parse a ULM document column-wise (one record per line; blank
+    /// lines and `#` comments are skipped) — same grammar and same
+    /// errors as [`TransferLog::from_ulm_str`], without materialising
+    /// per-record strings.
+    pub fn from_ulm_str(doc: &str) -> Result<Self, LogError> {
+        let mut cols = TransferColumns::new();
+        let mut scratch = DecodeScratch::new();
+        for (i, line) in doc.lines().enumerate() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let r = decode_borrowed(t, &mut scratch).map_err(|e| LogError::Parse(i + 1, e))?;
+            cols.push_ref(&r);
+        }
+        Ok(cols)
+    }
+
+    /// Materialise an owned row-wise [`TransferLog`].
+    pub fn to_log(&self) -> TransferLog {
+        self.iter().map(|r| r.to_owned()).collect()
+    }
+
+    /// The bandwidth series `(start_unix, KB/s)` in row order.
+    pub fn bandwidth_series(&self) -> Vec<(u64, f64)> {
+        self.iter()
+            .map(|r| (r.start_unix, r.bandwidth_kbs()))
+            .collect()
+    }
+}
+
+impl<'a> FromIterator<TransferRecordRef<'a>> for TransferColumns {
+    fn from_iter<T: IntoIterator<Item = TransferRecordRef<'a>>>(iter: T) -> Self {
+        let mut cols = TransferColumns::new();
+        for r in iter {
+            cols.push_ref(&r);
+        }
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+    use crate::ulm::encode;
+
+    fn log(n: u64) -> TransferLog {
+        (0..n)
+            .map(|i| {
+                let mut r = sample_record();
+                r.start_unix += i * 600;
+                r.end_unix = r.start_unix + 4;
+                r.file_name = format!("/data/file-{i}");
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn doc_roundtrip_matches_row_wise_parse() {
+        let doc = log(20).to_ulm_string();
+        let cols = TransferColumns::from_ulm_str(&doc).unwrap();
+        assert_eq!(cols.len(), 20);
+        assert_eq!(cols.to_log(), TransferLog::from_ulm_str(&doc).unwrap());
+    }
+
+    #[test]
+    fn repeated_fields_share_arena_spans() {
+        let doc = log(50).to_ulm_string();
+        let cols = TransferColumns::from_ulm_str(&doc).unwrap();
+        // host/source/volume repeat on every row; only file names differ.
+        let unique: usize = sample_record().source.len()
+            + sample_record().host.len()
+            + sample_record().volume.len();
+        let files: usize = (0..50).map(|i| format!("/data/file-{i}").len()).sum();
+        assert_eq!(cols.arena_len(), unique + files);
+    }
+
+    #[test]
+    fn get_is_none_past_the_end() {
+        let cols = TransferColumns::from_ulm_str(&log(3).to_ulm_string()).unwrap();
+        assert!(cols.get(2).is_some());
+        assert!(cols.get(3).is_none());
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let doc = format!("{}\ngarbage line\n", encode(&sample_record()));
+        match TransferColumns::from_ulm_str(&doc) {
+            Err(LogError::Parse(2, _)) => {}
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bandwidth_series_matches_log() {
+        let l = log(5);
+        let cols = TransferColumns::from_ulm_str(&l.to_ulm_string()).unwrap();
+        let a = cols.bandwidth_series();
+        let b = l.bandwidth_series();
+        assert_eq!(a.len(), b.len());
+        for ((ta, ba), (tb, bb)) in a.iter().zip(&b) {
+            assert_eq!(ta, tb);
+            assert!((ba - bb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn push_owned_and_iter_agree() {
+        let l = log(4);
+        let mut cols = TransferColumns::new();
+        for r in l.records() {
+            cols.push(r);
+        }
+        let back: Vec<_> = cols.iter().map(|r| r.to_owned()).collect();
+        assert_eq!(back, l.records());
+    }
+}

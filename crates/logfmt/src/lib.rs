@@ -14,11 +14,18 @@
 //! that recovers intact records from damaged documents ([`salvage`]),
 //! crash-safe rotation with torn-tail recovery in [`writer`], and a
 //! deterministic corruption injector ([`chaos`]) to prove all of it.
+//!
+//! The parse hot path (DESIGN.md § "Parse hot path") decodes borrowed:
+//! [`ulm::tokenize_bytes`] + [`ulm::decode_borrowed`] produce records
+//! without per-line allocation, and [`columns::TransferColumns`] stores
+//! a whole log column-wise over a shared string arena. The original
+//! allocating [`ulm::decode`] is retained as the differential oracle.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod chaos;
+pub mod columns;
 pub mod integrity;
 pub mod log;
 pub mod record;
@@ -28,6 +35,7 @@ pub mod ulm;
 pub mod writer;
 
 pub use crate::chaos::{corrupt_doc, ChaosConfig, ChaosOp, ChaosReport};
+pub use crate::columns::TransferColumns;
 pub use crate::integrity::{append_crc, check_line, crc32, CrcStatus};
 pub use crate::log::{LogError, TransferLog};
 pub use crate::record::{
@@ -37,5 +45,8 @@ pub use crate::salvage::{
     salvage_doc, QuarantinedLine, SalvageOptions, SalvageReason, SalvageReport,
 };
 pub use crate::trim::{TrimOutcome, TrimPolicy};
-pub use crate::ulm::{decode, encode, UlmError};
+pub use crate::ulm::{
+    decode, decode_borrowed, encode, tokenize_bytes, DecodeScratch, RawToken, RawValue,
+    TransferRecordRef, UlmError, UlmKey,
+};
 pub use crate::writer::{atomic_write, RotatingLogWriter, RotationConfig};

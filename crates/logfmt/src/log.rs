@@ -7,7 +7,7 @@
 //! experiments emit them in nondecreasing start-time order, but arbitrary
 //! interleavings are tolerated by the query helpers.
 
-use std::io::{self, BufRead};
+use std::io;
 use std::path::Path;
 
 use crate::integrity;
@@ -127,15 +127,21 @@ impl TransferLog {
 
     /// Parse a ULM document (one record per line; blank lines and `#`
     /// comments are skipped).
+    ///
+    /// Decoding goes through the zero-copy borrowed path
+    /// ([`ulm::decode_borrowed`]); only the surviving record fields are
+    /// materialised. The allocating [`ulm::decode`] stays available as
+    /// the differential oracle.
     pub fn from_ulm_str(doc: &str) -> Result<Self, LogError> {
         let mut log = TransferLog::new();
+        let mut scratch = ulm::DecodeScratch::new();
         for (i, line) in doc.lines().enumerate() {
             let t = line.trim();
             if t.is_empty() || t.starts_with('#') {
                 continue;
             }
-            let r = ulm::decode(t).map_err(|e| LogError::Parse(i + 1, e))?;
-            log.append(r);
+            let r = ulm::decode_borrowed(t, &mut scratch).map_err(|e| LogError::Parse(i + 1, e))?;
+            log.append(r.to_owned());
         }
         Ok(log)
     }
@@ -170,20 +176,13 @@ impl TransferLog {
     }
 
     /// Load a log from a ULM file.
+    ///
+    /// Reads the document in one shot and decodes it borrowed: a log is
+    /// small next to memory (well under 512 bytes per record) and the
+    /// zero-copy line decoder wants the whole text anyway.
     pub fn load_ulm(path: &Path) -> Result<Self, LogError> {
-        let f = std::fs::File::open(path)?;
-        let reader = io::BufReader::new(f);
-        let mut log = TransferLog::new();
-        for (i, line) in reader.lines().enumerate() {
-            let line = line?;
-            let t = line.trim();
-            if t.is_empty() || t.starts_with('#') {
-                continue;
-            }
-            let r = ulm::decode(t).map_err(|e| LogError::Parse(i + 1, e))?;
-            log.append(r);
-        }
-        Ok(log)
+        let doc = std::fs::read_to_string(path)?;
+        Self::from_ulm_str(&doc)
     }
 
     /// Load a log from a ULM file through the salvage decoder: I/O

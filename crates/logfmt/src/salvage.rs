@@ -135,6 +135,7 @@ pub fn salvage_doc(doc: &str, opts: &SalvageOptions) -> (TransferLog, SalvageRep
     let mut log = TransferLog::new();
     let mut report = SalvageReport::default();
     let mut last_kept: Option<&str> = None;
+    let mut scratch = ulm::DecodeScratch::new();
     for (i, raw) in doc.lines().enumerate() {
         let t = raw.trim();
         if t.is_empty() || t.starts_with('#') {
@@ -163,9 +164,13 @@ pub fn salvage_doc(doc: &str, opts: &SalvageOptions) -> (TransferLog, SalvageRep
             quarantine(SalvageReason::DuplicateLine, &mut report);
             continue;
         }
-        match ulm::decode(content) {
+        // The zero-copy decoder carries the same canonical error order
+        // as the allocating oracle, so quarantine reasons are stable
+        // across both paths (differentially tested).
+        match ulm::decode_borrowed(content, &mut scratch) {
             Err(e) => quarantine(SalvageReason::Parse(e.to_string()), &mut report),
             Ok(r) => {
+                let r = r.to_owned();
                 if opts.validate_records {
                     if let Err(why) = r.validate() {
                         quarantine(SalvageReason::InvalidRecord(why.to_string()), &mut report);

@@ -2,9 +2,30 @@
 //!
 //! The paper logs one `Keyword=Value` line per transfer (§3, citing the
 //! ULM draft used by NetLogger). Values containing whitespace or `"` are
-//! double-quoted with backslash escaping. Every entry is well under the
-//! paper's 512-byte bound — asserted in tests and in the logging-overhead
-//! benchmark.
+//! double-quoted with backslash escaping; the line-framing characters
+//! `\n` and `\r` are escaped (`\n`, `\r`) inside quotes so a hostile
+//! file name can never split a record across physical lines. Every entry
+//! is well under the paper's 512-byte bound — asserted in tests and in
+//! the logging-overhead benchmark.
+//!
+//! Two decode paths exist (DESIGN.md § "Parse hot path"):
+//!
+//! * [`decode`] — the original allocating path (`tokenize` into owned
+//!   pairs, then field lookup). It is the **differential oracle**: slow,
+//!   obviously correct, and property-tested against the fast path on
+//!   every line shape.
+//! * [`decode_borrowed`] — the zero-copy hot path: [`tokenize_bytes`]
+//!   yields borrowed key/value slices, keys are interned to [`UlmKey`],
+//!   and escape expansion (rare) goes through a caller-owned
+//!   [`DecodeScratch`] arena. The result, [`TransferRecordRef`], borrows
+//!   from the line and the scratch; [`TransferRecordRef::to_owned`]
+//!   materialises a [`TransferRecord`] when ownership is needed.
+//!
+//! Both paths implement the same canonical error-evaluation order, so
+//! they agree on *which* error a malformed line produces: tokenizer
+//! error first (leftmost), then duplicate keys (leftmost second
+//! occurrence), then a present-but-corrupt `BW_KBS`, then `OP`, then the
+//! remaining fields in record-declaration order.
 
 use std::fmt::Write as _;
 
@@ -41,7 +62,7 @@ pub mod keys {
 /// Errors from parsing a ULM line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UlmError {
-    /// A token was not of `KEY=VALUE` form.
+    /// A token was not of `KEY=VALUE` form, or a key appeared twice.
     Malformed(String),
     /// A quoted value was never closed.
     UnterminatedQuote,
@@ -64,9 +85,92 @@ impl std::fmt::Display for UlmError {
 
 impl std::error::Error for UlmError {}
 
-/// Quote a value if it needs quoting.
+/// The interned keyword table: every keyword our encoder emits, as a
+/// dense index. The zero-copy decoder matches raw key bytes against this
+/// table once and then works with array slots instead of string
+/// comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UlmKey {
+    /// `SRC`
+    Src = 0,
+    /// `HOST`
+    Host = 1,
+    /// `FILE`
+    File = 2,
+    /// `SIZE`
+    Size = 3,
+    /// `VOL`
+    Vol = 4,
+    /// `START`
+    Start = 5,
+    /// `END`
+    End = 6,
+    /// `SECS`
+    Secs = 7,
+    /// `BW_KBS`
+    Bw = 8,
+    /// `OP`
+    Op = 9,
+    /// `STREAMS`
+    Streams = 10,
+    /// `BUF`
+    Buf = 11,
+}
+
+impl UlmKey {
+    /// Number of interned keywords (slot-array size).
+    pub const COUNT: usize = 12;
+
+    /// Intern a raw key. Returns `None` for unknown keywords (foreign
+    /// keys such as the `CRC` integrity trailer are tolerated by decode,
+    /// exactly like the allocating oracle).
+    #[inline]
+    pub fn intern(key: &str) -> Option<UlmKey> {
+        Some(match key.as_bytes() {
+            b"SRC" => UlmKey::Src,
+            b"HOST" => UlmKey::Host,
+            b"FILE" => UlmKey::File,
+            b"SIZE" => UlmKey::Size,
+            b"VOL" => UlmKey::Vol,
+            b"START" => UlmKey::Start,
+            b"END" => UlmKey::End,
+            b"SECS" => UlmKey::Secs,
+            b"BW_KBS" => UlmKey::Bw,
+            b"OP" => UlmKey::Op,
+            b"STREAMS" => UlmKey::Streams,
+            b"BUF" => UlmKey::Buf,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's canonical spelling (the `keys` constant).
+    pub const fn name(self) -> &'static str {
+        match self {
+            UlmKey::Src => keys::SRC,
+            UlmKey::Host => keys::HOST,
+            UlmKey::File => keys::FILE,
+            UlmKey::Size => keys::SIZE,
+            UlmKey::Vol => keys::VOL,
+            UlmKey::Start => keys::START,
+            UlmKey::End => keys::END,
+            UlmKey::Secs => keys::SECS,
+            UlmKey::Bw => keys::BW,
+            UlmKey::Op => keys::OP,
+            UlmKey::Streams => keys::STREAMS,
+            UlmKey::Buf => keys::BUF,
+        }
+    }
+}
+
+/// Quote a value if it needs quoting, escaping the quote, backslash and
+/// line-framing characters. Any whitespace (including Unicode whitespace
+/// like U+0085, which the tokenizer treats as a separator) and any
+/// control character forces quoting — otherwise the value would split or
+/// corrupt the physical line.
 fn encode_value(out: &mut String, v: &str) {
-    let needs_quote = v.is_empty() || v.contains([' ', '\t', '"', '=']);
+    let needs_quote = v.is_empty()
+        || v.chars()
+            .any(|c| matches!(c, '"' | '=' | '\\') || c.is_whitespace() || c.is_control());
     if !needs_quote {
         out.push_str(v);
         return;
@@ -76,10 +180,27 @@ fn encode_value(out: &mut String, v: &str) {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
+            // The two characters that break line framing (`str::lines`
+            // splits on `\n` and strips a trailing `\r`) are the only
+            // ones that must not appear raw even inside quotes.
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
             _ => out.push(c),
         }
     }
     out.push('"');
+}
+
+/// Expand one escape sequence character: the inverse of [`encode_value`].
+/// Unknown escapes decode to the escaped character itself (so legacy
+/// `\x` sequences keep their old meaning).
+#[inline]
+fn unescape_char(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        other => other,
+    }
 }
 
 /// Encode a record as one ULM line (no trailing newline).
@@ -125,6 +246,10 @@ pub fn encode(r: &TransferRecord) -> String {
 }
 
 /// Split a ULM line into `(key, value)` pairs, handling quoting.
+///
+/// This is the allocating reference path, kept as the differential
+/// oracle for [`tokenize_bytes`]; production decoding goes through the
+/// borrowed tokenizer.
 pub fn tokenize(line: &str) -> Result<Vec<(String, String)>, UlmError> {
     let mut out = Vec::new();
     let mut chars = line.chars().peekable();
@@ -157,7 +282,7 @@ pub fn tokenize(line: &str) -> Result<Vec<(String, String)>, UlmError> {
             while let Some(c) = chars.next() {
                 match c {
                     '\\' => match chars.next() {
-                        Some(e) => val.push(e),
+                        Some(e) => val.push(unescape_char(e)),
                         None => return Err(UlmError::UnterminatedQuote),
                     },
                     '"' => {
@@ -184,9 +309,502 @@ pub fn tokenize(line: &str) -> Result<Vec<(String, String)>, UlmError> {
     Ok(out)
 }
 
+/// A borrowed value slice from [`tokenize_bytes`]: the raw content
+/// (between the quotes, for quoted values) plus whether any backslash
+/// escapes remain to be expanded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawValue<'a> {
+    /// Raw value bytes as they appear on the line (escapes unexpanded).
+    pub raw: &'a str,
+    /// Whether `raw` contains backslash escapes. Always `false` for
+    /// unquoted values — escapes only exist inside quotes.
+    pub escaped: bool,
+}
+
+impl<'a> RawValue<'a> {
+    /// The unescaped value, borrowing from the line when no escapes are
+    /// present (the overwhelmingly common case).
+    pub fn unescaped(&self) -> std::borrow::Cow<'a, str> {
+        if !self.escaped {
+            return std::borrow::Cow::Borrowed(self.raw);
+        }
+        let mut out = String::with_capacity(self.raw.len());
+        self.unescape_into(&mut out);
+        std::borrow::Cow::Owned(out)
+    }
+
+    /// Append the unescaped value to `out` (arena-style expansion; no
+    /// intermediate allocation).
+    pub fn unescape_into(&self, out: &mut String) {
+        if !self.escaped {
+            out.push_str(self.raw);
+            return;
+        }
+        let mut chars = self.raw.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                // The tokenizer guarantees a character follows every
+                // backslash (else the quote was unterminated).
+                if let Some(e) = chars.next() {
+                    out.push(unescape_char(e));
+                }
+            } else {
+                out.push(c);
+            }
+        }
+    }
+}
+
+/// One `KEY=VALUE` token borrowed from a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawToken<'a> {
+    /// The keyword (never quoted, never escaped).
+    pub key: &'a str,
+    /// The value, possibly still carrying escapes.
+    pub value: RawValue<'a>,
+}
+
+/// Whether the ASCII byte is whitespace in the `char::is_whitespace`
+/// sense (U+0009..U+000D and space).
+#[inline]
+fn is_ascii_ws(b: u8) -> bool {
+    matches!(b, b'\t'..=b'\r' | b' ')
+}
+
+/// Byte width of the UTF-8 character starting at `i` (must be a char
+/// boundary of a valid str).
+#[inline]
+fn char_width(s: &str, i: usize) -> usize {
+    let b = s.as_bytes()[i];
+    if b < 0x80 {
+        1
+    } else if b < 0xE0 {
+        2
+    } else if b < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+/// If the character starting at byte `i` is whitespace, its byte width.
+/// ASCII is answered from the byte alone; multi-byte characters are
+/// decoded to preserve exact `char::is_whitespace` semantics (U+0085,
+/// U+2028, ... are separators to the allocating oracle too).
+#[inline]
+fn ws_width(s: &str, i: usize) -> Option<usize> {
+    let b = s.as_bytes()[i];
+    if b < 0x80 {
+        return is_ascii_ws(b).then_some(1);
+    }
+    let c = s[i..].chars().next()?;
+    c.is_whitespace().then(|| c.len_utf8())
+}
+
+/// Tokenize a ULM line without allocating: an iterator of borrowed
+/// [`RawToken`]s. Stops after the first error (further `next` calls
+/// return `None`).
+///
+/// Differentially tested against the allocating [`tokenize`]: both paths
+/// produce the same pairs and the same first error on every input.
+pub fn tokenize_bytes(line: &str) -> TokenIter<'_> {
+    TokenIter {
+        line,
+        pos: 0,
+        failed: false,
+    }
+}
+
+/// Iterator state for [`tokenize_bytes`].
+#[derive(Debug, Clone)]
+pub struct TokenIter<'a> {
+    line: &'a str,
+    pos: usize,
+    failed: bool,
+}
+
+impl<'a> TokenIter<'a> {
+    fn fail(&mut self, e: UlmError) -> Option<Result<RawToken<'a>, UlmError>> {
+        self.failed = true;
+        Some(Err(e))
+    }
+}
+
+impl<'a> Iterator for TokenIter<'a> {
+    type Item = Result<RawToken<'a>, UlmError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        // The scan loops branch on the raw byte first and fall back to
+        // `ws_width`/`char_width` only for non-ASCII, so the dominant
+        // all-ASCII case runs a couple of instructions per byte.
+        let line = self.line;
+        let bytes = line.as_bytes();
+        let len = bytes.len();
+        let mut i = self.pos;
+        // Inter-token whitespace.
+        loop {
+            if i >= len {
+                self.pos = i;
+                return None;
+            }
+            let b = bytes[i];
+            if b < 0x80 {
+                if !is_ascii_ws(b) {
+                    break;
+                }
+                i += 1;
+            } else {
+                match ws_width(line, i) {
+                    Some(n) => i += n,
+                    None => break,
+                }
+            }
+        }
+        // Key: up to `=`, whitespace, or end of line.
+        let key_start = i;
+        let mut saw_eq = false;
+        let mut key_end = len;
+        while i < len {
+            let b = bytes[i];
+            if b == b'=' {
+                saw_eq = true;
+                key_end = i;
+                i += 1;
+                break;
+            }
+            if b < 0x80 {
+                if is_ascii_ws(b) {
+                    key_end = i;
+                    break;
+                }
+                i += 1;
+            } else if ws_width(line, i).is_some() {
+                key_end = i;
+                break;
+            } else {
+                i += char_width(line, i);
+            }
+        }
+        let key = &line[key_start..key_end];
+        if !saw_eq || key.is_empty() {
+            return self.fail(UlmError::Malformed(key.to_string()));
+        }
+        // Value: quoted (with escapes) or bare up to whitespace.
+        if i < len && bytes[i] == b'"' {
+            i += 1;
+            let val_start = i;
+            let mut escaped = false;
+            loop {
+                if i >= len {
+                    return self.fail(UlmError::UnterminatedQuote);
+                }
+                let b = bytes[i];
+                if b == b'"' {
+                    break;
+                }
+                if b == b'\\' {
+                    escaped = true;
+                    i += 1;
+                    if i >= len {
+                        return self.fail(UlmError::UnterminatedQuote);
+                    }
+                    i += char_width(line, i);
+                } else if b < 0x80 {
+                    i += 1;
+                } else {
+                    i += char_width(line, i);
+                }
+            }
+            let raw = &line[val_start..i];
+            i += 1; // closing quote
+            self.pos = i;
+            Some(Ok(RawToken {
+                key,
+                value: RawValue { raw, escaped },
+            }))
+        } else {
+            let val_start = i;
+            while i < len {
+                let b = bytes[i];
+                if b < 0x80 {
+                    if is_ascii_ws(b) {
+                        break;
+                    }
+                    i += 1;
+                } else if ws_width(line, i).is_some() {
+                    break;
+                } else {
+                    i += char_width(line, i);
+                }
+            }
+            self.pos = i;
+            Some(Ok(RawToken {
+                key,
+                value: RawValue {
+                    raw: &line[val_start..i],
+                    escaped: false,
+                },
+            }))
+        }
+    }
+}
+
+/// Reusable scratch state for [`decode_borrowed`]: a string arena that
+/// backs escape-expanded field values. One scratch serves a whole
+/// document — it is cleared per line, and only lines that actually
+/// contain escapes touch it at all.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    arena: String,
+}
+
+impl DecodeScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A decoded transfer record whose string fields borrow from the source
+/// line (or the [`DecodeScratch`] arena when escapes were expanded).
+/// The borrowed twin of [`TransferRecord`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferRecordRef<'a> {
+    /// Remote endpoint address.
+    pub source: &'a str,
+    /// Logging server hostname.
+    pub host: &'a str,
+    /// File path.
+    pub file_name: &'a str,
+    /// File size in bytes.
+    pub file_size: u64,
+    /// Logical volume.
+    pub volume: &'a str,
+    /// Start timestamp (Unix seconds).
+    pub start_unix: u64,
+    /// End timestamp (Unix seconds).
+    pub end_unix: u64,
+    /// Total transfer seconds.
+    pub total_time_s: f64,
+    /// Parallel stream count.
+    pub streams: u32,
+    /// TCP buffer bytes.
+    pub tcp_buffer: u64,
+    /// Operation direction.
+    pub operation: Operation,
+}
+
+impl TransferRecordRef<'_> {
+    /// End-to-end bandwidth in KB/s — same definition as
+    /// [`TransferRecord::bandwidth_kbs`].
+    pub fn bandwidth_kbs(&self) -> f64 {
+        if self.total_time_s <= 0.0 {
+            return 0.0;
+        }
+        self.file_size as f64 / self.total_time_s / 1_000.0
+    }
+
+    /// Materialise an owned [`TransferRecord`].
+    pub fn to_owned(&self) -> TransferRecord {
+        TransferRecord {
+            source: self.source.to_string(),
+            host: self.host.to_string(),
+            file_name: self.file_name.to_string(),
+            file_size: self.file_size,
+            volume: self.volume.to_string(),
+            start_unix: self.start_unix,
+            end_unix: self.end_unix,
+            total_time_s: self.total_time_s,
+            streams: self.streams,
+            tcp_buffer: self.tcp_buffer,
+            operation: self.operation,
+        }
+    }
+}
+
+/// A string field's location before the arena is frozen: still on the
+/// line, or a span of the arena (escape-expanded).
+#[derive(Clone, Copy)]
+enum Sp<'a> {
+    Line(&'a str),
+    Arena(usize, usize),
+}
+
+fn field_span<'a>(
+    v: Option<RawValue<'a>>,
+    key: &'static str,
+    arena: &mut String,
+) -> Result<Sp<'a>, UlmError> {
+    let v = v.ok_or(UlmError::MissingKey(key))?;
+    if !v.escaped {
+        return Ok(Sp::Line(v.raw));
+    }
+    let mark = arena.len();
+    v.unescape_into(arena);
+    Ok(Sp::Arena(mark, arena.len()))
+}
+
+fn field_num<T: std::str::FromStr>(
+    v: Option<RawValue<'_>>,
+    key: &'static str,
+) -> Result<T, UlmError> {
+    let v = v.ok_or(UlmError::MissingKey(key))?;
+    let text = v.unescaped();
+    text.parse()
+        .map_err(|_| UlmError::BadValue(key, text.into_owned()))
+}
+
+/// `str::parse::<u64>` fast path: up to `max_digits` ASCII digits — the
+/// only shape the encoder emits. `max_digits` must be chosen so the
+/// accumulator cannot overflow (19 for u64, 9 for u32). Anything else
+/// returns `None` and the caller falls back to std parsing, so the
+/// accepted language is exactly `FromStr`'s.
+#[inline]
+fn parse_digits_fast(s: &str, max_digits: usize) -> Option<u64> {
+    let b = s.as_bytes();
+    if b.is_empty() || b.len() > max_digits {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &d in b {
+        if !d.is_ascii_digit() {
+            return None;
+        }
+        v = v * 10 + (d - b'0') as u64;
+    }
+    Some(v)
+}
+
+fn field_u64(v: Option<RawValue<'_>>, key: &'static str) -> Result<u64, UlmError> {
+    if let Some(rv) = v {
+        if !rv.escaped {
+            if let Some(n) = parse_digits_fast(rv.raw, 19) {
+                return Ok(n);
+            }
+        }
+    }
+    field_num(v, key)
+}
+
+fn field_u32(v: Option<RawValue<'_>>, key: &'static str) -> Result<u32, UlmError> {
+    if let Some(rv) = v {
+        if !rv.escaped {
+            if let Some(n) = parse_digits_fast(rv.raw, 9) {
+                return Ok(n as u32);
+            }
+        }
+    }
+    field_num(v, key)
+}
+
+/// Parse one ULM line into a borrowed [`TransferRecordRef`] — the
+/// zero-copy hot path. No allocation occurs unless the line contains
+/// escape sequences (then the expansion lands in `scratch`'s arena) or
+/// unknown keywords (tracked for duplicate detection).
+///
+/// Differentially tested against the allocating oracle [`decode`]: both
+/// paths produce the same record or the same error on every line.
+pub fn decode_borrowed<'a>(
+    line: &'a str,
+    scratch: &'a mut DecodeScratch,
+) -> Result<TransferRecordRef<'a>, UlmError> {
+    scratch.arena.clear();
+    let mut slots: [Option<RawValue<'a>>; UlmKey::COUNT] = [None; UlmKey::COUNT];
+    let mut unknown: Vec<&'a str> = Vec::new();
+    let mut dup: Option<&'a str> = None;
+    // Canonical error order, step 1+2: consume every token so a
+    // tokenizer error anywhere on the line wins over an earlier
+    // duplicate (exactly what the oracle's tokenize-then-check does).
+    for tok in tokenize_bytes(line) {
+        let tok = tok?;
+        match UlmKey::intern(tok.key) {
+            Some(k) => {
+                let slot = &mut slots[k as usize];
+                if slot.is_some() {
+                    dup.get_or_insert(tok.key);
+                } else {
+                    *slot = Some(tok.value);
+                }
+            }
+            None => {
+                if unknown.contains(&tok.key) {
+                    dup.get_or_insert(tok.key);
+                } else {
+                    unknown.push(tok.key);
+                }
+            }
+        }
+    }
+    if let Some(k) = dup {
+        return Err(UlmError::Malformed(format!("duplicate key {k}")));
+    }
+    // Step 3: a present-but-corrupt BW field (value unparsable or
+    // non-finite) marks the line damaged even though BW is derived.
+    if let Some(v) = slots[UlmKey::Bw as usize] {
+        let bw: f64 = field_num(Some(v), keys::BW)?;
+        if !bw.is_finite() {
+            return Err(UlmError::BadValue(keys::BW, v.unescaped().into_owned()));
+        }
+    }
+    // Step 4: the operation.
+    let operation = {
+        let v = slots[UlmKey::Op as usize].ok_or(UlmError::MissingKey(keys::OP))?;
+        let text = v.unescaped();
+        Operation::parse(&text).ok_or_else(|| UlmError::BadValue(keys::OP, text.into_owned()))?
+    };
+    // Step 5: remaining fields in record-declaration order.
+    let arena = &mut scratch.arena;
+    let source = field_span(slots[UlmKey::Src as usize], keys::SRC, arena)?;
+    let host = field_span(slots[UlmKey::Host as usize], keys::HOST, arena)?;
+    let file_name = field_span(slots[UlmKey::File as usize], keys::FILE, arena)?;
+    let file_size = field_u64(slots[UlmKey::Size as usize], keys::SIZE)?;
+    let volume = field_span(slots[UlmKey::Vol as usize], keys::VOL, arena)?;
+    let start_unix = field_u64(slots[UlmKey::Start as usize], keys::START)?;
+    let end_unix = field_u64(slots[UlmKey::End as usize], keys::END)?;
+    let total_time_s: f64 = field_num(slots[UlmKey::Secs as usize], keys::SECS)?;
+    let streams = field_u32(slots[UlmKey::Streams as usize], keys::STREAMS)?;
+    let tcp_buffer = field_u64(slots[UlmKey::Buf as usize], keys::BUF)?;
+
+    let arena: &'a str = scratch.arena.as_str();
+    let resolve = |sp: Sp<'a>| -> &'a str {
+        match sp {
+            Sp::Line(s) => s,
+            Sp::Arena(a, b) => &arena[a..b],
+        }
+    };
+    Ok(TransferRecordRef {
+        source: resolve(source),
+        host: resolve(host),
+        file_name: resolve(file_name),
+        file_size,
+        volume: resolve(volume),
+        start_unix,
+        end_unix,
+        total_time_s,
+        streams,
+        tcp_buffer,
+        operation,
+    })
+}
+
 /// Parse one ULM line into a [`TransferRecord`].
+///
+/// This is the allocating reference decoder — the differential oracle
+/// for [`decode_borrowed`]. Production loading goes through the borrowed
+/// path; this one stays because it is short enough to audit by eye.
 pub fn decode(line: &str) -> Result<TransferRecord, UlmError> {
     let pairs = tokenize(line)?;
+    // Duplicate keys are ambiguous: which occurrence is the record? A
+    // deterministic, salvage-quarantinable error beats silently taking
+    // the first.
+    for i in 1..pairs.len() {
+        if pairs[..i].iter().any(|(k, _)| k == &pairs[i].0) {
+            return Err(UlmError::Malformed(format!("duplicate key {}", pairs[i].0)));
+        }
+    }
     let get = |k: &'static str| -> Result<&str, UlmError> {
         pairs
             .iter()
@@ -212,10 +830,15 @@ pub fn decode(line: &str) -> Result<TransferRecord, UlmError> {
 
     // BW_KBS is derived from SIZE/SECS at encode time and recomputed on
     // demand after reload, so its value is not stored — but a present,
-    // unparsable BW field means the line is corrupt, not merely stale.
+    // unparsable or non-finite BW field means the line is corrupt, not
+    // merely stale (chaos-corrupted lines must not pass as `NaN`/`inf`).
     if let Ok(bw) = get(keys::BW) {
-        bw.parse::<f64>()
+        let parsed: f64 = bw
+            .parse()
             .map_err(|_| UlmError::BadValue(keys::BW, bw.to_string()))?;
+        if !parsed.is_finite() {
+            return Err(UlmError::BadValue(keys::BW, bw.to_string()));
+        }
     }
 
     let op_str = get(keys::OP)?;
@@ -272,6 +895,33 @@ mod tests {
     }
 
     #[test]
+    fn newline_in_file_name_stays_on_one_line() {
+        // Regression: a file name containing a newline used to split the
+        // record across two physical lines, corrupting CRC framing.
+        let mut r = sample_record();
+        r.file_name = "/evil/na\nme\rwith\u{0085}breaks".to_string();
+        let line = encode(&r);
+        assert_eq!(line.lines().count(), 1, "{line:?}");
+        assert!(!line.contains('\n'));
+        assert!(!line.contains('\r'));
+        let back = decode(&line).unwrap();
+        assert_eq!(back.file_name, r.file_name);
+    }
+
+    #[test]
+    fn control_characters_roundtrip() {
+        let mut r = sample_record();
+        r.volume = "a\u{0}b\u{7}c\td".to_string();
+        let line = encode(&r);
+        assert_eq!(decode(&line).unwrap().volume, r.volume);
+        let mut scratch = DecodeScratch::new();
+        assert_eq!(
+            decode_borrowed(&line, &mut scratch).unwrap().volume,
+            r.volume
+        );
+    }
+
+    #[test]
     fn tokenize_handles_plain_pairs() {
         let toks = tokenize("A=1 B=two C=3.5").unwrap();
         assert_eq!(
@@ -285,8 +935,28 @@ mod tests {
     }
 
     #[test]
+    fn tokenize_bytes_agrees_on_plain_pairs() {
+        let toks: Vec<_> = tokenize_bytes("A=1 B=\"t o\" C=3.5")
+            .map(|t| t.unwrap())
+            .map(|t| (t.key.to_string(), t.value.unescaped().into_owned()))
+            .collect();
+        assert_eq!(
+            toks,
+            vec![
+                ("A".into(), "1".into()),
+                ("B".into(), "t o".into()),
+                ("C".into(), "3.5".into())
+            ]
+        );
+    }
+
+    #[test]
     fn tokenize_rejects_missing_equals() {
         assert!(matches!(tokenize("JUNK"), Err(UlmError::Malformed(_))));
+        assert!(matches!(
+            tokenize_bytes("JUNK").next(),
+            Some(Err(UlmError::Malformed(_)))
+        ));
     }
 
     #[test]
@@ -295,6 +965,18 @@ mod tests {
             tokenize("A=\"open"),
             Err(UlmError::UnterminatedQuote)
         ));
+        assert!(matches!(
+            tokenize_bytes("A=\"open").next(),
+            Some(Err(UlmError::UnterminatedQuote))
+        ));
+    }
+
+    #[test]
+    fn token_iter_fuses_after_error() {
+        let mut it = tokenize_bytes("A=1 JUNK B=2");
+        assert!(it.next().unwrap().is_ok());
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
     }
 
     #[test]
@@ -319,6 +1001,44 @@ mod tests {
     }
 
     #[test]
+    fn decode_rejects_non_finite_bandwidth() {
+        // Regression: `BW=NaN`/`BW=inf` parse as valid f64 and used to
+        // slip past the corrupt-BW guard.
+        for bad in ["NaN", "inf", "-inf", "infinity"] {
+            let line = encode(&sample_record()).replace("BW_KBS=2560.0", &format!("BW_KBS={bad}"));
+            assert!(
+                matches!(decode(&line), Err(UlmError::BadValue("BW_KBS", _))),
+                "BW={bad} must be rejected"
+            );
+            let mut scratch = DecodeScratch::new();
+            assert!(
+                matches!(
+                    decode_borrowed(&line, &mut scratch),
+                    Err(UlmError::BadValue("BW_KBS", _))
+                ),
+                "borrowed path must reject BW={bad} too"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_keys() {
+        // Regression: a duplicated key used to silently resolve to the
+        // first occurrence — ambiguous records now fail deterministically.
+        let line = format!("{} SIZE=999", encode(&sample_record()));
+        let expect = Err(UlmError::Malformed("duplicate key SIZE".to_string()));
+        assert_eq!(decode(&line), expect);
+        let mut scratch = DecodeScratch::new();
+        assert_eq!(
+            decode_borrowed(&line, &mut scratch).map(|r| r.to_owned()),
+            expect
+        );
+        // Unknown keys count too (a doubled CRC trailer is damage).
+        let line = format!("{} ZZZ=1 ZZZ=2", encode(&sample_record()));
+        assert!(matches!(decode(&line), Err(UlmError::Malformed(_))));
+    }
+
+    #[test]
     fn empty_value_is_quoted_and_roundtrips() {
         let mut r = sample_record();
         r.volume = String::new();
@@ -331,5 +1051,75 @@ mod tests {
     fn bandwidth_field_matches_derivation() {
         let line = encode(&sample_record());
         assert!(line.contains("BW_KBS=2560.0"), "{line}");
+    }
+
+    #[test]
+    fn borrowed_decode_matches_oracle_on_sample() {
+        let line = encode(&sample_record());
+        let oracle = decode(&line).unwrap();
+        let mut scratch = DecodeScratch::new();
+        let fast = decode_borrowed(&line, &mut scratch).unwrap();
+        assert_eq!(fast.to_owned(), oracle);
+        assert!((fast.bandwidth_kbs() - oracle.bandwidth_kbs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn borrowed_decode_borrows_from_the_line_when_unescaped() {
+        let line = encode(&sample_record());
+        let mut scratch = DecodeScratch::new();
+        let fast = decode_borrowed(&line, &mut scratch).unwrap();
+        // No escapes in the sample: fields alias the line buffer.
+        let line_range = line.as_ptr() as usize..line.as_ptr() as usize + line.len();
+        assert!(line_range.contains(&(fast.host.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_lines() {
+        let mut escaped = sample_record();
+        escaped.file_name = "a\"b\nc".to_string();
+        let lines = [encode(&sample_record()), encode(&escaped)];
+        let mut scratch = DecodeScratch::new();
+        for line in &lines {
+            let fast = decode_borrowed(line, &mut scratch).unwrap();
+            assert_eq!(fast.to_owned(), decode(line).unwrap());
+        }
+    }
+
+    #[test]
+    fn interned_keys_cover_the_schema() {
+        for k in [
+            keys::SRC,
+            keys::HOST,
+            keys::FILE,
+            keys::SIZE,
+            keys::VOL,
+            keys::START,
+            keys::END,
+            keys::SECS,
+            keys::BW,
+            keys::OP,
+            keys::STREAMS,
+            keys::BUF,
+        ] {
+            let interned = UlmKey::intern(k).expect("schema key must intern");
+            assert_eq!(interned.name(), k);
+        }
+        assert_eq!(UlmKey::intern("CRC"), None);
+        assert_eq!(UlmKey::intern(""), None);
+    }
+
+    #[test]
+    fn unicode_whitespace_in_values_is_quoted_and_roundtrips() {
+        // U+0085 NEL is whitespace to the tokenizer; unquoted it used to
+        // split the value. The encoder must quote it.
+        let mut r = sample_record();
+        r.volume = "a\u{0085}b\u{2028}c".to_string();
+        let line = encode(&r);
+        assert_eq!(decode(&line).unwrap().volume, r.volume);
+        let mut scratch = DecodeScratch::new();
+        assert_eq!(
+            decode_borrowed(&line, &mut scratch).unwrap().volume,
+            r.volume
+        );
     }
 }

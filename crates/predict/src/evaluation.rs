@@ -28,12 +28,12 @@
 //! assert!(reports[0].mape().unwrap() < 1e-9);
 //! ```
 
-use wanpred_logfmt::TransferLog;
+use wanpred_logfmt::{LogError, TransferLog};
 use wanpred_obs::{names, ObsSink};
 
 use crate::eval::{naive_replay, EvalOptions, PredictorReport};
 use crate::incremental::incremental_replay;
-use crate::observation::{observations_from_log, sort_by_time, Observation};
+use crate::observation::{observations_from_log, observations_from_ulm, sort_by_time, Observation};
 use crate::registry::{full_suite, NamedPredictor};
 
 /// Which replay engine scores the suite.
@@ -113,6 +113,17 @@ impl Evaluation {
         let mut series = observations_from_log(log);
         sort_by_time(&mut series);
         self.run(&series)
+    }
+
+    /// Parse a ULM document straight into observations (the zero-copy
+    /// ingest path, [`observations_from_ulm`]), sort by start time, and
+    /// [`run`](Evaluation::run) it. Produces reports identical to
+    /// loading the document into a [`TransferLog`] first and calling
+    /// [`run_log`](Evaluation::run_log), without materialising the log.
+    pub fn run_ulm(&self, doc: &str) -> Result<Vec<PredictorReport>, LogError> {
+        let mut series = observations_from_ulm(doc)?;
+        sort_by_time(&mut series);
+        Ok(self.run(&series))
     }
 
     /// The borrowed-suite core every entry point funnels through:
@@ -296,6 +307,28 @@ mod tests {
         // 5 targets after training; a constant-bandwidth log is exact.
         assert_eq!(reports[0].outcomes.len(), 5);
         assert!(reports[0].mape().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn run_ulm_matches_run_log() {
+        let mut log = TransferLog::new();
+        for i in 0..25u64 {
+            let mut r = sample_record();
+            r.start_unix = 1_000 + i * 600;
+            r.end_unix = r.start_unix + 4;
+            r.total_time_s = 3.5 + (i as f64 * 0.37) % 2.0;
+            log.append(r);
+        }
+        let eval = Evaluation::builder().suite(paper_suite(false)).build();
+        let via_log = eval.run_log(&log);
+        let via_ulm = eval.run_ulm(&log.to_ulm_string()).expect("own encoding");
+        assert_eq!(via_log.len(), via_ulm.len());
+        for (a, b) in via_log.iter().zip(&via_ulm) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.declined, b.declined);
+        }
+        assert!(eval.run_ulm("definitely not ULM\n").is_err());
     }
 
     #[test]

@@ -83,7 +83,9 @@ pub mod prelude {
     pub use crate::last::LastValue;
     pub use crate::mean::{EwmaPredictor, MeanPredictor};
     pub use crate::median::MedianPredictor;
-    pub use crate::observation::{observations_from_log, sort_by_time, Observation};
+    pub use crate::observation::{
+        observations_from_log, observations_from_ulm, sort_by_time, Observation,
+    };
     pub use crate::predictor::{Predictor, PredictorSpec};
     pub use crate::registry::{
         extended_suite, full_suite, paper_predictors, paper_suite, predictor_by_name,

@@ -9,7 +9,8 @@
 //! (§4.1) look only at the bandwidth values.
 
 use serde::{Deserialize, Serialize};
-use wanpred_logfmt::{TransferLog, TransferRecord};
+use wanpred_logfmt::ulm::{decode_borrowed, DecodeScratch, TransferRecordRef};
+use wanpred_logfmt::{LogError, TransferLog, TransferRecord};
 
 /// One historical throughput observation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,6 +57,18 @@ impl Observation {
             tcp_buffer: r.tcp_buffer,
         }
     }
+
+    /// Build from a borrowed record (the zero-copy decode path); same
+    /// fields as [`Observation::from_record`].
+    pub fn from_ref(r: &TransferRecordRef<'_>) -> Self {
+        Observation {
+            at_unix: r.start_unix,
+            bandwidth_kbs: r.bandwidth_kbs(),
+            file_size: r.file_size,
+            streams: r.streams,
+            tcp_buffer: r.tcp_buffer,
+        }
+    }
 }
 
 /// Extract the observation series from a transfer log, in log order.
@@ -65,6 +78,30 @@ impl Observation {
 /// [`sort_by_time`] afterwards.
 pub fn observations_from_log(log: &TransferLog) -> Vec<Observation> {
     log.records().iter().map(Observation::from_record).collect()
+}
+
+/// Extract the observation series straight from a ULM document, in
+/// document order, without materialising a [`TransferLog`] in between.
+///
+/// This is the ingest half of the parse hot path: each line is decoded
+/// borrowed ([`decode_borrowed`]) and reduced to its numeric
+/// [`Observation`] on the spot, so the only allocation that grows with
+/// the document is the output vector itself. Grammar, skipping rules
+/// (blank lines, `#` comments) and errors are identical to
+/// [`TransferLog::from_ulm_str`] — differentially tested in
+/// `tests/parse_differential.rs`.
+pub fn observations_from_ulm(doc: &str) -> Result<Vec<Observation>, LogError> {
+    let mut out = Vec::new();
+    let mut scratch = DecodeScratch::new();
+    for (i, line) in doc.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let r = decode_borrowed(t, &mut scratch).map_err(|e| LogError::Parse(i + 1, e))?;
+        out.push(Observation::from_ref(&r));
+    }
+    Ok(out)
 }
 
 /// Sort a series by timestamp (stable, preserving log order among ties).
@@ -98,5 +135,30 @@ mod tests {
         assert_eq!(obs.iter().map(|o| o.at_unix).collect::<Vec<_>>(), [5, 3, 9]);
         sort_by_time(&mut obs);
         assert_eq!(obs.iter().map(|o| o.at_unix).collect::<Vec<_>>(), [3, 5, 9]);
+    }
+
+    #[test]
+    fn ulm_extraction_matches_log_extraction() {
+        let mut log = TransferLog::new();
+        for i in 0..10u64 {
+            let mut r = sample_record();
+            r.start_unix += i * 600;
+            r.end_unix = r.start_unix + 4;
+            r.file_size += i * 1_000;
+            log.append(r);
+        }
+        let doc = format!("# header\n\n{}", log.to_ulm_string());
+        let direct = observations_from_ulm(&doc).expect("own encoding parses");
+        assert_eq!(direct, observations_from_log(&log));
+    }
+
+    #[test]
+    fn ulm_extraction_reports_line_numbers() {
+        let good = wanpred_logfmt::encode(&sample_record());
+        let doc = format!("{good}\nnot a record\n");
+        match observations_from_ulm(&doc) {
+            Err(LogError::Parse(n, _)) => assert_eq!(n, 2),
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,257 @@
+//! A sorted-vector map for hot, mostly-monotonic keyed state.
+//!
+//! The replay engine's per-flow state lives in maps keyed by monotonic
+//! counters (flow ids, inflight transfer ids). A `BTreeMap` gives the
+//! deterministic ascending iteration the tidy rules demand, but pays
+//! node allocation and pointer chasing on every touch of the hot loop.
+//! [`VecMap`] keeps the same contract — unique keys, ascending
+//! iteration order, `O(log n)` lookup — in one contiguous allocation:
+//! a `Vec<(K, V)>` sorted by key with binary-search lookup and an
+//! append fast path for keys larger than the current maximum (the
+//! *only* case the engines generate, making inserts amortised `O(1)`).
+//!
+//! Removal is `Vec::remove` (ordered, `O(n)`), not `swap_remove`: order
+//! is the determinism contract, and the tidy `vec-swap-remove` rule
+//! bans the tempting wrong call in simulation crates. For replay-sized
+//! flow tables the memmove is cheaper than the `BTreeMap` rebalance it
+//! replaces.
+
+/// A map from ordered keys to values, stored as a key-sorted vector.
+///
+/// Drop-in for the subset of the `BTreeMap` API the simulation engines
+/// use. Iteration order is ascending by key, always.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VecMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K, V> Default for VecMap<K, V> {
+    fn default() -> Self {
+        VecMap {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: Ord, V> VecMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remove all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Position of `key` if present, else where it would insert.
+    fn find(&self, key: &K) -> Result<usize, usize> {
+        // Fast path: at or past the maximum (monotonic workloads).
+        match self.entries.last() {
+            None => Err(0),
+            Some((last, _)) if *last < *key => Err(self.entries.len()),
+            Some((last, _)) if *last == *key => Ok(self.entries.len() - 1),
+            _ => self.entries.binary_search_by(|(k, _)| k.cmp(key)),
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key).is_ok()
+    }
+
+    /// Borrow the value for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.find(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Mutably borrow the value for `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.find(key) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Insert `key → value`, returning the previous value if the key
+    /// was present. Keys above the current maximum append in `O(1)`.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.find(&key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Remove `key`, returning its value if present. Keeps the
+    /// remaining entries in ascending order (ordered removal, not
+    /// `swap_remove` — iteration order is the determinism contract).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        match self.find(key) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Iterate `(&key, &value)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> + '_ {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Iterate values mutably, in ascending key order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> + '_ {
+        self.entries.iter_mut().map(|(_, v)| v)
+    }
+}
+
+impl<K: Ord, V> std::ops::Index<&K> for VecMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: &K) -> &V {
+        match self.get(key) {
+            Some(v) => v,
+            None => panic!("VecMap: key not present"),
+        }
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for VecMap<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut m = VecMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a VecMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, (K, V)>, fn(&'a (K, V)) -> (&'a K, &'a V)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        fn split<K, V>(e: &(K, V)) -> (&K, &V) {
+            (&e.0, &e.1)
+        }
+        self.entries
+            .iter()
+            .map(split as fn(&'a (K, V)) -> (&'a K, &'a V))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = VecMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(2u64, "b"), None);
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(3, "c"), None);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m[&2], "b");
+        assert!(m.contains_key(&3));
+        assert!(!m.contains_key(&4));
+        assert_eq!(m.insert(2, "B"), Some("b"));
+        assert_eq!(m.remove(&2), Some("B"));
+        assert_eq!(m.remove(&2), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_ascending_regardless_of_insert_order() {
+        let m: VecMap<u64, u64> = [(5, 50), (1, 10), (3, 30), (2, 20)].into_iter().collect();
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), [1, 2, 3, 5]);
+        assert_eq!(m.values().copied().collect::<Vec<_>>(), [10, 20, 30, 50]);
+        let pairs: Vec<_> = (&m).into_iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, [(1, 10), (2, 20), (3, 30), (5, 50)]);
+    }
+
+    #[test]
+    fn monotonic_append_and_interior_removal() {
+        let mut m = VecMap::new();
+        for i in 0..100u64 {
+            m.insert(i, i * 2);
+        }
+        // Interior removals keep order.
+        m.remove(&10);
+        m.remove(&90);
+        let keys: Vec<u64> = m.keys().copied().collect();
+        assert_eq!(keys.len(), 98);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(m.get(&10), None);
+        assert_eq!(m.get(&11), Some(&22));
+    }
+
+    #[test]
+    fn values_mut_and_clear() {
+        let mut m: VecMap<u64, u64> = (0..5).map(|i| (i, i)).collect();
+        for v in m.values_mut() {
+            *v += 100;
+        }
+        assert_eq!(m[&4], 104);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get_mut(&0), None);
+    }
+
+    #[test]
+    fn matches_btreemap_on_a_mixed_workload() {
+        use std::collections::BTreeMap;
+        let mut v: VecMap<u64, u64> = VecMap::new();
+        let mut b: BTreeMap<u64, u64> = BTreeMap::new();
+        // Deterministic mixed ops: inserts (mostly monotonic), updates,
+        // removals.
+        let mut key = 0u64;
+        for step in 0u64..500 {
+            match step % 7 {
+                0..=3 => {
+                    key += 1 + step % 3;
+                    v.insert(key, step);
+                    b.insert(key, step);
+                }
+                4 => {
+                    let k = key / 2;
+                    v.insert(k, step);
+                    b.insert(k, step);
+                }
+                5 => {
+                    let k = step % (key + 1);
+                    assert_eq!(v.remove(&k), b.remove(&k));
+                }
+                _ => {
+                    let k = step % (key + 1);
+                    assert_eq!(v.get(&k), b.get(&k));
+                }
+            }
+        }
+        let vs: Vec<_> = v.iter().map(|(k, val)| (*k, *val)).collect();
+        let bs: Vec<_> = b.iter().map(|(k, val)| (*k, *val)).collect();
+        assert_eq!(vs, bs);
+    }
+}

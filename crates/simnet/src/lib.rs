@@ -51,6 +51,7 @@ pub mod engine;
 pub mod fair;
 pub mod fault;
 pub mod flow;
+pub mod index;
 pub mod load;
 pub mod network;
 pub mod rng;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::engine::{Agent, AgentId, Ctx, Engine, TimerTag};
     pub use crate::fault::{FaultAction, FaultConfig, FaultSchedule, TimedFault};
     pub use crate::flow::{FlowDone, FlowFailed, FlowId, FlowSpec, TcpParams};
+    pub use crate::index::VecMap;
     pub use crate::load::{DiurnalProfile, LinkLoadModel, LoadModelConfig};
     pub use crate::network::Network;
     pub use crate::rng::MasterSeed;

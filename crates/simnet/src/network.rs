@@ -7,10 +7,9 @@
 //! max-min allocator; between changes, flows drain linearly, so the next
 //! completion time is exact.
 
-use std::collections::BTreeMap;
-
 use crate::fair::{solve, FairFlow};
 use crate::flow::{Flow, FlowDone, FlowFailed, FlowId, FlowSpec};
+use crate::index::VecMap;
 use crate::load::{LinkLoadModel, LoadModelConfig};
 use crate::rng::MasterSeed;
 use crate::time::{SimDuration, SimTime};
@@ -34,7 +33,7 @@ pub const OUTAGE_CAPACITY_FLOOR: f64 = 1e-3;
 pub struct Network {
     topo: Topology,
     loads: Vec<LinkLoadModel>,
-    flows: BTreeMap<FlowId, Flow>,
+    flows: VecMap<FlowId, Flow>,
     next_id: u64,
     /// Time to which flow byte-counts have been integrated.
     integrated_to: SimTime,
@@ -67,7 +66,7 @@ impl Network {
         Network {
             topo,
             loads,
-            flows: BTreeMap::new(),
+            flows: VecMap::new(),
             next_id: 0,
             integrated_to: SimTime::ZERO,
             dirty: true,
@@ -241,8 +240,9 @@ impl Network {
         if !self.dirty {
             return;
         }
-        // BTreeMap keys iterate in ascending flow-id order, so the solve
-        // order is deterministic by construction.
+        // VecMap keys iterate in ascending flow-id order (and flow ids
+        // are handed out monotonically, so admission is an O(1) append),
+        // keeping the solve order deterministic by construction.
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
 
         // Queueing delay: background load along a path inflates the

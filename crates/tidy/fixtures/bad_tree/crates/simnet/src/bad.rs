@@ -10,6 +10,7 @@ pub fn naughty() {
     let _m: HashMap<u32, u32> = HashMap::new();
     let mut v = vec![1.0f64, 2.0];
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    v.swap_remove(0);
     if v[0] == 0.0 {
         let _ = SystemTime::now();
     }

@@ -76,7 +76,15 @@ pub fn rules() -> Vec<LintRule> {
             crates: SIM_CRATES,
             pattern: Pattern::AnyOf(&["HashMap", "HashSet"]),
             message: "hash-map iteration order is unspecified and varies across runs",
-            suggestion: "use BTreeMap/BTreeSet (or sort before iterating)",
+            suggestion: "use BTreeMap/BTreeSet, simnet::index::VecMap, or sort before iterating",
+            exempt_files: &[],
+        },
+        LintRule {
+            id: "vec-swap-remove",
+            crates: SIM_CRATES,
+            pattern: Pattern::AnyOf(&[".swap_remove("]),
+            message: "swap_remove reorders the vector, so downstream iteration depends on removal history",
+            suggestion: "use Vec::remove / VecMap::remove (ordered), or justify with `// tidy: allow(vec-swap-remove): <reason>`",
             exempt_files: &[],
         },
         LintRule {
@@ -194,8 +202,11 @@ mod tests {
 
     #[test]
     fn unwrap_pattern_does_not_match_unwrap_or() {
-        let rule = &rules()[5];
-        assert_eq!(rule.id, "panic-unwrap");
+        let all = rules();
+        let rule = all
+            .iter()
+            .find(|r| r.id == "panic-unwrap")
+            .expect("rule exists");
         assert!(rule.pattern.matches("x.unwrap_or(0.0)").is_none());
         assert!(rule.pattern.matches("x.unwrap_or_else(f)").is_none());
         assert!(rule.pattern.matches("x.unwrap()").is_some());

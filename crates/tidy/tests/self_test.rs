@@ -19,6 +19,7 @@ const ALL_RULES: &[&str] = &[
     "wall-clock",
     "thread-rng",
     "unordered-map",
+    "vec-swap-remove",
     "float-ord",
     "float-eq",
     "panic-unwrap",
