@@ -545,10 +545,13 @@ impl TransferManager {
                         .iter()
                         .map(|s| self.lookup(*s, path))
                         .collect::<Result<_, _>>()?;
-                    if sizes.windows(2).any(|w| w[0] != w[1]) {
+                    if sizes.iter().zip(sizes.iter().skip(1)).any(|(a, b)| a != b) {
                         return Err(SubmitError::StripeSizeMismatch);
                     }
-                    let bytes = apply_partial(sizes[0], req.partial)?;
+                    let first_size = *sizes
+                        .first()
+                        .expect("guarded: servers checked non-empty above");
+                    let bytes = apply_partial(first_size, req.partial)?;
                     let n = servers.len() as u64;
                     let share = bytes / n;
                     let rem = bytes % n;
@@ -560,7 +563,10 @@ impl TransferManager {
                             (*s, req.client, b)
                         })
                         .collect();
-                    (legs, servers[0], path.clone(), None)
+                    let primary = *servers
+                        .first()
+                        .expect("guarded: servers checked non-empty above");
+                    (legs, primary, path.clone(), None)
                 }
             };
 

@@ -250,7 +250,7 @@ impl GridFtpPerfProvider {
             EvalOptions::default(),
             &wanpred_obs::ObsSink::disabled(),
         );
-        if let Some(m) = reports[0].mape() {
+        if let Some(m) = reports.first().and_then(|r| r.mape()) {
             e.add("predicterrorpct", format!("{}", m.round() as i64));
         }
         e

@@ -52,6 +52,7 @@ impl ArPredictor {
         }
         let v = values(sel);
         let x = &v[..v.len() - 1];
+        // tidy: allow(panic-path): sel.len() >= MIN_POINTS (4) is checked above, so v is non-empty
         let y = &v[1..];
         stats::ols(x, y)
     }

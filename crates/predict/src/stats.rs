@@ -64,7 +64,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.total_cmp(b));
     if v.len() == 1 {
-        return Some(v[0]);
+        return v.first().copied();
     }
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;

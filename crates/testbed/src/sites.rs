@@ -116,9 +116,10 @@ pub fn paper_sites() -> [SiteSpec; 3] {
 pub fn build_testbed(seed: MasterSeed, quiet: bool) -> Testbed {
     let mut topo = Topology::new();
     let sites = paper_sites();
-    let anl = topo.add_node(sites[0].host.clone());
-    let lbl = topo.add_node(sites[1].host.clone());
-    let isi = topo.add_node(sites[2].host.clone());
+    let [site_anl, site_lbl, site_isi] = &sites;
+    let anl = topo.add_node(site_anl.host.clone());
+    let lbl = topo.add_node(site_lbl.host.clone());
+    let isi = topo.add_node(site_isi.host.clone());
 
     let (anl_lbl, lbl_anl) = topo
         .add_duplex_link(

@@ -1,0 +1,7 @@
+// Fixture: determinism taint through a helper crate. `core` is not a
+// sim crate, so no per-line rule fires here — only the call-graph pass
+// can see that simnet reaches this wall clock transitively.
+pub fn wall_micros() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}

@@ -1,0 +1,9 @@
+// Fixture: panic reachable from a public API only through a private
+// helper — the case the old per-line unwrap rule could not see.
+pub fn head_delay(xs: &[f64]) -> f64 {
+    first_of(xs) * 2.0
+}
+
+fn first_of(xs: &[f64]) -> f64 {
+    xs[0]
+}

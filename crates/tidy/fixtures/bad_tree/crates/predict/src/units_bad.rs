@@ -1,0 +1,9 @@
+// Fixture: unit-of-measure mismatches the suffix-inference pass must
+// catch — seconds added to milliseconds, and the MB/s-vs-Mb/s 8x.
+pub fn total_latency(delay_secs: f64, jitter_ms: f64) -> f64 {
+    delay_secs + jitter_ms
+}
+
+pub fn headroom(link_mbps: f64, disk_mb_per_s: f64) -> f64 {
+    link_mbps - disk_mb_per_s
+}

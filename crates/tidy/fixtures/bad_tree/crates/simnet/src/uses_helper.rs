@@ -1,0 +1,8 @@
+// Fixture: the sim-crate entry point of the taint chain. This file is
+// itself clean under every line rule; the violation lives two frames
+// down in crates/core/src/clock_helper.rs.
+use wanpred_core::clock_helper::wall_micros;
+
+pub fn advance_with_stamp() -> u64 {
+    wall_micros()
+}

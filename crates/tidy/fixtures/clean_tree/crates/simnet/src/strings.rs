@@ -1,0 +1,19 @@
+// Fixture: lexer edge cases that must NOT produce findings. Every rule
+// token below is inert — inside a raw string, a multi-line string, a
+// nested block comment, or after a `//` that is itself string content.
+pub fn edge_cases() -> String {
+    let raw = r#"Instant::now() and HashMap<k, v> are just text in here"#;
+    let multi = r##"
+        thread_rng() across lines,
+        .swap_remove(0) too,
+        // tidy: allow(float-eq) is prose, not a pragma
+    "##;
+    let url = "https://example.invalid/path // not a comment";
+    let open = "a string with SystemTime::now inside
+continues on the next line and closes here";
+    /* outer block comment
+       /* nested: rand::random() stays commented */
+       still commented: x.partial_cmp(&y).unwrap()
+    */
+    format!("{raw}{multi}{url}{open}")
+}

@@ -1,0 +1,307 @@
+//! Content-hash incremental cache under `target/tidy-cache/`.
+//!
+//! The cache file records, per workspace file, the FNV-1a hash of its
+//! raw bytes and the findings the per-file pass produced, plus one
+//! shared section for everything cross-file (schema/obs coherence and
+//! the call-graph passes — any edit anywhere can change those, so they
+//! are keyed on the whole file set).
+//!
+//! Two levels of reuse:
+//! * **full hit** — every `(path, hash)` matches and no file was added
+//!   or removed: the stored findings are returned verbatim, skipping
+//!   lexing, indexing and all passes. This is the warm path CI and
+//!   pre-commit hooks live on; the self-test pins it at >=5x cold speed
+//!   with byte-identical `--json` output.
+//! * **per-file hit** — some files changed: unchanged files reuse their
+//!   stored per-file findings, everything semantic recomputes.
+//!
+//! The header binds the cache to the rule set (a digest over registry
+//! ids and the cache format version), so adding or renaming a rule
+//! invalidates stale findings wholesale. Writes go to a temp file then
+//! rename, so a crashed run never leaves a torn cache — at worst the
+//! next run is cold.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::pipeline::fnv1a;
+use crate::registry;
+use crate::Finding;
+
+const FORMAT: &str = "tidy-cache-v1";
+
+/// Parsed cache contents.
+pub struct Cache {
+    /// rel path -> (content hash, per-file findings).
+    pub files: BTreeMap<String, (u64, Vec<Finding>)>,
+    /// Cross-file and semantic findings for the whole recorded file set.
+    pub semantic: Vec<Finding>,
+}
+
+pub fn cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("tidy-cache").join("run.cache")
+}
+
+/// Digest binding a cache to the rule set and format; any rule change
+/// makes old entries unreadable rather than silently wrong.
+fn ruleset_digest() -> u64 {
+    let mut ids = registry::known_rule_ids().join(",");
+    ids.push('|');
+    ids.push_str(FORMAT);
+    fnv1a(ids.as_bytes())
+}
+
+/// Load the cache if present, well-formed, and built by this rule set.
+pub fn load(root: &Path) -> Option<Cache> {
+    let text = fs::read_to_string(cache_path(root)).ok()?;
+    parse(&text)
+}
+
+fn parse(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let digest = header.strip_prefix(&format!("{FORMAT} "))?;
+    if digest.parse::<u64>().ok()? != ruleset_digest() {
+        return None;
+    }
+    let mut cache = Cache {
+        files: BTreeMap::new(),
+        semantic: Vec::new(),
+    };
+    // Findings accumulate into the most recent `file` entry until the
+    // `semantic` marker, then into the shared section.
+    let mut current: Option<String> = None;
+    let mut in_semantic = false;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("file ") {
+            let (hash, rel) = rest.split_once(' ')?;
+            let hash = hash.parse::<u64>().ok()?;
+            cache.files.insert(rel.to_string(), (hash, Vec::new()));
+            current = Some(rel.to_string());
+        } else if line == "semantic" {
+            in_semantic = true;
+            current = None;
+        } else if let Some(rest) = line.strip_prefix("find ") {
+            let finding = parse_finding(rest)?;
+            if in_semantic {
+                cache.semantic.push(finding);
+            } else {
+                let rel = current.as_ref()?;
+                cache.files.get_mut(rel)?.1.push(finding);
+            }
+        } else if !line.is_empty() {
+            return None;
+        }
+    }
+    Some(cache)
+}
+
+impl Cache {
+    /// Stored per-file findings when `rel` is unchanged at `hash`.
+    pub fn file_hit(&self, rel: &str, hash: u64) -> Option<&[Finding]> {
+        self.files
+            .get(rel)
+            .filter(|(h, _)| *h == hash)
+            .map(|(_, f)| f.as_slice())
+    }
+
+    /// All findings, sorted, iff the given `(rel, hash)` set matches the
+    /// recorded one exactly (no edits, additions or removals).
+    pub fn full_hit(&self, hashes: &[(String, u64)]) -> Option<Vec<Finding>> {
+        if hashes.len() != self.files.len() {
+            return None;
+        }
+        for (rel, hash) in hashes {
+            if self.files.get(rel).map(|(h, _)| *h) != Some(*hash) {
+                return None;
+            }
+        }
+        let mut out: Vec<Finding> = self
+            .files
+            .values()
+            .flat_map(|(_, f)| f.iter().cloned())
+            .chain(self.semantic.iter().cloned())
+            .collect();
+        sort_findings(&mut out);
+        Some(out)
+    }
+}
+
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+    });
+}
+
+/// Persist a run. `per_file` pairs each file's `(rel, hash)` with the
+/// findings its per-file pass produced; `semantic` is everything else.
+pub fn store(
+    root: &Path,
+    per_file: &[((String, u64), Vec<Finding>)],
+    semantic: &[Finding],
+) -> io::Result<()> {
+    let mut out = format!("{FORMAT} {}\n", ruleset_digest());
+    for ((rel, hash), findings) in per_file {
+        out.push_str(&format!("file {hash} {rel}\n"));
+        for f in findings {
+            out.push_str("find ");
+            out.push_str(&encode_finding(f));
+            out.push('\n');
+        }
+    }
+    out.push_str("semantic\n");
+    for f in semantic {
+        out.push_str("find ");
+        out.push_str(&encode_finding(f));
+        out.push('\n');
+    }
+    let path = cache_path(root);
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    // Temp-then-rename keeps concurrent runs from reading a torn file.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, &out)?;
+    fs::rename(&tmp, &path)
+}
+
+/// Tab-separated, with tabs/newlines/backslashes escaped — findings
+/// round-trip exactly, which is what makes warm `--json` byte-identical.
+fn encode_finding(f: &Finding) -> String {
+    [
+        f.rule.as_str(),
+        f.path.as_str(),
+        &f.line.to_string(),
+        f.message.as_str(),
+        f.suggestion.as_str(),
+    ]
+    .iter()
+    .map(|s| escape(s))
+    .collect::<Vec<_>>()
+    .join("\t")
+}
+
+fn parse_finding(line: &str) -> Option<Finding> {
+    let mut fields = line.split('\t').map(unescape);
+    let rule = fields.next()?;
+    let path = fields.next()?;
+    let line_no = fields.next()?.parse::<usize>().ok()?;
+    let message = fields.next()?;
+    let suggestion = fields.next()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    Some(Finding {
+        rule,
+        path,
+        line: line_no,
+        message,
+        suggestion,
+    })
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, path: &str, line: usize) -> Finding {
+        Finding {
+            rule: rule.into(),
+            path: path.into(),
+            line,
+            message: "m\twith\ttabs\nand newline".into(),
+            suggestion: "s\\backslash".into(),
+        }
+    }
+
+    #[test]
+    fn findings_round_trip_through_the_escaped_encoding() {
+        let f = finding("wall-clock", "crates/simnet/src/x.rs", 7);
+        let enc = encode_finding(&f);
+        assert_eq!(parse_finding(&enc).as_ref(), Some(&f));
+    }
+
+    #[test]
+    fn store_load_full_hit_and_invalidation() {
+        let dir = std::env::temp_dir().join(format!("tidy-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+
+        let per_file = vec![
+            (
+                ("crates/a/src/l.rs".to_string(), 11u64),
+                vec![finding("float-eq", "crates/a/src/l.rs", 3)],
+            ),
+            (("crates/b/src/l.rs".to_string(), 22u64), Vec::new()),
+        ];
+        let semantic = vec![finding("determinism-taint", "crates/b/src/l.rs", 9)];
+        store(&dir, &per_file, &semantic).expect("store");
+
+        let cache = load(&dir).expect("load");
+        assert_eq!(
+            cache.file_hit("crates/a/src/l.rs", 11).map(<[_]>::len),
+            Some(1)
+        );
+        assert!(cache.file_hit("crates/a/src/l.rs", 12).is_none());
+
+        let same = vec![
+            ("crates/a/src/l.rs".to_string(), 11u64),
+            ("crates/b/src/l.rs".to_string(), 22u64),
+        ];
+        let hit = cache.full_hit(&same).expect("full hit");
+        assert_eq!(hit.len(), 2);
+        assert!(hit.windows(2).all(|w| w[0].path <= w[1].path));
+
+        // Any edit, addition or removal degrades to per-file reuse.
+        let edited = vec![
+            ("crates/a/src/l.rs".to_string(), 99u64),
+            ("crates/b/src/l.rs".to_string(), 22u64),
+        ];
+        assert!(cache.full_hit(&edited).is_none());
+        assert!(cache.full_hit(&same[..1]).is_none());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_or_torn_cache_reads_as_cold() {
+        assert!(parse("bogus").is_none());
+        assert!(parse(&format!("{FORMAT} 123\nfile nothash x\n")).is_none());
+    }
+}

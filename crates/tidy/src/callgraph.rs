@@ -1,0 +1,314 @@
+//! Intra-workspace call graph over the [`crate::index`] function table.
+//!
+//! Call sites are recognized lexically (an identifier followed by `(` on
+//! comment/string-stripped code) and resolved by name with crate-path
+//! disambiguation — no type information, so resolution is deliberately
+//! conservative:
+//!
+//! * bare calls prefer a same-file, then unique same-crate definition,
+//!   then a `use wanpred_x::..`-imported crate, then a unique
+//!   workspace-wide definition;
+//! * `Qual::name(` calls match definitions whose `impl` type, module or
+//!   crate equals the qualifier;
+//! * `.method(` calls resolve only when the method name is defined once
+//!   workspace-wide (or once in the caller's crate) — ambiguous names
+//!   like `.get(`/`.len(` resolve to nothing rather than to everything.
+//!
+//! Unresolved calls simply contribute no edge: the graph under-
+//! approximates reachability, which keeps the taint and panic passes
+//! quiet rather than noisy. The self-tests pin the cases that must
+//! resolve (helper chains inside one crate and across crates).
+
+use std::collections::BTreeSet;
+
+use crate::index::WorkspaceIndex;
+use crate::pipeline::SourceFile;
+
+/// Forward and reverse adjacency; edges carry the 1-based call-site line.
+pub struct CallGraph {
+    pub callees: Vec<Vec<(usize, usize)>>,
+    pub callers: Vec<Vec<(usize, usize)>>,
+}
+
+impl CallGraph {
+    pub fn build(files: &[SourceFile], ix: &WorkspaceIndex) -> CallGraph {
+        let n = ix.fns.len();
+        let mut callees: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        let mut seen: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for (caller_id, caller) in ix.fns.iter().enumerate() {
+            let file = &files[caller.file];
+            let (a, b) = caller.body;
+            for line in a..=b {
+                // Attribute each line to its innermost function only, so
+                // a nested fn's calls are not charged to its parent.
+                if ix.line_owner[caller.file][line] != Some(caller_id) {
+                    continue;
+                }
+                let code = &file.scanned.lines[line].code;
+                for (kind, name) in call_sites(code) {
+                    if let Some(target) = resolve(ix, caller_id, &kind, &name) {
+                        if target != caller_id && seen[caller_id].insert(target) {
+                            callees[caller_id].push((target, line + 1));
+                        }
+                    }
+                }
+            }
+        }
+        let mut callers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (caller_id, outs) in callees.iter().enumerate() {
+            for &(target, line) in outs {
+                callers[target].push((caller_id, line));
+            }
+        }
+        CallGraph { callees, callers }
+    }
+}
+
+/// How a call site names its target.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(...)`
+    Bare,
+    /// `recv.name(...)`
+    Method,
+    /// `Qual::name(...)` — qualifier is the segment before `::`.
+    Path(String),
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "for", "while", "match", "loop", "return", "fn", "in", "as", "move", "where", "else",
+    "let", "mut", "ref", "pub", "use", "mod", "impl", "trait", "struct", "enum", "const", "static",
+    "type", "unsafe", "async", "await", "dyn", "box",
+];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexical call sites on one code line. Macros (`name!(`) are skipped —
+/// the panic pass matches panic macros as tokens, not as graph nodes.
+pub fn call_sites(code: &str) -> Vec<(CallKind, String)> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    for (pos, _) in code.match_indices('(') {
+        let before = &code[..pos];
+        let ident: String = before
+            .chars()
+            .rev()
+            .take_while(|c| is_ident_char(*c))
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if ident.is_empty() || KEYWORDS.contains(&ident.as_str()) {
+            continue;
+        }
+        if ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        let prefix_end = pos - ident.len();
+        let kind = if bytes[..prefix_end].ends_with(b"::") {
+            let qual: String = code[..prefix_end - 2]
+                .chars()
+                .rev()
+                .take_while(|c| is_ident_char(*c))
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            CallKind::Path(qual)
+        } else if bytes[..prefix_end].ends_with(b".") {
+            CallKind::Method
+        } else if bytes[..prefix_end].ends_with(b"!") {
+            continue; // macro
+        } else {
+            CallKind::Bare
+        };
+        out.push((kind, ident));
+    }
+    out
+}
+
+/// Strip a `wanpred_`/`wanpred-` prefix so a path qualifier can name a
+/// crate directory.
+fn normalize_crate(q: &str) -> &str {
+    q.strip_prefix("wanpred_").unwrap_or(q)
+}
+
+fn resolve(ix: &WorkspaceIndex, caller_id: usize, kind: &CallKind, name: &str) -> Option<usize> {
+    let caller = &ix.fns[caller_id];
+    let cands = ix.by_name.get(name)?;
+    match kind {
+        CallKind::Method => {
+            let methods: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| ix.fns[id].is_method)
+                .collect();
+            unique(&methods).or_else(|| {
+                unique(
+                    &methods
+                        .iter()
+                        .copied()
+                        .filter(|&id| ix.fns[id].krate == caller.krate)
+                        .collect::<Vec<_>>(),
+                )
+            })
+        }
+        CallKind::Bare => {
+            let free: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| !ix.fns[id].is_method)
+                .collect();
+            let same_file: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|&id| ix.fns[id].file == caller.file)
+                .collect();
+            if let Some(id) = unique(&same_file) {
+                return Some(id);
+            }
+            let same_crate: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|&id| ix.fns[id].krate == caller.krate)
+                .collect();
+            if let Some(id) = unique(&same_crate) {
+                return Some(id);
+            }
+            if let Some(krate) = ix.facts[caller.file].imports.get(name) {
+                let imported: Vec<usize> = free
+                    .iter()
+                    .copied()
+                    .filter(|&id| &ix.fns[id].krate == krate)
+                    .collect();
+                if let Some(id) = unique(&imported) {
+                    return Some(id);
+                }
+            }
+            unique(&free)
+        }
+        CallKind::Path(qual) => {
+            if qual == "self" || qual == "crate" {
+                let same_crate: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| ix.fns[id].krate == caller.krate)
+                    .collect();
+                return unique(&same_crate);
+            }
+            if qual == "Self" {
+                let same_type: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        ix.fns[id].krate == caller.krate && ix.fns[id].self_type == caller.self_type
+                    })
+                    .collect();
+                return unique(&same_type);
+            }
+            let qual_crate = normalize_crate(qual);
+            let matched: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let f = &ix.fns[id];
+                    f.self_type.as_deref() == Some(qual.as_str())
+                        || f.module.last().map(String::as_str) == Some(qual.as_str())
+                        || f.krate == qual_crate
+                })
+                .collect();
+            unique(&matched).or_else(|| {
+                unique(
+                    &matched
+                        .iter()
+                        .copied()
+                        .filter(|&id| ix.fns[id].krate == caller.krate)
+                        .collect::<Vec<_>>(),
+                )
+            })
+        }
+    }
+}
+
+fn unique(ids: &[usize]) -> Option<usize> {
+    match ids {
+        [only] => Some(*only),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::WorkspaceIndex;
+    use crate::pipeline::SourceFile;
+
+    #[test]
+    fn call_site_kinds() {
+        let sites = call_sites("let x = helper(a) + obj.method(b) + ulm::encode(c);");
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0], (CallKind::Bare, "helper".to_string()));
+        assert_eq!(sites[1], (CallKind::Method, "method".to_string()));
+        assert_eq!(
+            sites[2],
+            (CallKind::Path("ulm".to_string()), "encode".to_string())
+        );
+        assert!(call_sites("panic!(\"boom\") if (x) vec![1]").is_empty());
+    }
+
+    #[test]
+    fn resolves_same_crate_then_imports_then_unique_global() {
+        let a = SourceFile::from_source(
+            "crates/simnet/src/engine.rs",
+            "use wanpred_core::util::stamp_micros;\npub fn step() {\n    local();\n    stamp_micros();\n}\nfn local() {}\n",
+        );
+        let b = SourceFile::from_source(
+            "crates/core/src/util.rs",
+            "pub fn stamp_micros() -> u64 {\n    0\n}\n",
+        );
+        let files = [a, b];
+        let ix = WorkspaceIndex::build(&files);
+        let g = CallGraph::build(&files, &ix);
+        let step = ix.fns.iter().position(|f| f.name == "step").expect("step");
+        let local = ix
+            .fns
+            .iter()
+            .position(|f| f.name == "local")
+            .expect("local");
+        let stamp = ix
+            .fns
+            .iter()
+            .position(|f| f.name == "stamp_micros")
+            .expect("stamp");
+        let targets: Vec<usize> = g.callees[step].iter().map(|&(t, _)| t).collect();
+        assert!(targets.contains(&local));
+        assert!(targets.contains(&stamp));
+        assert_eq!(g.callers[stamp][0].0, step);
+    }
+
+    #[test]
+    fn ambiguous_methods_resolve_to_nothing() {
+        let a = SourceFile::from_source(
+            "crates/predict/src/a.rs",
+            "pub struct A;\nimpl A {\n    pub fn score(&self) -> u32 { 1 }\n}\npub fn use_it(a: &A) -> u32 {\n    a.score()\n}\n",
+        );
+        let b = SourceFile::from_source(
+            "crates/replica/src/b.rs",
+            "pub struct B;\nimpl B {\n    pub fn score(&self) -> u32 { 2 }\n}\n",
+        );
+        let files = [a, b];
+        let ix = WorkspaceIndex::build(&files);
+        let g = CallGraph::build(&files, &ix);
+        let use_it = ix.fns.iter().position(|f| f.name == "use_it").expect("fn");
+        // Two crates define `.score(`; workspace-wide ambiguity, but the
+        // caller's own crate has exactly one — that one wins.
+        let a_score = ix
+            .fns
+            .iter()
+            .position(|f| f.name == "score" && f.krate == "predict")
+            .expect("fn");
+        assert_eq!(g.callees[use_it], vec![(a_score, 6)]);
+    }
+}

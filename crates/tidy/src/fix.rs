@@ -1,9 +1,14 @@
-//! Mechanical `--fix` rewrites. The only rewrite tidy trusts itself to
-//! make is the NaN-safety one: `a.partial_cmp(&b).unwrap()` and
-//! `a.partial_cmp(&b).expect("..")` become `a.total_cmp(&b)` — identical
-//! ordering on NaN-free input, total (and panic-free) otherwise. Forms
-//! that change semantics (`unwrap_or(..)`) are reported but never
-//! rewritten.
+//! Mechanical `--fix` rewrites. Tidy only rewrites what it can prove
+//! value-equivalent:
+//!
+//! * NaN-safety: `a.partial_cmp(&b).unwrap()` and
+//!   `a.partial_cmp(&b).expect("..")` become `a.total_cmp(&b)` —
+//!   identical ordering on NaN-free input, total (and panic-free)
+//!   otherwise. Forms that change semantics (`unwrap_or(..)`) are
+//!   reported but never rewritten.
+//! * Replay ordering: `.swap_remove(i)` becomes the ordered
+//!   `.remove(i)` — same element returned, O(n) instead of O(1), which
+//!   is the price of an iteration order independent of removal history.
 
 /// Rewrite every fixable `partial_cmp` chain in `text`; returns the new
 /// text and the number of rewrites applied.
@@ -46,6 +51,16 @@ pub fn fix_partial_cmp(text: &str) -> (String, usize) {
     }
     out.push_str(rest);
     (out, count)
+}
+
+/// Rewrite every `.swap_remove(` call to the ordered `.remove(`;
+/// returns the new text and the number of rewrites. `Vec::remove`
+/// returns the same element, so call sites compile unchanged — the run
+/// re-lints the rewritten file, which is what makes the fix idempotent
+/// (a second `--fix` finds nothing left to rewrite).
+pub fn fix_swap_remove(text: &str) -> (String, usize) {
+    let count = text.matches(".swap_remove(").count();
+    (text.replace(".swap_remove(", ".remove("), count)
 }
 
 /// Index of the `)` matching an already-open paren at position 0 of `s`,
@@ -110,6 +125,17 @@ mod tests {
             assert_eq!(n, 0);
             assert_eq!(out, src);
         }
+    }
+
+    #[test]
+    fn swap_remove_rewrite_is_idempotent() {
+        let src = "let ev = self.pending.swap_remove(idx);";
+        let (out, n) = fix_swap_remove(src);
+        assert_eq!(n, 1);
+        assert_eq!(out, "let ev = self.pending.remove(idx);");
+        let (again, n2) = fix_swap_remove(&out);
+        assert_eq!(n2, 0);
+        assert_eq!(again, out);
     }
 
     #[test]

@@ -1,0 +1,538 @@
+//! Workspace item index: a lightweight, rustc-free pass that turns the
+//! lexed source of every non-exempt crate file into a table of function
+//! items (free functions *and* methods, with their enclosing module path
+//! and `impl` type), per-file `use`-import maps, and the identifiers
+//! declared with `HashMap`/`HashSet` types. The [`crate::callgraph`]
+//! module resolves call sites against this table; the taint, panic and
+//! unit passes consume both.
+//!
+//! Parsing is lexical and brace-driven (the lexer has already blanked
+//! strings and stripped comments): item headers (`fn`/`mod`/`impl`/
+//! `trait`) set a *pending* item which the next `{` turns into a frame on
+//! a context stack, and the matching `}` closes the item's body span. A
+//! `;` before any brace cancels the pending item (out-of-line modules,
+//! trait method declarations). `#[cfg(test)]` regions are skipped
+//! entirely — their braces are balanced within the region, so the stack
+//! stays consistent.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::pipeline::SourceFile;
+
+/// One indexed function item.
+pub struct FnItem {
+    /// Crate directory name under `crates/`.
+    pub krate: String,
+    pub name: String,
+    /// `pub fn` exactly; `pub(crate)`/`pub(super)` do not count — the
+    /// panic pass treats only true public API as entry points.
+    pub is_pub: bool,
+    /// Declared inside an `impl` or `trait` block.
+    pub is_method: bool,
+    /// The `impl`/`trait` type name, for `Type::method(` resolution.
+    pub self_type: Option<String>,
+    /// Enclosing inline-module names, outermost first.
+    pub module: Vec<String>,
+    /// Index into the `SourceFile` slice the index was built from.
+    pub file: usize,
+    /// 1-based header line.
+    pub line: usize,
+    /// 0-based inclusive body line span (includes the header line).
+    pub body: (usize, usize),
+}
+
+impl FnItem {
+    /// `crate::module::name` display path for findings.
+    pub fn display(&self) -> String {
+        let mut parts = vec![self.krate.clone()];
+        parts.extend(self.module.iter().cloned());
+        if let Some(t) = &self.self_type {
+            parts.push(t.clone());
+        }
+        parts.push(self.name.clone());
+        parts.join("::")
+    }
+}
+
+/// Per-file facts the call resolver needs.
+#[derive(Default)]
+pub struct FileFacts {
+    /// Leaf item name -> workspace crate dir, from `use wanpred_x::..`.
+    pub imports: BTreeMap<String, String>,
+    /// Identifiers declared with `HashMap`/`HashSet` types in this file
+    /// (struct fields, lets, fn params) — iteration over these is a
+    /// determinism-taint source.
+    pub hash_typed: BTreeSet<String>,
+}
+
+pub struct WorkspaceIndex {
+    pub fns: Vec<FnItem>,
+    /// Parallel to the `SourceFile` slice.
+    pub facts: Vec<FileFacts>,
+    /// fn name -> indices into `fns`.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Per file: innermost fn owning each 0-based line, if any.
+    pub line_owner: Vec<Vec<Option<usize>>>,
+}
+
+impl WorkspaceIndex {
+    /// Index every non-exempt file. `tidy` lints itself out of scope, as
+    /// it always has.
+    pub fn build(files: &[SourceFile]) -> WorkspaceIndex {
+        let mut fns = Vec::new();
+        let mut facts = Vec::new();
+        let mut line_owner = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            let indexable = !f.exempt && f.krate.as_deref().is_some_and(|k| k != "tidy");
+            if !indexable {
+                facts.push(FileFacts::default());
+                line_owner.push(vec![None; f.scanned.lines.len()]);
+                continue;
+            }
+            let krate = f.krate.clone().unwrap_or_default();
+            facts.push(index_facts(f));
+            let before = fns.len();
+            index_fns(fi, &krate, f, &mut fns);
+            let mut owners = vec![None; f.scanned.lines.len()];
+            // Later-declared fns start later; inner fns overwrite outer
+            // ones on the lines they own, so each line maps to the
+            // innermost function containing it.
+            for (id, item) in fns.iter().enumerate().skip(before) {
+                let (a, b) = item.body;
+                for line in owners.iter_mut().take(b + 1).skip(a) {
+                    *line = Some(id);
+                }
+            }
+            line_owner.push(owners);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        WorkspaceIndex {
+            fns,
+            facts,
+            by_name,
+            line_owner,
+        }
+    }
+}
+
+/// What a pending item header will become when its block opens.
+enum Pending {
+    Fn {
+        name: String,
+        is_pub: bool,
+        /// 1-based line the `fn` keyword appeared on (signatures may
+        /// span several lines before the body brace opens).
+        header_line: usize,
+    },
+    Mod(String),
+    Impl(Option<String>),
+    Anon,
+}
+
+/// One open block on the context stack.
+enum Frame {
+    Fn { id: usize },
+    Mod(String),
+    Impl(Option<String>),
+    Anon,
+}
+
+fn index_fns(file: usize, krate: &str, f: &SourceFile, out: &mut Vec<FnItem>) {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    for (i, l) in f.scanned.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let code = &l.code;
+        // Events on this line, in textual order: item headers, braces and
+        // statement-ending semicolons all interact (one-liners open and
+        // close on the same line).
+        let mut events: Vec<(usize, Event)> = Vec::new();
+        collect_headers(code, i + 1, &mut events);
+        for (pos, c) in code.char_indices() {
+            match c {
+                '{' => events.push((pos, Event::Open)),
+                '}' => events.push((pos, Event::Close)),
+                ';' => events.push((pos, Event::Semi)),
+                _ => {}
+            }
+        }
+        events.sort_by_key(|(pos, e)| (*pos, e.order()));
+        for (_, ev) in events {
+            match ev {
+                Event::Header(p) => pending = Some(p),
+                Event::Semi => {
+                    // `mod tests;`, `fn f(&self);` in traits: no block.
+                    pending = None;
+                }
+                Event::Open => {
+                    let frame = match pending.take().unwrap_or(Pending::Anon) {
+                        Pending::Fn {
+                            name,
+                            is_pub,
+                            header_line,
+                        } => {
+                            let module = stack
+                                .iter()
+                                .filter_map(|fr| match fr {
+                                    Frame::Mod(m) => Some(m.clone()),
+                                    _ => None,
+                                })
+                                .collect();
+                            let self_type = stack.iter().rev().find_map(|fr| match fr {
+                                Frame::Impl(t) => Some(t.clone()),
+                                _ => None,
+                            });
+                            let is_method = self_type.is_some();
+                            out.push(FnItem {
+                                krate: krate.to_string(),
+                                name,
+                                is_pub,
+                                is_method,
+                                self_type: self_type.flatten(),
+                                module,
+                                file,
+                                line: header_line,
+                                body: (i, i),
+                            });
+                            Frame::Fn { id: out.len() - 1 }
+                        }
+                        Pending::Mod(m) => Frame::Mod(m),
+                        Pending::Impl(t) => Frame::Impl(t),
+                        Pending::Anon => Frame::Anon,
+                    };
+                    stack.push(frame);
+                }
+                Event::Close => {
+                    if let Some(Frame::Fn { id }) = stack.pop() {
+                        out[id].body.1 = i;
+                    }
+                }
+            }
+        }
+    }
+    // Unbalanced input (should not happen on real source): close spans at
+    // the last line rather than dropping them.
+    let last = f.scanned.lines.len().saturating_sub(1);
+    while let Some(frame) = stack.pop() {
+        if let Frame::Fn { id } = frame {
+            out[id].body.1 = last;
+        }
+    }
+}
+
+enum Event {
+    Header(Pending),
+    Open,
+    Close,
+    Semi,
+}
+
+impl Event {
+    /// Headers at the same position as a brace sort first (cannot happen
+    /// textually, but keep ordering total and deterministic).
+    fn order(&self) -> u8 {
+        match self {
+            Event::Header(_) => 0,
+            Event::Open => 1,
+            Event::Close => 1,
+            Event::Semi => 1,
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Word-boundary occurrences of `needle` in `code`.
+fn token_positions(code: &str, needle: &str) -> Vec<usize> {
+    code.match_indices(needle)
+        .filter(|(pos, _)| {
+            let before_ok = *pos == 0 || !code[..*pos].ends_with(is_ident_char);
+            let after = code[*pos + needle.len()..].chars().next();
+            before_ok && !after.is_some_and(is_ident_char)
+        })
+        .map(|(pos, _)| pos)
+        .collect()
+}
+
+fn ident_after(code: &str, from: usize) -> String {
+    code[from..]
+        .trim_start()
+        .chars()
+        .take_while(|c| is_ident_char(*c))
+        .collect()
+}
+
+fn collect_headers(code: &str, line_1based: usize, events: &mut Vec<(usize, Event)>) {
+    for pos in token_positions(code, "fn") {
+        let name = ident_after(code, pos + 2);
+        if name.is_empty() {
+            continue;
+        }
+        // Visibility is whatever sits between the previous statement
+        // boundary and the `fn` keyword: `pub fn`, `pub const fn`, ...
+        let head_start = code[..pos]
+            .rfind(['{', '}', ';'])
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        let head = &code[head_start..pos];
+        let is_pub = token_positions(head, "pub")
+            .iter()
+            .any(|p| !head[p + 3..].trim_start().starts_with('('));
+        events.push((
+            pos,
+            Event::Header(Pending::Fn {
+                name,
+                is_pub,
+                header_line: line_1based,
+            }),
+        ));
+    }
+    for pos in token_positions(code, "mod") {
+        let name = ident_after(code, pos + 3);
+        if !name.is_empty() {
+            events.push((pos, Event::Header(Pending::Mod(name))));
+        }
+    }
+    for kw in ["impl", "trait"] {
+        for pos in token_positions(code, kw) {
+            let ty = impl_type(&code[pos + kw.len()..], kw == "trait");
+            events.push((pos, Event::Header(Pending::Impl(ty))));
+        }
+    }
+}
+
+/// The type name an `impl` header targets (or a trait's own name): the
+/// last path segment of the part after ` for ` when present, else of the
+/// first type, with leading generic parameters skipped.
+fn impl_type(after_kw: &str, is_trait: bool) -> Option<String> {
+    let mut rest = after_kw;
+    // Skip `<...>` generic parameters on the keyword itself.
+    let trimmed = rest.trim_start();
+    if let Some(generics) = trimmed.strip_prefix('<') {
+        let mut depth = 1usize;
+        let mut end = None;
+        for (i, c) in generics.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &generics[end? + 1..];
+    } else {
+        rest = trimmed;
+    }
+    let head = rest
+        .split(['{'])
+        .next()
+        .unwrap_or(rest)
+        .split(" where ")
+        .next()
+        .unwrap_or(rest);
+    let target = if is_trait {
+        head
+    } else {
+        head.rsplit(" for ").next().unwrap_or(head)
+    };
+    let target = target.trim();
+    // Last `::` path segment, stripped of generic arguments.
+    let seg = target.rsplit("::").next().unwrap_or(target);
+    let name: String = seg.chars().take_while(|c| is_ident_char(*c)).collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Workspace crate dir a `use` path's first segment refers to, if any.
+fn crate_of_segment(seg: &str) -> Option<String> {
+    seg.strip_prefix("wanpred_").map(str::to_string)
+}
+
+fn index_facts(f: &SourceFile) -> FileFacts {
+    let mut facts = FileFacts::default();
+    for l in &f.scanned.lines {
+        if l.in_test {
+            continue;
+        }
+        let code = l.code.trim_start();
+        if let Some(path) = code.strip_prefix("use ") {
+            parse_use(path.trim_end().trim_end_matches(';'), &mut facts.imports);
+        }
+        collect_hash_typed(&l.code, &mut facts.hash_typed);
+    }
+    facts
+}
+
+/// `use wanpred_x::a::b;`, `use wanpred_x::{a, b as c};` — map each leaf
+/// name to its crate so bare calls resolve across crates. Globs, std and
+/// intra-crate imports contribute nothing.
+fn parse_use(path: &str, imports: &mut BTreeMap<String, String>) {
+    let mut segs = path.split("::").map(str::trim);
+    let Some(first) = segs.next() else { return };
+    let Some(krate) = crate_of_segment(first) else {
+        return;
+    };
+    let rest: Vec<&str> = segs.collect();
+    let Some(last) = rest.last() else { return };
+    if let Some(list) = last.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+        for item in list.split(',') {
+            insert_leaf(item.trim(), &krate, imports);
+        }
+    } else {
+        insert_leaf(last, &krate, imports);
+    }
+}
+
+fn insert_leaf(item: &str, krate: &str, imports: &mut BTreeMap<String, String>) {
+    let name = match item.split_once(" as ") {
+        Some((_, alias)) => alias.trim(),
+        None => item.rsplit("::").next().unwrap_or(item).trim(),
+    };
+    if !name.is_empty() && name != "*" && name != "self" {
+        imports.insert(name.to_string(), krate.to_string());
+    }
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` on this line: struct fields
+/// and params (`name: HashMap<..>`) and lets (`let name = HashMap::new()`).
+fn collect_hash_typed(code: &str, out: &mut BTreeSet<String>) {
+    for ty in ["HashMap", "HashSet"] {
+        for pos in token_positions(code, ty) {
+            let before = code[..pos].trim_end();
+            let Some(before) = before.strip_suffix([':', '=']).map(str::trim_end) else {
+                continue;
+            };
+            let ident: String = before
+                .chars()
+                .rev()
+                .take_while(|c| is_ident_char(*c))
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            if !ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                out.insert(ident);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::SourceFile;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(rel, src)
+    }
+
+    #[test]
+    fn indexes_free_fns_methods_and_modules() {
+        let src = "\
+pub fn outer() {\n    inner();\n}\n\nfn inner() {}\n\nmod sub {\n    pub fn in_sub() {}\n}\n\npub struct S;\n\nimpl S {\n    pub fn method(&self) -> u32 {\n        7\n    }\n}\n";
+        let files = [file("crates/predict/src/x.rs", src)];
+        let ix = WorkspaceIndex::build(&files);
+        let names: Vec<(&str, bool, bool)> = ix
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_pub, f.is_method))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("outer", true, false),
+                ("inner", false, false),
+                ("in_sub", true, false),
+                ("method", true, true),
+            ]
+        );
+        assert_eq!(ix.fns[2].module, vec!["sub".to_string()]);
+        assert_eq!(ix.fns[3].self_type.as_deref(), Some("S"));
+        // Line ownership: `inner();` (0-based line 1) belongs to `outer`.
+        assert_eq!(ix.line_owner[0][1], Some(0));
+    }
+
+    #[test]
+    fn pub_crate_is_not_public_api() {
+        let src = "pub(crate) fn internal() {}\npub fn external() {}\n";
+        let files = [file("crates/predict/src/x.rs", src)];
+        let ix = WorkspaceIndex::build(&files);
+        assert!(!ix.fns[0].is_pub);
+        assert!(ix.fns[1].is_pub);
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_skipped_and_defaults_indexed() {
+        let src = "pub trait T {\n    fn required(&self);\n    fn provided(&self) -> u32 {\n        1\n    }\n}\n";
+        let files = [file("crates/predict/src/x.rs", src)];
+        let ix = WorkspaceIndex::build(&files);
+        assert_eq!(ix.fns.len(), 1);
+        assert_eq!(ix.fns[0].name, "provided");
+        assert!(ix.fns[0].is_method);
+        assert_eq!(ix.fns[0].self_type.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn impl_trait_for_type_resolves_to_the_type() {
+        assert_eq!(
+            impl_type(" Display for SimTime {", false).as_deref(),
+            Some("SimTime")
+        );
+        assert_eq!(
+            impl_type("<T: Ord> Stack<T> {", false).as_deref(),
+            Some("Stack")
+        );
+        assert_eq!(
+            impl_type(" fmt::Debug for x::Y {", false).as_deref(),
+            Some("Y")
+        );
+    }
+
+    #[test]
+    fn use_imports_map_leaves_to_crates() {
+        let src = "use wanpred_core::util::{stamp, mean as avg};\nuse std::fmt;\nuse wanpred_predict::ols;\n";
+        let files = [file("crates/simnet/src/x.rs", src)];
+        let ix = WorkspaceIndex::build(&files);
+        let imports = &ix.facts[0].imports;
+        assert_eq!(imports.get("stamp").map(String::as_str), Some("core"));
+        assert_eq!(imports.get("avg").map(String::as_str), Some("core"));
+        assert_eq!(imports.get("ols").map(String::as_str), Some("predict"));
+        assert!(!imports.contains_key("fmt"));
+    }
+
+    #[test]
+    fn hash_typed_identifiers_are_collected() {
+        let src = "struct S {\n    active: HashMap<u32, u32>,\n}\nfn f(seen: HashSet<u64>) {\n    let cache = HashMap::new();\n}\n";
+        let files = [file("crates/storage/src/x.rs", src)];
+        let ix = WorkspaceIndex::build(&files);
+        let h = &ix.facts[0].hash_typed;
+        assert!(h.contains("active"));
+        assert!(h.contains("seen"));
+        assert!(h.contains("cache"));
+    }
+
+    #[test]
+    fn multi_line_signatures_attach_to_the_right_body() {
+        let src = "pub fn long(\n    a: u32,\n    b: u32,\n) -> u32 {\n    a + b\n}\n";
+        let files = [file("crates/predict/src/x.rs", src)];
+        let ix = WorkspaceIndex::build(&files);
+        assert_eq!(ix.fns.len(), 1);
+        assert_eq!(ix.fns[0].line, 1);
+        assert_eq!(ix.fns[0].body, (3, 5));
+    }
+}

@@ -4,11 +4,15 @@
 //! `HashMap`, or a format string containing `{`, must not trip a lint or
 //! corrupt brace-depth tracking. This module strips comments and string
 //! literal contents from each line and reports the brace-depth delta, with
-//! just enough state (block-comment nesting) carried across lines.
+//! the state that has to survive line boundaries (block-comment nesting,
+//! open string literals) carried across lines.
 //!
-//! It is deliberately not a full lexer: string literals are assumed to
-//! close on the line they open (true everywhere in this workspace), and
-//! raw strings support up to the `r###"..."###` form.
+//! It is deliberately not a full lexer, but it does handle the shapes that
+//! used to confuse `scan_source`: raw strings (`r#"..."#` up to
+//! `r###"..."###`), strings and raw strings spanning multiple lines,
+//! nested block comments, and `//` sequences inside string literals (a
+//! URL in a string is not a comment; a `tidy: allow(...)` inside a
+//! multi-line string is not a pragma).
 
 /// One source line after lexing.
 pub struct LexedLine {
@@ -25,11 +29,22 @@ pub struct LexedLine {
     pub brace_delta: i32,
 }
 
-/// Carries block-comment state across lines of one file.
+/// The string literal kind an open literal was started with.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StrKind {
+    /// An ordinary `"..."` literal (backslash escapes apply).
+    Normal,
+    /// A raw literal `r"..."`/`r#"..."#`; closes on `"` plus this many `#`.
+    Raw(usize),
+}
+
+/// Carries block-comment and string state across lines of one file.
 #[derive(Default)]
 pub struct Lexer {
     /// Nesting depth of `/* */` block comments (Rust block comments nest).
     block_depth: u32,
+    /// A string literal left open at the end of the previous line.
+    open_string: Option<StrKind>,
 }
 
 impl Lexer {
@@ -44,6 +59,26 @@ impl Lexer {
         let mut comment = String::new();
         let mut delta = 0i32;
         let mut i = 0usize;
+
+        // Resume a string literal that opened on an earlier line. The
+        // contents are still string data: no comments, braces or pragmas.
+        if let Some(kind) = self.open_string {
+            match self.consume_string_body(&chars, 0, kind, &mut with_strings) {
+                Some(next) => {
+                    code.push('"');
+                    with_strings.push('"');
+                    i = next;
+                }
+                None => {
+                    return LexedLine {
+                        code,
+                        code_with_strings: with_strings,
+                        comment,
+                        brace_delta: 0,
+                    };
+                }
+            }
+        }
 
         while i < chars.len() {
             if self.block_depth > 0 {
@@ -71,44 +106,38 @@ impl Lexer {
                 '"' => {
                     code.push('"');
                     with_strings.push('"');
-                    i += 1;
-                    while i < chars.len() {
-                        match chars[i] {
-                            '\\' => {
-                                if let Some(e) = chars.get(i + 1) {
-                                    with_strings.push('\\');
-                                    with_strings.push(*e);
-                                }
-                                i += 2;
-                            }
-                            '"' => {
-                                code.push('"');
-                                with_strings.push('"');
-                                i += 1;
-                                break;
-                            }
-                            other => {
-                                with_strings.push(other);
-                                i += 1;
-                            }
+                    match self.consume_string_body(
+                        &chars,
+                        i + 1,
+                        StrKind::Normal,
+                        &mut with_strings,
+                    ) {
+                        Some(next) => {
+                            code.push('"');
+                            with_strings.push('"');
+                            i = next;
                         }
+                        None => break,
                     }
                 }
                 'r' if is_raw_string_start(&chars, i) => {
                     let hashes = count_hashes(&chars, i + 1);
                     // Skip `r##"`.
-                    i += 1 + hashes + 1;
+                    let body = i + 1 + hashes + 1;
                     code.push('"');
                     with_strings.push('"');
-                    while i < chars.len() {
-                        if chars[i] == '"' && matches_hashes(&chars, i + 1, hashes) {
-                            i += 1 + hashes;
+                    match self.consume_string_body(
+                        &chars,
+                        body,
+                        StrKind::Raw(hashes),
+                        &mut with_strings,
+                    ) {
+                        Some(next) => {
                             code.push('"');
                             with_strings.push('"');
-                            break;
+                            i = next;
                         }
-                        with_strings.push(chars[i]);
-                        i += 1;
+                        None => break,
                     }
                 }
                 '\'' => {
@@ -158,6 +187,55 @@ impl Lexer {
             comment,
             brace_delta: delta,
         }
+    }
+
+    /// Consume string-literal contents starting at `chars[from]`. Returns
+    /// the index just past the closing delimiter, or `None` when the line
+    /// ends with the literal still open (state is carried to the next
+    /// line). Contents are appended to `with_strings` only.
+    fn consume_string_body(
+        &mut self,
+        chars: &[char],
+        from: usize,
+        kind: StrKind,
+        with_strings: &mut String,
+    ) -> Option<usize> {
+        let mut i = from;
+        match kind {
+            StrKind::Normal => {
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => {
+                            if let Some(e) = chars.get(i + 1) {
+                                with_strings.push('\\');
+                                with_strings.push(*e);
+                            }
+                            i += 2;
+                        }
+                        '"' => {
+                            self.open_string = None;
+                            return Some(i + 1);
+                        }
+                        other => {
+                            with_strings.push(other);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            StrKind::Raw(hashes) => {
+                while i < chars.len() {
+                    if chars[i] == '"' && matches_hashes(chars, i + 1, hashes) {
+                        self.open_string = None;
+                        return Some(i + 1 + hashes);
+                    }
+                    with_strings.push(chars[i]);
+                    i += 1;
+                }
+            }
+        }
+        self.open_string = Some(kind);
+        None
     }
 }
 
@@ -235,9 +313,58 @@ mod tests {
     }
 
     #[test]
+    fn nested_block_comments_span_lines() {
+        let mut lx = Lexer::new();
+        let a = lx.lex_line("/* outer /* inner thread_rng()");
+        let b = lx.lex_line("   inner closes */ still outer SystemTime::now()");
+        let c = lx.lex_line("   outer closes */ let z = 3;");
+        assert!(!a.code.contains("thread_rng"));
+        assert!(!b.code.contains("SystemTime"));
+        assert!(c.code.contains("let z = 3;"));
+    }
+
+    #[test]
     fn raw_strings_are_blanked() {
         let l = lex(r##"let s = r#"SystemTime::now()"#;"##);
         assert!(!l.code.contains("SystemTime"));
+    }
+
+    #[test]
+    fn multi_line_raw_string_is_string_all_the_way_down() {
+        let mut lx = Lexer::new();
+        let a = lx.lex_line(r##"let s = r#"first Instant::now()"##);
+        let b = lx.lex_line("// tidy: allow(wall-clock): not a pragma, string data");
+        let c = lx.lex_line(r##"last"# ; let y = 1;"##);
+        assert!(!a.code.contains("Instant"));
+        // The middle line is entirely string contents: no comment, no code.
+        assert!(b.comment.is_empty());
+        assert!(!b.code.contains("tidy"));
+        assert!(b.code_with_strings.contains("allow"));
+        assert!(c.code.contains("let y = 1;"));
+        assert!(!c.code.contains("last"));
+    }
+
+    #[test]
+    fn multi_line_normal_string_carries_across_lines() {
+        let mut lx = Lexer::new();
+        let a = lx.lex_line("let s = \"opens here");
+        let b = lx.lex_line("// still string, not comment");
+        let c = lx.lex_line("closes here\"; f();");
+        assert_eq!(a.code.trim_end(), "let s = \"");
+        assert!(b.comment.is_empty());
+        assert!(b.code.is_empty());
+        assert!(c.code.contains("f();"));
+        assert_eq!(a.brace_delta + b.brace_delta + c.brace_delta, 0);
+    }
+
+    #[test]
+    fn slashes_inside_strings_are_not_comments() {
+        let l = lex(r#"let url = "https://example.org"; g.unwrap_or(0);"#);
+        assert!(l.comment.is_empty());
+        assert!(l.code.contains("g.unwrap_or(0);"));
+        let l = lex(r#"let s = "a // b"; h();"#);
+        assert!(l.comment.is_empty());
+        assert!(l.code.contains("h();"));
     }
 
     #[test]

@@ -4,30 +4,54 @@
 //! predictors and compare percentage error — is only trustworthy if a
 //! campaign is bit-for-bit reproducible from its master seed and no
 //! predictor mis-orders or panics on NaN-tainted series. This crate
-//! machine-enforces those invariants rustc-tidy style: a dependency-free
-//! lexical pass over every workspace `.rs` file, a table-driven lint
-//! catalog ([`rules`]), a cross-file ULM/LDAP schema coherence check
-//! ([`schema_check`]), per-line pragma suppression with mandatory
-//! justifications, `--json` output for CI, and `--fix` for the one
-//! rewrite that is mechanically safe (`partial_cmp` → `total_cmp`).
+//! machine-enforces those invariants rustc-tidy style, in layers:
+//!
+//! * a lexical pass over every workspace `.rs` file feeding a
+//!   table-driven line-rule catalog ([`rules`]);
+//! * a rustc-free item index and intra-workspace call graph ([`index`],
+//!   [`callgraph`]) powering three semantic passes: determinism taint
+//!   ([`taint`]), panic reachability ([`panics`]) and unit-of-measure
+//!   checking ([`units`]);
+//! * cross-file ULM/LDAP schema and observability-name coherence
+//!   ([`schema_check`], [`obs_check`]);
+//! * per-line pragma suppression with mandatory justifications,
+//!   validated against the single rule registry ([`registry`]).
+//!
+//! Files scan in parallel (the vendored `rayon` shim) and a
+//! content-hash cache under `target/tidy-cache/` ([`cache`]) makes the
+//! no-edits rerun skip everything. Output is human-readable, `--json`,
+//! or SARIF 2.1.0 ([`sarif`]); `--fix` applies the two mechanically
+//! safe rewrites (`partial_cmp` → `total_cmp`, `swap_remove` →
+//! `remove`).
 //!
 //! Run it with `cargo run -p tidy`. Exit status is nonzero iff findings
-//! exist. See DESIGN.md § "Invariants and the tidy pass".
+//! exist. See DESIGN.md § "Invariants and the tidy pass" and § "Static
+//! analysis".
 
+pub mod cache;
+pub mod callgraph;
 pub mod fix;
+pub mod index;
 pub mod lexer;
 pub mod obs_check;
+pub mod panics;
+pub mod pipeline;
+pub mod registry;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
 pub mod schema_check;
+pub mod taint;
+pub mod units;
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use pipeline::SourceFile;
 use rules::LintRule;
-use scan::scan_source;
+use scan::ScannedFile;
 
 /// One lint violation (or pragma problem).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,29 +147,22 @@ fn parse_pragmas(comment: &str) -> Vec<(String, bool)> {
     out
 }
 
-/// Check one file against the standard rule catalog.
-pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
-    check_file_with(rel, src, &rules::rules())
-}
-
-/// Check one file against an explicit rule table (used by self-tests).
-pub fn check_file_with(rel: &str, src: &str, table: &[LintRule]) -> Vec<Finding> {
-    let ctx = file_context(rel);
-    if ctx.exempt {
-        return Vec::new();
-    }
-    let scanned = scan_source(src);
+/// Collect the suppression pragmas of one scanned file: findings about
+/// malformed/unknown/unjustified pragmas, plus the map of 0-based lines
+/// to the rule ids a justified pragma suppresses there (a pragma on its
+/// own line covers the next line, an inline pragma its own). Rule ids
+/// are validated against the [`registry`] — the one list every pass
+/// registers in — so a pragma naming a rule that no longer exists is
+/// itself a finding, not a silent no-op.
+fn pragma_scan(rel: &str, scanned: &ScannedFile) -> (Vec<Finding>, BTreeMap<usize, Vec<String>>) {
+    let known = registry::known_rule_ids();
     let mut findings = Vec::new();
-
-    // Pragmas: a pragma on its own line covers the next line, an inline
-    // pragma covers its own line. Only justified pragmas suppress.
-    let known = rules::known_rule_ids();
     let mut allow: BTreeMap<usize, Vec<String>> = BTreeMap::new();
     for (i, l) in scanned.lines.iter().enumerate() {
         for (rule, justified) in parse_pragmas(&l.comment) {
             if !known.contains(&rule.as_str()) {
                 findings.push(Finding {
-                    rule: "pragma".into(),
+                    rule: registry::PRAGMA.into(),
                     path: rel.into(),
                     line: i + 1,
                     message: format!("pragma references unknown rule `{rule}`"),
@@ -155,7 +172,7 @@ pub fn check_file_with(rel: &str, src: &str, table: &[LintRule]) -> Vec<Finding>
             }
             if !justified {
                 findings.push(Finding {
-                    rule: "pragma".into(),
+                    rule: registry::PRAGMA.into(),
                     path: rel.into(),
                     line: i + 1,
                     message: format!("pragma for `{rule}` carries no justification"),
@@ -167,8 +184,27 @@ pub fn check_file_with(rel: &str, src: &str, table: &[LintRule]) -> Vec<Finding>
             allow.entry(target).or_default().push(rule);
         }
     }
+    (findings, allow)
+}
 
-    let Some(krate) = ctx.krate else {
+/// Check one file against the standard rule catalog.
+pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
+    check_file_with(rel, src, &rules::rules())
+}
+
+/// Check one file against an explicit rule table (used by self-tests).
+pub fn check_file_with(rel: &str, src: &str, table: &[LintRule]) -> Vec<Finding> {
+    line_findings(&SourceFile::from_source(rel, src), table)
+}
+
+/// The per-file pass: pragma hygiene findings plus every line rule that
+/// covers the file's crate, honoring justified pragmas.
+fn line_findings(file: &SourceFile, table: &[LintRule]) -> Vec<Finding> {
+    let mut findings = file.pragma_findings.clone();
+    if file.exempt {
+        return findings;
+    }
+    let Some(krate) = &file.krate else {
         return findings;
     };
     for rule in table {
@@ -177,21 +213,18 @@ pub fn check_file_with(rel: &str, src: &str, table: &[LintRule]) -> Vec<Finding>
         }
         // The module implementing a guarded behavior is the one place the
         // guard does not apply (e.g. the crash-safe writer vs fs-direct).
-        if rule.exempt_files.contains(&rel) {
+        if rule.exempt_files.contains(&file.rel.as_str()) {
             continue;
         }
-        for (i, l) in scanned.lines.iter().enumerate() {
+        for (i, l) in file.scanned.lines.iter().enumerate() {
             if l.in_test {
                 continue;
             }
             let Some(token) = rule.pattern.matches(&l.code) else {
                 continue;
             };
-            let suppressed = allow
-                .get(&i)
-                .is_some_and(|rules| rules.iter().any(|r| r == rule.id));
-            if !suppressed {
-                findings.push(Finding::lint(rule, rel, i + 1, &token));
+            if !file.allowed(i, &[rule.id]) {
+                findings.push(Finding::lint(rule, &file.rel, i + 1, &token));
             }
         }
     }
@@ -232,45 +265,127 @@ pub(crate) fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Run the whole pass over the workspace at `root`. With `apply_fix`,
-/// mechanically rewrite fixable `float-ord` findings in place first, then
-/// report whatever remains.
+/// Knobs the CLI exposes; [`run_tidy`] is the defaults-everywhere entry.
+pub struct TidyOptions {
+    /// Apply the mechanical rewrites before reporting.
+    pub apply_fix: bool,
+    /// Read/write `target/tidy-cache`. Off for cold-timing and tests
+    /// that must not see another run's state.
+    pub use_cache: bool,
+}
+
+/// Run the whole pass over the workspace at `root` with default options
+/// (cache on). With `apply_fix`, mechanically rewrite fixable findings
+/// in place first, then report whatever remains.
 pub fn run_tidy(root: &Path, apply_fix: bool) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    run_tidy_with(
+        root,
+        &TidyOptions {
+            apply_fix,
+            use_cache: true,
+        },
+    )
+}
+
+pub fn run_tidy_with(root: &Path, opts: &TidyOptions) -> io::Result<Vec<Finding>> {
+    let mut sources: Vec<(String, PathBuf, String)> = Vec::new();
     for path in walk_rs_files(&root.join("crates"))? {
         let rel = rel_path(root, &path);
-        let mut src = fs::read_to_string(&path)?;
-        let mut file_findings = check_file(&rel, &src);
-        if apply_fix && file_findings.iter().any(|f| f.rule == "float-ord") {
+        let src = fs::read_to_string(&path)?;
+        sources.push((rel, path, src));
+    }
+
+    let cached = if opts.use_cache {
+        cache::load(root)
+    } else {
+        None
+    };
+    if !opts.apply_fix {
+        if let Some(c) = &cached {
+            // Warm path: nothing changed since the recorded run — return
+            // its findings without lexing a single line.
+            let hashes: Vec<(String, u64)> = sources
+                .iter()
+                .map(|(rel, _, src)| (rel.clone(), pipeline::fnv1a(src.as_bytes())))
+                .collect();
+            if let Some(findings) = c.full_hit(&hashes) {
+                return Ok(findings);
+            }
+        }
+    }
+
+    let table = rules::rules();
+    let mut files: Vec<SourceFile> =
+        rayon::par_map(&sources, |(rel, _, src)| SourceFile::from_source(rel, src));
+
+    if opts.apply_fix {
+        for (i, (rel, path, src)) in sources.iter_mut().enumerate() {
             let mut lines: Vec<String> = src.split('\n').map(str::to_string).collect();
             let mut changed = false;
-            for f in file_findings.iter().filter(|f| f.rule == "float-ord") {
+            for f in line_findings(&files[i], &table) {
                 if f.line == 0 || f.line > lines.len() {
                     continue;
                 }
-                let (fixed, n) = fix::fix_partial_cmp(&lines[f.line - 1]);
+                let (fixed, n) = match f.rule.as_str() {
+                    "float-ord" => fix::fix_partial_cmp(&lines[f.line - 1]),
+                    "vec-swap-remove" => fix::fix_swap_remove(&lines[f.line - 1]),
+                    _ => continue,
+                };
                 if n > 0 {
                     lines[f.line - 1] = fixed;
                     changed = true;
                 }
             }
             if changed {
-                src = lines.join("\n");
-                fs::write(&path, &src)?;
-                file_findings = check_file(&rel, &src);
+                *src = lines.join("\n");
+                fs::write(path, &*src)?;
+                files[i] = SourceFile::from_source(rel, src);
             }
         }
-        findings.extend(file_findings);
     }
-    findings.extend(schema_check::check_schema(root));
-    findings.extend(obs_check::check_obs_names(root));
-    findings.sort_by(|a, b| {
-        (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+
+    // Per-file pass, in parallel; unchanged files reuse cached findings.
+    let indices: Vec<usize> = (0..files.len()).collect();
+    let per_file: Vec<Vec<Finding>> = rayon::par_map(&indices, |&i| {
+        let file = &files[i];
+        if !opts.apply_fix {
+            if let Some(hit) = cached
+                .as_ref()
+                .and_then(|c| c.file_hit(&file.rel, file.hash))
+            {
+                return hit.to_vec();
+            }
+        }
+        line_findings(file, &table)
     });
+
+    // Semantic and cross-file passes see the whole (post-fix) file set.
+    let ix = index::WorkspaceIndex::build(&files);
+    let graph = callgraph::CallGraph::build(&files, &ix);
+    let mut semantic = Vec::new();
+    semantic.extend(taint::check(&files, &ix, &graph));
+    semantic.extend(panics::check(&files, &ix, &graph));
+    semantic.extend(units::check(&files));
+    semantic.extend(schema_check::check_schema(root));
+    semantic.extend(obs_check::check_obs_names(root));
+
+    if opts.use_cache {
+        let entries: Vec<((String, u64), Vec<Finding>)> = files
+            .iter()
+            .zip(per_file.iter())
+            .map(|(f, found)| ((f.rel.clone(), f.hash), found.clone()))
+            .collect();
+        // Cache write failure is not a lint failure; next run is cold.
+        let _ = cache::store(root, &entries, &semantic);
+    }
+
+    let mut findings: Vec<Finding> = per_file.into_iter().flatten().chain(semantic).collect();
+    cache::sort_findings(&mut findings);
     Ok(findings)
 }
 
-/// Serialize findings as a JSON array (hand-rolled: tidy takes no deps).
+/// Serialize findings as a JSON array (hand-rolled: tidy parses nothing
+/// and emits everything itself).
 pub fn to_json(findings: &[Finding]) -> String {
     let mut out = String::from("[");
     for (i, f) in findings.iter().enumerate() {
@@ -325,6 +440,17 @@ mod tests {
             vec![("float-eq".to_string(), false)]
         );
         assert!(parse_pragmas("ordinary comment").is_empty());
+    }
+
+    #[test]
+    fn pragma_scan_validates_against_the_registry() {
+        let scanned = scan::scan_source(
+            "// tidy: allow(panic-path): bounded by construction\nlet x = xs[0];\n// tidy: allow(panic-unwrap): stale id\nlet y = 1;\n",
+        );
+        let (findings, allow) = pragma_scan("crates/predict/src/x.rs", &scanned);
+        assert_eq!(findings.len(), 1, "stale rule id must be reported");
+        assert!(findings[0].message.contains("panic-unwrap"));
+        assert_eq!(allow.get(&1).map(Vec::len), Some(1));
     }
 
     #[test]

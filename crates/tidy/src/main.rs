@@ -3,7 +3,9 @@
 //! ```text
 //! cargo run -p tidy                 # human-readable report, exit 1 on findings
 //! cargo run -p tidy -- --json       # machine-readable report (CI gate)
-//! cargo run -p tidy -- --fix        # apply mechanical partial_cmp -> total_cmp rewrites
+//! cargo run -p tidy -- --sarif      # SARIF 2.1.0 (code-scanning upload)
+//! cargo run -p tidy -- --fix        # apply mechanical rewrites (partial_cmp, swap_remove)
+//! cargo run -p tidy -- --no-cache   # ignore target/tidy-cache (cold run)
 //! cargo run -p tidy -- --root DIR   # lint a different tree (fixtures, subsets)
 //! ```
 
@@ -12,14 +14,18 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut sarif = false;
     let mut apply_fix = false;
+    let mut use_cache = true;
     let mut root: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--sarif" => sarif = true,
             "--fix" => apply_fix = true,
+            "--no-cache" => use_cache = false,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -28,7 +34,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: tidy [--json] [--fix] [--root DIR]");
+                eprintln!("usage: tidy [--json] [--sarif] [--fix] [--no-cache] [--root DIR]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -45,7 +51,11 @@ fn main() -> ExitCode {
             .join("..")
     });
 
-    let findings = match tidy::run_tidy(&root, apply_fix) {
+    let opts = tidy::TidyOptions {
+        apply_fix,
+        use_cache,
+    };
+    let findings = match tidy::run_tidy_with(&root, &opts) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("tidy: error walking {}: {e}", root.display());
@@ -53,7 +63,9 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
+    if sarif {
+        println!("{}", tidy::sarif::to_sarif(&findings));
+    } else if json {
         println!("{}", tidy::to_json(&findings));
     } else if findings.is_empty() {
         println!("tidy: clean ({} ok)", root.display());

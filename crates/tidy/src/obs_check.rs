@@ -30,7 +30,7 @@ use crate::scan::{scan_source, ScannedFile};
 use crate::schema_check::span_text;
 use crate::{walk_rs_files, Finding};
 
-const RULE: &str = "obs-names";
+const RULE: &str = crate::registry::OBS_NAMES;
 const NAMES_REL: &str = "crates/obs/src/names.rs";
 const EMIT_MARKERS: &[&str] = &[
     ".inc(",
@@ -241,10 +241,6 @@ fn receiver_is_obs(code: &str, pos: usize) -> bool {
         .rev()
         .collect();
     recv.rsplit('.').next().is_some_and(|seg| seg == "obs")
-}
-
-pub fn rule_id() -> &'static str {
-    RULE
 }
 
 #[cfg(test)]

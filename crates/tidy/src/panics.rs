@@ -1,0 +1,260 @@
+//! Panic-reachability (rule id `panic-path`), superseding the old
+//! per-line `panic-unwrap` rule.
+//!
+//! The old rule flagged `.unwrap()` where it was written; it said nothing
+//! about a public API whose private helper unwraps. This pass marks panic
+//! *sites* — `.unwrap()`, `panic!`/`unreachable!`/`todo!`/
+//! `unimplemented!`, `.expect(` with a non-literal (unwritten) message,
+//! and literal-index access (`xs[0]`, `&s[1..3]`) — then walks the call
+//! graph and reports every site transitively reachable from a `pub fn`
+//! of a library crate, naming the shortest public chain.
+//!
+//! Calibration, measured on this workspace:
+//! * `.expect("written invariant")` is sanctioned — the documented
+//!   alternative the old rule pointed to; the string literal *is* the
+//!   justification. `assert!` family likewise: intentional invariants.
+//! * Indexing counts only with a *literal* index. `xs[0]` on an
+//!   unchecked collection is the real replay-killer (empty series ->
+//!   panic mid-campaign); variable indices (`slots[i]`) were 150+ sites
+//!   and virtually all loop-bounded — flagging them trains people to
+//!   ignore the rule.
+//!
+//! Like the taint pass, findings sit at the source line, so one justified
+//! `// tidy: allow(panic-path): ...` covers every public caller at once.
+
+use crate::callgraph::CallGraph;
+use crate::index::WorkspaceIndex;
+use crate::pipeline::SourceFile;
+use crate::registry;
+use crate::rules::LIB_CRATES;
+use crate::Finding;
+
+struct Site {
+    fn_id: usize,
+    line: usize, // 0-based
+    token: String,
+}
+
+const PANIC_MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+pub fn check(files: &[SourceFile], ix: &WorkspaceIndex, graph: &CallGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for site in collect_sites(files, ix) {
+        let Some(chain) = pub_reach_chain(ix, graph, site.fn_id) else {
+            continue;
+        };
+        let file = &files[ix.fns[site.fn_id].file];
+        let path: Vec<String> = chain.iter().map(|&id| ix.fns[id].display()).collect();
+        let via = if path.len() > 1 {
+            format!(" via {}", path.join(" -> "))
+        } else {
+            String::new()
+        };
+        findings.push(Finding::cross_file(
+            registry::PANIC_PATH,
+            &file.rel,
+            site.line + 1,
+            format!(
+                "`{}` can panic and is reachable from public API `{}`{}",
+                site.token,
+                path.first().cloned().unwrap_or_default(),
+                via,
+            ),
+            "return an error, bound the access, use expect(\"written invariant\"), or justify \
+             with `// tidy: allow(panic-path): <why this cannot fire>`",
+        ));
+    }
+    findings
+}
+
+fn collect_sites(files: &[SourceFile], ix: &WorkspaceIndex) -> Vec<Site> {
+    let mut out = Vec::new();
+    for (fn_id, item) in ix.fns.iter().enumerate() {
+        if !LIB_CRATES.contains(&item.krate.as_str()) {
+            continue;
+        }
+        let file = &files[item.file];
+        let (a, b) = item.body;
+        for line in a..=b {
+            if ix.line_owner[item.file][line] != Some(fn_id) {
+                continue;
+            }
+            let info = &file.scanned.lines[line];
+            if info.in_test || file.allowed(line, &[registry::PANIC_PATH]) {
+                continue;
+            }
+            if let Some(token) = panic_token(&info.code) {
+                out.push(Site { fn_id, line, token });
+            }
+        }
+    }
+    out
+}
+
+/// First panic-capable token on a code line, if any.
+pub(crate) fn panic_token(code: &str) -> Option<String> {
+    if code.contains(".unwrap()") {
+        return Some(".unwrap()".to_string());
+    }
+    for m in PANIC_MACROS {
+        if code.contains(m) {
+            return Some(m.trim_end_matches('(').to_string());
+        }
+    }
+    // `.expect(` whose argument is not a string literal carries no
+    // written invariant — `.expect("msg")` is sanctioned and skipped.
+    // A char-literal argument (`parser.expect('(')`) cannot be std's
+    // expect at all — that is a user-defined fallible method.
+    for (pos, _) in code.match_indices(".expect(") {
+        let arg = code[pos + ".expect(".len()..].trim_start();
+        if !arg.starts_with('"') && !arg.starts_with('\'') {
+            return Some(".expect(<non-literal>)".to_string());
+        }
+    }
+    indexing_token(code)
+}
+
+/// Literal-index access `ident[0]` / `ident[1..3]` — a slice/array
+/// access that panics when the collection is shorter than the constant
+/// assumes. Attribute lines (`#[...]`), array types/literals
+/// (`[u8; 4]`, `= [`) and macros (`vec![`) have no identifier directly
+/// before the bracket and never match; variable indices are skipped by
+/// calibration (see module docs).
+fn indexing_token(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    for (pos, _) in code.match_indices('[') {
+        if pos == 0 {
+            continue;
+        }
+        let prev = bytes[pos - 1] as char;
+        if !(prev.is_ascii_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            continue;
+        }
+        if !code[pos + 1..]
+            .trim_start()
+            .starts_with(|c: char| c.is_ascii_digit())
+        {
+            continue;
+        }
+        // Walk back over the indexed expression tail for the report.
+        let ident: String = code[..pos]
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        let shown = if ident.is_empty() { "expr" } else { &ident };
+        return Some(format!("{shown}[..]"));
+    }
+    None
+}
+
+/// Shortest chain `[pub_entry, .., site_fn]`; `None` when no public
+/// library API reaches the function.
+fn pub_reach_chain(ix: &WorkspaceIndex, graph: &CallGraph, site_fn: usize) -> Option<Vec<usize>> {
+    let n = ix.fns.len();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[site_fn] = true;
+    queue.push_back(site_fn);
+    while let Some(cur) = queue.pop_front() {
+        let item = &ix.fns[cur];
+        if item.is_pub && LIB_CRATES.contains(&item.krate.as_str()) {
+            let mut ordered = Vec::new();
+            let mut walk = Some(cur);
+            while let Some(id) = walk {
+                ordered.push(id);
+                walk = parent[id];
+            }
+            return Some(ordered);
+        }
+        for &(caller, _) in &graph.callers[cur] {
+            if !visited[caller] {
+                visited[caller] = true;
+                parent[caller] = Some(cur);
+                queue.push_back(caller);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::index::WorkspaceIndex;
+    use crate::pipeline::SourceFile;
+
+    fn run(files: &[SourceFile]) -> Vec<Finding> {
+        let ix = WorkspaceIndex::build(files);
+        let graph = CallGraph::build(files, &ix);
+        check(files, &ix, &graph)
+    }
+
+    #[test]
+    fn unwrap_behind_a_private_helper_is_reported_with_the_public_chain() {
+        let f = SourceFile::from_source(
+            "crates/predict/src/sel.rs",
+            "pub fn select_best(xs: &[f64]) -> f64 {\n    pick_first_inner(xs)\n}\nfn pick_first_inner(xs: &[f64]) -> f64 {\n    *xs.first().unwrap()\n}\n",
+        );
+        let findings = run(&[f]);
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.rule, "panic-path");
+        assert_eq!(f.line, 5);
+        assert!(f.message.contains("select_best"));
+        assert!(f.message.contains("pick_first_inner"));
+    }
+
+    #[test]
+    fn expect_with_written_invariant_and_asserts_are_sanctioned() {
+        let f = SourceFile::from_source(
+            "crates/predict/src/sel.rs",
+            "pub fn ok(xs: &[f64]) -> f64 {\n    assert!(!xs.is_empty());\n    *xs.first().expect(\"asserted non-empty above\")\n}\n",
+        );
+        assert!(run(&[f]).is_empty());
+    }
+
+    #[test]
+    fn indexing_in_a_pub_fn_is_a_panic_site() {
+        let f = SourceFile::from_source(
+            "crates/predict/src/sel.rs",
+            "pub fn head(xs: &[f64]) -> f64 {\n    xs[0]\n}\n",
+        );
+        let findings = run(&[f]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("xs[..]"));
+    }
+
+    #[test]
+    fn unreachable_private_panics_and_pragma_barriers_stay_quiet() {
+        let private_only = SourceFile::from_source(
+            "crates/predict/src/sel.rs",
+            "fn never_called(xs: &[f64]) -> f64 {\n    xs[0]\n}\n",
+        );
+        assert!(run(&[private_only]).is_empty());
+
+        let justified = SourceFile::from_source(
+            "crates/predict/src/sel.rs",
+            "pub fn head(xs: &[f64]) -> f64 {\n    // tidy: allow(panic-path): caller contract requires non-empty input\n    xs[0]\n}\n",
+        );
+        assert!(run(&[justified]).is_empty());
+    }
+
+    #[test]
+    fn only_literal_indexing_counts_as_a_panic_site() {
+        assert!(panic_token("#[derive(Debug)]").is_none());
+        assert!(panic_token("let buf: [u8; 4] = [0; 4];").is_none());
+        assert!(panic_token("let v = vec![1, 2];").is_none());
+        assert!(
+            panic_token("xs[i] += 1;").is_none(),
+            "variable index is calibrated out"
+        );
+        assert!(panic_token("xs[0] += 1;").is_some());
+        assert!(panic_token("let t = &s[1..3];").is_some());
+    }
+}

@@ -1,0 +1,90 @@
+//! SARIF 2.1.0 serialization.
+//!
+//! SARIF is the interchange format code-scanning UIs (GitHub's included)
+//! ingest; emitting it lets CI annotate findings on the lines they point
+//! at instead of burying them in a log. One run, one driver
+//! (`wanpred-tidy`), the full rule registry as `rules` metadata, and one
+//! `result` per finding. Hand-rolled like `to_json` — tidy keeps its
+//! no-external-parser diet — and deterministic: output bytes depend only
+//! on the findings slice and the registry.
+
+use crate::registry;
+use crate::{json_escape, Finding};
+
+/// Serialize findings as a single-run SARIF 2.1.0 log.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        r#"{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"wanpred-tidy","informationUri":"https://example.invalid/wanpred","rules":["#,
+    );
+    for (i, rule) in registry::all().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            r#"{{"id":"{}","shortDescription":{{"text":"{}"}}}}"#,
+            json_escape(rule.id),
+            json_escape(rule.summary),
+        ));
+    }
+    out.push_str(r#"]}},"results":["#);
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            r#"{{"ruleId":"{}","level":"error","message":{{"text":"{}"}},"locations":[{{"physicalLocation":{{"artifactLocation":{{"uri":"{}"}}"#,
+            json_escape(&f.rule),
+            json_escape(&format!("{} | {}", f.message, f.suggestion)),
+            json_escape(&f.path),
+        ));
+        // Line 0 marks an absence (a missing constant, an unemitted
+        // metric); SARIF regions are 1-based, so those carry no region.
+        if f.line > 0 {
+            out.push_str(&format!(r#","region":{{"startLine":{}}}"#, f.line));
+        }
+        out.push_str("}}]}");
+    }
+    out.push_str("]}]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(line: usize) -> Finding {
+        Finding {
+            rule: "wall-clock".into(),
+            path: "crates/simnet/src/engine.rs".into(),
+            line,
+            message: "say \"hi\"".into(),
+            suggestion: "use SimTime".into(),
+        }
+    }
+
+    #[test]
+    fn sarif_names_every_registered_rule_and_locates_findings() {
+        let s = to_sarif(&[finding(7)]);
+        assert!(s.starts_with(r#"{"$schema""#));
+        for rule in registry::all() {
+            assert!(
+                s.contains(&format!(r#""id":"{}""#, rule.id)),
+                "{} missing",
+                rule.id
+            );
+        }
+        assert!(s.contains(r#""ruleId":"wall-clock""#));
+        assert!(s.contains(r#""startLine":7"#));
+        assert!(s.contains(r#"\"hi\""#));
+        assert!(s.contains(r#""uri":"crates/simnet/src/engine.rs""#));
+    }
+
+    #[test]
+    fn line_zero_findings_omit_the_region() {
+        let s = to_sarif(&[finding(0)]);
+        assert!(!s.contains("startLine"));
+        // Empty findings still produce a structurally complete log.
+        let empty = to_sarif(&[]);
+        assert!(empty.ends_with(r#""results":[]}]}"#));
+    }
+}

@@ -29,7 +29,7 @@ use std::path::Path;
 use crate::scan::{scan_source, ScannedFile};
 use crate::Finding;
 
-const RULE: &str = "ulm-schema";
+const RULE: &str = crate::registry::ULM_SCHEMA;
 const TAG_VALUES: &[&str] = &["rd", "wr"];
 const RANGE_VALUES: &[&str] = &[
     "tenmbrange",
@@ -367,10 +367,6 @@ fn find_line(scanned: &ScannedFile, needle: &str) -> usize {
         .position(|l| !l.in_test && l.code_with_strings.contains(needle))
         .map(|i| i + 1)
         .unwrap_or(0)
-}
-
-pub fn rule_id() -> &'static str {
-    RULE
 }
 
 #[cfg(test)]

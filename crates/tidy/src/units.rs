@@ -1,0 +1,293 @@
+//! Unit-of-measure analysis (rule id `unit-mismatch`).
+//!
+//! The workspace's numbers carry physics: the paper's predictors mix
+//! transfer durations (seconds vs milliseconds), volumes (bytes vs MB)
+//! and bandwidths (MB/s vs Mb/s — a silent 8x). None of that is in the
+//! type system, but most of it is in the *names*: the repo consistently
+//! writes `elapsed_secs`, `size_mb`, `rate_mbps`. This pass infers a unit
+//! from an identifier's trailing `_`-segments and flags additive
+//! arithmetic, comparison or plain assignment between identifiers whose
+//! inferred units differ.
+//!
+//! Neutralization: an adjacent `*`, `/` or method call (`.`) reads as an
+//! explicit conversion and silences the pair — `secs + ms / 1000.0` is
+//! arithmetic someone thought about; `secs + ms` is not. Identifiers
+//! followed by `(` are call names, not values, and carry no unit. The
+//! pass deliberately under-approximates: a missed mismatch is cheaper
+//! than training people to ignore the rule.
+
+use crate::pipeline::SourceFile;
+use crate::registry;
+use crate::rules::LIB_CRATES;
+use crate::Finding;
+
+/// An inferred unit: a display label and the dimension it measures.
+/// Units are equal iff their labels are (e.g. `mbps` and `mbit_per_s`
+/// both mean Mb/s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unit {
+    pub label: &'static str,
+    pub dim: Dim,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dim {
+    Time,
+    Size,
+    Rate,
+}
+
+/// Binary contexts that require both sides to agree on a unit.
+const MIX_OPS: &[&str] = &["+", "-", "+=", "-=", "<", ">", "<=", ">=", "==", "!=", "="];
+
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let policed = !file.exempt
+            && file
+                .krate
+                .as_deref()
+                .is_some_and(|k| LIB_CRATES.contains(&k));
+        if !policed {
+            continue;
+        }
+        for (i, l) in file.scanned.lines.iter().enumerate() {
+            if l.in_test || file.allowed(i, &[registry::UNIT_MISMATCH]) {
+                continue;
+            }
+            for m in line_mismatches(&l.code) {
+                findings.push(Finding::cross_file(
+                    registry::UNIT_MISMATCH,
+                    &file.rel,
+                    i + 1,
+                    format!(
+                        "`{}` ({}) and `{}` ({}) mix units across `{}` without conversion",
+                        m.a, m.unit_a.label, m.b, m.unit_b.label, m.op,
+                    ),
+                    "convert one side explicitly, rename the identifier to its true unit, or \
+                     justify with `// tidy: allow(unit-mismatch): <why the units agree>`",
+                ));
+            }
+        }
+    }
+    findings
+}
+
+pub(crate) struct Mismatch {
+    pub a: String,
+    pub b: String,
+    pub unit_a: Unit,
+    pub unit_b: Unit,
+    pub op: String,
+}
+
+/// Mismatched unit-bearing identifier pairs on one stripped code line.
+pub(crate) fn line_mismatches(code: &str) -> Vec<Mismatch> {
+    let toks = unit_idents(code);
+    let mut out = Vec::new();
+    for pair in toks.windows(2) {
+        let (a_start, a_end, a, ua) = &pair[0];
+        let (b_start, b_end, b, ub) = &pair[1];
+        if ua == ub {
+            continue;
+        }
+        let Some(op) = pure_operator(&code[*a_end..*b_start]) else {
+            continue;
+        };
+        // `*`/`/`/`.` touching either operand is an explicit conversion.
+        if next_nonspace(&code[*b_end..]).is_some_and(|c| matches!(c, '*' | '/' | '.')) {
+            continue;
+        }
+        if prev_nonspace(&code[..*a_start]).is_some_and(|c| matches!(c, '*' | '/')) {
+            continue;
+        }
+        out.push(Mismatch {
+            a: a.clone(),
+            b: b.clone(),
+            unit_a: *ua,
+            unit_b: *ub,
+            op,
+        });
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Unit-bearing identifiers with byte spans, in textual order. Call
+/// names (`ident(`) are excluded — they name a computation, not a value.
+fn unit_idents(code: &str) -> Vec<(usize, usize, String, Unit)> {
+    let mut out = Vec::new();
+    let mut it = code.char_indices().peekable();
+    while let Some((start, c)) = it.next() {
+        if !(c.is_ascii_alphabetic() || c == '_') {
+            continue;
+        }
+        let mut end = start + c.len_utf8();
+        while let Some(&(pos, nc)) = it.peek() {
+            if is_ident_char(nc) {
+                end = pos + nc.len_utf8();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let ident = &code[start..end];
+        if next_nonspace(&code[end..]) == Some('(') {
+            continue;
+        }
+        if let Some(unit) = unit_of(ident) {
+            out.push((start, end, ident.to_string(), unit));
+        }
+    }
+    out
+}
+
+/// The between-operands text, reduced to a single operator when that is
+/// all it holds (method receivers like `self.` are stripped so
+/// `a_ms + self.b_secs` still pairs up).
+fn pure_operator(seg: &str) -> Option<String> {
+    let mut s = seg.trim();
+    // Strip a trailing receiver chain: `self.`, `cfg.limits.` ...
+    while let Some(rest) = s.strip_suffix('.') {
+        let trimmed = rest.trim_end_matches(is_ident_char);
+        if trimmed.len() == rest.len() {
+            return None; // `..` range or a lone dot — not an operator.
+        }
+        s = trimmed.trim_end();
+    }
+    MIX_OPS.contains(&s).then(|| s.to_string())
+}
+
+fn next_nonspace(s: &str) -> Option<char> {
+    s.chars().find(|c| !c.is_whitespace())
+}
+
+fn prev_nonspace(s: &str) -> Option<char> {
+    s.chars().rev().find(|c| !c.is_whitespace())
+}
+
+/// Infer a unit from the trailing `_`-segments of an identifier. A bare
+/// unit word (`ms` alone as a variable) is ignored — only a suffix on a
+/// descriptive name is a deliberate unit annotation.
+pub(crate) fn unit_of(ident: &str) -> Option<Unit> {
+    let segs: Vec<&str> = ident.split('_').filter(|s| !s.is_empty()).collect();
+    if segs.len() >= 3 && segs[segs.len() - 2] == "per" {
+        if !matches!(segs[segs.len() - 1], "s" | "sec" | "secs") {
+            return None;
+        }
+        let label = match segs[segs.len() - 3] {
+            "mb" => "MB/s",
+            "kb" => "KB/s",
+            "gb" => "GB/s",
+            "byte" | "bytes" => "bytes/s",
+            "bit" | "bits" => "bits/s",
+            "mbit" | "mbits" => "Mb/s",
+            _ => return None,
+        };
+        return Some(Unit {
+            label,
+            dim: Dim::Rate,
+        });
+    }
+    if segs.len() < 2 {
+        return None;
+    }
+    let (label, dim) = match *segs.last()? {
+        "s" | "sec" | "secs" | "seconds" => ("s", Dim::Time),
+        "ms" | "millis" | "milliseconds" => ("ms", Dim::Time),
+        "us" | "micros" => ("us", Dim::Time),
+        "ns" | "nanos" => ("ns", Dim::Time),
+        "byte" | "bytes" => ("bytes", Dim::Size),
+        "kb" => ("KB", Dim::Size),
+        "mb" => ("MB", Dim::Size),
+        "gb" => ("GB", Dim::Size),
+        "bps" => ("bits/s", Dim::Rate),
+        "kbps" => ("Kb/s", Dim::Rate),
+        "mbps" => ("Mb/s", Dim::Rate),
+        "gbps" => ("Gb/s", Dim::Rate),
+        _ => return None,
+    };
+    Some(Unit { label, dim })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::SourceFile;
+
+    #[test]
+    fn suffix_inference() {
+        assert_eq!(unit_of("elapsed_secs").map(|u| u.label), Some("s"));
+        assert_eq!(unit_of("jitter_ms").map(|u| u.label), Some("ms"));
+        assert_eq!(unit_of("size_mb").map(|u| u.label), Some("MB"));
+        assert_eq!(unit_of("rate_mbps").map(|u| u.label), Some("Mb/s"));
+        assert_eq!(unit_of("rate_mb_per_s").map(|u| u.label), Some("MB/s"));
+        assert_eq!(unit_of("mbit_per_s").map(|u| u.label), Some("Mb/s"));
+        assert_eq!(unit_of("ms"), None, "bare unit word is not an annotation");
+        assert_eq!(unit_of("items"), None);
+        assert_eq!(unit_of("total"), None);
+    }
+
+    #[test]
+    fn mixed_time_units_in_a_sum_are_flagged() {
+        let ms = line_mismatches("let total = delay_secs + jitter_ms;");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].op, "+");
+        assert_eq!((ms[0].unit_a.label, ms[0].unit_b.label), ("s", "ms"));
+    }
+
+    #[test]
+    fn same_unit_and_converted_arithmetic_pass() {
+        assert!(line_mismatches("let total_ms = a_ms + b_ms;").is_empty());
+        assert!(line_mismatches("let t = delay_secs + jitter_ms / 1000.0;").is_empty());
+        assert!(line_mismatches("let t = delay_secs * scale_ms;").is_empty());
+        // `ident(` is a call, not a value.
+        assert!(line_mismatches("let t_secs = to_ms(x) as f64;").is_empty());
+    }
+
+    #[test]
+    fn size_comparisons_and_bandwidth_aliases() {
+        assert_eq!(line_mismatches("if buf_bytes > limit_mb {").len(), 1);
+        // Mb/s vs MB/s — the silent 8x the paper's tables live or die on.
+        assert_eq!(
+            line_mismatches("let d = link_mbps - disk_mb_per_s;").len(),
+            1
+        );
+        // mbps and mbit_per_s are the same unit spelled twice.
+        assert!(line_mismatches("let d = link_mbps - peer_mbit_per_s;").is_empty());
+    }
+
+    #[test]
+    fn assignment_between_units_is_flagged_and_receivers_are_stripped() {
+        assert_eq!(line_mismatches("let window_secs = cfg_ms;").len(), 1);
+        assert_eq!(
+            line_mismatches("let d_ms = base_ms + self.skew_secs;").len(),
+            1
+        );
+        assert!(line_mismatches("for i_ms in 0..n_secs {").is_empty());
+    }
+
+    #[test]
+    fn pass_respects_pragmas_and_exempt_files() {
+        let hot = SourceFile::from_source(
+            "crates/predict/src/m.rs",
+            "pub fn f(a_secs: f64, b_ms: f64) -> f64 {\n    a_secs + b_ms\n}\n",
+        );
+        assert_eq!(check(&[hot]).len(), 1);
+
+        let allowed = SourceFile::from_source(
+            "crates/predict/src/m.rs",
+            "pub fn f(a_secs: f64, b_ms: f64) -> f64 {\n    // tidy: allow(unit-mismatch): b_ms is pre-scaled by the caller\n    a_secs + b_ms\n}\n",
+        );
+        assert!(check(&[allowed]).is_empty());
+
+        let test_file = SourceFile::from_source(
+            "crates/predict/tests/m.rs",
+            "pub fn f(a_secs: f64, b_ms: f64) -> f64 {\n    a_secs + b_ms\n}\n",
+        );
+        assert!(check(&[test_file]).is_empty());
+    }
+}

@@ -1,9 +1,14 @@
-//! Self-tests for the tidy pass: every rule must fire on its seeded
-//! fixture, pragma suppression must demand justifications, and — the
-//! acceptance gate — the real workspace must lint clean.
+//! Self-tests for the tidy pass: every registered rule must fire on its
+//! seeded fixture, the semantic passes must report cross-function chains,
+//! pragma suppression must demand justifications, the warm cache must be
+//! fast and byte-identical, and — the acceptance gate — the real
+//! workspace must lint clean.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::time::Instant;
+
+use tidy::TidyOptions;
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -15,29 +20,87 @@ fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-const ALL_RULES: &[&str] = &[
-    "wall-clock",
-    "thread-rng",
-    "unordered-map",
-    "vec-swap-remove",
-    "float-ord",
-    "float-eq",
-    "panic-unwrap",
-    "fs-direct",
-    "pragma",
-    "ulm-schema",
-    "obs-names",
-];
+/// Fixture runs never touch a cache: they must exercise the passes every
+/// time, and they must not drop `target/` dirs inside the fixture trees.
+fn run_cold(root: &Path) -> Vec<tidy::Finding> {
+    tidy::run_tidy_with(
+        root,
+        &TidyOptions {
+            apply_fix: false,
+            use_cache: false,
+        },
+    )
+    .expect("tidy run")
+}
 
 #[test]
-fn every_rule_fires_on_the_bad_tree() {
-    let findings = tidy::run_tidy(&fixture("bad_tree"), false).expect("fixture tree walk");
-    for rule in ALL_RULES {
+fn every_registered_rule_fires_on_the_bad_tree() {
+    let findings = run_cold(&fixture("bad_tree"));
+    for rule in tidy::registry::known_rule_ids() {
         assert!(
-            findings.iter().any(|f| f.rule == *rule),
+            findings.iter().any(|f| f.rule == rule),
             "rule `{rule}` produced no finding on its fixture; got: {findings:#?}"
         );
     }
+}
+
+#[test]
+fn taint_findings_report_the_source_with_its_sim_chain() {
+    let findings = run_cold(&fixture("bad_tree"));
+    let taint: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "determinism-taint")
+        .collect();
+    // The finding sits at the wall clock in `core` — a crate no per-line
+    // rule covers — and names the sim entry that reaches it.
+    assert!(
+        taint
+            .iter()
+            .any(|f| f.path == "crates/core/src/clock_helper.rs"
+                && f.message.contains("Instant::now")
+                && f.message.contains("simnet::advance_with_stamp")
+                && f.message.contains("core::wall_micros")),
+        "taint chain not reported at the source: {taint:#?}"
+    );
+}
+
+#[test]
+fn panic_findings_cross_function_boundaries() {
+    let findings = run_cold(&fixture("bad_tree"));
+    let panics: Vec<_> = findings.iter().filter(|f| f.rule == "panic-path").collect();
+    // Direct: a pub fn that unwraps.
+    assert!(panics
+        .iter()
+        .any(|f| f.path == "crates/predict/src/bad.rs" && f.message.contains(".unwrap()")));
+    // Transitive: pub API -> private helper -> literal index.
+    assert!(
+        panics
+            .iter()
+            .any(|f| f.path == "crates/predict/src/panic_chain.rs"
+                && f.message.contains("xs[..]")
+                && f.message.contains("predict::head_delay")
+                && f.message.contains("predict::first_of")),
+        "panic chain through a private helper not reported: {panics:#?}"
+    );
+}
+
+#[test]
+fn unit_findings_name_both_sides_of_the_mismatch() {
+    let findings = run_cold(&fixture("bad_tree"));
+    let units: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "unit-mismatch")
+        .collect();
+    assert!(units
+        .iter()
+        .any(|f| f.message.contains("delay_secs") && f.message.contains("jitter_ms")));
+    assert!(
+        units.iter().any(|f| f.message.contains("link_mbps")
+            && f.message.contains("disk_mb_per_s")
+            && f.message.contains("Mb/s")
+            && f.message.contains("MB/s")),
+        "the Mb/s-vs-MB/s 8x must be flagged: {units:#?}"
+    );
 }
 
 #[test]
@@ -96,13 +159,13 @@ fn obs_name_drift_findings_name_the_drifted_metrics() {
 #[test]
 fn cli_exits_nonzero_on_bad_tree_and_zero_on_clean_tree() {
     let bad = Command::new(env!("CARGO_BIN_EXE_tidy"))
-        .args(["--json", "--root"])
+        .args(["--json", "--no-cache", "--root"])
         .arg(fixture("bad_tree"))
         .output()
         .expect("run tidy");
     assert!(!bad.status.success(), "bad_tree must fail the lint");
     let json = String::from_utf8(bad.stdout).expect("utf8 json");
-    for rule in ALL_RULES {
+    for rule in tidy::registry::known_rule_ids() {
         assert!(
             json.contains(rule),
             "JSON output missing rule `{rule}`: {json}"
@@ -110,7 +173,7 @@ fn cli_exits_nonzero_on_bad_tree_and_zero_on_clean_tree() {
     }
 
     let clean = Command::new(env!("CARGO_BIN_EXE_tidy"))
-        .args(["--json", "--root"])
+        .args(["--json", "--no-cache", "--root"])
         .arg(fixture("clean_tree"))
         .output()
         .expect("run tidy");
@@ -119,11 +182,71 @@ fn cli_exits_nonzero_on_bad_tree_and_zero_on_clean_tree() {
 }
 
 #[test]
+fn cli_sarif_output_is_wellformed_and_names_findings() {
+    let bad = Command::new(env!("CARGO_BIN_EXE_tidy"))
+        .args(["--sarif", "--no-cache", "--root"])
+        .arg(fixture("bad_tree"))
+        .output()
+        .expect("run tidy");
+    assert!(!bad.status.success());
+    let sarif = String::from_utf8(bad.stdout).expect("utf8 sarif");
+    assert!(sarif.contains(r#""version":"2.1.0""#));
+    assert!(sarif.contains(r#""name":"wanpred-tidy""#));
+    for rule in ["determinism-taint", "panic-path", "unit-mismatch"] {
+        assert!(
+            sarif.contains(&format!(r#""ruleId":"{rule}""#)),
+            "SARIF missing results for `{rule}`"
+        );
+    }
+}
+
+#[test]
+fn lexer_edge_cases_stay_silent_on_the_clean_tree() {
+    // Raw strings, multi-line strings, nested block comments and `//`
+    // inside string literals all hold rule tokens; none may fire.
+    let findings = run_cold(&fixture("clean_tree"));
+    assert!(
+        findings.is_empty(),
+        "clean_tree must produce no findings: {findings:#?}"
+    );
+}
+
+#[test]
 fn the_workspace_itself_lints_clean() {
-    let findings = tidy::run_tidy(&workspace_root(), false).expect("workspace walk");
+    let findings = run_cold(&workspace_root());
     assert!(
         findings.is_empty(),
         "the tree must satisfy its own tidy pass; found: {findings:#?}"
+    );
+}
+
+#[test]
+fn warm_cache_is_faster_and_byte_identical() {
+    let root = workspace_root();
+    // Cold: no cache read or write, full scan plus semantic passes.
+    let t0 = Instant::now();
+    let cold = run_cold(&root);
+    let cold_time = t0.elapsed();
+
+    // Populate, then time the warm full-hit path.
+    let opts = TidyOptions {
+        apply_fix: false,
+        use_cache: true,
+    };
+    let populate = tidy::run_tidy_with(&root, &opts).expect("populate cache");
+    let t1 = Instant::now();
+    let warm = tidy::run_tidy_with(&root, &opts).expect("warm run");
+    let warm_time = t1.elapsed();
+
+    assert_eq!(tidy::to_json(&cold), tidy::to_json(&populate));
+    assert_eq!(
+        tidy::to_json(&cold),
+        tidy::to_json(&warm),
+        "warm-cache findings must be byte-identical to a cold run"
+    );
+    assert!(
+        warm_time.as_secs_f64() * 5.0 <= cold_time.as_secs_f64(),
+        "warm cache must be at least 5x faster: cold {cold_time:?}, warm {warm_time:?}"
     );
 }
 
@@ -186,4 +309,38 @@ fn fix_clears_the_fixable_float_ord_findings() {
     let (fixed, n) = tidy::fix::fix_partial_cmp(src);
     assert_eq!(n, 1);
     assert!(tidy::check_file(rel, &fixed).is_empty());
+}
+
+#[test]
+fn fix_rewrites_swap_remove_in_place_and_is_idempotent() {
+    // A throwaway tree: one sim-crate file seeded with swap_remove.
+    let root = std::env::temp_dir().join(format!("tidy-fix-test-{}", std::process::id()));
+    let src_dir = root.join("crates/simnet/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    let file = src_dir.join("queue.rs");
+    let seeded = "pub fn drop_at(v: &mut Vec<u32>, i: usize) -> u32 {\n    v.swap_remove(i)\n}\n";
+    std::fs::write(&file, seeded).expect("seed");
+
+    let opts = TidyOptions {
+        apply_fix: true,
+        use_cache: false,
+    };
+    let after_fix = tidy::run_tidy_with(&root, &opts).expect("fix run");
+    assert!(
+        !after_fix.iter().any(|f| f.rule == "vec-swap-remove"),
+        "fix must clear the finding it rewrites: {after_fix:#?}"
+    );
+    let rewritten = std::fs::read_to_string(&file).expect("read back");
+    assert!(rewritten.contains("v.remove(i)"));
+    assert!(!rewritten.contains("swap_remove"));
+
+    // Idempotent: a second --fix changes nothing.
+    let again = tidy::run_tidy_with(&root, &opts).expect("second fix run");
+    assert_eq!(tidy::to_json(&after_fix), tidy::to_json(&again));
+    assert_eq!(
+        std::fs::read_to_string(&file).expect("read back"),
+        rewritten
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
 }
