@@ -23,6 +23,7 @@
 //! | `ablation_faults` | predictor accuracy on clean vs faulty logs |
 //! | `ablation_salvage` | salvaged-log accuracy across corruption rates |
 //! | `ablation_tournament` | online tournament vs best fixed predictor |
+//! | `ablation_coalloc` | co-allocated top-k retrieval vs single-best under faults/chaos |
 //!
 //! Run any of them with
 //! `cargo run --release -p wanpred-bench --bin <name> [-- args]`.

@@ -77,12 +77,15 @@ pub mod prelude {
     pub use wanpred_obs::{ObsSink, Snapshot};
     pub use wanpred_predict::prelude::*;
     pub use wanpred_replica::{
-        Broker, GiisPerfSource, PhysicalReplica, ReplicaCatalog, Selection, SelectionPolicy,
+        Broker, CoallocEvent, CoallocPolicy, CoallocRequest, CoallocSource, Coallocator,
+        CompletedCoalloc, GiisPerfSource, NoPerfInfo, PhysicalReplica, ReplicaCatalog, Selection,
+        SelectionPolicy, TopKSelection,
     };
     pub use wanpred_simnet::prelude::*;
     pub use wanpred_storage::{DiskSpec, FileCatalog, StorageServer};
     pub use wanpred_testbed::{
         build_testbed, fig01_02, fig07, fig08_11, fig12_13, fig14_21, run_campaign,
-        CampaignBuilder, CampaignConfig, CampaignResult, Pair, Table, WorkloadConfig,
+        CampaignBuilder, CampaignConfig, CampaignResult, CoallocSummary, Pair, Table,
+        WorkloadConfig,
     };
 }

@@ -38,6 +38,6 @@ pub use instrument::{
 pub use protocol::{parse, Command, ParseError, Reply};
 pub use server::{ServerConfig, Session, TransferPlan, DEFAULT_TCP_BUFFER};
 pub use transfer::{
-    owns_tag, CompletedTransfer, FailureReason, RetryPolicy, SubmitError, TransferEvent,
-    TransferKind, TransferManager, TransferRequest, TransferToken, TAG_BASE,
+    owns_tag, stripe_shares, CompletedTransfer, FailureReason, RetryPolicy, SubmitError,
+    TransferEvent, TransferKind, TransferManager, TransferRequest, TransferToken, TAG_BASE,
 };

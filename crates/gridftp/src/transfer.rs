@@ -303,6 +303,20 @@ pub struct CompletedTransfer {
     pub record: TransferRecord,
 }
 
+/// Byte share of each stripe when `bytes` is split evenly across `n`
+/// servers: the remainder is spread one byte at a time over the leading
+/// stripes. The shares always sum to exactly `bytes` — laid end to end
+/// they tile `[0, bytes)` with no gap or overlap — including the
+/// degenerate `bytes = 0` and `n > bytes` cases (trailing stripes get
+/// zero-byte shares).
+pub fn stripe_shares(bytes: u64, n: usize) -> Vec<u64> {
+    assert!(n > 0, "stripe plans need at least one server");
+    let n = n as u64;
+    let share = bytes / n;
+    let rem = bytes % n;
+    (0..n).map(|i| share + u64::from(i < rem)).collect()
+}
+
 /// One registered server.
 struct ServerRuntime {
     config: ServerConfig,
@@ -552,16 +566,10 @@ impl TransferManager {
                         .first()
                         .expect("guarded: servers checked non-empty above");
                     let bytes = apply_partial(first_size, req.partial)?;
-                    let n = servers.len() as u64;
-                    let share = bytes / n;
-                    let rem = bytes % n;
                     let legs = servers
                         .iter()
-                        .enumerate()
-                        .map(|(i, s)| {
-                            let b = share + if (i as u64) < rem { 1 } else { 0 };
-                            (*s, req.client, b)
-                        })
+                        .zip(stripe_shares(bytes, servers.len()))
+                        .map(|(s, b)| (*s, req.client, b))
                         .collect();
                     let primary = *servers
                         .first()
@@ -970,6 +978,61 @@ impl TransferManager {
             attempts: t.attempt,
             record,
         })
+    }
+
+    /// Sample the payload bytes delivered so far by an in-flight transfer
+    /// without disturbing it: prior-attempt credit plus the fluid
+    /// progress of every active leg flow, floored to whole bytes. The
+    /// floor means this never over-reports, so a REST resume from the
+    /// returned offset can never skip data. Returns `None` for unknown
+    /// (or already completed/aborted) tokens.
+    pub fn progress(&self, ctx: &mut Ctx<'_>, token: TransferToken) -> Option<u64> {
+        let t = self.inflight.get(&token.0)?;
+        let mut delivered = 0u64;
+        for leg in &t.legs {
+            delivered += leg.prior_delivered;
+            if leg.done {
+                delivered += leg.bytes;
+            } else if let Some(flow) = leg.flow {
+                let fraction = ctx.flow_progress(flow).unwrap_or(1.0);
+                delivered += ((fraction * leg.bytes as f64).floor() as u64).min(leg.bytes);
+            }
+        }
+        Some(delivered)
+    }
+
+    /// Abort like [`TransferManager::abort`], but return the exact number
+    /// of payload bytes delivered (prior-attempt credit plus floored
+    /// fluid progress per leg) instead of a byte-weighted fraction.
+    /// Co-allocating callers re-plan the remaining `[delivered, share)`
+    /// range onto another source from this offset, so it must be a whole
+    /// byte count that never over-reports — a float fraction rounds.
+    pub fn abort_exact(&mut self, ctx: &mut Ctx<'_>, token: TransferToken) -> Option<u64> {
+        let id = token.0;
+        let t = self.inflight.remove(&id)?;
+        let mut delivered = 0u64;
+        let mut touched = Vec::new();
+        for leg in &t.legs {
+            delivered += leg.prior_delivered;
+            if let Some(flow) = leg.flow {
+                self.by_flow.remove(&flow);
+                if leg.done {
+                    delivered += leg.bytes;
+                } else {
+                    let fraction = ctx.abort_flow(flow).unwrap_or(1.0);
+                    delivered += ((fraction * leg.bytes as f64).floor() as u64).min(leg.bytes);
+                }
+            }
+            for access in [leg.src_access, leg.dst_access].into_iter().flatten() {
+                let (node, a) = access;
+                if let Some(rt) = self.servers.get_mut(&node) {
+                    rt.storage.close(a);
+                }
+                touched.push(Some(node));
+            }
+        }
+        self.refresh_caps(ctx, &touched);
+        Some(delivered)
     }
 
     /// Abort an in-flight (or still pending) transfer — connection drop
@@ -1919,5 +1982,98 @@ mod tests {
         assert_eq!(a.progress, None);
         assert_eq!(a.completed, 1);
         assert_eq!(a.mgr.server_log(NodeId(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stripe_shares_cover_edges() {
+        assert_eq!(stripe_shares(0, 3), vec![0, 0, 0]);
+        assert_eq!(stripe_shares(2, 3), vec![1, 1, 0]);
+        assert_eq!(stripe_shares(10, 3), vec![4, 3, 3]);
+        assert_eq!(stripe_shares(9, 1), vec![9]);
+        // Shares laid end to end tile [0, bytes): the last offset plus
+        // the last share lands exactly on the file size.
+        let shares = stripe_shares(102_400_000, 7);
+        assert_eq!(shares.iter().sum::<u64>(), 102_400_000);
+    }
+
+    /// A mid-flight progress sample equals what an exact abort banks at
+    /// the same instant, and resuming the remainder as a partial GET
+    /// from the other server moves exactly `total - delivered` bytes —
+    /// the zero-re-fetch contract the co-allocator builds on.
+    #[test]
+    fn progress_sample_matches_exact_abort_and_resume_tiles() {
+        const TOTAL: u64 = 102_400_000; // the 100MB paper file
+
+        struct Sampler {
+            mgr: TransferManager,
+            anl: NodeId,
+            lbl: NodeId,
+            isi: NodeId,
+            token: Option<TransferToken>,
+            sampled: Option<u64>,
+            banked: Option<u64>,
+            completed: Vec<CompletedTransfer>,
+        }
+        impl Agent for Sampler {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+                ctx.set_timer(SimDuration::from_secs(5), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: TimerTag) {
+                if self.mgr.on_timer(ctx, tag) {
+                    return;
+                }
+                if tag == 0 {
+                    let req = get_req(self.anl, self.lbl, "/home/ftp/vazhkuda/100MB");
+                    self.token = Some(self.mgr.submit(ctx, req).expect("submit"));
+                } else {
+                    let token = self.token.expect("submitted at t=1");
+                    self.sampled = self.mgr.progress(ctx, token);
+                    self.banked = self.mgr.abort_exact(ctx, token);
+                    let delivered = self.banked.expect("mid-flight");
+                    let mut req = get_req(self.anl, self.isi, "/home/ftp/vazhkuda/100MB");
+                    req.partial = Some((delivered, TOTAL - delivered));
+                    self.mgr.submit(ctx, req).expect("resume submit");
+                }
+            }
+            fn on_flow_complete(&mut self, ctx: &mut Ctx<'_>, done: FlowDone) {
+                if let Some(c) = self.mgr.on_flow_complete(ctx, &done) {
+                    self.completed.push(c);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let (net, anl, lbl, isi) = testnet();
+        let mgr = manager(anl, lbl, isi);
+        let mut eng = Engine::new(net);
+        let id = eng.add_agent(Box::new(Sampler {
+            mgr,
+            anl,
+            lbl,
+            isi,
+            token: None,
+            sampled: None,
+            banked: None,
+            completed: Vec::new(),
+        }));
+        eng.run_until(SimTime::from_secs(300));
+        let s = eng.agent::<Sampler>(id).unwrap();
+        let sampled = s.sampled.expect("progress saw the transfer");
+        let banked = s.banked.expect("abort_exact saw the transfer");
+        // Same integration instant, same floor: identical byte counts.
+        assert_eq!(sampled, banked);
+        assert!(banked > 0 && banked < TOTAL, "mid-flight: {banked}");
+        // Only the resumed remainder completed, and it tiles the file
+        // exactly: delivered + remainder == TOTAL, nothing re-fetched.
+        assert_eq!(s.completed.len(), 1);
+        assert_eq!(s.completed[0].bytes, TOTAL - banked);
+        // Sampling an unknown token is None, not a panic.
+        assert!(s.mgr.inflight_count() == 0);
     }
 }

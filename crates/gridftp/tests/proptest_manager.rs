@@ -7,8 +7,8 @@ use std::any::Any;
 
 use proptest::prelude::*;
 use wanpred_gridftp::{
-    CompletedTransfer, ServerConfig, SubmitError, TransferKind, TransferManager, TransferRequest,
-    TransferToken,
+    stripe_shares, CompletedTransfer, ServerConfig, SubmitError, TransferKind, TransferManager,
+    TransferRequest, TransferToken,
 };
 use wanpred_simnet::engine::{Agent, Ctx, Engine, TimerTag};
 use wanpred_simnet::flow::FlowDone;
@@ -25,6 +25,14 @@ enum Op {
     Get { at: u64, file: usize },
     /// Submit a striped GET across both servers.
     Striped { at: u64, file: usize },
+    /// Submit a partial (REST-offset) GET of one chunk of a tiled plan.
+    Partial {
+        at: u64,
+        server: NodeId,
+        path: String,
+        offset: u64,
+        len: u64,
+    },
     /// Abort the n-th submitted transfer shortly after the given second.
     Abort { at: u64, which: usize },
 }
@@ -46,7 +54,10 @@ impl Agent for Chaos {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         for (i, op) in self.ops.iter().enumerate() {
             let at = match op {
-                Op::Get { at, .. } | Op::Striped { at, .. } | Op::Abort { at, .. } => *at,
+                Op::Get { at, .. }
+                | Op::Striped { at, .. }
+                | Op::Partial { at, .. }
+                | Op::Abort { at, .. } => *at,
             };
             ctx.set_timer(SimDuration::from_secs(at.max(1)), i as TimerTag);
         }
@@ -83,6 +94,25 @@ impl Agent for Chaos {
                     streams: 4,
                     tcp_buffer: 1_000_000,
                     partial: None,
+                };
+                match self.mgr.submit(ctx, req) {
+                    Ok(t) => self.tokens.push(t),
+                    Err(e) => self.submit_errors.push(e),
+                }
+            }
+            Op::Partial {
+                server,
+                path,
+                offset,
+                len,
+                ..
+            } => {
+                let req = TransferRequest {
+                    client: self.client,
+                    kind: TransferKind::Get { server, path },
+                    streams: 4,
+                    tcp_buffer: 1_000_000,
+                    partial: Some((offset, len)),
                 };
                 match self.mgr.submit(ctx, req) {
                     Ok(t) => self.tokens.push(t),
@@ -212,5 +242,86 @@ proptest! {
         // per stripe server).
         prop_assert!(lbl_reads + isi_reads >= expected);
         prop_assert!(lbl_reads + isi_reads <= 2 * expected);
+    }
+}
+
+proptest! {
+    /// Every stripe plan exactly tiles `[0, bytes)`: shares sum to the
+    /// file size, no share exceeds its even split by more than one byte,
+    /// and laying the chunks end to end leaves no gap or overlap at any
+    /// boundary — including zero-size files, `n > bytes`, and sizes the
+    /// stripe count does not divide.
+    #[test]
+    fn stripe_plans_tile_exactly(bytes in 0u64..200_000_000, n in 1usize..16) {
+        let shares = stripe_shares(bytes, n);
+        prop_assert_eq!(shares.len(), n);
+        prop_assert_eq!(shares.iter().sum::<u64>(), bytes);
+        let base = bytes / n as u64;
+        let mut offset = 0u64;
+        for (i, &s) in shares.iter().enumerate() {
+            prop_assert!(s == base || s == base + 1, "share {i} = {s}");
+            // Chunk i occupies [offset, offset + s): contiguous, in order.
+            offset = offset.checked_add(s).expect("no overflow");
+        }
+        prop_assert_eq!(offset, bytes, "chunks must land exactly on EOF");
+        // Remainder bytes go to the leading stripes, so shares never
+        // increase along the plan (the off-by-one lives at the front).
+        for w in shares.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    /// Driving a whole tiled plan through real partial GETs moves every
+    /// byte exactly once: each chunk's completed transfer reports the
+    /// chunk's size, and the completions sum to the file size.
+    #[test]
+    fn partial_plan_round_trip_moves_every_byte_once(n in 1usize..6, file in 0usize..3) {
+        let sizes = [1_024_000u64, 10_240_000, 51_200_000];
+        let names = ["1MB", "10MB", "50MB"];
+        let total = sizes[file];
+        let path = format!("/home/ftp/vazhkuda/{}", names[file]);
+        let (net, anl, lbl, isi) = testnet();
+        let mut mgr = TransferManager::new(996_000_000);
+        mgr.add_host(anl, "anl.gov", "140.221.65.69");
+        mgr.add_server(
+            lbl,
+            ServerConfig::new("lbl.gov", "131.243.2.11"),
+            StorageServer::vintage_with_paper_fileset("lbl"),
+        );
+        mgr.add_server(
+            isi,
+            ServerConfig::new("isi.edu", "128.9.160.11"),
+            StorageServer::vintage_with_paper_fileset("isi"),
+        );
+        // One scripted partial GET per chunk, alternating servers.
+        let mut ops = Vec::new();
+        let mut offset = 0u64;
+        for (i, share) in stripe_shares(total, n).into_iter().enumerate() {
+            ops.push(Op::Partial {
+                at: 1,
+                server: if i % 2 == 0 { lbl } else { isi },
+                path: path.clone(),
+                offset,
+                len: share,
+            });
+            offset += share;
+        }
+        let mut eng = Engine::new(net);
+        let id = eng.add_agent(Box::new(Chaos {
+            mgr,
+            client: anl,
+            lbl,
+            isi,
+            ops,
+            tokens: Vec::new(),
+            completed: Vec::new(),
+            submit_errors: Vec::new(),
+        }));
+        eng.run_until(SimTime::from_secs(4_000));
+        let chaos = eng.agent::<Chaos>(id).expect("registered");
+        prop_assert!(chaos.submit_errors.is_empty(), "{:?}", chaos.submit_errors);
+        prop_assert_eq!(chaos.completed.len(), n);
+        let moved: u64 = chaos.completed.iter().map(|c| c.bytes).sum();
+        prop_assert_eq!(moved, total, "tiled plan must move every byte exactly once");
     }
 }

@@ -106,6 +106,29 @@ pub const REPLICA_BROKER_STALENESS_SECS: &str = "replica.broker.staleness_secs";
 /// Span: one replica selection, keyed on the inquiry clock.
 pub const REPLICA_BROKER_SELECT: &str = "replica.broker.select";
 
+/// Co-allocated (multi-source striped) transfers started.
+pub const REPLICA_COALLOC_TRANSFERS: &str = "replica.coalloc.transfers";
+/// Co-allocated transfers that delivered every byte.
+pub const REPLICA_COALLOC_COMPLETED: &str = "replica.coalloc.completed";
+/// Co-allocated transfers abandoned with no surviving source.
+pub const REPLICA_COALLOC_FAILED: &str = "replica.coalloc.failed";
+/// Histogram of stripes driven per co-allocated transfer (initial plan
+/// plus every rebalance replacement).
+pub const REPLICA_COALLOC_STRIPES: &str = "replica.coalloc.stripes";
+/// Rebalances: a degraded or dead stripe's remainder re-planned onto
+/// the surviving sources.
+pub const REPLICA_COALLOC_REBALANCES: &str = "replica.coalloc.rebalances";
+/// Bytes already delivered by a stripe when it was demoted or died —
+/// kept, never re-fetched.
+pub const REPLICA_COALLOC_BYTES_SALVAGED: &str = "replica.coalloc.bytes_salvaged";
+/// Per-source demotions (EWMA throughput fell past the degradation
+/// threshold against its prediction).
+pub const REPLICA_COALLOC_DEMOTIONS: &str = "replica.coalloc.demotions";
+/// Sources blacklisted after a demotion or stripe death.
+pub const REPLICA_COALLOC_BLACKLISTED: &str = "replica.coalloc.blacklisted";
+/// Blacklisted sources whose penalty expired and rejoined the pool.
+pub const REPLICA_COALLOC_REJOINS: &str = "replica.coalloc.rejoins";
+
 /// Span: one full campaign run, entered at sim start, exited at the
 /// configured horizon.
 pub const CAMPAIGN_RUN: &str = "campaign.run";
@@ -169,6 +192,15 @@ pub fn all() -> &'static [&'static str] {
         REPLICA_BROKER_CANDIDATES,
         REPLICA_BROKER_STALENESS_SECS,
         REPLICA_BROKER_SELECT,
+        REPLICA_COALLOC_TRANSFERS,
+        REPLICA_COALLOC_COMPLETED,
+        REPLICA_COALLOC_FAILED,
+        REPLICA_COALLOC_STRIPES,
+        REPLICA_COALLOC_REBALANCES,
+        REPLICA_COALLOC_BYTES_SALVAGED,
+        REPLICA_COALLOC_DEMOTIONS,
+        REPLICA_COALLOC_BLACKLISTED,
+        REPLICA_COALLOC_REJOINS,
         CAMPAIGN_RUN,
         CAMPAIGN_TRANSFERS,
         CAMPAIGN_SALVAGE_KEPT,

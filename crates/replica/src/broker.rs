@@ -204,6 +204,24 @@ impl PerfInfoSource for GiisPerfSource {
     }
 }
 
+/// A source with no information of its own: every estimate falls
+/// through to the lower ladder rungs. For brokers fed exclusively by
+/// their own observed transfers (the tournament rung) plus static
+/// priors — the co-allocating campaign client, for example.
+pub struct NoPerfInfo;
+
+impl PerfInfoSource for NoPerfInfo {
+    fn estimate(
+        &mut self,
+        _client_addr: &str,
+        _server_host: &str,
+        _size: u64,
+        _now_unix: u64,
+    ) -> Option<PerfEstimate> {
+        None
+    }
+}
+
 /// One replica's evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplicaScore {
@@ -246,14 +264,61 @@ impl Selection {
     /// for information-service rungs it marks a GRIS serving cached data
     /// past a failed refresh.
     pub fn degraded(&self) -> bool {
-        self.scores.iter().any(|s| {
-            (s.staleness_secs > 0 && s.rung != Some(FallbackRung::Tournament))
-                || matches!(
-                    s.rung,
-                    Some(FallbackRung::ProbeForecast | FallbackRung::StaticPolicy)
-                )
-        })
+        scores_degraded(&self.scores)
     }
+}
+
+/// A ranked top-k decision: the same scored candidate set as
+/// [`Selection`], with the `k` best indices in preference order instead
+/// of a single winner. Produced by [`Broker::select_top_k`] for
+/// co-allocating clients that stripe one file across several sources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKSelection {
+    /// Indices into `scores`, best first; `ranked.len() = min(k, candidates)`.
+    pub ranked: Vec<usize>,
+    /// Every candidate's score, in catalog order.
+    pub scores: Vec<ReplicaScore>,
+    /// The policy that made the choices.
+    pub policy_name: &'static str,
+}
+
+impl TopKSelection {
+    /// The chosen replicas, best first.
+    pub fn replicas(&self) -> impl Iterator<Item = &PhysicalReplica> {
+        self.ranked.iter().map(move |&i| &self.scores[i].replica)
+    }
+
+    /// The chosen scores, best first.
+    pub fn chosen_scores(&self) -> impl Iterator<Item = &ReplicaScore> {
+        self.ranked.iter().map(move |&i| &self.scores[i])
+    }
+
+    /// The top-ranked candidate's score.
+    pub fn best(&self) -> &ReplicaScore {
+        let &i = self
+            .ranked
+            .first()
+            .expect("select_top_k never returns an empty ranking");
+        self.scores
+            .get(i)
+            .expect("ranked entries index into scores")
+    }
+
+    /// Same degraded-mode criterion as [`Selection::degraded`].
+    pub fn degraded(&self) -> bool {
+        scores_degraded(&self.scores)
+    }
+}
+
+/// Shared degraded-mode criterion (see [`Selection::degraded`]).
+fn scores_degraded(scores: &[ReplicaScore]) -> bool {
+    scores.iter().any(|s| {
+        (s.staleness_secs > 0 && s.rung != Some(FallbackRung::Tournament))
+            || matches!(
+                s.rung,
+                Some(FallbackRung::ProbeForecast | FallbackRung::StaticPolicy)
+            )
+    })
 }
 
 /// Half-life of stale information in the ranking decay (10 minutes —
@@ -377,26 +442,18 @@ impl<S: PerfInfoSource> Broker<S> {
         })
     }
 
-    /// Evaluate and choose among `replicas` for `client_addr` under the
-    /// given policy. An empty candidate set is a catalog error
-    /// ([`ReplicaError::NoCandidates`]), not a panic.
-    pub fn select(
+    /// Score every candidate once, descending the ladder per replica.
+    /// This is the single place the per-rung observability counters are
+    /// incremented, so a query tallies each candidate exactly once no
+    /// matter how many winners the caller asks for.
+    fn score_candidates(
         &mut self,
         client_addr: &str,
         replicas: &[PhysicalReplica],
-        policy: &mut SelectionPolicy,
         now_unix: u64,
-    ) -> Result<Selection, ReplicaError> {
-        if replicas.is_empty() {
-            return Err(ReplicaError::NoCandidates);
-        }
-        self.obs.inc(names::REPLICA_BROKER_SELECTIONS);
-        self.obs
-            .observe(names::REPLICA_BROKER_CANDIDATES, replicas.len() as u64);
-        self.obs
-            .span_enter(names::REPLICA_BROKER_SELECT, now_unix * 1_000_000);
+    ) -> Vec<ReplicaScore> {
         let half_life = self.staleness_half_life_secs as f64;
-        let scores: Vec<ReplicaScore> = replicas
+        replicas
             .iter()
             .map(|r| {
                 let est = self.estimate(client_addr, &r.host, r.size, now_unix);
@@ -421,10 +478,65 @@ impl<S: PerfInfoSource> Broker<S> {
                     staleness_secs: est.map_or(0, |e| e.staleness_secs),
                 }
             })
-            .collect();
-        let chosen = policy.choose(&scores);
-        let selection = Selection {
+            .collect()
+    }
+
+    /// Evaluate and choose among `replicas` for `client_addr` under the
+    /// given policy. An empty candidate set is a catalog error
+    /// ([`ReplicaError::NoCandidates`]), not a panic.
+    pub fn select(
+        &mut self,
+        client_addr: &str,
+        replicas: &[PhysicalReplica],
+        policy: &mut SelectionPolicy,
+        now_unix: u64,
+    ) -> Result<Selection, ReplicaError> {
+        let top = self.select_top_k(client_addr, replicas, policy, 1, now_unix)?;
+        let chosen = *top
+            .ranked
+            .first()
+            .expect("select_top_k with k >= 1 ranks at least one candidate");
+        Ok(Selection {
             chosen,
+            scores: top.scores,
+            policy_name: top.policy_name,
+        })
+    }
+
+    /// Evaluate once and rank the `min(k, candidates)` best replicas in
+    /// preference order. Candidates are scored — and the per-rung
+    /// observability counters incremented — exactly once per query
+    /// regardless of `k`; the policy is then applied repeatedly to the
+    /// not-yet-picked remainder, so every policy (predicted-bandwidth,
+    /// round-robin, random, first-listed) extends naturally to k > 1.
+    /// `k = 0` is treated as 1. [`Broker::select`] is the k = 1 wrapper.
+    pub fn select_top_k(
+        &mut self,
+        client_addr: &str,
+        replicas: &[PhysicalReplica],
+        policy: &mut SelectionPolicy,
+        k: usize,
+        now_unix: u64,
+    ) -> Result<TopKSelection, ReplicaError> {
+        if replicas.is_empty() {
+            return Err(ReplicaError::NoCandidates);
+        }
+        self.obs.inc(names::REPLICA_BROKER_SELECTIONS);
+        self.obs
+            .observe(names::REPLICA_BROKER_CANDIDATES, replicas.len() as u64);
+        self.obs
+            .span_enter(names::REPLICA_BROKER_SELECT, now_unix * 1_000_000);
+        let scores = self.score_candidates(client_addr, replicas, now_unix);
+        let k = k.max(1).min(scores.len());
+        let mut remaining: Vec<usize> = (0..scores.len()).collect();
+        let mut ranked = Vec::with_capacity(k);
+        while ranked.len() < k {
+            let view: Vec<ReplicaScore> = remaining.iter().map(|&i| scores[i].clone()).collect();
+            let pick = policy.choose(&view);
+            ranked.push(remaining.remove(pick));
+        }
+        let selection = TopKSelection {
+            ranked,
             scores,
             policy_name: policy.name(),
         };
@@ -660,5 +772,93 @@ mod tests {
         let sel = b.select("c", &reps(), &mut policy, 0).unwrap();
         assert_eq!(sel.replica().host, "isi.edu");
         assert_eq!(sel.scores[1].rung, Some(FallbackRung::StaticPolicy));
+    }
+
+    fn map_broker() -> Broker<MapSource> {
+        let mut src = BTreeMap::new();
+        src.insert("lbl.gov".to_string(), 4_000.0);
+        src.insert("isi.edu".to_string(), 9_000.0);
+        src.insert("anl.gov".to_string(), 2_000.0);
+        Broker::new(MapSource(src))
+    }
+
+    #[test]
+    fn top_k_ranks_by_effective_bandwidth() {
+        let mut b = map_broker();
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let top = b.select_top_k("c", &reps(), &mut policy, 2, 0).unwrap();
+        let hosts: Vec<&str> = top.replicas().map(|r| r.host.as_str()).collect();
+        assert_eq!(hosts, ["isi.edu", "lbl.gov"]);
+        assert_eq!(top.best().replica.host, "isi.edu");
+        assert_eq!(top.scores.len(), 3, "every candidate stays scored");
+        assert!(!top.degraded());
+    }
+
+    #[test]
+    fn top_k_clamps_to_candidate_count_and_treats_zero_as_one() {
+        let mut b = map_broker();
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let all = b.select_top_k("c", &reps(), &mut policy, 99, 0).unwrap();
+        assert_eq!(
+            all.replicas().count(),
+            3,
+            "k above the candidate count returns every replica ranked"
+        );
+        let one = b.select_top_k("c", &reps(), &mut policy, 0, 0).unwrap();
+        assert_eq!(one.ranked.len(), 1);
+        assert!(b
+            .select_top_k("c", &[], &mut policy, 2, 0)
+            .is_err_and(|e| matches!(e, ReplicaError::NoCandidates)));
+    }
+
+    #[test]
+    fn top_k_agrees_with_select_on_the_winner() {
+        let mut policy = SelectionPolicy::predicted_bandwidth();
+        let sel = map_broker().select("c", &reps(), &mut policy, 0).unwrap();
+        let top = map_broker()
+            .select_top_k("c", &reps(), &mut policy, 3, 0)
+            .unwrap();
+        assert_eq!(sel.chosen, top.ranked[0]);
+        assert_eq!(sel.scores, top.scores);
+    }
+
+    #[test]
+    fn round_robin_top_k_covers_without_repeats() {
+        let mut b = map_broker();
+        let mut policy = SelectionPolicy::round_robin();
+        let top = b.select_top_k("c", &reps(), &mut policy, 3, 0).unwrap();
+        let mut seen = top.ranked.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2], "each replica picked exactly once");
+    }
+
+    /// Regression for the k>1 metrics bug: candidates are scored (and
+    /// per-rung counters incremented) once per query, so a k=2 query
+    /// tallies exactly what a k=1 query does.
+    #[test]
+    fn top_k_increments_rung_counters_once_per_candidate() {
+        let counters_after = |k: usize| {
+            let mut b = map_broker();
+            let obs = ObsSink::enabled();
+            b.set_obs(obs.clone());
+            let mut policy = SelectionPolicy::predicted_bandwidth();
+            b.select_top_k("c", &reps(), &mut policy, k, 0).unwrap();
+            obs.snapshot()
+        };
+        let one = counters_after(1);
+        let two = counters_after(2);
+        for name in [
+            names::REPLICA_BROKER_SELECTIONS,
+            names::REPLICA_BROKER_RUNG_SIZE_CLASS,
+            names::REPLICA_BROKER_RUNG_TOURNAMENT,
+            names::REPLICA_BROKER_RUNG_STATIC,
+        ] {
+            assert_eq!(
+                one.counter(name),
+                two.counter(name),
+                "{name} must not scale with k"
+            );
+        }
+        assert_eq!(two.counter(names::REPLICA_BROKER_RUNG_SIZE_CLASS), 3);
     }
 }

@@ -4,21 +4,31 @@
 //! serves (§1): a [`catalog::ReplicaCatalog`] resolving logical files to
 //! physical copies, a [`broker::Broker`] ranking the copies by the
 //! predicted transfer bandwidth published through the information
-//! service, and baseline [`policy::SelectionPolicy`]s (random,
-//! round-robin, first-listed) for the ablation benches.
+//! service, baseline [`policy::SelectionPolicy`]s (random, round-robin,
+//! first-listed) for the ablation benches, and a
+//! [`coalloc::Coallocator`] that closes the loop: it stripes one file
+//! across the broker's top-k sources, monitors each stripe against its
+//! prediction, and re-plans the remaining byte range of a degraded or
+//! dead source onto the survivors without re-fetching a byte.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod broker;
 pub mod catalog;
+pub mod coalloc;
 pub mod policy;
 
 pub use broker::{
-    Broker, FallbackRung, GiisPerfSource, PerfEstimate, PerfInfoSource, ProbeForecastSource,
-    ProbeForecastTable, ReplicaScore, Selection, DEFAULT_STALENESS_HALF_LIFE_SECS,
+    Broker, FallbackRung, GiisPerfSource, NoPerfInfo, PerfEstimate, PerfInfoSource,
+    ProbeForecastSource, ProbeForecastTable, ReplicaScore, Selection, TopKSelection,
+    DEFAULT_STALENESS_HALF_LIFE_SECS,
 };
 pub use catalog::{PhysicalReplica, ReplicaCatalog, ReplicaError};
+pub use coalloc::{
+    plan_chunks, CoallocEvent, CoallocPolicy, CoallocRequest, CoallocSource, Coallocator,
+    CompletedCoalloc, FailedCoalloc, StripeReport,
+};
 pub use policy::SelectionPolicy;
 
 #[cfg(test)]

@@ -150,6 +150,14 @@ impl Ctx<'_> {
         Ok(id)
     }
 
+    /// Sample the delivered fraction of an in-flight flow without
+    /// disturbing it (progress monitoring). Integrates the fluid model to
+    /// the current time first, so the answer is exact at `now`. Returns
+    /// `None` if the flow already finished.
+    pub fn flow_progress(&mut self, id: FlowId) -> Option<f64> {
+        self.network.flow_progress(id, self.now)
+    }
+
     /// Abort one of this agent's flows; returns delivered fraction, or
     /// `None` if the flow already finished.
     pub fn abort_flow(&mut self, id: FlowId) -> Option<f64> {

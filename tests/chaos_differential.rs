@@ -87,6 +87,50 @@ fn chaos_replays_byte_identical_from_the_seed() {
 }
 
 #[test]
+fn chaos_coalloc_never_double_counts_a_byte_range() {
+    // Under the aggressive kill schedule plus log corruption, the
+    // co-allocator keeps re-planning dead stripes' remaining bytes onto
+    // survivors. The invariant that failover must never violate: every
+    // completed transfer's covered ranges tile [0, size) exactly — no
+    // byte fetched twice, none dropped — and the whole chaotic history
+    // replays byte-identically from the seed.
+    use wanpred_core::simnet::fault::FaultConfig;
+    use wanpred_core::simnet::time::SimDuration as SimDur;
+
+    // No retry policy: the first kill is a stripe's death, so every
+    // landed fault exercises the failover re-planning path.
+    let cfg = || {
+        CampaignConfig::builder(2003)
+            .duration_days(3)
+            .probes(false)
+            .faults(FaultConfig {
+                kill_mean_interarrival: SimDur::from_mins(40),
+                ..FaultConfig::wan_default()
+            })
+            .chaos(0.1)
+            .coalloc(2)
+            .build()
+    };
+    let a = run_campaign(&cfg());
+    let s = a.coalloc.as_ref().expect("coalloc mode");
+    assert!(s.completed > 10, "campaign moved too few files");
+    assert!(
+        s.rebalances > 0 && s.bytes_salvaged > 0,
+        "kill schedule never exercised failover"
+    );
+    assert_eq!(
+        s.tiling_violations, 0,
+        "a completed transfer double-fetched or dropped a byte range"
+    );
+    let b = run_campaign(&cfg());
+    assert_eq!(a.coalloc, b.coalloc);
+    for pair in Pair::ALL {
+        assert_eq!(a.log(pair).to_ulm_string(), b.log(pair).to_ulm_string());
+        assert_eq!(a.salvage(pair), b.salvage(pair));
+    }
+}
+
+#[test]
 fn dead_information_source_still_yields_a_selection() {
     use parking_lot::Mutex;
     use std::sync::Arc;

@@ -39,6 +39,45 @@ fn same_seed_campaigns_export_byte_identical_snapshots() {
 }
 
 #[test]
+fn coalloc_campaigns_export_byte_identical_snapshots() {
+    // The co-allocation path has its own instrument points (stripes,
+    // rebalances, salvaged bytes, blacklist churn); they must be as
+    // replayable as the rest of the stack, faults and chaos included.
+    let run = || {
+        run_campaign(
+            &CampaignConfig::builder(19)
+                .duration_days(3)
+                .probes(false)
+                .faults(FaultConfig {
+                    kill_mean_interarrival: wanpred_core::simnet::time::SimDuration::from_mins(40),
+                    ..FaultConfig::wan_default()
+                })
+                .chaos(0.1)
+                .coalloc(2)
+                .obs(ObsSink::enabled())
+                .build(),
+        )
+    };
+    let a = run();
+    let b = run();
+    let sa = a.metrics.as_ref().expect("obs enabled");
+    let sb = b.metrics.as_ref().expect("obs enabled");
+    assert_eq!(sa.to_json(), sb.to_json());
+    assert_eq!(sa.to_ulm_lines(), sb.to_ulm_lines());
+    // The co-allocation layer recorded real activity, and the snapshot
+    // counters agree with the campaign's own summary.
+    let s = a.coalloc.as_ref().expect("coalloc mode");
+    assert_eq!(sa.counter("replica.coalloc.completed"), s.completed as u64);
+    let stripes = sa
+        .histogram("replica.coalloc.stripes")
+        .expect("stripe distribution recorded");
+    assert_eq!(stripes.sum, s.stripes);
+    assert_eq!(stripes.count, s.completed as u64);
+    assert_eq!(sa.counter("replica.coalloc.rebalances"), s.rebalances);
+    assert!(sa.counter("replica.broker.selections") > 0);
+}
+
+#[test]
 fn different_seeds_export_different_snapshots() {
     let a = hostile_campaign(77);
     let b = hostile_campaign(78);
