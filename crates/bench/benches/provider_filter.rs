@@ -4,7 +4,9 @@
 //! (2001 hardware). Measures our provider doing the same work.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wanpred_infod::{parse_filter, Dn, GridFtpPerfProvider, Gris, ProviderConfig};
+use wanpred_infod::{
+    parse_filter, Dn, GridFtpPerfProvider, Gris, InquiryRequest, InquiryService, ProviderConfig,
+};
 use wanpred_logfmt::{Operation, TransferLog, TransferRecordBuilder};
 
 fn synth_log(entries: usize) -> TransferLog {
@@ -66,9 +68,10 @@ fn bench_provider(c: &mut Criterion) {
     gris.register_provider(Box::new(provider));
     let filter = parse_filter("(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=1000))")
         .expect("well-formed");
-    gris.entries(0); // warm the cache
+    gris.materialize(0); // warm the cache
+    let req = InquiryRequest::new(filter, 1);
     c.bench_function("gris_search_cached", |b| {
-        b.iter(|| std::hint::black_box(gris.search(&filter, 1)))
+        b.iter(|| std::hint::black_box(gris.inquire(&req)))
     });
 }
 

@@ -24,6 +24,7 @@
 //! | `ablation_salvage` | salvaged-log accuracy across corruption rates |
 //! | `ablation_tournament` | online tournament vs best fixed predictor |
 //! | `ablation_coalloc` | co-allocated top-k retrieval vs single-best under faults/chaos |
+//! | `ablation_serving` | sharded serving layer vs locked directory under open-loop load |
 //!
 //! Run any of them with
 //! `cargo run --release -p wanpred-bench --bin <name> [-- args]`.

@@ -14,7 +14,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use wanpred_infod::{Dn, Giis, GridFtpPerfProvider, Gris, ProviderConfig, Registration};
 use wanpred_logfmt::TransferLog;
 use wanpred_replica::{
@@ -27,7 +26,7 @@ pub const DEFAULT_REGISTRATION_TTL: u64 = 600;
 
 /// The assembled framework.
 pub struct PredictiveFramework {
-    giis: Arc<Mutex<Giis>>,
+    giis: Arc<Giis>,
     catalog: ReplicaCatalog,
     registration_ttl: u64,
 }
@@ -42,14 +41,16 @@ impl PredictiveFramework {
     /// An empty framework with a fresh GIIS.
     pub fn new() -> Self {
         PredictiveFramework {
-            giis: Arc::new(Mutex::new(Giis::new("wanpred"))),
+            giis: Arc::new(Giis::new("wanpred")),
             catalog: ReplicaCatalog::new(),
             registration_ttl: DEFAULT_REGISTRATION_TTL,
         }
     }
 
-    /// Handle to the underlying GIIS (for direct LDAP-style inquiries).
-    pub fn giis(&self) -> Arc<Mutex<Giis>> {
+    /// Handle to the underlying GIIS (for direct
+    /// [`InquiryService`](wanpred_infod::InquiryService) inquiries —
+    /// the GIIS synchronizes internally, no wrapping lock needed).
+    pub fn giis(&self) -> Arc<Giis> {
         self.giis.clone()
     }
 
@@ -77,19 +78,19 @@ impl PredictiveFramework {
         let provider = GridFtpPerfProvider::from_snapshot(ProviderConfig::new(host, address), log);
         let mut gris = Gris::new(Dn::parse("o=grid").expect("constant dn"));
         gris.register_provider(Box::new(provider));
-        self.giis.lock().register(
+        self.giis.register_service(
             Registration {
                 id: host.to_string(),
                 ttl_secs: self.registration_ttl,
             },
-            Arc::new(Mutex::new(gris)),
+            Arc::new(gris),
             now_unix,
         );
     }
 
     /// Renew a published server's registration (soft-state keep-alive).
     pub fn renew_server(&mut self, host: &str, now_unix: u64) -> bool {
-        self.giis.lock().renew(host, now_unix)
+        self.giis.renew(host, now_unix)
     }
 
     /// Register a replica of a logical file.

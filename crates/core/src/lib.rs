@@ -72,7 +72,10 @@ pub mod prelude {
     pub use wanpred_gridftp::{
         CompletedTransfer, ServerConfig, TransferKind, TransferManager, TransferRequest,
     };
-    pub use wanpred_infod::{parse_filter, Dn, Entry, Giis, Gris, Registration, Schema};
+    pub use wanpred_infod::{
+        parse_filter, Dn, Entry, Giis, Gris, InquiryRequest, InquiryResponse, InquiryService,
+        Registration, Schema, ServeConfig, ShardedServer,
+    };
     pub use wanpred_logfmt::{Operation, TransferLog, TransferRecord, TransferRecordBuilder};
     pub use wanpred_obs::{ObsSink, Snapshot};
     pub use wanpred_predict::prelude::*;

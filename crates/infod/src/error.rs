@@ -1,0 +1,133 @@
+//! The crate-wide error type.
+//!
+//! Every fallible surface in `infod` — filter parsing, LDIF decoding,
+//! schema validation, provider refreshes, and the serving layer's
+//! admission control — converges on [`Error`], so the [`InquiryService`]
+//! trait can expose one error type instead of four. The per-subsystem
+//! errors ([`FilterError`], [`LdifError`], [`SchemaError`],
+//! [`ProviderError`]) still exist and still carry their structured
+//! detail; `Error` wraps them with `From` conversions and keeps the
+//! cause chain intact through `std::error::Error::source`.
+//!
+//! [`InquiryService`]: crate::service::InquiryService
+
+use std::fmt;
+
+use crate::filter::FilterError;
+use crate::gris::ProviderError;
+use crate::ldif::LdifError;
+use crate::schema::SchemaError;
+
+/// The unified `infod` error. Non-exhaustive: downstream matches must
+/// carry a wildcard arm, so new serving-layer failure modes can be added
+/// without a breaking release.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A search-filter string failed to parse.
+    Filter(FilterError),
+    /// An LDIF block failed to parse.
+    Ldif(LdifError),
+    /// An entry failed schema validation.
+    Schema(SchemaError),
+    /// An information provider's refresh failed.
+    Provider(ProviderError),
+    /// Admission control shed the inquiry: the serving layer's queue was
+    /// already at its configured depth. A typed rejection, never a
+    /// stall — callers retry later or fall back.
+    Overloaded {
+        /// Inquiries queued when this one arrived.
+        queued: usize,
+        /// The configured shed threshold.
+        limit: usize,
+    },
+}
+
+/// The error type of [`InquiryService::inquire`] — an alias for the
+/// unified [`Error`].
+///
+/// [`InquiryService::inquire`]: crate::service::InquiryService::inquire
+pub type InquiryError = Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Filter(e) => write!(f, "filter: {e}"),
+            Error::Ldif(e) => write!(f, "ldif: {e}"),
+            Error::Schema(e) => write!(f, "schema: {e}"),
+            Error::Provider(e) => write!(f, "{e}"),
+            Error::Overloaded { queued, limit } => {
+                write!(f, "overloaded: {queued} inquiries queued (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Filter(e) => Some(e),
+            Error::Ldif(e) => Some(e),
+            Error::Schema(e) => Some(e),
+            Error::Provider(e) => Some(e),
+            Error::Overloaded { .. } => None,
+        }
+    }
+}
+
+impl From<FilterError> for Error {
+    fn from(e: FilterError) -> Self {
+        Error::Filter(e)
+    }
+}
+
+impl From<LdifError> for Error {
+    fn from(e: LdifError) -> Self {
+        Error::Ldif(e)
+    }
+}
+
+impl From<SchemaError> for Error {
+    fn from(e: SchemaError) -> Self {
+        Error::Schema(e)
+    }
+}
+
+impl From<ProviderError> for Error {
+    fn from(e: ProviderError) -> Self {
+        Error::Provider(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn conversions_preserve_the_cause_chain() {
+        let e: Error = crate::filter::parse("(").unwrap_err().into();
+        assert!(matches!(e, Error::Filter(_)));
+        assert!(e.source().is_some());
+
+        let e: Error = ProviderError::new("log unreadable").into();
+        assert!(e.to_string().contains("log unreadable"));
+
+        let e: Error = LdifError::MissingColon(3).into();
+        assert!(matches!(e, Error::Ldif(LdifError::MissingColon(3))));
+
+        let e: Error = SchemaError::NoDn.into();
+        assert!(matches!(e, Error::Schema(SchemaError::NoDn)));
+    }
+
+    #[test]
+    fn overloaded_is_a_typed_rejection() {
+        let e = Error::Overloaded {
+            queued: 65,
+            limit: 64,
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("65"));
+        assert!(e.to_string().contains("64"));
+    }
+}

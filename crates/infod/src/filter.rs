@@ -259,6 +259,35 @@ fn substring_match(parts: &[String], value: &str) -> bool {
     true
 }
 
+impl fmt::Display for Filter {
+    /// Render the canonical string form — parseable back to an equal
+    /// filter, so it can key the serving layer's per-shard result cache.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::And(fs) => {
+                f.write_str("(&")?;
+                for sub in fs {
+                    write!(f, "{sub}")?;
+                }
+                f.write_str(")")
+            }
+            Filter::Or(fs) => {
+                f.write_str("(|")?;
+                for sub in fs {
+                    write!(f, "{sub}")?;
+                }
+                f.write_str(")")
+            }
+            Filter::Not(sub) => write!(f, "(!{sub})"),
+            Filter::Present(a) => write!(f, "({a}=*)"),
+            Filter::Eq(a, v) => write!(f, "({a}={v})"),
+            Filter::Ge(a, v) => write!(f, "({a}>={v})"),
+            Filter::Le(a, v) => write!(f, "({a}<={v})"),
+            Filter::Substring(a, parts) => write!(f, "({a}={})", parts.join("*")),
+        }
+    }
+}
+
 impl Filter {
     /// Evaluate against an entry.
     pub fn matches(&self, e: &Entry) -> bool {
@@ -377,6 +406,26 @@ mod tests {
         assert!(parse("(&)").is_err());
         assert!(parse("(=x)").is_err());
         assert!(parse("(a>=1)(b<=2)").is_err()); // trailing
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in [
+            "(objectclass=GridFTPPerfInfo)",
+            "(hostname=*)",
+            "(avgrdbandwidth>=5000)",
+            "(avgrdbandwidth<=7000)",
+            "(hostname=dpss*gov)",
+            "(hostname=*.lbl.gov)",
+            "(&(|(a=1)(b=2))(!(c=3)))",
+        ] {
+            let f = parse(s).unwrap();
+            let rendered = f.to_string();
+            assert_eq!(parse(&rendered).unwrap(), f, "round trip of {s}");
+            // Rendering is a fixed point: attribute names are already
+            // lowercased, whitespace already canonical.
+            assert_eq!(parse(&rendered).unwrap().to_string(), rendered);
+        }
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! vanishing resources without explicit deregistration. Inquiries are
 //! answered by merging search results from all currently live
 //! registrants.
+//!
+//! Registration and inquiry both take `&self`: the registrant table
+//! lives behind an internal mutex, so a `Giis` shared through an `Arc`
+//! accepts registrations and answers [`InquiryService::inquire`] calls
+//! concurrently. Child directories are queried *outside* the table lock,
+//! so one slow registrant does not block registrations or other
+//! inquiries at the index.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -14,13 +21,19 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use wanpred_obs::{names, ObsSink};
 
+use crate::error::InquiryError;
 use crate::filter::Filter;
-use crate::gris::Gris;
+use crate::gris::{Gris, STALENESS_ATTR};
 use crate::ldif::Entry;
+use crate::service::{InquiryRequest, InquiryResponse, InquiryService, Provenance, ServedBy};
 
 /// Anything that can answer a filtered inquiry at a point in time: a
 /// GRIS, or another GIIS — MDS-2 indexes form hierarchies (Figure 5), so
 /// a site GIIS can register into an organizational one.
+///
+/// New code should register an [`InquiryService`] handle instead (via
+/// [`Giis::register_service`]); this trait remains for callers that still
+/// hold `Arc<Mutex<dyn Directory>>` handles.
 pub trait Directory: Send {
     /// Entries matching the filter at `now_unix`.
     fn search_dir(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry>;
@@ -28,13 +41,17 @@ pub trait Directory: Send {
 
 impl Directory for Gris {
     fn search_dir(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
-        self.search(filter, now_unix)
+        self.inquire(&InquiryRequest::new(filter.clone(), now_unix))
+            .map(|r| r.entries)
+            .unwrap_or_default()
     }
 }
 
 impl Directory for Giis {
     fn search_dir(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
-        self.search(filter, now_unix)
+        self.inquire(&InquiryRequest::new(filter.clone(), now_unix))
+            .map(|r| r.entries)
+            .unwrap_or_default()
     }
 }
 
@@ -144,15 +161,47 @@ pub enum RegisterOutcome {
     Renewed,
 }
 
+/// A registrant's inquiry handle: the modern lock-free service surface,
+/// or a legacy mutex-wrapped [`Directory`].
+#[derive(Clone)]
+enum Handle {
+    Service(Arc<dyn InquiryService>),
+    Legacy(Arc<Mutex<dyn Directory>>),
+}
+
+impl Handle {
+    /// Query the child; returns `(entries, max staleness stamp)`.
+    /// Legacy directories report no structured staleness, so it is
+    /// recovered from the entries' [`STALENESS_ATTR`] stamps.
+    fn query(&self, req: &InquiryRequest) -> (Vec<Entry>, u64) {
+        match self {
+            Handle::Service(svc) => match svc.inquire(req) {
+                Ok(resp) => (resp.entries, resp.staleness_secs),
+                // A failing child contributes nothing; the merge is
+                // best-effort, like MDS answering from reachable sites.
+                Err(_) => (Vec::new(), 0),
+            },
+            Handle::Legacy(dir) => {
+                let entries = dir.lock().search_dir(&req.filter, req.now_unix);
+                let staleness = entries
+                    .iter()
+                    .filter_map(|e| e.get(STALENESS_ATTR).and_then(|v| v.parse().ok()))
+                    .max()
+                    .unwrap_or(0);
+                (entries, staleness)
+            }
+        }
+    }
+}
+
 struct Registrant {
-    dir: Arc<Mutex<dyn Directory>>,
+    handle: Handle,
     ttl_secs: u64,
     last_seen: u64,
 }
 
-/// A GIIS instance.
-pub struct Giis {
-    name: String,
+#[derive(Default)]
+struct GiisState {
     registrants: BTreeMap<String, Registrant>,
     /// Whether the index currently accepts registrations (a down GIIS
     /// refuses them; registrants back off and retry).
@@ -160,6 +209,12 @@ pub struct Giis {
     /// Per-registrant retry schedules, kept across registration expiry
     /// so a flapping registrant cannot reset its own backoff.
     backoffs: BTreeMap<String, RegistrationBackoff>,
+}
+
+/// A GIIS instance.
+pub struct Giis {
+    name: String,
+    state: Mutex<GiisState>,
     /// Observability sink (null by default).
     obs: ObsSink,
 }
@@ -169,9 +224,11 @@ impl Giis {
     pub fn new(name: impl Into<String>) -> Self {
         Giis {
             name: name.into(),
-            registrants: BTreeMap::new(),
-            available: true,
-            backoffs: BTreeMap::new(),
+            state: Mutex::new(GiisState {
+                registrants: BTreeMap::new(),
+                available: true,
+                backoffs: BTreeMap::new(),
+            }),
             obs: ObsSink::disabled(),
         }
     }
@@ -189,18 +246,22 @@ impl Giis {
     }
 
     /// Mark the index up or down (fault injection / maintenance).
-    pub fn set_available(&mut self, available: bool) {
-        self.available = available;
+    pub fn set_available(&self, available: bool) {
+        self.state.lock().available = available;
     }
 
     /// Whether the index currently accepts registrations.
     pub fn is_available(&self) -> bool {
-        self.available
+        self.state.lock().available
     }
 
     /// A registrant's current retry delay in seconds (0 when healthy).
     pub fn backoff_delay(&self, id: &str) -> u64 {
-        self.backoffs.get(id).map_or(0, |b| b.delay_secs(id))
+        self.state
+            .lock()
+            .backoffs
+            .get(id)
+            .map_or(0, |b| b.delay_secs(id))
     }
 
     /// Process a registration attempt against a possibly-down index.
@@ -209,26 +270,46 @@ impl Giis {
     /// registrant how long to wait before retrying (exponential, capped,
     /// deterministically jittered — see [`RegistrationBackoff`]).
     pub fn try_register(
-        &mut self,
+        &self,
         msg: Registration,
         dir: Arc<Mutex<dyn Directory>>,
         now_unix: u64,
     ) -> Result<RegisterOutcome, u64> {
+        self.try_admit(msg, Handle::Legacy(dir), now_unix)
+    }
+
+    /// [`Giis::try_register`] for the modern service surface.
+    pub fn try_register_service(
+        &self,
+        msg: Registration,
+        svc: Arc<dyn InquiryService>,
+        now_unix: u64,
+    ) -> Result<RegisterOutcome, u64> {
+        self.try_admit(msg, Handle::Service(svc), now_unix)
+    }
+
+    fn try_admit(
+        &self,
+        msg: Registration,
+        handle: Handle,
+        now_unix: u64,
+    ) -> Result<RegisterOutcome, u64> {
         let id = msg.id.clone();
-        if !self.available {
-            let delay = self.backoffs.entry(id.clone()).or_default().on_failure(&id);
+        let mut st = self.state.lock();
+        if !st.available {
+            let delay = st.backoffs.entry(id.clone()).or_default().on_failure(&id);
             self.obs.inc(names::INFOD_GIIS_REFUSALS);
             return Err(delay);
         }
-        if let Some(b) = self.backoffs.get_mut(&id) {
+        if let Some(b) = st.backoffs.get_mut(&id) {
             b.on_success();
         }
-        Ok(self.register_directory(msg, dir, now_unix))
+        Ok(self.admit(&mut st, msg, handle, now_unix))
     }
 
     /// Process a registration (initial or renewal) from a GRIS.
     pub fn register(
-        &mut self,
+        &self,
         msg: Registration,
         gris: Arc<Mutex<Gris>>,
         now_unix: u64,
@@ -237,24 +318,48 @@ impl Giis {
     }
 
     /// Register any directory — a GRIS or a child GIIS (hierarchical
-    /// indexes, Figure 5).
+    /// indexes, Figure 5) — through the legacy mutex-wrapped surface.
     pub fn register_directory(
-        &mut self,
+        &self,
         msg: Registration,
         dir: Arc<Mutex<dyn Directory>>,
         now_unix: u64,
     ) -> RegisterOutcome {
-        let outcome = if self.registrants.contains_key(&msg.id) {
+        let mut st = self.state.lock();
+        self.admit(&mut st, msg, Handle::Legacy(dir), now_unix)
+    }
+
+    /// Register an [`InquiryService`] — the modern surface: the handle is
+    /// queried directly, with no wrapping mutex, so concurrent inquiries
+    /// at the index fan out to children without serializing on them.
+    pub fn register_service(
+        &self,
+        msg: Registration,
+        svc: Arc<dyn InquiryService>,
+        now_unix: u64,
+    ) -> RegisterOutcome {
+        let mut st = self.state.lock();
+        self.admit(&mut st, msg, Handle::Service(svc), now_unix)
+    }
+
+    fn admit(
+        &self,
+        st: &mut GiisState,
+        msg: Registration,
+        handle: Handle,
+        now_unix: u64,
+    ) -> RegisterOutcome {
+        let outcome = if st.registrants.contains_key(&msg.id) {
             self.obs.inc(names::INFOD_GIIS_RENEWALS);
             RegisterOutcome::Renewed
         } else {
             self.obs.inc(names::INFOD_GIIS_REGISTRATIONS);
             RegisterOutcome::New
         };
-        self.registrants.insert(
+        st.registrants.insert(
             msg.id,
             Registrant {
-                dir,
+                handle,
                 ttl_secs: msg.ttl_secs,
                 last_seen: now_unix,
             },
@@ -265,8 +370,8 @@ impl Giis {
     /// Renew an existing registration without re-sending the handle.
     /// Returns `false` if the id is unknown (already expired): the GRIS
     /// must then re-register fully, as in MDS.
-    pub fn renew(&mut self, id: &str, now_unix: u64) -> bool {
-        match self.registrants.get_mut(id) {
+    pub fn renew(&self, id: &str, now_unix: u64) -> bool {
+        match self.state.lock().registrants.get_mut(id) {
             Some(r) => {
                 r.last_seen = now_unix;
                 true
@@ -276,11 +381,12 @@ impl Giis {
     }
 
     /// Drop registrations whose lifetime lapsed; returns how many.
-    pub fn expire(&mut self, now_unix: u64) -> usize {
-        let before = self.registrants.len();
-        self.registrants
+    pub fn expire(&self, now_unix: u64) -> usize {
+        let mut st = self.state.lock();
+        let before = st.registrants.len();
+        st.registrants
             .retain(|_, r| now_unix.saturating_sub(r.last_seen) < r.ttl_secs);
-        let expired = before - self.registrants.len();
+        let expired = before - st.registrants.len();
         if expired > 0 {
             self.obs
                 .inc_by(names::INFOD_GIIS_EXPIRATIONS, expired as u64);
@@ -289,21 +395,47 @@ impl Giis {
     }
 
     /// Ids of currently live registrants (after expiry at `now_unix`).
-    pub fn live_registrants(&mut self, now_unix: u64) -> Vec<String> {
+    pub fn live_registrants(&self, now_unix: u64) -> Vec<String> {
         self.expire(now_unix);
-        self.registrants.keys().cloned().collect()
+        self.state.lock().registrants.keys().cloned().collect()
     }
 
     /// Answer an inquiry: merge matching entries from every live
     /// registrant (expiring stale ones first).
-    pub fn search(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
+    #[deprecated(note = "use `InquiryService::inquire`; search() is the pre-service surface")]
+    pub fn search(&self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
+        self.inquire(&InquiryRequest::new(filter.clone(), now_unix))
+            .map(|r| r.entries)
+            .unwrap_or_default()
+    }
+}
+
+impl InquiryService for Giis {
+    fn inquire(&self, req: &InquiryRequest) -> Result<InquiryResponse, InquiryError> {
         self.obs.inc(names::INFOD_GIIS_SEARCHES);
-        self.expire(now_unix);
-        let mut out = Vec::new();
-        for r in self.registrants.values() {
-            out.extend(r.dir.lock().search_dir(filter, now_unix));
+        self.expire(req.now_unix);
+        // Clone the handles out of the table lock: children are queried
+        // without holding it, so a slow registrant cannot block the
+        // index's registration path or other inquiries.
+        let handles: Vec<Handle> = self
+            .state
+            .lock()
+            .registrants
+            .values()
+            .map(|r| r.handle.clone())
+            .collect();
+        let mut entries = Vec::new();
+        let mut max_staleness = 0u64;
+        for h in &handles {
+            let (child_entries, staleness) = h.query(req);
+            max_staleness = max_staleness.max(staleness);
+            entries.extend(child_entries);
         }
-        out
+        Ok(InquiryResponse::new(
+            entries,
+            max_staleness,
+            Provenance::direct(ServedBy::Giis),
+        ))
     }
 }
 
@@ -313,6 +445,12 @@ mod tests {
     use crate::filter;
     use crate::gris::{InfoProvider, ProviderError};
     use crate::ldif::Dn;
+
+    fn search(giis: &Giis, f: &Filter, now: u64) -> Vec<Entry> {
+        giis.inquire(&InquiryRequest::new(f.clone(), now))
+            .unwrap()
+            .entries
+    }
 
     struct Fixed {
         tag: &'static str,
@@ -335,9 +473,15 @@ mod tests {
         Arc::new(Mutex::new(g))
     }
 
+    fn gris_service(tag: &'static str) -> Arc<dyn InquiryService> {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Fixed { tag }));
+        Arc::new(g)
+    }
+
     #[test]
     fn register_and_search_aggregates() {
-        let mut giis = Giis::new("top");
+        let giis = Giis::new("top");
         giis.register(
             Registration {
                 id: "lbl".into(),
@@ -346,23 +490,39 @@ mod tests {
             gris_with("lbl"),
             0,
         );
-        giis.register(
+        giis.register_service(
             Registration {
                 id: "isi".into(),
                 ttl_secs: 300,
             },
-            gris_with("isi"),
+            gris_service("isi"),
             0,
         );
-        let all = giis.search(&filter::parse("(site=*)").unwrap(), 10);
+        let all = search(&giis, &filter::parse("(site=*)").unwrap(), 10);
         assert_eq!(all.len(), 2);
-        let lbl = giis.search(&filter::parse("(site=lbl)").unwrap(), 10);
+        let lbl = search(&giis, &filter::parse("(site=lbl)").unwrap(), 10);
         assert_eq!(lbl.len(), 1);
     }
 
     #[test]
+    fn deprecated_search_shim_matches_inquire() {
+        #![allow(deprecated)]
+        let giis = Giis::new("top");
+        giis.register(
+            Registration {
+                id: "lbl".into(),
+                ttl_secs: 300,
+            },
+            gris_with("lbl"),
+            0,
+        );
+        let f = filter::parse("(site=lbl)").unwrap();
+        assert_eq!(giis.search(&f, 10), search(&giis, &f, 10));
+    }
+
+    #[test]
     fn soft_state_expiry() {
-        let mut giis = Giis::new("top");
+        let giis = Giis::new("top");
         giis.register(
             Registration {
                 id: "lbl".into(),
@@ -376,14 +536,12 @@ mod tests {
         // Dead at exactly ttl with no renewal.
         assert_eq!(giis.live_registrants(60), Vec::<String>::new());
         // Search after expiry finds nothing.
-        assert!(giis
-            .search(&filter::parse("(site=*)").unwrap(), 61)
-            .is_empty());
+        assert!(search(&giis, &filter::parse("(site=*)").unwrap(), 61).is_empty());
     }
 
     #[test]
     fn renewal_extends_lifetime() {
-        let mut giis = Giis::new("top");
+        let giis = Giis::new("top");
         giis.register(
             Registration {
                 id: "lbl".into(),
@@ -410,7 +568,7 @@ mod tests {
 
     #[test]
     fn reregistration_is_renewal_when_live() {
-        let mut giis = Giis::new("top");
+        let giis = Giis::new("top");
         let g = gris_with("lbl");
         giis.register(
             Registration {
@@ -434,8 +592,9 @@ mod tests {
     #[test]
     fn hierarchical_giis_aggregates_child_indexes() {
         // site GIISes each index one GRIS; the organizational GIIS
-        // indexes both site GIISes (Figure 5's tree).
-        let mut lbl_giis = Giis::new("lbl-site");
+        // indexes both site GIISes (Figure 5's tree). The child indexes
+        // register as services — no wrapping mutex.
+        let lbl_giis = Giis::new("lbl-site");
         lbl_giis.register(
             Registration {
                 id: "lbl-gris".into(),
@@ -444,7 +603,7 @@ mod tests {
             gris_with("lbl"),
             0,
         );
-        let mut isi_giis = Giis::new("isi-site");
+        let isi_giis = Giis::new("isi-site");
         isi_giis.register(
             Registration {
                 id: "isi-gris".into(),
@@ -453,37 +612,35 @@ mod tests {
             gris_with("isi"),
             0,
         );
-        let mut org = Giis::new("org");
-        org.register_directory(
+        let org = Giis::new("org");
+        org.register_service(
             Registration {
                 id: "lbl-site".into(),
                 ttl_secs: 600,
             },
-            Arc::new(Mutex::new(lbl_giis)),
+            Arc::new(lbl_giis),
             0,
         );
-        org.register_directory(
+        org.register_service(
             Registration {
                 id: "isi-site".into(),
                 ttl_secs: 600,
             },
-            Arc::new(Mutex::new(isi_giis)),
+            Arc::new(isi_giis),
             0,
         );
-        let all = org.search(&filter::parse("(site=*)").unwrap(), 10);
+        let all = search(&org, &filter::parse("(site=*)").unwrap(), 10);
         assert_eq!(all.len(), 2);
-        let lbl = org.search(&filter::parse("(site=lbl)").unwrap(), 10);
+        let lbl = search(&org, &filter::parse("(site=lbl)").unwrap(), 10);
         assert_eq!(lbl.len(), 1);
         // Expiry cascades naturally: after the ttl the whole subtree is
         // unreachable from the org index.
-        assert!(org
-            .search(&filter::parse("(site=*)").unwrap(), 700)
-            .is_empty());
+        assert!(search(&org, &filter::parse("(site=*)").unwrap(), 700).is_empty());
     }
 
     #[test]
     fn down_index_refuses_with_exponential_jittered_backoff() {
-        let mut giis = Giis::new("top");
+        let giis = Giis::new("top");
         giis.set_available(false);
         let reg = || Registration {
             id: "lbl".into(),
@@ -491,14 +648,16 @@ mod tests {
         };
         let d1 = giis.try_register(reg(), gris_with("lbl"), 0).unwrap_err();
         let d2 = giis.try_register(reg(), gris_with("lbl"), 10).unwrap_err();
-        let d3 = giis.try_register(reg(), gris_with("lbl"), 20).unwrap_err();
+        let d3 = giis
+            .try_register_service(reg(), gris_service("lbl"), 20)
+            .unwrap_err();
         // Exponential growth around base 30 with ±25% jitter.
         assert!((23..=38).contains(&d1), "first delay {d1}");
         assert!((45..=75).contains(&d2), "second delay {d2}");
         assert!((90..=150).contains(&d3), "third delay {d3}");
         assert_eq!(giis.backoff_delay("lbl"), d3);
         // Deterministic: a replay produces identical delays.
-        let mut replay = Giis::new("top");
+        let replay = Giis::new("top");
         replay.set_available(false);
         assert_eq!(
             replay.try_register(reg(), gris_with("lbl"), 0).unwrap_err(),
@@ -533,7 +692,7 @@ mod tests {
         assert_eq!(b.delay_secs("lbl"), 0);
 
         // And through the Giis: recovery accepts and clears the schedule.
-        let mut giis = Giis::new("top");
+        let giis = Giis::new("top");
         giis.set_available(false);
         let reg = || Registration {
             id: "lbl".into(),
@@ -549,7 +708,7 @@ mod tests {
 
     #[test]
     fn expire_reports_count() {
-        let mut giis = Giis::new("top");
+        let giis = Giis::new("top");
         for (i, tag) in ["a", "b", "c"].iter().enumerate() {
             giis.register(
                 Registration {
@@ -563,5 +722,38 @@ mod tests {
         assert_eq!(giis.expire(15), 1); // "a" (ttl 10) gone
         assert_eq!(giis.expire(25), 1); // "b" (ttl 20) gone
         assert_eq!(giis.expire(25), 0);
+    }
+
+    #[test]
+    fn failing_service_child_degrades_to_best_effort_merge() {
+        struct Failing;
+        impl InquiryService for Failing {
+            fn inquire(&self, _req: &InquiryRequest) -> Result<InquiryResponse, InquiryError> {
+                Err(InquiryError::Overloaded {
+                    queued: 1,
+                    limit: 0,
+                })
+            }
+        }
+        let giis = Giis::new("top");
+        giis.register_service(
+            Registration {
+                id: "dead".into(),
+                ttl_secs: 300,
+            },
+            Arc::new(Failing),
+            0,
+        );
+        giis.register_service(
+            Registration {
+                id: "live".into(),
+                ttl_secs: 300,
+            },
+            gris_service("lbl"),
+            0,
+        );
+        // The index still answers from the reachable child.
+        let all = search(&giis, &filter::parse("(site=*)").unwrap(), 10);
+        assert_eq!(all.len(), 1);
     }
 }

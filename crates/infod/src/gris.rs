@@ -15,11 +15,24 @@
 //! downstream consumers (the replica broker's ranking in particular) can
 //! discount it instead of either trusting it blindly or losing the site
 //! entirely. On the next successful refresh the stamp disappears.
+//!
+//! ## Read path vs refresh path
+//!
+//! The inquiry surface is the `&self` [`InquiryService::inquire`]; the
+//! refresh path is [`Gris::materialize`], which runs the TTL-gated
+//! provider refreshes and returns *unstamped* entries with per-entry
+//! last-known-good timestamps. The sharded serving layer
+//! ([`crate::serve`]) calls `materialize` from its background refresher
+//! and stamps `stalenesssecs` at read time, so a snapshot taken once can
+//! keep serving correctly-aged entries long after it was cut.
 
+use parking_lot::Mutex;
 use wanpred_obs::{names, ObsSink};
 
+use crate::error::InquiryError;
 use crate::filter::Filter;
 use crate::ldif::{Dn, Entry};
+use crate::service::{InquiryRequest, InquiryResponse, InquiryService, Provenance, ServedBy};
 
 /// Why a provider refresh failed. Downstream code can match on the
 /// variant (transient resource outage vs. provider-internal failure)
@@ -101,6 +114,50 @@ pub trait InfoProvider: Send {
 /// failed: seconds since the data was last known good.
 pub const STALENESS_ATTR: &str = "stalenesssecs";
 
+/// One entry of a [`Materialized`] refresh: the raw (unstamped) entry
+/// plus, when its provider is degraded, the time its data was last known
+/// good. Consumers stamp `stalenesssecs = now - last_good_unix` at the
+/// moment they actually serve the entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaterializedEntry {
+    /// The entry, without a staleness stamp.
+    pub entry: Entry,
+    /// `Some(t)` when the producing provider is degraded and `t` is when
+    /// its cache was last refreshed successfully; `None` when fresh.
+    pub last_good_unix: Option<u64>,
+}
+
+impl MaterializedEntry {
+    /// The entry as served at `now_unix`: stamped with its age when the
+    /// provider is degraded, untouched when fresh. Returns the stamp age.
+    pub fn stamped(&self, now_unix: u64) -> (Entry, u64) {
+        match self.last_good_unix {
+            None => (self.entry.clone(), 0),
+            Some(t) => {
+                let age = now_unix.saturating_sub(t);
+                let mut e = self.entry.clone();
+                e.set(STALENESS_ATTR, age.to_string());
+                (e, age)
+            }
+        }
+    }
+}
+
+/// The result of one refresh pass over a GRIS: every provider's current
+/// entries, from a single refresh generation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Materialized {
+    /// Per-entry payloads in provider registration order.
+    pub entries: Vec<MaterializedEntry>,
+}
+
+/// A source the sharded serving layer can snapshot: one TTL-gated
+/// refresh pass returning unstamped entries with degraded-mode ages.
+pub trait SnapshotSource: Send + Sync {
+    /// Run due provider refreshes and return the current entry set.
+    fn materialize(&self, now_unix: u64) -> Materialized;
+}
+
 struct Slot {
     provider: Box<dyn InfoProvider>,
     cache: Vec<Entry>,
@@ -113,15 +170,27 @@ struct Slot {
     consecutive_failures: u32,
 }
 
-/// A GRIS instance.
-pub struct Gris {
-    base_dn: Dn,
+#[derive(Default)]
+struct GrisState {
     slots: Vec<Slot>,
     /// Cumulative provider invocations (cache-miss counter for tests and
     /// the provider-cost bench).
     invocations: u64,
     /// Cumulative failed refresh attempts.
     refresh_failures: u64,
+}
+
+/// A GRIS instance.
+///
+/// All inquiry methods take `&self`: the provider slots live behind an
+/// internal mutex, so a `Gris` shared through an `Arc` answers
+/// [`InquiryService::inquire`] calls directly. This internal lock is the
+/// "direct locked access" baseline the serving benchmark compares the
+/// sharded snapshot path against — every inquiry serializes behind every
+/// other, refreshes run inline on the inquiry path.
+pub struct Gris {
+    base_dn: Dn,
+    state: Mutex<GrisState>,
     /// Observability sink (null by default).
     obs: ObsSink,
 }
@@ -131,9 +200,7 @@ impl Gris {
     pub fn new(base_dn: Dn) -> Self {
         Gris {
             base_dn,
-            slots: Vec::new(),
-            invocations: 0,
-            refresh_failures: 0,
+            state: Mutex::new(GrisState::default()),
             obs: ObsSink::disabled(),
         }
     }
@@ -152,7 +219,7 @@ impl Gris {
 
     /// Plug in a provider.
     pub fn register_provider(&mut self, provider: Box<dyn InfoProvider>) {
-        self.slots.push(Slot {
+        self.state.get_mut().slots.push(Slot {
             provider,
             cache: Vec::new(),
             last_good_at: None,
@@ -163,40 +230,47 @@ impl Gris {
 
     /// Number of registered providers.
     pub fn provider_count(&self) -> usize {
-        self.slots.len()
+        self.state.lock().slots.len()
     }
 
     /// Total provider invocations so far.
     pub fn invocations(&self) -> u64 {
-        self.invocations
+        self.state.lock().invocations
     }
 
     /// Total failed refresh attempts so far.
     pub fn refresh_failures(&self) -> u64 {
-        self.refresh_failures
+        self.state.lock().refresh_failures
     }
 
-    /// Providers currently serving stale (degraded-mode) data.
-    pub fn degraded_providers(&self) -> Vec<&str> {
-        self.slots
+    /// Names of providers currently serving stale (degraded-mode) data.
+    pub fn degraded_providers(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .slots
             .iter()
             .filter(|s| s.consecutive_failures > 0)
-            .map(|s| s.provider.name())
+            .map(|s| s.provider.name().to_string())
             .collect()
     }
 
-    /// All current entries, refreshing stale caches. A provider whose
-    /// refresh fails keeps serving its last-known-good entries, each
-    /// stamped with [`STALENESS_ATTR`].
-    pub fn entries(&mut self, now_unix: u64) -> Vec<Entry> {
-        let mut out = Vec::new();
-        for s in &mut self.slots {
+    /// The refresh path: run TTL-due provider refreshes and return the
+    /// resulting entry set, unstamped, with per-entry last-known-good
+    /// ages for degraded providers. One call is one refresh generation —
+    /// every entry in the result was cut under a single lock hold, which
+    /// is the guarantee the sharded serving layer's snapshots propagate
+    /// to readers.
+    pub fn materialize(&self, now_unix: u64) -> Materialized {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let mut out = Materialized::default();
+        for s in &mut st.slots {
             let due = match s.checked_at {
                 None => true,
                 Some(t) => now_unix.saturating_sub(t) >= s.provider.ttl_secs(),
             };
             if due {
-                self.invocations += 1;
+                st.invocations += 1;
                 s.checked_at = Some(now_unix);
                 self.obs
                     .span_enter(names::INFOD_GRIS_REFRESH, now_unix * 1_000_000);
@@ -208,7 +282,7 @@ impl Gris {
                         self.obs.inc(names::INFOD_GRIS_REFRESH_OK);
                     }
                     Err(_) => {
-                        self.refresh_failures += 1;
+                        st.refresh_failures += 1;
                         s.consecutive_failures += 1;
                         self.obs.inc(names::INFOD_GRIS_REFRESH_FAIL);
                     }
@@ -221,32 +295,67 @@ impl Gris {
             } else {
                 self.obs.inc(names::INFOD_GRIS_CACHE_HITS);
             }
-            if s.consecutive_failures > 0 {
-                // Degraded mode: serve the last-known-good cache with its
-                // age stamped on every entry.
-                let age = s
-                    .last_good_at
-                    .map(|t| now_unix.saturating_sub(t))
-                    .unwrap_or(now_unix);
-                for e in &s.cache {
-                    let mut stale = e.clone();
-                    stale.set(STALENESS_ATTR, age.to_string());
-                    out.push(stale);
-                }
+            let last_good = if s.consecutive_failures > 0 {
+                // Degraded: the age anchor is the last successful
+                // refresh, or the epoch when there never was one (an
+                // empty cache contributes no entries either way).
+                Some(s.last_good_at.unwrap_or(0))
             } else {
-                out.extend(s.cache.iter().cloned());
-            }
+                None
+            };
+            out.entries
+                .extend(s.cache.iter().map(|e| MaterializedEntry {
+                    entry: e.clone(),
+                    last_good_unix: last_good,
+                }));
         }
         out
     }
 
-    /// Search: refresh stale providers, apply the filter.
-    pub fn search(&mut self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
-        self.obs.inc(names::INFOD_GRIS_SEARCHES);
-        self.entries(now_unix)
-            .into_iter()
-            .filter(|e| filter.matches(e))
+    /// All current entries, refreshing stale caches. A provider whose
+    /// refresh fails keeps serving its last-known-good entries, each
+    /// stamped with [`STALENESS_ATTR`].
+    #[deprecated(note = "use `InquiryService::inquire`; entries() is the pre-service surface")]
+    pub fn entries(&self, now_unix: u64) -> Vec<Entry> {
+        self.materialize(now_unix)
+            .entries
+            .iter()
+            .map(|me| me.stamped(now_unix).0)
             .collect()
+    }
+
+    /// Search: refresh stale providers, apply the filter.
+    #[deprecated(note = "use `InquiryService::inquire`; search() is the pre-service surface")]
+    pub fn search(&self, filter: &Filter, now_unix: u64) -> Vec<Entry> {
+        self.inquire(&InquiryRequest::new(filter.clone(), now_unix))
+            .map(|r| r.entries)
+            .unwrap_or_default()
+    }
+}
+
+impl SnapshotSource for Gris {
+    fn materialize(&self, now_unix: u64) -> Materialized {
+        Gris::materialize(self, now_unix)
+    }
+}
+
+impl InquiryService for Gris {
+    fn inquire(&self, req: &InquiryRequest) -> Result<InquiryResponse, InquiryError> {
+        self.obs.inc(names::INFOD_GRIS_SEARCHES);
+        let mut entries = Vec::new();
+        let mut max_staleness = 0u64;
+        for me in &self.materialize(req.now_unix).entries {
+            let (e, age) = me.stamped(req.now_unix);
+            if req.filter.matches(&e) {
+                max_staleness = max_staleness.max(age);
+                entries.push(e);
+            }
+        }
+        Ok(InquiryResponse::new(
+            entries,
+            max_staleness,
+            Provenance::direct(ServedBy::Gris),
+        ))
     }
 }
 
@@ -254,6 +363,16 @@ impl Gris {
 mod tests {
     use super::*;
     use crate::filter;
+
+    fn search(g: &Gris, f: &Filter, now: u64) -> Vec<Entry> {
+        g.inquire(&InquiryRequest::new(f.clone(), now))
+            .unwrap()
+            .entries
+    }
+
+    fn entries(g: &Gris, now: u64) -> Vec<Entry> {
+        search(g, &filter::parse("(|(calls=*)(site=*))").unwrap(), now)
+    }
 
     struct Counter {
         calls: u64,
@@ -314,12 +433,12 @@ mod tests {
     fn cache_serves_within_ttl() {
         let mut g = Gris::new(Dn::parse("o=grid").unwrap());
         g.register_provider(Box::new(Counter { calls: 0, ttl: 30 }));
-        let e1 = g.entries(100);
-        let e2 = g.entries(120); // within TTL
+        let e1 = entries(&g, 100);
+        let e2 = entries(&g, 120); // within TTL
         assert_eq!(e1[0].get("calls"), Some("1"));
         assert_eq!(e2[0].get("calls"), Some("1"));
         assert_eq!(g.invocations(), 1);
-        let e3 = g.entries(130); // 30s elapsed: refresh
+        let e3 = entries(&g, 130); // 30s elapsed: refresh
         assert_eq!(e3[0].get("calls"), Some("2"));
         assert_eq!(g.invocations(), 2);
     }
@@ -332,9 +451,23 @@ mod tests {
             ttl: 1_000,
         }));
         let f = filter::parse("(calls=1)").unwrap();
-        assert_eq!(g.search(&f, 0).len(), 1);
+        assert_eq!(search(&g, &f, 0).len(), 1);
         let f = filter::parse("(calls=99)").unwrap();
-        assert_eq!(g.search(&f, 1).len(), 0);
+        assert_eq!(search(&g, &f, 1).len(), 0);
+    }
+
+    #[test]
+    fn deprecated_shims_still_answer() {
+        // The old `&mut self`-era surface is a thin veneer over the
+        // service path; its results must agree with inquire().
+        #![allow(deprecated)]
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Counter { calls: 0, ttl: 30 }));
+        let via_shim = g.entries(100);
+        assert_eq!(via_shim.len(), 1);
+        assert_eq!(via_shim[0].get("calls"), Some("1"));
+        let f = filter::parse("(calls=1)").unwrap();
+        assert_eq!(g.search(&f, 110), search(&g, &f, 110));
     }
 
     #[test]
@@ -343,7 +476,7 @@ mod tests {
         g.register_provider(Box::new(Counter { calls: 0, ttl: 10 }));
         g.register_provider(Box::new(Counter { calls: 10, ttl: 10 }));
         assert_eq!(g.provider_count(), 2);
-        let all = g.entries(0);
+        let all = entries(&g, 0);
         assert_eq!(all.len(), 2);
     }
 
@@ -352,19 +485,19 @@ mod tests {
         let mut g = Gris::new(Dn::parse("o=grid").unwrap());
         g.register_provider(Box::new(Flaky::new(&[true, false, false])));
         // First inquiry succeeds: fresh data, no stamp.
-        let fresh = g.entries(100);
+        let fresh = entries(&g, 100);
         assert_eq!(fresh.len(), 1);
         assert_eq!(fresh[0].get(STALENESS_ATTR), None);
         // TTL lapses, refresh fails: last-known-good served, stamped with
         // its age (115 - 100 = 15s).
-        let stale = g.entries(115);
+        let stale = entries(&g, 115);
         assert_eq!(stale.len(), 1);
         assert_eq!(stale[0].get("calls"), Some("1"));
         assert_eq!(stale[0].get(STALENESS_ATTR), Some("15"));
         assert_eq!(g.refresh_failures(), 1);
-        assert_eq!(g.degraded_providers(), vec!["flaky"]);
+        assert_eq!(g.degraded_providers(), vec!["flaky".to_string()]);
         // Still failing later: the stamp grows.
-        let staler = g.entries(130);
+        let staler = entries(&g, 130);
         assert_eq!(staler[0].get(STALENESS_ATTR), Some("30"));
         assert_eq!(g.refresh_failures(), 2);
     }
@@ -373,11 +506,11 @@ mod tests {
     fn recovery_clears_the_staleness_stamp() {
         let mut g = Gris::new(Dn::parse("o=grid").unwrap());
         g.register_provider(Box::new(Flaky::new(&[true, false, true])));
-        g.entries(0);
-        let stale = g.entries(10);
+        entries(&g, 0);
+        let stale = entries(&g, 10);
         assert_eq!(stale[0].get(STALENESS_ATTR), Some("10"));
         // Provider comes back: fresh entries, no stamp, counters reset.
-        let fresh = g.entries(20);
+        let fresh = entries(&g, 20);
         assert_eq!(fresh[0].get("calls"), Some("3"));
         assert_eq!(fresh[0].get(STALENESS_ATTR), None);
         assert!(g.degraded_providers().is_empty());
@@ -387,23 +520,52 @@ mod tests {
     fn dead_provider_with_no_history_serves_nothing_but_is_retried() {
         let mut g = Gris::new(Dn::parse("o=grid").unwrap());
         g.register_provider(Box::new(Flaky::new(&[false, false, true])));
-        assert!(g.entries(0).is_empty());
+        assert!(entries(&g, 0).is_empty());
         // Within TTL the failure is not retried (no hammering).
-        assert!(g.entries(5).is_empty());
+        assert!(entries(&g, 5).is_empty());
         assert_eq!(g.invocations(), 1);
         // After the TTL it is.
-        assert!(g.entries(10).is_empty());
+        assert!(entries(&g, 10).is_empty());
         assert_eq!(g.invocations(), 2);
         // Eventually it comes up.
-        assert_eq!(g.entries(20).len(), 1);
+        assert_eq!(entries(&g, 20).len(), 1);
     }
 
     #[test]
     fn staleness_is_searchable() {
         let mut g = Gris::new(Dn::parse("o=grid").unwrap());
         g.register_provider(Box::new(Flaky::new(&[true, false])));
-        g.entries(0);
-        let hits = g.search(&filter::parse("(stalenesssecs=*)").unwrap(), 10);
+        entries(&g, 0);
+        let hits = search(&g, &filter::parse("(stalenesssecs=*)").unwrap(), 10);
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn inquire_reports_staleness_and_provenance() {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Flaky::new(&[true, false])));
+        let req = |now| InquiryRequest::parse("(calls=*)", now).unwrap();
+        let fresh = g.inquire(&req(0)).unwrap();
+        assert_eq!(fresh.staleness_secs, 0);
+        assert_eq!(fresh.provenance.source, ServedBy::Gris);
+        assert!(fresh.provenance.shards.is_empty());
+        let stale = g.inquire(&req(25)).unwrap();
+        assert_eq!(stale.staleness_secs, 25);
+    }
+
+    #[test]
+    fn materialize_returns_unstamped_entries_with_ages() {
+        let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+        g.register_provider(Box::new(Flaky::new(&[true, false])));
+        let fresh = g.materialize(100);
+        assert_eq!(fresh.entries.len(), 1);
+        assert_eq!(fresh.entries[0].last_good_unix, None);
+        let degraded = g.materialize(115);
+        assert_eq!(degraded.entries[0].last_good_unix, Some(100));
+        // The raw entry is unstamped; stamping happens at serve time.
+        assert_eq!(degraded.entries[0].entry.get(STALENESS_ATTR), None);
+        let (served, age) = degraded.entries[0].stamped(140);
+        assert_eq!(age, 40);
+        assert_eq!(served.get(STALENESS_ATTR), Some("40"));
     }
 }

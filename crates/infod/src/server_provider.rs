@@ -99,7 +99,6 @@ impl InfoProvider for ServerInfoProvider {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::filter;
     use crate::gris::Gris;
     use crate::schema::Schema;
 
@@ -131,14 +130,18 @@ mod tests {
 
     #[test]
     fn discoverable_through_gris_queries() {
+        use crate::service::{InquiryRequest, InquiryService};
         let mut g = Gris::new(Dn::parse("o=grid").unwrap());
         g.register_provider(Box::new(ServerInfoProvider::new(info())));
-        let f = filter::parse("(&(objectclass=GridFTPServerInfo)(port=2811))").unwrap();
-        assert_eq!(g.search(&f, 0).len(), 1);
-        let f = filter::parse("(storagevolumes=/home/ftp)").unwrap();
-        assert_eq!(g.search(&f, 1).len(), 1);
-        let f = filter::parse("(port=9999)").unwrap();
-        assert_eq!(g.search(&f, 2).len(), 0);
+        let hits = |f: &str, now| g.inquire(&InquiryRequest::parse(f, now).unwrap()).unwrap();
+        assert_eq!(
+            hits("(&(objectclass=GridFTPServerInfo)(port=2811))", 0)
+                .entries
+                .len(),
+            1
+        );
+        assert_eq!(hits("(storagevolumes=/home/ftp)", 1).entries.len(), 1);
+        assert_eq!(hits("(port=9999)", 2).entries.len(), 0);
     }
 
     #[test]

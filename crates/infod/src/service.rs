@@ -1,0 +1,169 @@
+//! The unified inquiry surface: [`InquiryService`].
+//!
+//! The paper's delivery path (§5) exists to answer user inquiries, and
+//! those inquiries arrive at every level of the hierarchy — a per-site
+//! GRIS, an aggregating GIIS, or the sharded serving layer in front of
+//! both ([`crate::serve`]). All three speak the same shape: a filter
+//! plus an inquiry time in, a set of entries with staleness and
+//! provenance out. `inquire` takes `&self` — services synchronize
+//! internally — so one handle can be shared across reader threads
+//! without an external lock, which is what the serving benchmark
+//! measures against the old `&mut self` surface.
+
+use crate::error::InquiryError;
+use crate::filter::Filter;
+use crate::ldif::Entry;
+
+/// One inquiry: a parsed LDAP-style filter plus the inquiry clock.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct InquiryRequest {
+    /// The search filter.
+    pub filter: Filter,
+    /// Inquiry time, Unix seconds. Drives TTL refresh decisions and the
+    /// `stalenesssecs` stamps on degraded entries.
+    pub now_unix: u64,
+    /// Optional microsecond arrival timestamp for the serving layer's
+    /// open-loop admission model. Must be nondecreasing across requests
+    /// to one server. `None` derives `now_unix * 1_000_000`.
+    pub arrival_us: Option<u64>,
+}
+
+impl InquiryRequest {
+    /// An inquiry at `now_unix` with no explicit arrival timestamp.
+    pub fn new(filter: Filter, now_unix: u64) -> Self {
+        InquiryRequest {
+            filter,
+            now_unix,
+            arrival_us: None,
+        }
+    }
+
+    /// Parse the filter from its string form.
+    pub fn parse(filter: &str, now_unix: u64) -> Result<Self, InquiryError> {
+        Ok(InquiryRequest::new(crate::filter::parse(filter)?, now_unix))
+    }
+
+    /// Set the microsecond arrival timestamp (admission-model clock).
+    pub fn at_micros(mut self, arrival_us: u64) -> Self {
+        self.arrival_us = Some(arrival_us);
+        self
+    }
+
+    /// The arrival timestamp, defaulting to `now_unix` in microseconds.
+    pub fn arrival_micros(&self) -> u64 {
+        self.arrival_us
+            .unwrap_or_else(|| self.now_unix.saturating_mul(1_000_000))
+    }
+}
+
+/// Who produced an [`InquiryResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServedBy {
+    /// A per-site GRIS answered directly.
+    Gris,
+    /// A GIIS merged its registrants' answers.
+    Giis,
+    /// The sharded serving layer answered from snapshots.
+    ShardedServer,
+}
+
+/// How the serving layer's per-shard prediction cache participated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheStatus {
+    /// The answering service has no cache on this path (GRIS/GIIS).
+    Uncached,
+    /// Every consulted shard answered from its cache.
+    Hit,
+    /// Every consulted shard computed the filter fresh.
+    Miss,
+    /// Some shards hit, some missed.
+    Mixed,
+}
+
+/// Where an answer came from: service kind, cache participation, and
+/// the snapshot generation of every shard consulted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Provenance {
+    /// The answering service kind.
+    pub source: ServedBy,
+    /// Cache participation.
+    pub cache: CacheStatus,
+    /// `(shard index, snapshot generation)` for each shard consulted.
+    /// Empty for unsharded services. Within one shard every entry comes
+    /// from a single immutable snapshot — the single-generation
+    /// guarantee the direct locked path cannot make.
+    pub shards: Vec<(usize, u64)>,
+    /// Modeled queueing latency (microseconds) when the serving layer's
+    /// admission model is on; `None` otherwise.
+    pub modeled_latency_us: Option<u64>,
+    /// Whether the admission model coalesced this inquiry onto an
+    /// identical in-flight one.
+    pub coalesced: bool,
+}
+
+impl Provenance {
+    /// Provenance for an unsharded, uncached service.
+    pub(crate) fn direct(source: ServedBy) -> Self {
+        Provenance {
+            source,
+            cache: CacheStatus::Uncached,
+            shards: Vec::new(),
+            modeled_latency_us: None,
+            coalesced: false,
+        }
+    }
+}
+
+/// The answer to an inquiry.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct InquiryResponse {
+    /// Entries matching the filter, `stalenesssecs`-stamped where served
+    /// from a degraded (last-known-good) cache.
+    pub entries: Vec<Entry>,
+    /// The largest `stalenesssecs` stamp across the returned entries
+    /// (0 when everything is fresh).
+    pub staleness_secs: u64,
+    /// Where the answer came from.
+    pub provenance: Provenance,
+}
+
+impl InquiryResponse {
+    pub(crate) fn new(entries: Vec<Entry>, staleness_secs: u64, provenance: Provenance) -> Self {
+        InquiryResponse {
+            entries,
+            staleness_secs,
+            provenance,
+        }
+    }
+}
+
+/// Anything that can answer a filtered inquiry: a [`crate::Gris`], a
+/// [`crate::Giis`], or the sharded [`crate::serve::ShardedServer`].
+///
+/// `inquire` takes `&self`: implementations synchronize internally, so a
+/// shared handle (`Arc<dyn InquiryService>`) serves concurrent readers
+/// without an external mutex.
+pub trait InquiryService: Send + Sync {
+    /// Answer one inquiry.
+    fn inquire(&self, req: &InquiryRequest) -> Result<InquiryResponse, InquiryError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parses_and_carries_the_clock() {
+        let req = InquiryRequest::parse("(a=1)", 42).unwrap();
+        assert_eq!(req.now_unix, 42);
+        assert_eq!(req.arrival_micros(), 42_000_000);
+        let req = req.at_micros(42_000_137);
+        assert_eq!(req.arrival_micros(), 42_000_137);
+        assert!(InquiryRequest::parse("(((", 0).is_err());
+    }
+}

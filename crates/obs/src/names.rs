@@ -84,6 +84,31 @@ pub const INFOD_GIIS_EXPIRATIONS: &str = "infod.giis.expirations";
 pub const INFOD_GIIS_REFUSALS: &str = "infod.giis.refusals";
 /// GIIS searches fanned out over live registrants.
 pub const INFOD_GIIS_SEARCHES: &str = "infod.giis.searches";
+/// Inquiries answered by the sharded serving layer (shed ones excluded).
+pub const INFOD_SERVE_INQUIRIES: &str = "infod.serve.inquiries";
+/// Inquiries shed by admission control (typed `Overloaded` rejections).
+pub const INFOD_SERVE_SHED: &str = "infod.serve.shed";
+/// Inquiries coalesced onto an identical in-flight inquiry.
+pub const INFOD_SERVE_COALESCED: &str = "infod.serve.coalesced";
+/// Per-shard filter evaluations answered from the prediction cache.
+pub const INFOD_SERVE_CACHE_HITS: &str = "infod.serve.cache_hits";
+/// Per-shard filter evaluations computed against the snapshot.
+pub const INFOD_SERVE_CACHE_MISSES: &str = "infod.serve.cache_misses";
+/// Answers containing at least one `stalenesssecs`-stamped entry
+/// (degraded-mode serving: stale data served rather than blocking).
+pub const INFOD_SERVE_STALE_SERVED: &str = "infod.serve.stale_served";
+/// Refresh passes run by the background refresher.
+pub const INFOD_SERVE_REFRESHES: &str = "infod.serve.refreshes";
+/// Shard snapshots actually swapped (content changed since the last
+/// refresh generation; unchanged shards skip the swap).
+pub const INFOD_SERVE_SNAPSHOT_SWAPS: &str = "infod.serve.snapshot_swaps";
+/// Gauge: sites currently live in the serving layer's registry.
+pub const INFOD_SERVE_SITES: &str = "infod.serve.sites";
+/// Histogram of modeled admission-queue wait, microseconds.
+pub const INFOD_SERVE_WAIT_US: &str = "infod.serve.wait_us";
+/// Histogram of modeled end-to-end inquiry sojourn (wait + service),
+/// microseconds.
+pub const INFOD_SERVE_LATENCY_US: &str = "infod.serve.latency_us";
 
 /// Replica selections requested from the broker.
 pub const REPLICA_BROKER_SELECTIONS: &str = "replica.broker.selections";
@@ -182,6 +207,17 @@ pub fn all() -> &'static [&'static str] {
         INFOD_GIIS_EXPIRATIONS,
         INFOD_GIIS_REFUSALS,
         INFOD_GIIS_SEARCHES,
+        INFOD_SERVE_INQUIRIES,
+        INFOD_SERVE_SHED,
+        INFOD_SERVE_COALESCED,
+        INFOD_SERVE_CACHE_HITS,
+        INFOD_SERVE_CACHE_MISSES,
+        INFOD_SERVE_STALE_SERVED,
+        INFOD_SERVE_REFRESHES,
+        INFOD_SERVE_SNAPSHOT_SWAPS,
+        INFOD_SERVE_SITES,
+        INFOD_SERVE_WAIT_US,
+        INFOD_SERVE_LATENCY_US,
         REPLICA_BROKER_SELECTIONS,
         REPLICA_BROKER_DEGRADED,
         REPLICA_BROKER_RUNG_TOURNAMENT,

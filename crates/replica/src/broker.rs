@@ -34,9 +34,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use wanpred_infod::filter;
-use wanpred_infod::{Giis, STALENESS_ATTR};
+use wanpred_infod::{InquiryRequest, InquiryService, STALENESS_ATTR};
 use wanpred_obs::{names, ObsSink};
 use wanpred_predict::{Observation, PairTournament, SizeClass, TournamentOptions};
 
@@ -143,18 +141,22 @@ impl ProbeForecastSource for ProbeForecastTable {
     }
 }
 
-/// A [`PerfInfoSource`] backed by GIIS inquiries, with the attribute
-/// fallback chain: size-class prediction → overall prediction → overall
-/// read average. Entries stamped `stalenesssecs` by a degraded GRIS
-/// surface that age in the estimate.
+/// A [`PerfInfoSource`] backed by information-service inquiries, with
+/// the attribute fallback chain: size-class prediction → overall
+/// prediction → overall read average. Entries stamped `stalenesssecs`
+/// by a degraded GRIS surface that age in the estimate.
+///
+/// Any [`InquiryService`] serves: a `Giis`, a `Gris`, or the sharded
+/// serving layer — the broker is agnostic to which tier answers.
 pub struct GiisPerfSource {
-    giis: Arc<Mutex<Giis>>,
+    svc: Arc<dyn InquiryService>,
 }
 
 impl GiisPerfSource {
-    /// Wrap a GIIS handle.
-    pub fn new(giis: Arc<Mutex<Giis>>) -> Self {
-        GiisPerfSource { giis }
+    /// Wrap an inquiry-service handle (e.g. `Arc<Giis>` or
+    /// `Arc<ShardedServer>`).
+    pub fn new(svc: Arc<dyn InquiryService>) -> Self {
+        GiisPerfSource { svc }
     }
 
     fn class_attr(size: u64) -> &'static str {
@@ -175,11 +177,14 @@ impl PerfInfoSource for GiisPerfSource {
         size: u64,
         now_unix: u64,
     ) -> Option<PerfEstimate> {
-        let f = filter::parse(&format!(
-            "(&(objectclass=GridFTPPerfInfo)(cn={client_addr})(hostname={server_host}))"
-        ))
+        let req = InquiryRequest::parse(
+            &format!("(&(objectclass=GridFTPPerfInfo)(cn={client_addr})(hostname={server_host}))"),
+            now_unix,
+        )
         .expect("well-formed filter");
-        let entries = self.giis.lock().search(&f, now_unix);
+        // Overloaded (or otherwise failing) service: no estimate, so the
+        // caller descends the fallback ladder instead of stalling.
+        let entries = self.svc.inquire(&req).ok()?.entries;
         let e = entries.first()?;
         let staleness_secs = e
             .get(STALENESS_ATTR)

@@ -80,9 +80,9 @@ mod integration_tests {
     #[test]
     fn broker_selects_the_faster_site_end_to_end() {
         let client = "140.221.65.69";
-        let giis = Arc::new(Mutex::new(Giis::new("top")));
+        let giis = Arc::new(Giis::new("top"));
         for (host, kbs) in [("dpsslx04.lbl.gov", 7_500.0), ("jet.isi.edu", 3_000.0)] {
-            giis.lock().register(
+            giis.register(
                 Registration {
                     id: host.to_string(),
                     ttl_secs: 3_600,
@@ -125,8 +125,8 @@ mod integration_tests {
 
     #[test]
     fn unknown_client_gets_no_predictions_but_a_choice() {
-        let giis = Arc::new(Mutex::new(Giis::new("top")));
-        giis.lock().register(
+        let giis = Arc::new(Giis::new("top"));
+        giis.register(
             Registration {
                 id: "lbl".into(),
                 ttl_secs: 3_600,
@@ -167,13 +167,13 @@ mod integration_tests {
             ProviderConfig::new("dpsslx04.lbl.gov", "0.0.0.0"),
             &path,
         )));
-        let giis = Arc::new(Mutex::new(Giis::new("top")));
-        giis.lock().register(
+        let giis = Arc::new(Giis::new("top"));
+        giis.register_service(
             Registration {
                 id: "lbl".into(),
                 ttl_secs: 1_000_000,
             },
-            Arc::new(Mutex::new(g)),
+            Arc::new(g),
             1_200_000,
         );
 

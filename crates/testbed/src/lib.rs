@@ -16,6 +16,7 @@
 pub mod campaign;
 pub mod figures;
 pub mod report;
+pub mod serving;
 pub mod sites;
 pub mod workload;
 
@@ -28,6 +29,10 @@ pub use figures::{
     Fig0102Series, Fig07Counts, SummaryStats,
 };
 pub use report::{fmt_mape, fmt_pct, Table};
+pub use serving::{
+    serving_filters, serving_now_unix, serving_sites, ServingSite, SERVING_CLIENTS,
+    SERVING_EPOCH_UNIX,
+};
 pub use sites::{
     build_testbed, paper_sites, quiet_load_config, wan_load_config, SiteSpec, Testbed,
 };

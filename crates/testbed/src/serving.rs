@@ -1,0 +1,174 @@
+//! Deterministic fixtures for the serving-layer load tests and benches:
+//! synthetic per-site transfer histories and a representative inquiry
+//! filter pool, all derived from a single seed with no wall clock or
+//! ambient randomness, so open-loop load runs replay byte-identically.
+//!
+//! The sites are synthetic rather than campaign-derived on purpose — a
+//! serving benchmark wants dozens of registrants with differentiated
+//! histories in milliseconds, not a two-week simulated campaign per
+//! site. The log schema and value ranges match the paper's testbed
+//! (100 KB–1 GB files, multi-MB/s wide-area bandwidths, 8 parallel
+//! streams, 1 MB TCP buffers).
+
+use wanpred_logfmt::{Operation, TransferLog, TransferRecordBuilder};
+
+/// Unix epoch the synthetic histories start at. Inquiries against these
+/// fixtures should use `now_unix` at or after the end of the history:
+/// `SERVING_EPOCH_UNIX + records_per_site * SERVING_RECORD_SPACING_SECS`.
+pub const SERVING_EPOCH_UNIX: u64 = 1_000_000;
+
+/// Seconds between consecutive transfers in a site's history.
+pub const SERVING_RECORD_SPACING_SECS: u64 = 600;
+
+/// The client population appearing in the synthetic logs (the paper's
+/// ANL, LBL and ISI testbed addresses).
+pub const SERVING_CLIENTS: [&str; 3] = ["140.221.65.69", "131.243.2.11", "128.9.160.11"];
+
+/// One synthetic registrant: a GridFTP server name/address and the
+/// transfer history its information provider digests.
+#[derive(Debug, Clone)]
+pub struct ServingSite {
+    /// Server host name (`siteNN.grid.test`).
+    pub host: String,
+    /// Server address.
+    pub address: String,
+    /// The site's deterministic transfer history.
+    pub log: TransferLog,
+}
+
+/// SplitMix64 — the fixture's only source of variety, keyed on the seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Build `sites` synthetic registrants, each with `records_per_site`
+/// transfer records. Same arguments, same sites — byte for byte.
+pub fn serving_sites(sites: usize, records_per_site: usize, seed: u64) -> Vec<ServingSite> {
+    let file_sizes: [u64; 5] = [
+        1_024_000,     // 1 MB class
+        10_240_000,    // 10 MB
+        102_400_000,   // 100 MB
+        512_000_000,   // 500 MB
+        1_024_000_000, // 1 GB
+    ];
+    (0..sites)
+        .map(|s| {
+            let host = format!("site{s:02}.grid.test");
+            let address = format!("10.0.{}.{}", s / 250, s % 250 + 1);
+            // Per-site base bandwidth in 1–10 MB/s, the paper's wide-area
+            // GridFTP range.
+            let site_stream = splitmix64(seed ^ (s as u64).wrapping_mul(0x51ed_270b));
+            let base_kbs = 1_000.0 + (site_stream % 9_000) as f64;
+            let mut log = TransferLog::new();
+            for i in 0..records_per_site as u64 {
+                let h = splitmix64(site_stream ^ i.wrapping_mul(0x2545_f491_4f6c_dd1d));
+                let client = SERVING_CLIENTS[(h % 3) as usize];
+                let size = file_sizes[((h >> 8) % 5) as usize];
+                // ±20% per-transfer jitter around the site's base rate.
+                let jitter = 0.8 + ((h >> 16) % 1_000) as f64 / 2_500.0;
+                let kbs = base_kbs * jitter;
+                let secs = size as f64 / (kbs * 1_000.0);
+                let start = SERVING_EPOCH_UNIX + i * SERVING_RECORD_SPACING_SECS;
+                log.append(
+                    TransferRecordBuilder::new()
+                        .source(client)
+                        .host(&host)
+                        .file_name("/home/ftp/vazhkuda/f")
+                        .file_size(size)
+                        .volume("/home/ftp")
+                        .start_unix(start)
+                        .end_unix(start + secs.ceil() as u64)
+                        .total_time_s(secs)
+                        .streams(8)
+                        .tcp_buffer(1_000_000)
+                        .operation(if h % 11 == 0 {
+                            Operation::Write
+                        } else {
+                            Operation::Read
+                        })
+                        .build()
+                        .expect("all fields set"),
+                );
+            }
+            ServingSite { host, address, log }
+        })
+        .collect()
+}
+
+/// The inquiry mix an open-loop run draws from: the broad scan, the
+/// broker's per-client lookups, a bandwidth-threshold scan, a couple of
+/// host-targeted inquiries and the staleness presence probe that the
+/// single-generation regression guards.
+pub fn serving_filters(sites: &[ServingSite]) -> Vec<String> {
+    let mut pool = vec!["(objectclass=GridFTPPerfInfo)".to_string()];
+    for client in SERVING_CLIENTS {
+        pool.push(format!("(&(objectclass=GridFTPPerfInfo)(cn={client}))"));
+    }
+    pool.push("(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=3000))".to_string());
+    for site in sites.iter().take(2) {
+        pool.push(format!(
+            "(&(objectclass=GridFTPPerfInfo)(hostname={}))",
+            site.host
+        ));
+    }
+    pool.push("(stalenesssecs=*)".to_string());
+    pool
+}
+
+/// The natural inquiry time for fixtures built with `records_per_site`
+/// records: just past the end of every site's history.
+pub fn serving_now_unix(records_per_site: usize) -> u64 {
+    SERVING_EPOCH_UNIX + records_per_site as u64 * SERVING_RECORD_SPACING_SECS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_sites_replay_byte_identically() {
+        let a = serving_sites(5, 40, 9);
+        let b = serving_sites(5, 40, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.host, y.host);
+            assert_eq!(x.address, y.address);
+            assert_eq!(x.log.to_ulm_string(), y.log.to_ulm_string());
+        }
+        let c = serving_sites(5, 40, 10);
+        assert_ne!(a[0].log.to_ulm_string(), c[0].log.to_ulm_string());
+    }
+
+    #[test]
+    fn sites_are_differentiated_and_plausible() {
+        let sites = serving_sites(8, 30, 1);
+        assert_eq!(sites.len(), 8);
+        let mean_kbs = |s: &ServingSite| {
+            let (sum, n) = s.log.records().iter().fold((0.0, 0usize), |(sum, n), r| {
+                (sum + r.file_size as f64 / r.total_time_s / 1_000.0, n + 1)
+            });
+            sum / n as f64
+        };
+        let rates: Vec<f64> = sites.iter().map(mean_kbs).collect();
+        for r in &rates {
+            assert!((500.0..20_000.0).contains(r), "wide-area KB/s: {r}");
+        }
+        let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().copied().fold(0.0f64, f64::max);
+        assert!(max / min > 1.5, "sites differ: {min:.0}..{max:.0}");
+    }
+
+    #[test]
+    fn filter_pool_covers_the_serving_query_mix() {
+        let sites = serving_sites(3, 10, 2);
+        let pool = serving_filters(&sites);
+        assert!(pool.iter().any(|f| f == "(objectclass=GridFTPPerfInfo)"));
+        assert!(pool.iter().any(|f| f.contains("cn=140.221.65.69")));
+        assert!(pool.iter().any(|f| f.contains("hostname=site00.grid.test")));
+        assert!(pool.iter().any(|f| f == "(stalenesssecs=*)"));
+        assert!(serving_now_unix(10) > SERVING_EPOCH_UNIX);
+    }
+}

@@ -6,11 +6,11 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use wanpred_core::gridftp::protocol::{parse, Command};
 use wanpred_core::gridftp::Session;
 use wanpred_core::infod::{
-    parse_filter, Dn, Giis, GridFtpPerfProvider, Gris, ProviderConfig, Registration, Schema,
+    run_open_loop, Dn, Giis, GridFtpPerfProvider, Gris, InquiryRequest, InquiryService,
+    OpenLoopConfig, ProviderConfig, Registration, Schema, ServeConfig, ShardedServer,
 };
 use wanpred_core::prelude::*;
 
@@ -76,25 +76,27 @@ fn main() {
     println!("== GIIS inquiry ==");
     let mut gris = Gris::new(Dn::parse("o=grid").expect("constant"));
     gris.register_provider(Box::new(provider));
-    let gris = Arc::new(Mutex::new(gris));
-    let mut giis = Giis::new("grid-index");
-    giis.register(
+    let gris = Arc::new(gris);
+    let giis = Giis::new("grid-index");
+    giis.register_service(
         Registration {
             id: "dpsslx04.lbl.gov".into(),
             ttl_secs: 300,
         },
-        gris,
+        gris.clone(),
         now,
     );
-    let filter = parse_filter("(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=1000))")
-        .expect("well-formed");
-    let hits = giis.search(&filter, now);
+    let inquiry = "(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=1000))";
+    let req = InquiryRequest::parse(inquiry, now).expect("well-formed");
+    let resp = giis.inquire(&req).expect("giis answers");
     println!(
-        "query (&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=1000)) -> {} entr{}",
-        hits.len(),
-        if hits.len() == 1 { "y" } else { "ies" }
+        "query {inquiry} -> {} entr{} (served by {:?}, staleness {}s)",
+        resp.entries.len(),
+        if resp.entries.len() == 1 { "y" } else { "ies" },
+        resp.provenance.source,
+        resp.staleness_secs,
     );
-    for h in &hits {
+    for h in &resp.entries {
         println!(
             "  cn={} avgrdbandwidth={} predictrdbandwidth={}",
             h.get("cn").unwrap_or("?"),
@@ -105,6 +107,38 @@ fn main() {
 
     // Registrations are soft state: without renewal they expire.
     let later = now + 301;
-    assert!(giis.search(&filter, later).is_empty());
+    let req = InquiryRequest::parse(inquiry, later).expect("well-formed");
+    assert!(giis.inquire(&req).expect("giis answers").entries.is_empty());
     println!("after ttl expiry with no renewal: 0 entries (soft state)");
+
+    // --- 4. The sharded serving layer under open-loop load. --------------
+    println!("\n== sharded serving layer ==");
+    let server = ShardedServer::new(ServeConfig {
+        admission: Some(Default::default()),
+        ..ServeConfig::default()
+    });
+    server.register_site("dpsslx04.lbl.gov", 600, gris, now);
+    server.refresh(now);
+    let report = run_open_loop(
+        &server,
+        &OpenLoopConfig {
+            seed: 7,
+            rate_per_sec: 2_000.0,
+            duration_secs: 5,
+            start_unix: now,
+            filters: vec![inquiry.to_string(), "(objectclass=GridFTPPerfInfo)".into()],
+        },
+        |sec| server.refresh(sec),
+    );
+    println!(
+        "open-loop 2000/s for 5s: offered {} answered {} shed {} coalesced {}",
+        report.offered, report.answered, report.shed, report.coalesced
+    );
+    println!(
+        "sustained {} qps, latency p50/p95/p99 = {}/{}/{} us",
+        report.sustained_qps,
+        report.percentile_us(50.0),
+        report.percentile_us(95.0),
+        report.percentile_us(99.0),
+    );
 }

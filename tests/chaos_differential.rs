@@ -132,7 +132,6 @@ fn chaos_coalloc_never_double_counts_a_byte_range() {
 
 #[test]
 fn dead_information_source_still_yields_a_selection() {
-    use parking_lot::Mutex;
     use std::sync::Arc;
     use wanpred_core::infod::{Dn, GridFtpPerfProvider, ProviderConfig};
     use wanpred_core::replica::{GiisPerfSource, PhysicalReplica};
@@ -145,13 +144,13 @@ fn dead_information_source_still_yields_a_selection() {
         ProviderConfig::new("dpsslx04.lbl.gov", "131.243.2.11"),
         std::path::Path::new("/nonexistent/never-written.ulm"),
     )));
-    let giis = Arc::new(Mutex::new(Giis::new("top")));
-    giis.lock().register(
+    let giis = Arc::new(Giis::new("top"));
+    giis.register_service(
         Registration {
             id: "lbl".into(),
             ttl_secs: 3_600,
         },
-        Arc::new(Mutex::new(gris)),
+        Arc::new(gris),
         1_000,
     );
 

@@ -3,9 +3,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use wanpred_core::infod::{
-    parse_filter, Dn, Giis, GridFtpPerfProvider, Gris, ProviderConfig, Registration, Schema,
+    Dn, Giis, GridFtpPerfProvider, Gris, InquiryRequest, InquiryService, ProviderConfig,
+    Registration, Schema,
 };
 use wanpred_core::prelude::*;
 use wanpred_core::testbed::observation_series;
@@ -42,7 +42,7 @@ fn provider_entries_from_campaign_logs_validate_and_answer_queries() {
     let now = cfg.epoch_unix + 3 * 86_400;
     let schema = Schema::standard();
 
-    let mut giis = Giis::new("top");
+    let giis = Giis::new("top");
     for (host, addr, pair) in [
         ("dpsslx04.lbl.gov", "131.243.2.11", Pair::LblAnl),
         ("jet.isi.edu", "128.9.160.11", Pair::IsiAnl),
@@ -58,19 +58,20 @@ fn provider_entries_from_campaign_logs_validate_and_answer_queries() {
         }
         let mut gris = Gris::new(Dn::parse("o=grid").unwrap());
         gris.register_provider(Box::new(provider));
-        giis.register(
+        giis.register_service(
             Registration {
                 id: host.into(),
                 ttl_secs: 3_600,
             },
-            Arc::new(Mutex::new(gris)),
+            Arc::new(gris),
             now,
         );
     }
 
     // The ANL client appears in both sites' published data.
-    let f = parse_filter("(&(objectclass=GridFTPPerfInfo)(cn=140.221.65.69))").unwrap();
-    let hits = giis.search(&f, now);
+    let req =
+        InquiryRequest::parse("(&(objectclass=GridFTPPerfInfo)(cn=140.221.65.69))", now).unwrap();
+    let hits = giis.inquire(&req).unwrap().entries;
     assert_eq!(hits.len(), 2, "one perf entry per server");
     for h in &hits {
         let avg: f64 = h.get("avgrdbandwidth").unwrap().parse().unwrap();

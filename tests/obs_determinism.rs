@@ -78,6 +78,59 @@ fn coalloc_campaigns_export_byte_identical_snapshots() {
 }
 
 #[test]
+fn same_seed_load_generator_runs_export_byte_identical_snapshots() {
+    // The serving layer's open-loop driver runs on sim time, so a load
+    // run is a pure function of its seed: arrivals, filter choices,
+    // coalescing, shedding and every obs emission must replay exactly.
+    use std::sync::Arc;
+    use wanpred_core::infod::{
+        run_open_loop, Dn, GridFtpPerfProvider, Gris, OpenLoopConfig, ProviderConfig, ServeConfig,
+        ShardedServer,
+    };
+    use wanpred_core::testbed::{serving_filters, serving_now_unix, serving_sites};
+
+    let load_snapshot = |seed: u64| {
+        let sites = serving_sites(4, 15, 3);
+        let now = serving_now_unix(15);
+        let sink = ObsSink::enabled();
+        let mut server = ShardedServer::new(ServeConfig {
+            admission: Some(Default::default()),
+            ..ServeConfig::default()
+        });
+        server.set_obs(sink.clone());
+        for s in &sites {
+            let mut g = Gris::new(Dn::parse("o=grid").unwrap());
+            g.register_provider(Box::new(GridFtpPerfProvider::from_snapshot(
+                ProviderConfig::new(&s.host, &s.address),
+                s.log.clone(),
+            )));
+            server.register_site(s.host.clone(), u64::MAX, Arc::new(g), now);
+        }
+        server.refresh(now);
+        run_open_loop(
+            &server,
+            &OpenLoopConfig {
+                seed,
+                rate_per_sec: 1_500.0,
+                duration_secs: 3,
+                start_unix: now,
+                filters: serving_filters(&sites),
+            },
+            |sec| server.refresh(sec),
+        );
+        sink.snapshot()
+    };
+    let a = load_snapshot(21);
+    let b = load_snapshot(21);
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_ulm_lines(), b.to_ulm_lines());
+    assert!(a.counter("infod.serve.inquiries") > 1_000);
+    assert!(a.counter("infod.serve.cache_hits") > 0);
+    // A different seed is a different workload.
+    assert_ne!(a.to_json(), load_snapshot(22).to_json());
+}
+
+#[test]
 fn different_seeds_export_different_snapshots() {
     let a = hostile_campaign(77);
     let b = hostile_campaign(78);
